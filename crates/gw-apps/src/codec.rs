@@ -1,0 +1,109 @@
+//! Fixed-width value encodings shared by the applications.
+//!
+//! MapReduce values travel as raw bytes; these helpers keep the encodings
+//! explicit and tested. Counts are little-endian `u64`; float vectors are
+//! little-endian `f32` sequences; numeric keys that must sort correctly as
+//! bytes use big-endian.
+
+/// Encode a `u64` count.
+#[inline]
+pub fn enc_u64(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
+}
+
+/// Decode a `u64` count.
+#[inline]
+pub fn dec_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("u64 value must be 8 bytes"))
+}
+
+/// Encode a `u32` key in big-endian so byte order equals numeric order.
+#[inline]
+pub fn enc_key_u32(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+/// Decode a big-endian `u32` key.
+#[inline]
+pub fn dec_key_u32(bytes: &[u8]) -> u32 {
+    u32::from_be_bytes(bytes.try_into().expect("u32 key must be 4 bytes"))
+}
+
+/// Append an `f32` slice in little-endian.
+pub fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode an `f32` slice.
+pub fn get_f32s(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(4), "f32 payload must be 4-byte aligned");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Read the i-th `f32` without allocating.
+#[inline]
+pub fn get_f32(bytes: &[u8], i: usize) -> f32 {
+    f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("f32 index in range"))
+}
+
+/// Elementwise add `src` (f32s) into `dst` (f32s) in place.
+pub fn add_f32s_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "vector length mismatch");
+    for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+        let sum = f32::from_le_bytes(d.try_into().unwrap()) + f32::from_le_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&sum.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        assert_eq!(dec_u64(&enc_u64(0)), 0);
+        assert_eq!(dec_u64(&enc_u64(u64::MAX)), u64::MAX);
+        assert_eq!(dec_u64(&enc_u64(12345)), 12345);
+    }
+
+    #[test]
+    fn u32_key_sorts_numerically() {
+        let keys: Vec<[u8; 4]> = [5u32, 1, 300, 2, 70000].iter().map(|&v| enc_key_u32(v)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let decoded: Vec<u32> = sorted.iter().map(|k| dec_key_u32(k)).collect();
+        assert_eq!(decoded, vec![1, 2, 5, 300, 70000]);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [1.5f32, -2.25, 0.0, 1e10];
+        let mut bytes = Vec::new();
+        put_f32s(&mut bytes, &vals);
+        assert_eq!(get_f32s(&bytes), vals);
+        assert_eq!(get_f32(&bytes, 1), -2.25);
+    }
+
+    #[test]
+    fn add_in_place() {
+        let mut a = Vec::new();
+        put_f32s(&mut a, &[1.0, 2.0, 3.0]);
+        let mut b = Vec::new();
+        put_f32s(&mut b, &[0.5, -2.0, 1.0]);
+        add_f32s_in_place(&mut a, &b);
+        assert_eq!(get_f32s(&a), vec![1.5, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_rejects_mismatched_lengths() {
+        let mut a = vec![0u8; 8];
+        add_f32s_in_place(&mut a, &[0u8; 4]);
+    }
+}

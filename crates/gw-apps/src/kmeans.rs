@@ -1,0 +1,276 @@
+//! K-Means clustering (KM) — "partitions observations (vector points) in a
+//! multi-dimensional vector space, by grouping close-by points together.
+//! KM is a compute-intensive application and its complexity is a function
+//! of the number of dimensions, centers and observations."
+//!
+//! "KM is an iterative algorithm, but our implementations perform just one
+//! iteration since this shows the performance well for all frameworks."
+//! One iteration: assign each point to its nearest center (map, the hot
+//! kernel: `k × d` distance evaluations per point), then average each
+//! center's members (combine/reduce) to produce the new centers.
+//!
+//! Intermediate value encoding: `count (u64 LE) ++ sum-vector (d × f32 LE)`
+//! so that combining is a count add plus vector add — the aggregation
+//! pattern that makes KM's intermediate volume tiny (one record per center
+//! after combining, Table III).
+
+use std::sync::Arc;
+
+use gw_core::{Combiner, Emit, GwApp};
+
+use crate::codec::{self, dec_u64, enc_key_u32, enc_u64};
+
+/// Adds partial `(count, sum-vector)` accumulators.
+pub struct CentroidCombiner;
+
+impl Combiner for CentroidCombiner {
+    fn combine(&self, _key: &[u8], acc: &mut Vec<u8>, value: &[u8]) {
+        let count = dec_u64(&acc[..8]) + dec_u64(&value[..8]);
+        acc[..8].copy_from_slice(&enc_u64(count));
+        codec::add_f32s_in_place(&mut acc[8..], &value[8..]);
+    }
+}
+
+/// The K-Means application (one iteration).
+pub struct KMeans {
+    /// Flattened `k × dims` center matrix.
+    centers: Vec<f32>,
+    k: usize,
+    dims: usize,
+    use_combiner: bool,
+}
+
+impl KMeans {
+    /// Build from the current centers.
+    pub fn new(centers: Vec<f32>, k: usize, dims: usize) -> Self {
+        assert_eq!(centers.len(), k * dims, "centers must be k × dims");
+        assert!(k > 0 && dims > 0);
+        KMeans {
+            centers,
+            k,
+            dims,
+            use_combiner: true,
+        }
+    }
+
+    /// Disable the combiner (paper configuration (ii)).
+    pub fn without_combiner(mut self) -> Self {
+        self.use_combiner = false;
+        self
+    }
+
+    /// Number of centers.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Index of the nearest center to `point` (squared distance, ties to
+    /// the lower index).
+    #[inline]
+    pub fn nearest_center(&self, point: &[f32]) -> usize {
+        debug_assert_eq!(point.len(), self.dims);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k {
+            let center = &self.centers[c * self.dims..(c + 1) * self.dims];
+            let mut d = 0.0f32;
+            for (p, q) in point.iter().zip(center) {
+                let diff = p - q;
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+impl GwApp for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn map(&self, _key: &[u8], value: &[u8], emit: &Emit<'_>) {
+        let point = codec::get_f32s(value);
+        let nearest = self.nearest_center(&point) as u32;
+        // Emit (center, count=1 ++ point) — ready for additive combining.
+        let mut payload = Vec::with_capacity(8 + value.len());
+        payload.extend_from_slice(&enc_u64(1));
+        payload.extend_from_slice(value);
+        emit.emit(&enc_key_u32(nearest), &payload);
+    }
+
+    fn combiner(&self) -> Option<Arc<dyn Combiner>> {
+        self.use_combiner.then(|| Arc::new(CentroidCombiner) as Arc<dyn Combiner>)
+    }
+
+    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+        if state.is_empty() {
+            state.extend_from_slice(&enc_u64(0));
+            state.resize(8 + self.dims * 4, 0);
+        }
+        for v in values {
+            let count = dec_u64(&state[..8]) + dec_u64(&v[..8]);
+            state[..8].copy_from_slice(&enc_u64(count));
+            codec::add_f32s_in_place(&mut state[8..], &v[8..]);
+        }
+        if last {
+            let count = dec_u64(&state[..8]);
+            let sums = codec::get_f32s(&state[8..]);
+            let new_center: Vec<f32> = if count == 0 {
+                sums
+            } else {
+                sums.iter().map(|s| s / count as f32).collect()
+            };
+            let mut out = Vec::with_capacity(self.dims * 4);
+            codec::put_f32s(&mut out, &new_center);
+            emit.emit(key, &out);
+        }
+    }
+
+    /// `(count, sum-vector)` accumulation is associative: enable parallel
+    /// single-key reduction — the paper singles KM out as the kind of
+    /// compute-intensive app "that can benefit from parallel reduction".
+    fn merge_states(&self, acc: &mut Vec<u8>, other: &[u8]) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if acc.is_empty() {
+            acc.extend_from_slice(other);
+            return true;
+        }
+        let count = dec_u64(&acc[..8]) + dec_u64(&other[..8]);
+        acc[..8].copy_from_slice(&enc_u64(count));
+        codec::add_f32s_in_place(&mut acc[8..], &other[8..]);
+        true
+    }
+}
+
+/// Outcome of an iterative K-Means run.
+#[derive(Debug, Clone)]
+pub struct KMeansRun {
+    /// Final centers (flattened `k x dims`).
+    pub centers: Vec<f32>,
+    /// Total absolute center movement per iteration (monotone decrease is
+    /// the convergence signal).
+    pub movements: Vec<f32>,
+}
+
+/// Drive `iterations` K-Means iterations on a cluster: each iteration is a
+/// full MapReduce job whose output centers seed the next ("KM is an
+/// iterative algorithm"; the paper benchmarks one iteration, this helper
+/// generalises it). `cfg.input` must already hold the point set; each
+/// iteration writes `"{cfg.output}-{i}"`.
+pub fn run_iterations(
+    cluster: &gw_core::Cluster,
+    cfg: &gw_core::JobConfig,
+    mut centers: Vec<f32>,
+    k: usize,
+    dims: usize,
+    iterations: usize,
+) -> Result<KMeansRun, gw_core::EngineError> {
+    let mut movements = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let mut iter_cfg = cfg.clone();
+        iter_cfg.output = format!("{}-{iter}", cfg.output);
+        let app = Arc::new(KMeans::new(centers.clone(), k, dims));
+        let report = cluster.run(app, &iter_cfg)?;
+        let out = gw_core::cluster::read_job_output(cluster.store(), &report)?;
+        let mut moved = 0.0f32;
+        for (key, v) in out {
+            let c = codec::dec_key_u32(&key) as usize;
+            let new = codec::get_f32s(&v);
+            for (d, nv) in new.iter().enumerate() {
+                moved += (centers[c * dims + d] - nv).abs();
+                centers[c * dims + d] = *nv;
+            }
+        }
+        movements.push(moved);
+    }
+    Ok(KMeansRun { centers, movements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_core::collect::{for_each_record, BufferPoolCollector};
+
+    fn app2d() -> KMeans {
+        // Two centers: (0,0) and (10,10).
+        KMeans::new(vec![0.0, 0.0, 10.0, 10.0], 2, 2)
+    }
+
+    #[test]
+    fn nearest_center_picks_closest() {
+        let app = app2d();
+        assert_eq!(app.nearest_center(&[1.0, 1.0]), 0);
+        assert_eq!(app.nearest_center(&[9.0, 9.0]), 1);
+        // Equidistant ties go to the lower index.
+        assert_eq!(app.nearest_center(&[5.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn map_emits_assignment_with_count() {
+        let app = app2d();
+        let c = BufferPoolCollector::new(4096, 1);
+        let mut point = Vec::new();
+        codec::put_f32s(&mut point, &[8.0, 9.0]);
+        app.map(b"0", &point, &Emit::new(&c));
+        let mut out = Vec::new();
+        for_each_record(&c, &mut |k, v| out.push((k.to_vec(), v.to_vec())));
+        assert_eq!(out.len(), 1);
+        assert_eq!(codec::dec_key_u32(&out[0].0), 1);
+        assert_eq!(dec_u64(&out[0].1[..8]), 1);
+        assert_eq!(codec::get_f32s(&out[0].1[8..]), vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn combiner_accumulates_counts_and_sums() {
+        let comb = CentroidCombiner;
+        let mut acc = Vec::new();
+        acc.extend_from_slice(&enc_u64(1));
+        codec::put_f32s(&mut acc, &[1.0, 2.0]);
+        let mut v = Vec::new();
+        v.extend_from_slice(&enc_u64(2));
+        codec::put_f32s(&mut v, &[3.0, 4.0]);
+        comb.combine(b"k", &mut acc, &v);
+        assert_eq!(dec_u64(&acc[..8]), 3);
+        assert_eq!(codec::get_f32s(&acc[8..]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn reduce_averages_members() {
+        let app = app2d();
+        let c = BufferPoolCollector::new(4096, 1);
+        let emit = Emit::new(&c);
+        let mut state = Vec::new();
+        let mk = |count: u64, p: [f32; 2]| {
+            let mut v = Vec::new();
+            v.extend_from_slice(&enc_u64(count));
+            codec::put_f32s(&mut v, &p);
+            v
+        };
+        let a = mk(1, [2.0, 4.0]);
+        let b = mk(1, [4.0, 8.0]);
+        // Split across two chunks to exercise scratch state.
+        app.reduce(&enc_key_u32(0), &[&a], &mut state, false, &emit);
+        app.reduce(&enc_key_u32(0), &[&b], &mut state, true, &emit);
+        let mut out = Vec::new();
+        for_each_record(&c, &mut |k, v| out.push((k.to_vec(), codec::get_f32s(v))));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "centers must be k × dims")]
+    fn wrong_center_shape_is_rejected() {
+        KMeans::new(vec![0.0; 5], 2, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! The five evaluation applications of the Glasswing paper (§IV), their
+//! workload generators, and sequential reference implementations.
+//!
+//! "To fairly represent the wide spectrum of MapReduce applications we
+//! implemented and analyzed five applications with diverse properties.
+//! Each application represents a different combination of compute
+//! intensity, input/output patterns, intermediate data volume and key
+//! space."
+//!
+//! | App | Bound | Intermediate volume | Key space |
+//! |-----|-------|---------------------|-----------|
+//! | [`pageview::PageviewCount`] | I/O | large | massive, sparse |
+//! | [`wordcount::WordCount`] | I/O (some compute) | large | skewed, repetitive |
+//! | [`terasort::TeraSort`] | I/O (shuffle-heavy) | = input | total-order ranges |
+//! | [`kmeans::KMeans`] | compute | tiny | #centers |
+//! | [`matmul::MatMul`] | compute + data | large tiles | #result tiles |
+//!
+//! Each application implements [`gw_core::GwApp`] and ships with a
+//! deterministic generator in [`workloads`] plus a sequential reference in
+//! the `reference` module used by the integration tests to validate engine output
+//! bit-for-bit.
+
+pub mod codec;
+pub mod kmeans;
+pub mod matmul;
+pub mod pageview;
+pub mod reference;
+pub mod terasort;
+pub mod wordcount;
+pub mod workloads;
+
+pub use kmeans::KMeans;
+pub use matmul::MatMul;
+pub use pageview::PageviewCount;
+pub use terasort::TeraSort;
+pub use wordcount::WordCount;

@@ -1,0 +1,137 @@
+//! Pageview Count (PVC) — "processes the logs of web servers and counts
+//! the frequency of URL occurrences. It is an I/O-bound application as its
+//! kernels perform little work per input record."
+//!
+//! "The logs are highly sparse in that duplicate URLs are rare, so the
+//! volume of intermediate data is large, with a massive number of keys" —
+//! the stress test for the partitioning stage and intermediate-data path.
+
+use std::sync::Arc;
+
+use gw_core::{Combiner, Emit, GwApp};
+
+use crate::codec::{dec_u64, enc_u64};
+use crate::wordcount::CountSumCombiner;
+
+/// The Pageview Count application.
+pub struct PageviewCount {
+    use_combiner: bool,
+}
+
+impl PageviewCount {
+    /// PVC with the (rarely useful, URLs being sparse) combiner enabled.
+    pub fn new() -> Self {
+        PageviewCount { use_combiner: true }
+    }
+
+    /// PVC without a combiner.
+    pub fn without_combiner() -> Self {
+        PageviewCount {
+            use_combiner: false,
+        }
+    }
+}
+
+impl Default for PageviewCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Extract the URL field from a WikiBench-style log line
+/// (`counter timestamp url size status`). Returns `None` for malformed
+/// lines, which the map function skips (real traces contain junk).
+#[inline]
+pub fn extract_url(line: &[u8]) -> Option<&[u8]> {
+    line.split(|&b| b == b' ')
+        .filter(|f| !f.is_empty())
+        .nth(2)
+        .filter(|url| url.starts_with(b"http"))
+}
+
+impl GwApp for PageviewCount {
+    fn name(&self) -> &'static str {
+        "pageview-count"
+    }
+
+    fn map(&self, _key: &[u8], value: &[u8], emit: &Emit<'_>) {
+        if let Some(url) = extract_url(value) {
+            emit.emit(url, &enc_u64(1));
+        }
+    }
+
+    fn combiner(&self) -> Option<Arc<dyn Combiner>> {
+        self.use_combiner.then(|| Arc::new(CountSumCombiner) as Arc<dyn Combiner>)
+    }
+
+    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+        if state.is_empty() {
+            state.extend_from_slice(&enc_u64(0));
+        }
+        let mut acc = dec_u64(state);
+        for v in values {
+            acc += dec_u64(v);
+        }
+        state.copy_from_slice(&enc_u64(acc));
+        if last {
+            emit.emit(key, &enc_u64(acc));
+        }
+    }
+
+    /// Count summation is associative (see [`crate::wordcount`]).
+    fn merge_states(&self, acc: &mut Vec<u8>, other: &[u8]) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if acc.is_empty() {
+            acc.extend_from_slice(other);
+            return true;
+        }
+        let sum = dec_u64(acc) + dec_u64(other);
+        acc.copy_from_slice(&enc_u64(sum));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_core::collect::{for_each_record, BufferPoolCollector, Collector as _};
+
+    #[test]
+    fn url_extraction() {
+        assert_eq!(
+            extract_url(b"17 1234567.001 http://en.wikipedia.org/wiki/X 1234 200"),
+            Some(b"http://en.wikipedia.org/wiki/X".as_slice())
+        );
+        assert_eq!(extract_url(b"malformed line"), None);
+        assert_eq!(extract_url(b"1 2 notaurl 3 200"), None);
+        assert_eq!(extract_url(b""), None);
+    }
+
+    #[test]
+    fn map_skips_malformed_lines() {
+        let app = PageviewCount::new();
+        let c = BufferPoolCollector::new(4096, 1);
+        let emit = Emit::new(&c);
+        app.map(b"0", b"1 2 http://a/x 10 200", &emit);
+        app.map(b"1", b"garbage", &emit);
+        assert_eq!(c.records(), 1);
+        let mut out = Vec::new();
+        for_each_record(&c, &mut |k, _| out.push(k.to_vec()));
+        assert_eq!(out, vec![b"http://a/x".to_vec()]);
+    }
+
+    #[test]
+    fn reduce_counts_views() {
+        let app = PageviewCount::new();
+        let c = BufferPoolCollector::new(4096, 1);
+        let emit = Emit::new(&c);
+        let mut state = Vec::new();
+        let v = enc_u64(1);
+        app.reduce(b"http://a", &[&v, &v, &v], &mut state, true, &emit);
+        let mut out = Vec::new();
+        for_each_record(&c, &mut |k, v| out.push((k.to_vec(), dec_u64(v))));
+        assert_eq!(out, vec![(b"http://a".to_vec(), 3)]);
+    }
+}

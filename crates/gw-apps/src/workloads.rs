@@ -1,0 +1,538 @@
+//! Deterministic workload generators, substituting for the paper's
+//! datasets (Wikipedia dumps, WikiBench traces, TeraGen output, generated
+//! points and matrices) at configurable scale.
+//!
+//! Each generator reproduces the statistical shape the paper relies on:
+//! WC's corpus "exhibits high repetition of a smaller number of words
+//! beside a large number of sparse words" (Zipf), PVC's logs "are highly
+//! sparse in that duplicate URLs are rare ... with a massive number of
+//! keys", TeraSort keys are uniform random 10-byte strings with 90-byte
+//! values, K-Means uses randomly generated centers and single-precision
+//! points, and MatMul multiplies two dense square matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec;
+
+/// A record list ready for `FileStoreExt::write_records`.
+pub type Records = Vec<(Vec<u8>, Vec<u8>)>;
+
+// ---------------------------------------------------------------------------
+// Zipf sampling (implemented in-repo; rand 0.8 has no zipf distribution)
+// ---------------------------------------------------------------------------
+
+/// Zipf sampler over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the cumulative distribution for `n` ranks.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WordCount corpus
+// ---------------------------------------------------------------------------
+
+/// Parameters for the text corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of lines (records).
+    pub lines: usize,
+    /// Words per line.
+    pub words_per_line: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent (≈1.0 for natural text).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            lines: 1000,
+            words_per_line: 12,
+            vocabulary: 5000,
+            zipf_s: 1.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a Zipf-worded text corpus; key = line number, value = line.
+pub fn text_corpus(spec: &CorpusSpec) -> Records {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.vocabulary, spec.zipf_s);
+    (0..spec.lines)
+        .map(|i| {
+            let mut line = String::new();
+            for w in 0..spec.words_per_line {
+                if w > 0 {
+                    line.push(' ');
+                }
+                let rank = zipf.sample(&mut rng);
+                line.push_str(&format!("word{rank:05}"));
+            }
+            (format!("{i:08}").into_bytes(), line.into_bytes())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pageview logs
+// ---------------------------------------------------------------------------
+
+/// Parameters for the web-server log trace.
+#[derive(Debug, Clone)]
+pub struct LogSpec {
+    /// Number of log entries.
+    pub entries: usize,
+    /// Number of distinct "hot" URLs that repeat.
+    pub hot_urls: usize,
+    /// Fraction of entries hitting hot URLs (the rest are unique —
+    /// "duplicate URLs are rare", so keep this small).
+    pub hot_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LogSpec {
+    fn default() -> Self {
+        LogSpec {
+            entries: 1000,
+            hot_urls: 50,
+            hot_fraction: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate WikiBench-style log lines:
+/// `counter timestamp url size status`; key = line number.
+pub fn web_logs(spec: &LogSpec) -> Records {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.entries)
+        .map(|i| {
+            let url = if rng.gen_bool(spec.hot_fraction) {
+                format!("http://en.wikipedia.org/wiki/Hot_{}", rng.gen_range(0..spec.hot_urls))
+            } else {
+                format!(
+                    "http://en.wikipedia.org/wiki/Page_{}_{}",
+                    i,
+                    rng.gen::<u32>()
+                )
+            };
+            let line = format!(
+                "{i} {}.{:03} {url} {} 200",
+                1_234_567_000u64 + i as u64,
+                rng.gen_range(0..1000),
+                rng.gen_range(200..100_000)
+            );
+            (format!("{i:08}").into_bytes(), line.into_bytes())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// TeraGen
+// ---------------------------------------------------------------------------
+
+/// Generate TeraGen-style records: 10-byte random keys, 90-byte values.
+pub fn teragen(records: usize, seed: u64) -> Records {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..records)
+        .map(|i| {
+            let mut key = vec![0u8; 10];
+            rng.fill(key.as_mut_slice());
+            let mut value = vec![0u8; 90];
+            // TeraGen values carry the record id then filler.
+            value[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            rng.fill(&mut value[8..]);
+            (key, value)
+        })
+        .collect()
+}
+
+/// Sample `n` keys from a record set (for TeraSort's range partitioner).
+pub fn sample_keys(records: &Records, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if records.is_empty() {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| records[rng.gen_range(0..records.len())].0.clone())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// K-Means
+// ---------------------------------------------------------------------------
+
+/// Parameters for the K-Means point cloud.
+#[derive(Debug, Clone)]
+pub struct KmeansSpec {
+    /// Number of observations.
+    pub points: usize,
+    /// Vector dimensionality.
+    pub dims: usize,
+    /// Number of centers.
+    pub centers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KmeansSpec {
+    fn default() -> Self {
+        KmeansSpec {
+            points: 4096,
+            dims: 4,
+            centers: 16,
+            seed: 11,
+        }
+    }
+}
+
+/// Generate uniform random points; key = point id (BE), value = f32 coords.
+pub fn kmeans_points(spec: &KmeansSpec) -> Records {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.points)
+        .map(|i| {
+            let coords: Vec<f32> = (0..spec.dims).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let mut value = Vec::with_capacity(spec.dims * 4);
+            codec::put_f32s(&mut value, &coords);
+            (codec::enc_key_u32(i as u32).to_vec(), value)
+        })
+        .collect()
+}
+
+/// Generate points drawn around `centers` well-separated true centroids
+/// (Gaussian-ish noise via the sum of three uniforms). Useful for
+/// convergence tests: K-Means should recover the true centroids.
+pub fn clustered_points(spec: &KmeansSpec, spread: f32) -> (Records, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // True centroids on a coarse grid so they are well separated.
+    let truth: Vec<f32> = (0..spec.centers * spec.dims)
+        .map(|i| ((i * 37 + 11) % 19) as f32 * 40.0 - 360.0)
+        .collect();
+    let records = (0..spec.points)
+        .map(|i| {
+            let c = rng.gen_range(0..spec.centers);
+            let coords: Vec<f32> = (0..spec.dims)
+                .map(|d| {
+                    let noise: f32 = (0..3).map(|_| rng.gen_range(-spread..spread)).sum::<f32>() / 3.0;
+                    truth[c * spec.dims + d] + noise
+                })
+                .collect();
+            let mut value = Vec::with_capacity(spec.dims * 4);
+            codec::put_f32s(&mut value, &coords);
+            (codec::enc_key_u32(i as u32).to_vec(), value)
+        })
+        .collect();
+    (records, truth)
+}
+
+/// Generate the initial centers (flattened `centers × dims` f32 matrix).
+pub fn kmeans_centers(spec: &KmeansSpec) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(0x9E3779B9));
+    (0..spec.centers * spec.dims)
+        .map(|_| rng.gen_range(-100.0..100.0))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiply
+// ---------------------------------------------------------------------------
+
+/// Parameters for the square matmul workload.
+#[derive(Debug, Clone)]
+pub struct MatmulSpec {
+    /// Matrix dimension `n` (matrices are `n × n`).
+    pub n: usize,
+    /// Tile dimension (must divide `n`).
+    pub tile: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MatmulSpec {
+    fn default() -> Self {
+        MatmulSpec {
+            n: 64,
+            tile: 16,
+            seed: 23,
+        }
+    }
+}
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Random matrix.
+    pub fn random(n: usize, rng: &mut impl Rng) -> Self {
+        Matrix {
+            n,
+            data: (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.n + j]
+    }
+
+    /// Extract tile `(ti, tj)` of size `t × t` (row-major).
+    pub fn tile(&self, ti: usize, tj: usize, t: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(t * t);
+        for r in 0..t {
+            let row = ti * t + r;
+            let start = row * self.n + tj * t;
+            out.extend_from_slice(&self.data[start..start + t]);
+        }
+        out
+    }
+}
+
+/// The generated matmul workload: two matrices plus the joined tile-pair
+/// record set the map phase consumes.
+///
+/// Each record is one `(i, k, j)` tile pair: key = `(i BE, j BE, k BE)`,
+/// value = `A[i,k] ++ B[k,j]` (each `tile × tile` f32s). The generator
+/// performs the join that a real deployment's loader would (GPMR likewise
+/// generates its matmul input on the fly).
+#[derive(Debug, Clone)]
+pub struct MatmulWorkload {
+    /// Left operand.
+    pub a: Matrix,
+    /// Right operand.
+    pub b: Matrix,
+    /// Tile-pair records.
+    pub records: Records,
+    /// Tiles per side.
+    pub tiles: usize,
+    /// Tile dimension.
+    pub tile: usize,
+}
+
+/// Generate a matmul workload.
+pub fn matmul_workload(spec: &MatmulSpec) -> MatmulWorkload {
+    assert!(spec.n.is_multiple_of(spec.tile), "tile must divide n");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let a = Matrix::random(spec.n, &mut rng);
+    let b = Matrix::random(spec.n, &mut rng);
+    let tiles = spec.n / spec.tile;
+    let mut records = Vec::with_capacity(tiles * tiles * tiles);
+    for i in 0..tiles {
+        for j in 0..tiles {
+            for k in 0..tiles {
+                let mut key = Vec::with_capacity(12);
+                key.extend_from_slice(&(i as u32).to_be_bytes());
+                key.extend_from_slice(&(j as u32).to_be_bytes());
+                key.extend_from_slice(&(k as u32).to_be_bytes());
+                let mut value = Vec::with_capacity(spec.tile * spec.tile * 8);
+                codec::put_f32s(&mut value, &a.tile(i, k, spec.tile));
+                codec::put_f32s(&mut value, &b.tile(k, j, spec.tile));
+                records.push((key, value));
+            }
+        }
+    }
+    MatmulWorkload {
+        a,
+        b,
+        records,
+        tiles,
+        tile: spec.tile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if zipf.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Top-10 of 1000 ranks should take ≈39% of mass at s=1.
+        assert!(low > n / 4, "zipf not skewed: {low}/{n} in top 10");
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_repetitive() {
+        let spec = CorpusSpec::default();
+        let a = text_corpus(&spec);
+        let b = text_corpus(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.lines);
+        // Count distinct words: must be far fewer than total words.
+        let mut words = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for (_, line) in &a {
+            for w in line.split(|&c| c == b' ') {
+                words.insert(w.to_vec());
+                total += 1;
+            }
+        }
+        assert!(words.len() * 3 < total, "corpus should repeat words");
+    }
+
+    #[test]
+    fn web_logs_are_mostly_sparse() {
+        let spec = LogSpec {
+            entries: 2000,
+            ..Default::default()
+        };
+        let logs = web_logs(&spec);
+        let mut urls = std::collections::HashSet::new();
+        for (_, line) in &logs {
+            let url = line.split(|&c| c == b' ').nth(2).unwrap();
+            urls.insert(url.to_vec());
+        }
+        assert!(
+            urls.len() > spec.entries / 2,
+            "most URLs should be unique: {} of {}",
+            urls.len(),
+            spec.entries
+        );
+    }
+
+    #[test]
+    fn teragen_has_fixed_widths() {
+        let recs = teragen(100, 3);
+        assert_eq!(recs.len(), 100);
+        for (k, v) in &recs {
+            assert_eq!(k.len(), 10);
+            assert_eq!(v.len(), 90);
+        }
+        // Keys should be (near-)unique.
+        let mut keys: Vec<_> = recs.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn kmeans_points_match_spec() {
+        let spec = KmeansSpec::default();
+        let pts = kmeans_points(&spec);
+        assert_eq!(pts.len(), spec.points);
+        assert!(pts.iter().all(|(_, v)| v.len() == spec.dims * 4));
+        let centers = kmeans_centers(&spec);
+        assert_eq!(centers.len(), spec.centers * spec.dims);
+    }
+
+    #[test]
+    fn matmul_tiles_reassemble() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Matrix::random(8, &mut rng);
+        let t = m.tile(1, 0, 4);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t[0], m.at(4, 0));
+        assert_eq!(t[15], m.at(7, 3));
+    }
+
+    #[test]
+    fn matmul_workload_has_t_cubed_records() {
+        let spec = MatmulSpec {
+            n: 16,
+            tile: 4,
+            seed: 1,
+        };
+        let w = matmul_workload(&spec);
+        assert_eq!(w.tiles, 4);
+        assert_eq!(w.records.len(), 64);
+        for (k, v) in &w.records {
+            assert_eq!(k.len(), 12);
+            assert_eq!(v.len(), 2 * 16 * 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must divide n")]
+    fn matmul_rejects_nondividing_tile() {
+        matmul_workload(&MatmulSpec {
+            n: 10,
+            tile: 3,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn clustered_points_cluster_around_truth() {
+        let spec = KmeansSpec {
+            points: 500,
+            dims: 3,
+            centers: 4,
+            seed: 9,
+        };
+        let spread = 2.0;
+        let (pts, truth) = clustered_points(&spec, spread);
+        assert_eq!(pts.len(), 500);
+        assert_eq!(truth.len(), 12);
+        // Every point lies within `spread` of SOME true centroid.
+        for (_, v) in &pts {
+            let p = codec::get_f32s(v);
+            let near_any = (0..spec.centers).any(|c| {
+                (0..spec.dims).all(|d| (p[d] - truth[c * spec.dims + d]).abs() <= spread + 1e-3)
+            });
+            assert!(near_any, "point {p:?} far from every centroid");
+        }
+        // Centroids are well separated relative to the spread.
+        for a in 0..spec.centers {
+            for b in (a + 1)..spec.centers {
+                let d2: f32 = (0..spec.dims)
+                    .map(|d| (truth[a * spec.dims + d] - truth[b * spec.dims + d]).powi(2))
+                    .sum();
+                assert!(d2.sqrt() > 4.0 * spread, "centroids {a},{b} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_keys_draws_from_records() {
+        let recs = teragen(50, 9);
+        let samples = sample_keys(&recs, 10, 1);
+        assert_eq!(samples.len(), 10);
+        for s in &samples {
+            assert!(recs.iter().any(|(k, _)| k == s));
+        }
+    }
+}

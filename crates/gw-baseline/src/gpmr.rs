@@ -1,0 +1,467 @@
+//! GPMR-model baseline engine.
+//!
+//! Models the execution structure of GPMR (Stuart & Owens), the CUDA
+//! cluster MapReduce the paper compares against on GPUs:
+//!
+//! * **GPU-only** — kernels always run on a discrete-device profile.
+//! * **No I/O/compute overlap** — "GPMR first reads all data, then starts
+//!   its computation pipeline; its total time is the sum of computation
+//!   and I/O" (the property behind paper Fig. 3(e), where Glasswing's
+//!   pipelined total ≈ max(I/O, compute) beats GPMR's I/O + compute by
+//!   ≈1.5×).
+//! * **In-core intermediate data** — "it is limited to processing data
+//!   sets where intermediate data fits in host memory": the engine fails
+//!   with [`GpmrError::IntermediateOverflow`] when a configurable memory
+//!   budget is exceeded, rather than spilling.
+//! * Reads from the **local file system** with full replication, matching
+//!   the paper's GPMR experimental setup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use gw_core::collect::{for_each_record, BufferPoolCollector, Collector};
+use gw_core::{Emit, EngineError, GwApp};
+use gw_device::{Device, DeviceProfile, KernelFn, NdRange, WorkItemCtx};
+use gw_storage::split::{FileStore, FileStoreExt, RecordBlockBuilder};
+use gw_storage::{seqfile::SeqReader, NodeId};
+
+/// GPMR job configuration.
+#[derive(Debug, Clone)]
+pub struct GpmrConfig {
+    /// Input path.
+    pub input: String,
+    /// Output directory.
+    pub output: String,
+    /// GPU device profile (GPMR has no CPU backend).
+    pub device: DeviceProfile,
+    /// Real host threads backing the device pool.
+    pub device_threads: usize,
+    /// Map kernel work items.
+    pub map_work_items: usize,
+    /// In-core intermediate data budget in bytes (host memory); jobs whose
+    /// intermediate data exceed it fail.
+    pub intermediate_budget: usize,
+    /// Output block size.
+    pub output_block_size: usize,
+}
+
+impl GpmrConfig {
+    /// Defaults for a GTX 480 node.
+    pub fn new(input: impl Into<String>, output: impl Into<String>) -> Self {
+        GpmrConfig {
+            input: input.into(),
+            output: output.into(),
+            device: DeviceProfile::gtx480(),
+            device_threads: 2,
+            map_work_items: 64,
+            intermediate_budget: 1 << 30,
+            output_block_size: 8 << 20,
+        }
+    }
+}
+
+/// GPMR failure modes.
+#[derive(Debug)]
+pub enum GpmrError {
+    /// Intermediate data exceeded the in-core budget (GPMR cannot spill).
+    IntermediateOverflow {
+        /// Bytes the job produced.
+        produced: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// Underlying engine error.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for GpmrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpmrError::IntermediateOverflow { produced, budget } => write!(
+                f,
+                "intermediate data ({produced} bytes) exceeds GPMR's in-core budget ({budget} bytes)"
+            ),
+            GpmrError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpmrError {}
+
+impl From<EngineError> for GpmrError {
+    fn from(e: EngineError) -> Self {
+        GpmrError::Engine(e)
+    }
+}
+impl From<gw_storage::StorageError> for GpmrError {
+    fn from(e: gw_storage::StorageError) -> Self {
+        GpmrError::Engine(EngineError::Storage(e))
+    }
+}
+
+/// Phase breakdown of a GPMR job. Phases are strictly serial:
+/// `elapsed ≈ io_read + map_compute + exchange + reduce_compute + io_write`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpmrReport {
+    /// Time reading all input up front (wall).
+    pub io_read: Duration,
+    /// Modeled input read time (storage model).
+    pub io_read_modeled: Duration,
+    /// Map kernel time (wall).
+    pub map_compute: Duration,
+    /// Map kernel time transformed by the device model.
+    pub map_compute_modeled: Duration,
+    /// In-memory exchange + sort time.
+    pub exchange: Duration,
+    /// Reduce kernel time (wall).
+    pub reduce_compute: Duration,
+    /// Reduce kernel modeled time.
+    pub reduce_compute_modeled: Duration,
+    /// Output write time.
+    pub io_write: Duration,
+    /// Total wall time.
+    pub elapsed: Duration,
+    /// Peak intermediate bytes held in core.
+    pub intermediate_bytes: usize,
+    /// Records processed.
+    pub records_in: usize,
+}
+
+impl GpmrReport {
+    /// The modeled total — I/O plus compute, no overlap.
+    pub fn modeled_total(&self) -> Duration {
+        self.io_read_modeled
+            + self.map_compute_modeled
+            + self.exchange
+            + self.reduce_compute_modeled
+            + self.io_write
+    }
+}
+
+/// The GPMR-model cluster.
+pub struct GpmrCluster {
+    store: Arc<dyn FileStore>,
+}
+
+impl GpmrCluster {
+    /// Create over a (local-FS-style) store.
+    pub fn new(store: Arc<dyn FileStore>) -> Self {
+        GpmrCluster { store }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.store.cluster_size()
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<dyn FileStore> {
+        &self.store
+    }
+
+    /// Execute a job. Every phase is a global barrier: read-all, map-all,
+    /// exchange-all, reduce-all, write-all.
+    pub fn run(&self, app: Arc<dyn GwApp>, cfg: &GpmrConfig) -> Result<GpmrReport, GpmrError> {
+        let nodes = self.nodes();
+        let job_start = Instant::now();
+        let mut report = GpmrReport::default();
+
+        // ---------------- Phase 1: read ALL input ----------------
+        let t0 = Instant::now();
+        let splits = self.store.splits(&cfg.input)?;
+        // Static striping over nodes (GPMR's layout is fully replicated).
+        let mut node_blocks: Vec<Vec<Arc<[u8]>>> = vec![Vec::new(); nodes as usize];
+        let mut modeled_read = Duration::ZERO;
+        for (i, split) in splits.iter().enumerate() {
+            let node = NodeId((i % nodes as usize) as u32);
+            let (block, sample) = self.store.read_split(split, node)?;
+            modeled_read += sample.modeled;
+            node_blocks[node.index()].push(block);
+        }
+        report.io_read = t0.elapsed();
+        // Nodes read in parallel: modeled read divides over nodes.
+        report.io_read_modeled = modeled_read / nodes;
+        report.records_in = splits.iter().map(|s| s.records).sum();
+
+        // ---------------- Phase 2: map kernels (all nodes) ----------------
+        let t1 = Instant::now();
+        let intermediate_bytes = AtomicUsize::new(0);
+        let mut max_kernel_wall = Duration::ZERO;
+        let mut max_kernel_modeled = Duration::ZERO;
+        // (key, value) pairs partitioned by owning node.
+        let exchanged: Mutex<Vec<gw_storage::KvVec>> =
+            Mutex::new(vec![Vec::new(); nodes as usize]);
+        let kernel_times: Mutex<Vec<(Duration, Duration)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (n, blocks) in node_blocks.iter().enumerate() {
+                let app = Arc::clone(&app);
+                let exchanged = &exchanged;
+                let kernel_times = &kernel_times;
+                let intermediate_bytes = &intermediate_bytes;
+                scope.spawn(move || {
+                    let device = Device::open_with_threads(cfg.device.clone(), cfg.device_threads);
+                    let mut wall = Duration::ZERO;
+                    let mut modeled = Duration::ZERO;
+                    let collector = BufferPoolCollector::new(64 << 20, 8);
+                    for block in blocks {
+                        let mut records = Vec::new();
+                        let mut reader = SeqReader::open_raw(block);
+                        while let Some((k, v)) = reader.next().expect("corrupt input") {
+                            records.push((k, v));
+                        }
+                        let n_records = records.len();
+                        if n_records == 0 {
+                            continue;
+                        }
+                        let records = &records;
+                        let app = &app;
+                        let emit_target: &dyn Collector = &collector;
+                        let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                            let emit = Emit::new(emit_target);
+                            let (lo, hi) = ctx.my_items(n_records);
+                            for (k, v) in &records[lo..hi] {
+                                app.map(k, v, &emit);
+                            }
+                        });
+                        let items = cfg.map_work_items.min(n_records);
+                        let stats = device.launch(
+                            NdRange::new(items, items.min(64)).expect("valid range"),
+                            &kernel,
+                        );
+                        wall += stats.wall;
+                        modeled += stats.modeled;
+                    }
+                    intermediate_bytes.fetch_add(collector.bytes(), Ordering::Relaxed);
+                    // Partition into per-node buckets (in-core exchange).
+                    let mut buckets: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+                        vec![Vec::new(); nodes as usize];
+                    for_each_record(&collector, &mut |k, v| {
+                        let p = app.partition(k, nodes);
+                        buckets[p as usize].push((k.to_vec(), v.to_vec()));
+                    });
+                    let mut ex = exchanged.lock();
+                    for (i, b) in buckets.into_iter().enumerate() {
+                        ex[i].extend(b);
+                    }
+                    kernel_times.lock().push((wall, modeled));
+                    let _ = n;
+                });
+            }
+        });
+        for (w, m) in kernel_times.into_inner() {
+            max_kernel_wall = max_kernel_wall.max(w);
+            max_kernel_modeled = max_kernel_modeled.max(m);
+        }
+        report.map_compute = max_kernel_wall;
+        report.map_compute_modeled = max_kernel_modeled;
+        let _ = t1;
+        report.intermediate_bytes = intermediate_bytes.load(Ordering::Relaxed);
+        if report.intermediate_bytes > cfg.intermediate_budget {
+            return Err(GpmrError::IntermediateOverflow {
+                produced: report.intermediate_bytes,
+                budget: cfg.intermediate_budget,
+            });
+        }
+
+        // ---------------- Phase 3: exchange + sort ----------------
+        let t2 = Instant::now();
+        let mut exchanged = exchanged.into_inner();
+        for part in &mut exchanged {
+            part.sort();
+        }
+        report.exchange = t2.elapsed();
+
+        // ---------------- Phase 4: reduce kernels ----------------
+        let t3 = Instant::now();
+        let mut outputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(nodes as usize);
+        let mut reduce_wall = Duration::ZERO;
+        let mut reduce_modeled = Duration::ZERO;
+        for part in &exchanged {
+            let collector = BufferPoolCollector::new(16 << 20, 8);
+            if app.has_reduce() && !part.is_empty() {
+                // Group by key.
+                let mut groups: Vec<(&[u8], Vec<&[u8]>)> = Vec::new();
+                let mut i = 0usize;
+                while i < part.len() {
+                    let key = part[i].0.as_slice();
+                    let mut vals = Vec::new();
+                    while i < part.len() && part[i].0 == key {
+                        vals.push(part[i].1.as_slice());
+                        i += 1;
+                    }
+                    groups.push((key, vals));
+                }
+                let device = Device::open_with_threads(cfg.device.clone(), cfg.device_threads);
+                let groups = &groups;
+                let app_ref = &app;
+                let emit_target: &dyn Collector = &collector;
+                let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                    let emit = Emit::new(emit_target);
+                    let (lo, hi) = ctx.my_items(groups.len());
+                    for (key, vals) in &groups[lo..hi] {
+                        let mut state = Vec::new();
+                        app_ref.reduce(key, vals, &mut state, true, &emit);
+                    }
+                });
+                let items = cfg.map_work_items.min(groups.len()).max(1);
+                let stats = device.launch(
+                    NdRange::new(items, items.min(64)).expect("valid range"),
+                    &kernel,
+                );
+                reduce_wall += stats.wall;
+                reduce_modeled += stats.modeled;
+                let mut out = Vec::new();
+                for_each_record(&collector, &mut |k, v| out.push((k.to_vec(), v.to_vec())));
+                out.sort();
+                outputs.push(out);
+            } else {
+                outputs.push(part.clone());
+            }
+        }
+        report.reduce_compute = reduce_wall;
+        report.reduce_compute_modeled = reduce_modeled;
+        let _ = t3;
+
+        // ---------------- Phase 5: write output ----------------
+        let t4 = Instant::now();
+        for (p, out) in outputs.iter().enumerate() {
+            let mut builder = RecordBlockBuilder::new(cfg.output_block_size);
+            for (k, v) in out {
+                builder.append(k, v);
+            }
+            self.store.write_blocks(
+                &format!("{}/part-r-{p:05}", cfg.output),
+                NodeId((p % nodes as usize) as u32),
+                builder.finish(),
+                1,
+            )?;
+        }
+        report.io_write = t4.elapsed();
+        report.elapsed = job_start.elapsed();
+        Ok(report)
+    }
+
+    /// Read back job output in partition order.
+    pub fn read_output(&self, cfg: &GpmrConfig) -> Result<gw_storage::KvVec, GpmrError> {
+        let mut out = Vec::new();
+        for p in 0..self.nodes() {
+            let path = format!("{}/part-r-{p:05}", cfg.output);
+            if self.store.exists(&path) {
+                out.extend(self.store.read_all_records(&path, NodeId(0))?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_apps::{reference, workloads, KMeans, WordCount};
+    use gw_storage::LocalFs;
+
+    fn local_store_with(recs: &workloads::Records, nodes: u32) -> Arc<dyn FileStore> {
+        let fs = LocalFs::new(nodes);
+        fs.write_records(
+            "/in",
+            NodeId(0),
+            2048,
+            1,
+            recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .unwrap();
+        Arc::new(fs)
+    }
+
+    #[test]
+    fn gpmr_wordcount_matches_reference() {
+        let spec = workloads::CorpusSpec {
+            lines: 80,
+            ..Default::default()
+        };
+        let recs = workloads::text_corpus(&spec);
+        let cluster = GpmrCluster::new(local_store_with(&recs, 2));
+        let cfg = GpmrConfig::new("/in", "/out");
+        let report = cluster
+            .run(Arc::new(WordCount::without_combiner()), &cfg)
+            .unwrap();
+        assert_eq!(report.records_in, 80);
+        let mut out: Vec<(Vec<u8>, u64)> = cluster
+            .read_output(&cfg)
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k, u64::from_le_bytes(v.as_slice().try_into().unwrap())))
+            .collect();
+        out.sort();
+        assert_eq!(out, reference::wordcount(&recs));
+    }
+
+    #[test]
+    fn gpmr_kmeans_matches_reference() {
+        let spec = workloads::KmeansSpec {
+            points: 300,
+            dims: 3,
+            centers: 5,
+            seed: 4,
+        };
+        let pts = workloads::kmeans_points(&spec);
+        let centers = workloads::kmeans_centers(&spec);
+        let cluster = GpmrCluster::new(local_store_with(&pts, 2));
+        let cfg = GpmrConfig::new("/in", "/out");
+        let app = Arc::new(KMeans::new(centers.clone(), 5, 3));
+        cluster.run(Arc::clone(&app) as Arc<dyn GwApp>, &cfg).unwrap();
+        let out = cluster.read_output(&cfg).unwrap();
+        let expect = reference::kmeans_iteration(&pts, &app);
+        assert_eq!(out.len(), expect.len());
+        for (k, v) in out {
+            let c = u32::from_be_bytes(k.as_slice().try_into().unwrap());
+            let got = gw_apps::codec::get_f32s(&v);
+            let (_, want) = expect.iter().find(|(ec, _)| *ec == c).unwrap();
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-3, "center {c}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_overflow_is_detected() {
+        let spec = workloads::CorpusSpec {
+            lines: 50,
+            ..Default::default()
+        };
+        let recs = workloads::text_corpus(&spec);
+        let cluster = GpmrCluster::new(local_store_with(&recs, 1));
+        let mut cfg = GpmrConfig::new("/in", "/out-overflow");
+        cfg.intermediate_budget = 16; // absurdly small
+        let err = cluster
+            .run(Arc::new(WordCount::without_combiner()), &cfg)
+            .unwrap_err();
+        assert!(matches!(err, GpmrError::IntermediateOverflow { .. }));
+    }
+
+    #[test]
+    fn phases_are_serial() {
+        let spec = workloads::CorpusSpec {
+            lines: 40,
+            ..Default::default()
+        };
+        let recs = workloads::text_corpus(&spec);
+        let cluster = GpmrCluster::new(local_store_with(&recs, 1));
+        let cfg = GpmrConfig::new("/in", "/out-serial");
+        let r = cluster
+            .run(Arc::new(WordCount::without_combiner()), &cfg)
+            .unwrap();
+        // Total is at least the sum of the measured serial phases (within
+        // a small measurement tolerance).
+        let sum = r.io_read + r.map_compute + r.exchange + r.reduce_compute + r.io_write;
+        assert!(
+            r.elapsed + Duration::from_millis(1) >= sum,
+            "phases exceed total: {r:?}"
+        );
+        // Modeled total = I/O + compute (the Fig. 3(e) structure).
+        assert!(r.modeled_total() >= r.io_read_modeled + r.map_compute_modeled);
+    }
+}

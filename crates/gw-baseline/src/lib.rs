@@ -1,0 +1,27 @@
+//! Baseline MapReduce engines the paper compares Glasswing against.
+//!
+//! Both baselines execute the *same* [`gw_core::GwApp`] applications and
+//! produce identical output to the Glasswing engine, but with the
+//! execution structures of the original systems — which is exactly what
+//! makes them slower:
+//!
+//! * [`hadoop::HadoopCluster`] — Hadoop 1.x's model: slot-based task
+//!   waves, **sequential** record processing within a task (coarse-grained
+//!   parallelism only), per-task startup overhead (JVM), sort-spill at
+//!   task end, and a **pull**-based shuffle that only starts fetching
+//!   after the map phase; no pipeline overlap of I/O with computation.
+//! * [`gpmr::GpmrCluster`] — GPMR's model: GPU-only kernels, **all input
+//!   read before computation starts** ("GPMR first reads all data, then
+//!   starts its computation pipeline; its total time is the sum of
+//!   computation and I/O"), and in-core-only intermediate data (a job
+//!   whose intermediate data exceeds device memory fails, as the paper
+//!   notes GPMR "is limited to processing data sets where intermediate
+//!   data fits in host memory").
+
+pub mod gpmr;
+pub mod hadoop;
+pub mod phoenix;
+
+pub use gpmr::{GpmrCluster, GpmrConfig, GpmrError, GpmrReport};
+pub use hadoop::{HadoopCluster, HadoopConfig, HadoopReport};
+pub use phoenix::{PhoenixConfig, PhoenixError, PhoenixReport, PhoenixRuntime};

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks of the performance-critical substrates:
+//! varint framing, the LZ compression codec, sorted-run building, k-way
+//! merging, and the two kernel-output collectors (the mechanisms behind
+//! Table II's kernel-time differences).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gw_core::collect::{BufferPoolCollector, Collector, HashTableCollector};
+use gw_core::Combiner;
+use gw_intermediate::kv::{Run, RunBuilder};
+use gw_intermediate::{compress, merge_runs, MergeIter};
+use gw_storage::varint;
+
+fn bench_varint(c: &mut Criterion) {
+    let values: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    c.bench_function("varint/encode_1k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(10_000);
+            for &v in &values {
+                varint::write_u64(&mut out, v);
+            }
+            black_box(out)
+        })
+    });
+    let mut encoded = Vec::new();
+    for &v in &values {
+        varint::write_u64(&mut encoded, v);
+    }
+    c.bench_function("varint/decode_1k", |b| {
+        b.iter(|| {
+            let mut rest: &[u8] = &encoded;
+            let mut sum = 0u64;
+            while !rest.is_empty() {
+                let (v, n) = varint::read_u64(rest).unwrap();
+                sum = sum.wrapping_add(v);
+                rest = &rest[n..];
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn sample_intermediate(n: usize) -> Vec<u8> {
+    // Sorted-run-like data: repetitive word keys + counters.
+    let mut data = Vec::new();
+    for i in 0..n {
+        data.extend_from_slice(format!("word{:05}", i % 512).as_bytes());
+        data.extend_from_slice(&(i as u32).to_le_bytes());
+    }
+    data
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = sample_intermediate(16_384);
+    let compressed = compress::compress(&data);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_192k", |b| {
+        b.iter(|| black_box(compress::compress(black_box(&data))))
+    });
+    g.bench_function("decompress_192k", |b| {
+        b.iter(|| black_box(compress::decompress(black_box(&compressed)).unwrap()))
+    });
+    g.finish();
+}
+
+fn make_run(n: usize, seed: usize) -> Run {
+    let mut b = RunBuilder::new();
+    for i in 0..n {
+        let key = format!("key{:06}", (i * 7919 + seed) % (n * 2));
+        b.push(key.as_bytes(), &(i as u64).to_le_bytes());
+    }
+    b.build()
+}
+
+fn bench_runs_and_merge(c: &mut Criterion) {
+    c.bench_function("run_builder/sort_serialize_10k", |b| {
+        b.iter(|| black_box(make_run(10_000, 1)))
+    });
+    let runs: Vec<Run> = (0..8).map(|s| make_run(4_000, s)).collect();
+    let mut g = c.benchmark_group("merge");
+    g.bench_function("kway_8x4k_stream", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for (k, _) in MergeIter::new(runs.iter()) {
+                count += k.len();
+            }
+            black_box(count)
+        })
+    });
+    g.bench_function("kway_8x4k_materialize", |b| {
+        b.iter(|| black_box(merge_runs(black_box(&runs))))
+    });
+    g.finish();
+}
+
+struct Sum;
+impl Combiner for Sum {
+    fn combine(&self, _k: &[u8], acc: &mut Vec<u8>, v: &[u8]) {
+        let a = u64::from_le_bytes(acc.as_slice().try_into().unwrap());
+        let b = u64::from_le_bytes(v.try_into().unwrap());
+        acc.copy_from_slice(&(a + b).to_le_bytes());
+    }
+}
+
+fn bench_collectors(c: &mut Criterion) {
+    // Zipf-ish key stream: a few hot keys and many cold ones — the WC
+    // profile that separates the two collection mechanisms.
+    let keys: Vec<Vec<u8>> = (0..20_000)
+        .map(|i| {
+            let rank = if i % 3 == 0 { i % 10 } else { i % 4000 };
+            format!("word{rank:05}").into_bytes()
+        })
+        .collect();
+    let one = 1u64.to_le_bytes();
+
+    let mut g = c.benchmark_group("collectors/20k_emits");
+    g.bench_function(BenchmarkId::new("buffer_pool", "simple"), |b| {
+        b.iter(|| {
+            let col = BufferPoolCollector::new(4 << 20, 8);
+            for k in &keys {
+                col.emit(k, &one);
+            }
+            black_box(col.records())
+        })
+    });
+    g.bench_function(BenchmarkId::new("hash_table", "no_combiner"), |b| {
+        b.iter(|| {
+            let col = HashTableCollector::new(1 << 12, None);
+            for k in &keys {
+                col.emit(k, &one);
+            }
+            black_box(col.records())
+        })
+    });
+    g.bench_function(BenchmarkId::new("hash_table", "combiner"), |b| {
+        b.iter(|| {
+            let col = HashTableCollector::new(1 << 12, Some(Arc::new(Sum)));
+            for k in &keys {
+                col.emit(k, &one);
+            }
+            black_box(col.records())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_varint, bench_compress, bench_runs_and_merge, bench_collectors
+);
+criterion_main!(micro);

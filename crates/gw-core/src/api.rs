@@ -1,0 +1,140 @@
+//! The Glasswing application API (paper §III-F).
+//!
+//! "The Glasswing OpenCL API provides utilities for the user's OpenCL
+//! map/reduce functions that process the data. This API strictly follows
+//! the MapReduce model: the user functions consume input and emit output in
+//! the form of key/value pairs."
+//!
+//! An application implements [`GwApp`]. The `map` and `reduce` bodies play
+//! the role of the user's OpenCL kernel functions: the engine invokes them
+//! from NDRange work items, concurrently, so they must be `Sync` and all
+//! shared state must be internally synchronised (just as OpenCL kernels
+//! must use atomics).
+
+use crate::collect::Collector;
+use crate::hash;
+
+/// Output emitter handed to map/reduce functions.
+///
+/// Backed by one of the two collection mechanisms (shared buffer pool or
+/// hash table); see [`crate::collect`].
+pub struct Emit<'a> {
+    collector: &'a dyn Collector,
+}
+
+impl<'a> Emit<'a> {
+    /// Wrap a collector.
+    pub fn new(collector: &'a dyn Collector) -> Self {
+        Emit { collector }
+    }
+
+    /// Emit one key/value pair.
+    #[inline]
+    pub fn emit(&self, key: &[u8], value: &[u8]) {
+        self.collector.emit(key, value);
+    }
+}
+
+/// An in-kernel combiner: merges a newly emitted value into the
+/// accumulated value for a key ("a local reduce over the results of one
+/// map chunk"). Only used with the hash-table collection mechanism, as in
+/// the paper.
+pub trait Combiner: Send + Sync {
+    /// Merge `value` into `acc` (both in the application's value encoding).
+    fn combine(&self, key: &[u8], acc: &mut Vec<u8>, value: &[u8]);
+}
+
+/// A Glasswing MapReduce application.
+pub trait GwApp: Send + Sync + 'static {
+    /// Application name (reports, output naming).
+    fn name(&self) -> &'static str;
+
+    /// Map one input record. Invoked concurrently by kernel work items.
+    fn map(&self, key: &[u8], value: &[u8], emit: &Emit<'_>);
+
+    /// The application's combiner, if any.
+    fn combiner(&self) -> Option<std::sync::Arc<dyn Combiner>> {
+        None
+    }
+
+    /// Whether the job has a reduce phase. When `false` (TeraSort), the
+    /// framework writes the merged, sorted intermediate data directly:
+    /// "its output is fully processed by the end of the intermediate data
+    /// shuffle".
+    fn has_reduce(&self) -> bool {
+        true
+    }
+
+    /// Reduce a chunk of values for one key.
+    ///
+    /// Large value lists are fed in several chunks across kernel
+    /// invocations; `state` is the key's scratch buffer persisting between
+    /// chunks (paper §III-C) and `last` marks the final chunk. Typical
+    /// implementations accumulate into `state` and emit on `last`.
+    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>);
+
+    /// Partition function over the global partition space. "Glasswing
+    /// partitions intermediate data based on a hash function which can be
+    /// overloaded by the user" — TeraSort overloads it with its sampled
+    /// key-range partitioner.
+    fn partition(&self, key: &[u8], num_partitions: u32) -> u32 {
+        hash::default_partition(key, num_partitions)
+    }
+
+    /// Merge another partial reduction state into `acc` (both produced by
+    /// [`GwApp::reduce`] calls with `last = false`). Returning `true`
+    /// declares the reduction *associative* and unlocks the paper's first
+    /// form of reduce parallelism: "applications can choose to process
+    /// each single key with multiple threads" — the engine splits a large
+    /// key's values over several work items, reduces partials
+    /// concurrently, merges the states with this function, and finishes
+    /// with one `last = true` call. The default (`false`) keeps per-key
+    /// reduction sequential.
+    fn merge_states(&self, _acc: &mut Vec<u8>, _other: &[u8]) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{BufferPoolCollector, Collector};
+
+    struct Echo;
+    impl GwApp for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn map(&self, key: &[u8], value: &[u8], emit: &Emit<'_>) {
+            emit.emit(key, value);
+        }
+        fn reduce(
+            &self,
+            key: &[u8],
+            values: &[&[u8]],
+            _state: &mut Vec<u8>,
+            last: bool,
+            emit: &Emit<'_>,
+        ) {
+            if last {
+                emit.emit(key, &(values.len() as u32).to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn default_partition_matches_hash() {
+        let app = Echo;
+        assert_eq!(app.partition(b"k", 8), hash::default_partition(b"k", 8));
+        assert!(app.has_reduce());
+        assert!(app.combiner().is_none());
+    }
+
+    #[test]
+    fn emit_routes_to_collector() {
+        let app = Echo;
+        let collector = BufferPoolCollector::new(4096, 2);
+        app.map(b"key", b"val", &Emit::new(&collector));
+        assert_eq!(collector.records(), 1);
+    }
+}

@@ -1,0 +1,528 @@
+//! The in-process cluster runtime.
+//!
+//! "Execution starts with launching the map phase and, concurrently, the
+//! merge phase at each node. After the map phase completes, the merge
+//! phase continues until it has received all data sent to it by map
+//! pipeline instantiations at other nodes. After the merge phase
+//! completes, the reduce phase is started."
+//!
+//! [`Cluster::run`] executes a job over `n` nodes, each a thread group:
+//! the 5-stage map pipeline, the shuffle receiver + intermediate mergers,
+//! then the 5-stage reduce pipeline. A shared [`Coordinator`] hands out
+//! splits with locality preference; a [`gw_net::Fabric`] carries the
+//! push-based shuffle.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gw_device::Device;
+use gw_intermediate::{IntermediateConfig, IntermediateStore, TempDir};
+use gw_net::{Fabric, NetProfile, ShuffleMsg, ShuffleReceiver};
+use gw_storage::split::{FileStore, FileStoreExt};
+use gw_storage::NodeId;
+
+use crate::api::GwApp;
+use crate::config::JobConfig;
+use crate::coordinator::Coordinator;
+use crate::map_pipeline::{MapPhase, MapPhaseReport};
+use crate::reduce_pipeline::{ReducePhase, ReducePhaseReport};
+use crate::timers::{StageTimers, TimerReport};
+use crate::EngineError;
+
+/// Per-node job outcome.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Map-phase summary.
+    pub map: MapPhaseReport,
+    /// Map pipeline stage timers.
+    pub map_timers: TimerReport,
+    /// Per-chunk map stage samples (for schedule replay).
+    pub map_samples: Vec<[crate::timers::StageSample; 5]>,
+    /// Merge delay: time after map completion until mergers finished.
+    pub merge_delay: Duration,
+    /// Runs received from peers during the shuffle.
+    pub shuffle_runs_received: usize,
+    /// Reduce-phase summary.
+    pub reduce: ReducePhaseReport,
+    /// Reduce pipeline stage timers.
+    pub reduce_timers: TimerReport,
+    /// Intermediate-store metrics.
+    pub intermediate: gw_intermediate::StoreMetrics,
+}
+
+/// Whole-job outcome.
+#[derive(Debug)]
+pub struct JobReport {
+    /// Wall-clock job duration (max across nodes, measured at the master).
+    pub elapsed: Duration,
+    /// Per-node reports, indexed by node.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl JobReport {
+    /// All output files across nodes, sorted by global partition.
+    pub fn output_files(&self) -> Vec<String> {
+        let mut files: Vec<String> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.reduce.output_files.iter().cloned())
+            .collect();
+        files.sort();
+        files
+    }
+
+    /// Aggregate map timers over all nodes.
+    pub fn map_timers_total(&self) -> TimerReport {
+        let mut total = TimerReport::default();
+        for n in &self.nodes {
+            total.merge(&n.map_timers);
+        }
+        total
+    }
+
+    /// Aggregate reduce timers over all nodes.
+    pub fn reduce_timers_total(&self) -> TimerReport {
+        let mut total = TimerReport::default();
+        for n in &self.nodes {
+            total.merge(&n.reduce_timers);
+        }
+        total
+    }
+
+    /// Maximum merge delay across nodes (the job's effective merge delay).
+    pub fn merge_delay(&self) -> Duration {
+        self.nodes
+            .iter()
+            .map(|n| n.merge_delay)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total input records mapped across nodes.
+    pub fn records_mapped(&self) -> usize {
+        self.nodes.iter().map(|n| n.map.records_in).sum()
+    }
+
+    /// Total output records written across nodes.
+    pub fn records_out(&self) -> usize {
+        self.nodes.iter().map(|n| n.reduce.records_out).sum()
+    }
+}
+
+/// An in-process Glasswing cluster.
+pub struct Cluster {
+    store: Arc<dyn FileStore>,
+    net: NetProfile,
+}
+
+impl Cluster {
+    /// Create a cluster over `store` (its `cluster_size` defines the node
+    /// count) with network profile `net`.
+    pub fn new(store: Arc<dyn FileStore>, net: NetProfile) -> Self {
+        Cluster { store, net }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.store.cluster_size()
+    }
+
+    /// The cluster's file store.
+    pub fn store(&self) -> &Arc<dyn FileStore> {
+        &self.store
+    }
+
+    /// Execute `app` under `cfg`, blocking until the job completes.
+    pub fn run(&self, app: Arc<dyn GwApp>, cfg: &JobConfig) -> Result<JobReport, EngineError> {
+        cfg.validate().map_err(EngineError::Config)?;
+        let nodes = self.nodes();
+        let splits = self.store.splits(&cfg.input)?;
+        let coordinator = Arc::new(Coordinator::new(splits));
+        let mut fabric: Fabric<ShuffleMsg> = Fabric::new(nodes, self.net);
+
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(nodes as usize);
+        for n in 0..nodes {
+            let node = NodeId(n);
+            let endpoint = Arc::new(fabric.endpoint(node));
+            let app = Arc::clone(&app);
+            let store = Arc::clone(&self.store);
+            let coordinator = Arc::clone(&coordinator);
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gw-node-{n}"))
+                .spawn(move || -> Result<NodeReport, EngineError> {
+                    run_node(node, nodes, app, store, coordinator, endpoint, &cfg)
+                })
+                .expect("spawn node runtime");
+            handles.push(handle);
+        }
+        let mut reports = Vec::with_capacity(handles.len());
+        let mut first_err: Option<EngineError> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(r)) => reports.push(r),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err
+                        .or(Some(EngineError::TaskFailed("node runtime panicked".into())))
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(JobReport {
+            elapsed: start.elapsed(),
+            nodes: reports,
+        })
+    }
+}
+
+/// Broadcast `MapDone` to every peer (used on early failure paths; the
+/// map pipeline broadcasts it itself on normal or failed completion).
+fn broadcast_map_done(endpoint: &gw_net::Endpoint<ShuffleMsg>, nodes: u32, node: NodeId) {
+    for peer in 0..nodes {
+        if peer != node.0 {
+            endpoint.send(NodeId(peer), ShuffleMsg::MapDone, 8);
+        }
+    }
+}
+
+/// One node's full job execution: map ∥ merge, then reduce.
+fn run_node(
+    node: NodeId,
+    nodes: u32,
+    app: Arc<dyn GwApp>,
+    store: Arc<dyn FileStore>,
+    coordinator: Arc<Coordinator>,
+    endpoint: Arc<gw_net::Endpoint<ShuffleMsg>>,
+    cfg: &JobConfig,
+) -> Result<NodeReport, EngineError> {
+    let device = Arc::new(Device::open_with_threads(
+        cfg.device.clone(),
+        cfg.device_threads,
+    ));
+    let store_result = IntermediateStore::new(IntermediateConfig {
+        num_partitions: cfg.partitions_per_node,
+        cache_threshold: cfg.cache_threshold,
+        max_spill_files: cfg.max_spill_files,
+        merger_threads: cfg.merger_threads,
+        compress: cfg.compress_intermediate,
+    });
+    let intermediate = match store_result {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            // Tell peers we are done before dying, so they do not hang in
+            // the merge phase waiting for our MapDone.
+            broadcast_map_done(&endpoint, nodes, node);
+            return Err(e.into());
+        }
+    };
+
+    // Merge phase: receive peers' partitions concurrently with our map.
+    let receiver = ShuffleReceiver::spawn(
+        Arc::clone(&endpoint),
+        Arc::clone(&intermediate),
+        nodes as usize - 1,
+    );
+
+    let durability = if cfg.durable_map_output {
+        match TempDir::new(&format!("gw-durability-{node}")) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                broadcast_map_done(&endpoint, nodes, node);
+                return Err(e.into());
+            }
+        }
+    } else {
+        None
+    };
+
+    // Map phase.
+    let map_timers = Arc::new(StageTimers::new());
+    let map_report = MapPhase {
+        cfg,
+        node,
+        nodes,
+        app: Arc::clone(&app),
+        device: Arc::clone(&device),
+        store: Arc::clone(&store),
+        coordinator,
+        intermediate: Arc::clone(&intermediate),
+        endpoint: Arc::clone(&endpoint),
+        timers: Arc::clone(&map_timers),
+        durability_dir: durability.as_ref().map(|d| d.path().to_path_buf()),
+    }
+    .run();
+    let map_report = match map_report {
+        Ok(r) => r,
+        Err(e) => {
+            // The pipeline already broadcast MapDone on its failure path;
+            // drain our receiver before propagating.
+            let _ = receiver.join();
+            return Err(e);
+        }
+    };
+
+    // Wait for every peer's data, then let the mergers drain.
+    let shuffle_summary = receiver.join();
+    let merge_delay = intermediate.finish_map();
+
+    // Reduce phase.
+    let reduce_timers = Arc::new(StageTimers::new());
+    let reduce_report = ReducePhase {
+        cfg,
+        node,
+        nodes,
+        app,
+        device,
+        store,
+        intermediate: Arc::clone(&intermediate),
+        timers: Arc::clone(&reduce_timers),
+    }
+    .run()?;
+
+    Ok(NodeReport {
+        node,
+        map: map_report,
+        map_timers: map_timers.report(),
+        map_samples: map_timers.chunk_samples(),
+        merge_delay,
+        shuffle_runs_received: shuffle_summary.runs,
+        reduce: reduce_report,
+        reduce_timers: reduce_timers.report(),
+        intermediate: intermediate.metrics(),
+    })
+}
+
+/// Read back a whole job's output, ordered by global partition then by the
+/// in-file record order. Convenience for tests and examples.
+pub fn read_job_output(
+    store: &Arc<dyn FileStore>,
+    report: &JobReport,
+) -> Result<gw_storage::KvVec, EngineError> {
+    let mut out = Vec::new();
+    for path in report.output_files() {
+        out.extend(store.read_all_records(&path, NodeId(0))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Combiner, Emit};
+    use crate::collect::CollectorKind;
+    use crate::config::Buffering;
+    use gw_storage::{Dfs, DfsConfig};
+
+    /// Word count with a sum combiner: the canonical Glasswing test app.
+    struct WordCount;
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        fn combine(&self, _key: &[u8], acc: &mut Vec<u8>, value: &[u8]) {
+            let a = u64::from_le_bytes(acc.as_slice().try_into().unwrap());
+            let b = u64::from_le_bytes(value.try_into().unwrap());
+            acc.copy_from_slice(&(a + b).to_le_bytes());
+        }
+    }
+
+    impl GwApp for WordCount {
+        fn name(&self) -> &'static str {
+            "wordcount-test"
+        }
+        fn map(&self, _key: &[u8], value: &[u8], emit: &Emit<'_>) {
+            for word in value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                emit.emit(word, &1u64.to_le_bytes());
+            }
+        }
+        fn combiner(&self) -> Option<Arc<dyn Combiner>> {
+            Some(Arc::new(SumCombiner))
+        }
+        fn reduce(
+            &self,
+            key: &[u8],
+            values: &[&[u8]],
+            state: &mut Vec<u8>,
+            last: bool,
+            emit: &Emit<'_>,
+        ) {
+            if state.is_empty() {
+                state.extend_from_slice(&0u64.to_le_bytes());
+            }
+            let mut acc = u64::from_le_bytes(state.as_slice().try_into().unwrap());
+            for v in values {
+                acc += u64::from_le_bytes((*v).try_into().unwrap());
+            }
+            state.copy_from_slice(&acc.to_le_bytes());
+            if last {
+                emit.emit(key, &acc.to_le_bytes());
+            }
+        }
+    }
+
+    const CORPUS: &str = "the quick brown fox jumps over the lazy dog \
+                          the dog barks and the fox runs away over the hill";
+
+    fn expected_counts() -> Vec<(Vec<u8>, u64)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..NUM_LINES {
+            for w in CORPUS.split_whitespace() {
+                *counts.entry(w.as_bytes().to_vec()).or_insert(0u64) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    const NUM_LINES: usize = 40;
+
+    fn make_cluster(nodes: u32) -> Cluster {
+        let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+        let lines: Vec<(Vec<u8>, Vec<u8>)> = (0..NUM_LINES)
+            .map(|i| (format!("line{i}").into_bytes(), CORPUS.as_bytes().to_vec()))
+            .collect();
+        dfs.write_records(
+            "/wc/in",
+            NodeId(0),
+            600,
+            3,
+            lines.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .unwrap();
+        Cluster::new(dfs, NetProfile::unlimited())
+    }
+
+    fn check_output(cluster: &Cluster, report: &JobReport) {
+        let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), report)
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k, u64::from_le_bytes(v.as_slice().try_into().unwrap())))
+            .collect();
+        out.sort();
+        assert_eq!(out, expected_counts());
+    }
+
+    fn base_cfg() -> JobConfig {
+        let mut cfg = JobConfig::new("/wc/in", "/wc/out");
+        cfg.device_threads = 2;
+        cfg.collector_capacity = 1 << 20;
+        cfg.cache_threshold = 1 << 16;
+        cfg
+    }
+
+    #[test]
+    fn wordcount_single_node() {
+        let cluster = make_cluster(1);
+        let report = cluster.run(Arc::new(WordCount), &base_cfg()).unwrap();
+        assert_eq!(report.nodes.len(), 1);
+        assert_eq!(report.records_mapped(), NUM_LINES);
+        check_output(&cluster, &report);
+    }
+
+    #[test]
+    fn wordcount_four_nodes_with_shuffle() {
+        let cluster = make_cluster(4);
+        let mut cfg = base_cfg();
+        cfg.partitions_per_node = 2;
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        assert_eq!(report.nodes.len(), 4);
+        // The shuffle must actually move data between nodes.
+        let received: usize = report.nodes.iter().map(|n| n.shuffle_runs_received).sum();
+        assert!(received > 0, "expected cross-node partition traffic");
+        // 4 nodes × 2 partitions = 8 output files.
+        assert_eq!(report.output_files().len(), 8);
+        check_output(&cluster, &report);
+    }
+
+    #[test]
+    fn wordcount_buffer_pool_collector_matches() {
+        let cluster = make_cluster(2);
+        let mut cfg = base_cfg();
+        cfg.collector = CollectorKind::BufferPool;
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        check_output(&cluster, &report);
+    }
+
+    #[test]
+    fn wordcount_all_buffering_levels_match() {
+        for buffering in [Buffering::Single, Buffering::Double, Buffering::Triple] {
+            let cluster = make_cluster(2);
+            let mut cfg = base_cfg();
+            cfg.buffering = buffering;
+            let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+            check_output(&cluster, &report);
+        }
+    }
+
+    #[test]
+    fn wordcount_on_simulated_gpu_matches() {
+        let cluster = make_cluster(2);
+        let mut cfg = base_cfg();
+        cfg.device = gw_device::DeviceProfile::gtx480();
+        cfg.timing = crate::config::TimingMode::Modeled;
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        check_output(&cluster, &report);
+        // Stage/Retrieve are live on a discrete device.
+        let timers = report.map_timers_total();
+        assert!(timers.modeled(crate::StageId::Stage) > Duration::ZERO);
+    }
+
+    #[test]
+    fn tiny_value_chunks_exercise_scratch_state() {
+        let cluster = make_cluster(2);
+        let mut cfg = base_cfg();
+        // Force every multi-value key through several kernel invocations.
+        cfg.reduce_max_values_per_chunk = 1;
+        cfg.reduce_concurrent_keys = 3;
+        cfg.reduce_keys_per_thread = 2;
+        // Disable the combiner path so keys really have many values.
+        cfg.collector = CollectorKind::BufferPool;
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        check_output(&cluster, &report);
+    }
+
+    #[test]
+    fn durability_copies_do_not_change_output() {
+        let cluster = make_cluster(2);
+        let mut cfg = base_cfg();
+        cfg.durable_map_output = true;
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        check_output(&cluster, &report);
+    }
+
+    #[test]
+    fn report_exposes_stage_timers_and_merge_delay() {
+        let cluster = make_cluster(2);
+        let report = cluster.run(Arc::new(WordCount), &base_cfg()).unwrap();
+        let timers = report.map_timers_total();
+        assert!(timers.wall(crate::StageId::Kernel) > Duration::ZERO);
+        assert!(timers.wall(crate::StageId::Input) > Duration::ZERO);
+        assert!(timers.wall(crate::StageId::Partition) > Duration::ZERO);
+        // Merge delay is measured (may be tiny but must be recorded).
+        assert!(report.merge_delay() < Duration::from_secs(5));
+        for n in &report.nodes {
+            assert!(!n.map_samples.is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let dfs: Arc<dyn FileStore> = Arc::new(Dfs::new(DfsConfig::new(1).free_io()));
+        let cluster = Cluster::new(dfs, NetProfile::unlimited());
+        let err = cluster.run(Arc::new(WordCount), &base_cfg()).unwrap_err();
+        assert!(matches!(err, EngineError::Storage(_)));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let cluster = make_cluster(1);
+        let mut cfg = base_cfg();
+        cfg.partitions_per_node = 0;
+        let err = cluster.run(Arc::new(WordCount), &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+    }
+}

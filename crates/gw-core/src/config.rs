@@ -1,0 +1,219 @@
+//! The Configuration API (paper §III-F): "allows developers to specify key
+//! job parameters ... input files ... which compute devices are to be used
+//! and configure the pipeline buffering levels."
+
+use gw_device::DeviceProfile;
+
+use crate::collect::CollectorKind;
+
+/// Pipeline buffering level (paper §III-D).
+///
+/// The map pipeline's *input group* (Input, Stage, Kernel) shares this many
+/// input buffers and its *output group* (Kernel, Retrieve, Partition) this
+/// many output buffers. `Single` interlocks each group internally (the two
+/// groups still overlap each other); `Triple` lets all five stages run
+/// fully concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Buffering {
+    /// One buffer set per group.
+    Single,
+    /// Two buffer sets per group (the paper's default configuration).
+    Double,
+    /// Three buffer sets per group.
+    Triple,
+}
+
+impl Buffering {
+    /// Number of buffer sets per group.
+    #[inline]
+    pub fn depth(self) -> usize {
+        match self {
+            Buffering::Single => 1,
+            Buffering::Double => 2,
+            Buffering::Triple => 3,
+        }
+    }
+}
+
+/// Which duration the stage timers report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingMode {
+    /// Measured host wall time.
+    Wall,
+    /// Device/storage-model time (profile-transformed); equals wall for
+    /// host CPU devices with free I/O models.
+    Modeled,
+}
+
+/// Full job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Input file path in the job's file store.
+    pub input: String,
+    /// Output directory; each partition writes `{output}/part-r-{global}`.
+    pub output: String,
+    /// Compute device profile used by every node.
+    pub device: DeviceProfile,
+    /// Real host threads per node's device pool (caps the profile's
+    /// compute units; in-process clusters share the machine, so keep
+    /// `nodes * device_threads` within the host).
+    pub device_threads: usize,
+    /// Map kernel NDRange global size (work items per chunk).
+    pub map_work_items: usize,
+    /// Map kernel work-group size.
+    pub work_group: usize,
+    /// Pipeline buffering level.
+    pub buffering: Buffering,
+    /// Output-collection mechanism for the map kernel.
+    pub collector: CollectorKind,
+    /// Collector arena capacity in bytes (per in-flight chunk).
+    pub collector_capacity: usize,
+    /// Hash-table bucket count (hash-table collector only).
+    pub hash_buckets: usize,
+    /// Partitioning threads per node (the paper's `N`, Fig. 4a).
+    pub partition_threads: usize,
+    /// Partitions per node (the paper's `P`, Fig. 4b). The global partition
+    /// count is `P * nodes`.
+    pub partitions_per_node: u32,
+    /// Background merger/flusher threads (the paper ties this to `P`).
+    pub merger_threads: usize,
+    /// Intermediate cache flush threshold, bytes.
+    pub cache_threshold: usize,
+    /// Maximum spill files per partition before compaction.
+    pub max_spill_files: usize,
+    /// Compress cached/spilled intermediate data.
+    pub compress_intermediate: bool,
+    /// Write a durability copy of map output to local disk (paper §III-E).
+    pub durable_map_output: bool,
+    /// Reduce: number of keys processed concurrently per kernel launch.
+    pub reduce_concurrent_keys: usize,
+    /// Reduce: keys each work item processes sequentially (amortises
+    /// kernel launch overhead; paper Fig. 5).
+    pub reduce_keys_per_thread: usize,
+    /// Reduce: maximum values for one key per kernel invocation; larger
+    /// value lists carry scratch state across invocations.
+    pub reduce_max_values_per_chunk: usize,
+    /// Reduce: work items cooperating on one key's value chunk (the
+    /// paper's first form of reduce parallelism, "advantageous to
+    /// compute-intensive applications that can benefit from parallel
+    /// reduction"). Only effective when the application's
+    /// [`crate::GwApp::merge_states`] declares the reduction associative;
+    /// `1` keeps per-key reduction sequential.
+    pub reduce_threads_per_key: usize,
+    /// Replication factor for job output files.
+    pub output_replication: usize,
+    /// Output file block size.
+    pub output_block_size: usize,
+    /// Which durations timers report.
+    pub timing: TimingMode,
+    /// Map-task re-execution budget: a chunk whose kernel fails is
+    /// discarded and re-executed up to this many times before the job
+    /// fails (paper §III-E: "if a task fails, its partial output is
+    /// discarded and its input is rescheduled for processing"). `0`
+    /// matches the paper's unmodified system (no failure handling).
+    pub max_task_retries: usize,
+}
+
+impl JobConfig {
+    /// A configuration with the paper's defaults (double buffering, hash
+    /// table + combiner handled by the app, HDFS-style replication 3) and
+    /// host-appropriate sizes.
+    pub fn new(input: impl Into<String>, output: impl Into<String>) -> Self {
+        JobConfig {
+            input: input.into(),
+            output: output.into(),
+            device: DeviceProfile::host(),
+            device_threads: 2,
+            map_work_items: 64,
+            work_group: 16,
+            buffering: Buffering::Double,
+            collector: CollectorKind::HashTable,
+            collector_capacity: 8 << 20,
+            hash_buckets: 4096,
+            partition_threads: 2,
+            partitions_per_node: 1,
+            merger_threads: 1,
+            cache_threshold: 32 << 20,
+            max_spill_files: 8,
+            compress_intermediate: true,
+            durable_map_output: false,
+            reduce_concurrent_keys: 256,
+            reduce_keys_per_thread: 4,
+            reduce_max_values_per_chunk: 4096,
+            reduce_threads_per_key: 1,
+            output_replication: 3,
+            output_block_size: 8 << 20,
+            timing: TimingMode::Wall,
+            max_task_retries: 0,
+        }
+    }
+
+    /// Validate invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input.is_empty() {
+            return Err("input path is empty".into());
+        }
+        if self.output.is_empty() {
+            return Err("output path is empty".into());
+        }
+        if self.map_work_items == 0 || self.work_group == 0 {
+            return Err("map NDRange sizes must be nonzero".into());
+        }
+        if self.partitions_per_node == 0 {
+            return Err("at least one partition per node".into());
+        }
+        if self.partition_threads == 0 {
+            return Err("at least one partitioning thread".into());
+        }
+        if self.reduce_concurrent_keys == 0
+            || self.reduce_keys_per_thread == 0
+            || self.reduce_max_values_per_chunk == 0
+            || self.reduce_threads_per_key == 0
+        {
+            return Err("reduce parallelism parameters must be nonzero".into());
+        }
+        if self.collector_capacity < 1024 {
+            return Err("collector capacity unreasonably small".into());
+        }
+        if self.output_replication == 0 {
+            return Err("output replication must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(JobConfig::new("/in", "/out").validate(), Ok(()));
+    }
+
+    #[test]
+    fn buffering_depths() {
+        assert_eq!(Buffering::Single.depth(), 1);
+        assert_eq!(Buffering::Double.depth(), 2);
+        assert_eq!(Buffering::Triple.depth(), 3);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = JobConfig::new("/in", "/out");
+        c.partitions_per_node = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = JobConfig::new("", "/out");
+        c.partitions_per_node = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = JobConfig::new("/in", "/out");
+        c.reduce_concurrent_keys = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = JobConfig::new("/in", "/out");
+        c.output_replication = 0;
+        assert!(c.validate().is_err());
+    }
+}

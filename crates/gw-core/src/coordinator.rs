@@ -1,0 +1,122 @@
+//! Locality-aware split coordination.
+//!
+//! "Glasswing's job coordinator is like Hadoop's: both use a dedicated
+//! master node; Glasswing's scheduler considers file affinity in its job
+//! allocation." Nodes pull splits from the shared coordinator; a node is
+//! preferentially given a split whose block it holds locally, falling back
+//! to remote splits only when no local work remains.
+
+use parking_lot::Mutex;
+
+use gw_storage::{InputSplit, NodeId};
+
+/// Shared split queue with locality preference.
+pub struct Coordinator {
+    inner: Mutex<Vec<Option<InputSplit>>>,
+    total: usize,
+}
+
+impl Coordinator {
+    /// Create a coordinator over a job's splits.
+    pub fn new(splits: Vec<InputSplit>) -> Self {
+        let total = splits.len();
+        Coordinator {
+            inner: Mutex::new(splits.into_iter().map(Some).collect()),
+            total,
+        }
+    }
+
+    /// Total splits in the job.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Splits not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.inner.lock().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Claim the next split for `node`: local-first, then any.
+    pub fn next_for(&self, node: NodeId) -> Option<InputSplit> {
+        let mut splits = self.inner.lock();
+        // First pass: a split local to this node.
+        let local_idx = splits
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.is_local_to(node)));
+        let idx = local_idx.or_else(|| splits.iter().position(|s| s.is_some()))?;
+        splits[idx].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(block: usize, locations: Vec<u32>) -> InputSplit {
+        InputSplit {
+            path: "/in".into(),
+            block,
+            len: 100,
+            records: 10,
+            locations: locations.into_iter().map(NodeId).collect(),
+        }
+    }
+
+    #[test]
+    fn prefers_local_splits() {
+        let c = Coordinator::new(vec![
+            split(0, vec![1]),
+            split(1, vec![0]),
+            split(2, vec![1]),
+        ]);
+        let first = c.next_for(NodeId(0)).unwrap();
+        assert_eq!(first.block, 1, "node 0 should get its local split first");
+        assert_eq!(c.remaining(), 2);
+    }
+
+    #[test]
+    fn falls_back_to_remote_work() {
+        let c = Coordinator::new(vec![split(0, vec![1]), split(1, vec![1])]);
+        assert!(c.next_for(NodeId(0)).is_some());
+        assert!(c.next_for(NodeId(0)).is_some());
+        assert!(c.next_for(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn every_split_is_handed_out_exactly_once() {
+        let c = Coordinator::new((0..20).map(|i| split(i, vec![(i % 4) as u32])).collect());
+        let mut seen = Vec::new();
+        let mut turn = 0u32;
+        while let Some(s) = c.next_for(NodeId(turn % 4)) {
+            seen.push(s.block);
+            turn += 1;
+        }
+        seen.sort();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_claims_are_disjoint() {
+        let c = std::sync::Arc::new(Coordinator::new(
+            (0..100).map(|i| split(i, vec![(i % 4) as u32])).collect(),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|n| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(s) = c.next_for(NodeId(n)) {
+                        got.push(s.block);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,129 @@
+//! FxHash-style byte hashing and the default partition function.
+//!
+//! Implemented in-repo (no external hash crates): the FxHash word-at-a-time
+//! mix used by rustc, which is fast on the short keys that dominate
+//! MapReduce intermediate data. "Glasswing partitions intermediate data
+//! based on a hash function which can be overloaded by the user."
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Hash a byte string (FxHash recipe: 8 bytes at a time, then the tail).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        hash = mix(hash, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        // Include the length so "a" and "a\0" differ.
+        hash = mix(hash, u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56);
+    }
+    hash
+}
+
+/// Reduce a hash to `0..n` using multiply-shift, which draws on the
+/// high-entropy high bits (FxHash mixes its low bits poorly, so a plain
+/// modulo skews).
+#[inline]
+pub fn bucket_of(hash: u64, n: usize) -> usize {
+    ((hash as u128 * n as u128) >> 64) as usize
+}
+
+/// Default partitioner: multiply-shift over the key hash.
+#[inline]
+pub fn default_partition(key: &[u8], num_partitions: u32) -> u32 {
+    debug_assert!(num_partitions > 0);
+    bucket_of(hash_bytes(key), num_partitions as usize) as u32
+}
+
+/// Node that owns global partition `p` in an `n`-node cluster.
+///
+/// Global partitions are striped over nodes; the receiver-local index is
+/// [`local_partition`].
+#[inline]
+pub fn partition_owner(p: u32, nodes: u32) -> u32 {
+    p % nodes
+}
+
+/// Receiver-local index of global partition `p`.
+#[inline]
+pub fn local_partition(p: u32, nodes: u32) -> u32 {
+    p / nodes
+}
+
+/// Global partition id from `(owner, local)`.
+#[inline]
+pub fn global_partition(owner: u32, local: u32, nodes: u32) -> u32 {
+    local * nodes + owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn partition_is_total_and_in_range() {
+        for key in [b"".as_slice(), b"x", b"word", b"longer-key-material"] {
+            for parts in [1u32, 2, 7, 64] {
+                assert!(default_partition(key, parts) < parts);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_distribution_is_roughly_uniform() {
+        let parts = 16u32;
+        let mut counts = vec![0usize; parts as usize];
+        for i in 0..16_000 {
+            let key = format!("key-{i}");
+            counts[default_partition(key.as_bytes(), parts) as usize] += 1;
+        }
+        let expect = 1000.0;
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
+                "partition {p} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_local_global_roundtrip() {
+        let nodes = 6;
+        for p in 0..60u32 {
+            let owner = partition_owner(p, nodes);
+            let local = local_partition(p, nodes);
+            assert!(owner < nodes);
+            assert_eq!(global_partition(owner, local, nodes), p);
+        }
+    }
+
+    #[test]
+    fn partitions_per_node_are_balanced() {
+        let nodes = 4;
+        let per_node = 3;
+        let total = nodes * per_node;
+        let mut counts = vec![0u32; nodes as usize];
+        for p in 0..total {
+            counts[partition_owner(p, nodes) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == per_node));
+    }
+}

@@ -1,0 +1,106 @@
+//! The Glasswing engine — a MapReduce framework that scales *vertically*
+//! (fine-grained, device-level parallelism via an OpenCL-like kernel model)
+//! and *horizontally* (a pipelined, push-shuffle cluster runtime).
+//!
+//! Rust reproduction of the system described in:
+//!
+//! > Ismail El-Helw, Rutger Hofman, Henri E. Bal.
+//! > *Scaling MapReduce Vertically and Horizontally.* SC 2014.
+//!
+//! ## Architecture (paper §III)
+//!
+//! A job has three phases. The **map phase** and the **reduce phase** are
+//! both instantiations of the 5-stage Glasswing pipeline
+//! ([`map_pipeline`], [`reduce_pipeline`]); the **merge phase** runs
+//! concurrently with map, exchanging partitions between nodes
+//! (`gw-net`) and merging them (`gw-intermediate`), and continues after map
+//! completion until all data has arrived and been merged (the *merge
+//! delay*).
+//!
+//! ```text
+//! map:    Input → Stage → Kernel → Retrieve → Partition
+//! reduce: MergeRead → Stage → Kernel → Retrieve → Output
+//! ```
+//!
+//! Stages communicate through recycling buffer pools; the pool sizes are
+//! the paper's single/double/triple **buffering levels** ([`config::Buffering`]).
+//! Kernels execute on a compute [`gw_device::Device`]; for unified-memory
+//! devices the Stage and Retrieve stages are disabled.
+//!
+//! Map output is harvested by one of two **collectors** (paper §III-F): a
+//! shared buffer pool with atomic allocation, or a concurrent hash table
+//! with optional in-kernel combiner ([`collect`]).
+//!
+//! The [`cluster::Cluster`] runtime executes a job over `n` in-process
+//! nodes, with a locality-aware split [`coordinator`], per-node
+//! [`timers::StageTimers`], and a [`schedule`] model that converts per-chunk
+//! stage durations into pipeline makespans (used to validate the pipeline
+//! and to model accelerator timing).
+
+pub mod api;
+pub mod cluster;
+pub mod collect;
+pub mod config;
+pub mod coordinator;
+pub mod hash;
+pub mod map_pipeline;
+pub mod reduce_pipeline;
+pub mod schedule;
+pub mod timers;
+
+pub use api::{Combiner, Emit, GwApp};
+pub use cluster::{Cluster, JobReport, NodeReport};
+pub use collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
+pub use config::{Buffering, JobConfig, TimingMode};
+pub use coordinator::Coordinator;
+pub use schedule::{pipeline_makespan, ChunkTimes};
+pub use timers::{StageId, StageTimers, TimerReport};
+
+pub use gw_storage::NodeId;
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Underlying storage failure.
+    Storage(gw_storage::StorageError),
+    /// Underlying device failure.
+    Device(gw_device::DeviceError),
+    /// I/O failure (spills, durability copies).
+    Io(std::io::Error),
+    /// Invalid job configuration.
+    Config(String),
+    /// A task kept failing after exhausting its re-execution budget
+    /// (paper §III-E: failed tasks are discarded and re-executed; the
+    /// budget bounds deterministic failures).
+    TaskFailed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Device(e) => write!(f, "device error: {e}"),
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+            EngineError::Config(msg) => write!(f, "config error: {msg}"),
+            EngineError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<gw_storage::StorageError> for EngineError {
+    fn from(e: gw_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+impl From<gw_device::DeviceError> for EngineError {
+    fn from(e: gw_device::DeviceError) -> Self {
+        EngineError::Device(e)
+    }
+}
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

@@ -1,0 +1,527 @@
+//! The 5-stage map pipeline (paper §III-A).
+//!
+//! ```text
+//! Input → Stage → Kernel → Retrieve → Partition
+//! ```
+//!
+//! Each stage runs on its own thread; chunks flow through bounded channels.
+//! Buffer recycling implements the interlock of §III-D: `B` input-buffer
+//! tokens circulate Input → Stage → Kernel → Input, and `B` output
+//! collectors circulate Kernel → Retrieve → Partition → Kernel, where `B`
+//! is the buffering level. For unified-memory devices the Stage and
+//! Retrieve stages are pass-throughs ("the input stager is disabled").
+//!
+//! The Kernel stage launches the user's map function as an NDRange over
+//! the chunk's records — "Glasswing processes each split in parallel,
+//! exploiting the abundance of cores in modern compute devices. This
+//! design decision places less stress on the file system ... since the
+//! pipeline reads one input split at a time."
+//!
+//! The Partition stage decodes the collector, hash-partitions records,
+//! sorts each partition, optionally writes a durability copy, and pushes
+//! each partition to its home node (in-memory cache if local, network
+//! otherwise), parallelised over `N = partition_threads` lanes (Fig. 4a).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+
+use gw_device::{Device, DeviceBuffer, KernelFn, NdRange, WorkItemCtx, WorkerPool};
+use gw_intermediate::{IntermediateStore, RunBuilder};
+use gw_net::{Endpoint, ShuffleMsg};
+use gw_storage::split::FileStore;
+use gw_storage::{seqfile::SeqReader, NodeId};
+
+use crate::api::{Emit, GwApp};
+use crate::collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
+use crate::config::{JobConfig, TimingMode};
+use crate::coordinator::Coordinator;
+use crate::hash::{local_partition, partition_owner};
+use crate::timers::{StageId, StageTimers};
+use crate::EngineError;
+
+/// Byte offsets of one record inside its block.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecordRef {
+    koff: u32,
+    klen: u32,
+    voff: u32,
+    vlen: u32,
+}
+
+/// A chunk read from storage, with its recycled input-buffer token.
+struct InputChunk {
+    seq: usize,
+    block: Arc<[u8]>,
+    records: Vec<RecordRef>,
+    token: InputToken,
+}
+
+/// The recycled input-buffer token: carries the device buffer for
+/// discrete-memory devices.
+struct InputToken {
+    device_buf: Option<DeviceBuffer>,
+}
+
+/// A chunk staged onto the compute device.
+struct StagedChunk {
+    seq: usize,
+    block: Arc<[u8]>,
+    records: Vec<RecordRef>,
+    token: InputToken,
+}
+
+/// Kernel output travelling to Retrieve/Partition with its collector.
+struct KernelOut {
+    seq: usize,
+    collector: Box<dyn Collector>,
+}
+
+/// Outcome of a node's map phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapPhaseReport {
+    /// Splits processed by this node.
+    pub splits: usize,
+    /// Input records mapped.
+    pub records_in: usize,
+    /// Intermediate records produced (post-combining).
+    pub records_out: usize,
+    /// Of the processed splits, how many were block-local.
+    pub local_splits: usize,
+    /// Sorted runs pushed to remote nodes.
+    pub runs_remote: usize,
+    /// Sorted runs added to the local cache.
+    pub runs_local: usize,
+    /// Map tasks that were discarded and re-executed (paper §III-E).
+    pub tasks_retried: usize,
+    /// Wall-clock duration of the whole map phase on this node.
+    pub elapsed: Duration,
+}
+
+/// Build a collector according to the job configuration.
+pub(crate) fn make_collector(cfg: &JobConfig, app: &Arc<dyn GwApp>) -> Box<dyn Collector> {
+    match cfg.collector {
+        CollectorKind::BufferPool => Box::new(BufferPoolCollector::new(
+            cfg.collector_capacity,
+            cfg.partition_threads.max(8),
+        )),
+        CollectorKind::HashTable => {
+            Box::new(HashTableCollector::new(cfg.hash_buckets, app.combiner()))
+        }
+    }
+}
+
+/// Parse a raw record block into record references.
+fn parse_block(block: &[u8]) -> Result<Vec<RecordRef>, EngineError> {
+    let mut records = Vec::new();
+    let mut reader = SeqReader::open_raw(block);
+    let base = block.as_ptr() as usize;
+    while let Some((k, v)) = reader.next()? {
+        records.push(RecordRef {
+            koff: (k.as_ptr() as usize - base) as u32,
+            klen: k.len() as u32,
+            voff: (v.as_ptr() as usize - base) as u32,
+            vlen: v.len() as u32,
+        });
+    }
+    Ok(records)
+}
+
+/// Everything a node needs to run its map phase.
+pub struct MapPhase<'a> {
+    /// Job configuration.
+    pub cfg: &'a JobConfig,
+    /// This node.
+    pub node: NodeId,
+    /// Cluster size.
+    pub nodes: u32,
+    /// The application.
+    pub app: Arc<dyn GwApp>,
+    /// The node's compute device.
+    pub device: Arc<Device>,
+    /// Job input storage.
+    pub store: Arc<dyn FileStore>,
+    /// Split coordinator (shared with all nodes).
+    pub coordinator: Arc<Coordinator>,
+    /// The node's intermediate store.
+    pub intermediate: Arc<IntermediateStore>,
+    /// The node's network endpoint (shared with its shuffle receiver).
+    pub endpoint: Arc<Endpoint<ShuffleMsg>>,
+    /// Stage timers to fill.
+    pub timers: Arc<StageTimers>,
+    /// Directory for durability copies of map output (when enabled).
+    pub durability_dir: Option<std::path::PathBuf>,
+}
+
+impl MapPhase<'_> {
+    /// Run the map phase to completion, then broadcast `MapDone`.
+    pub fn run(self) -> Result<MapPhaseReport, EngineError> {
+        let start = Instant::now();
+        let b = self.cfg.buffering.depth();
+        let unified = self.device.unified_memory();
+        let total_partitions = self.cfg.partitions_per_node * self.nodes;
+
+        // Partitioning worker pool: N lanes (orchestrator participates).
+        let partition_pool = WorkerPool::new(self.cfg.partition_threads.saturating_sub(1));
+
+        // Buffer pools (the §III-D interlocks).
+        let (in_token_tx, in_token_rx) = bounded::<InputToken>(b);
+        for _ in 0..b {
+            let device_buf = if unified {
+                None
+            } else {
+                // One device buffer per input buffer set, sized to a block.
+                Some(self.device.alloc(self.cfg.output_block_size.max(1 << 20))?)
+            };
+            in_token_tx
+                .send(InputToken { device_buf })
+                .expect("prime input tokens");
+        }
+        let (out_pool_tx, out_pool_rx) = bounded::<Box<dyn Collector>>(b);
+        for _ in 0..b {
+            out_pool_tx
+                .send(make_collector(self.cfg, &self.app))
+                .expect("prime collectors");
+        }
+
+        // Inter-stage queues (rendezvous-ish; tokens bound the in-flight
+        // chunks, queue capacity only smooths handoff).
+        let (input_tx, input_rx) = bounded::<InputChunk>(1);
+        let (staged_tx, staged_rx) = bounded::<StagedChunk>(1);
+        let (kernel_tx, kernel_rx) = bounded::<KernelOut>(1);
+        let (retrieved_tx, retrieved_rx) = bounded::<KernelOut>(1);
+
+        let report = Mutexed::new(MapPhaseReport::default());
+        let records_out = AtomicUsize::new(0);
+        let runs_remote = AtomicUsize::new(0);
+        let runs_local = AtomicUsize::new(0);
+        let tasks_retried = AtomicUsize::new(0);
+
+        let scope_result = std::thread::scope(|scope| -> Result<(), EngineError> {
+            // ---------------- Stage 1: Input ----------------
+            let input_handle = {
+                let store = Arc::clone(&self.store);
+                let coordinator = Arc::clone(&self.coordinator);
+                let timers = Arc::clone(&self.timers);
+                let node = self.node;
+                let timing = self.cfg.timing;
+                let report = &report;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    let mut seq = 0usize;
+                    while let Some(split) = coordinator.next_for(node) {
+                        // Wait for a free input buffer (interlock). The
+                        // pool closes if a downstream stage failed.
+                        let Ok(token) = in_token_rx.recv() else { break };
+                        let t0 = Instant::now();
+                        let (block, sample) = store.read_split(&split, node)?;
+                        let records = parse_block(&block)?;
+                        let wall = t0.elapsed();
+                        let modeled = match timing {
+                            TimingMode::Wall => wall,
+                            TimingMode::Modeled => wall + sample.modeled,
+                        };
+                        timers.add(StageId::Input, seq, wall, modeled);
+                        {
+                            let mut r = report.lock();
+                            r.splits += 1;
+                            r.records_in += records.len();
+                            if split.is_local_to(node) {
+                                r.local_splits += 1;
+                            }
+                        }
+                        if input_tx
+                            .send(InputChunk {
+                                seq,
+                                block,
+                                records,
+                                token,
+                            })
+                            .is_err()
+                        {
+                            break; // downstream stage gone
+                        }
+                        seq += 1;
+                    }
+                    drop(input_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 2: Stage (H2D) ----------------
+            let stage_handle = {
+                let device = Arc::clone(&self.device);
+                let timers = Arc::clone(&self.timers);
+                let timing = self.cfg.timing;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(mut chunk) = input_rx.recv() {
+                        if let Some(buf) = chunk.token.device_buf.as_mut() {
+                            let t0 = Instant::now();
+                            let stats = device.stage(&chunk.block, buf)?;
+                            let wall = t0.elapsed();
+                            let modeled = match timing {
+                                TimingMode::Wall => wall,
+                                TimingMode::Modeled => stats.modeled,
+                            };
+                            timers.add(StageId::Stage, chunk.seq, wall, modeled);
+                        }
+                        if staged_tx
+                            .send(StagedChunk {
+                                seq: chunk.seq,
+                                block: chunk.block,
+                                records: chunk.records,
+                                token: chunk.token,
+                            })
+                            .is_err()
+                        {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(staged_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 3: Kernel ----------------
+            let kernel_handle = {
+                let device = Arc::clone(&self.device);
+                let app = Arc::clone(&self.app);
+                let timers = Arc::clone(&self.timers);
+                let cfg = self.cfg;
+                let tasks_retried = &tasks_retried;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(chunk) = staged_rx.recv() {
+                        // Wait for a free output buffer (interlock).
+                        let Ok(mut collector) = out_pool_rx.recv() else {
+                            break;
+                        };
+                        let n_records = chunk.records.len();
+                        let bytes: &[u8] = match &chunk.token.device_buf {
+                            Some(buf) => buf.bytes(),
+                            None => &chunk.block,
+                        };
+                        let work_items = cfg.map_work_items.min(n_records.max(1));
+                        let range = NdRange::new(work_items, cfg.work_group.min(work_items))
+                            .map_err(EngineError::Device)?;
+                        // Task execution with §III-E re-execution: a failed
+                        // task's partial output is discarded (collector
+                        // reset) and the chunk is re-executed.
+                        let mut attempt = 0usize;
+                        let stats = loop {
+                            let records = &chunk.records;
+                            let emit_target: &dyn Collector = collector.as_ref();
+                            let app = &app;
+                            let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                                let emit = Emit::new(emit_target);
+                                let (lo, hi) = ctx.my_items(n_records);
+                                for r in &records[lo..hi] {
+                                    let key =
+                                        &bytes[r.koff as usize..(r.koff + r.klen) as usize];
+                                    let value =
+                                        &bytes[r.voff as usize..(r.voff + r.vlen) as usize];
+                                    app.map(key, value, &emit);
+                                }
+                            });
+                            let launched = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| device.launch(range, &kernel)),
+                            );
+                            match launched {
+                                Ok(stats) => break stats,
+                                Err(_) if attempt < cfg.max_task_retries => {
+                                    attempt += 1;
+                                    tasks_retried.fetch_add(1, Ordering::Relaxed);
+                                    collector.reset();
+                                }
+                                Err(_) => {
+                                    return Err(EngineError::TaskFailed(format!(
+                                        "map task for chunk {} failed after {} attempt(s)",
+                                        chunk.seq,
+                                        attempt + 1
+                                    )));
+                                }
+                            }
+                        };
+                        let modeled = match cfg.timing {
+                            TimingMode::Wall => stats.wall,
+                            TimingMode::Modeled => stats.modeled,
+                        };
+                        timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
+                        // Kernel is done with the input buffer: recycle it.
+                        let _ = in_token_tx.send(chunk.token);
+                        if kernel_tx
+                            .send(KernelOut {
+                                seq: chunk.seq,
+                                collector,
+                            })
+                            .is_err()
+                        {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(kernel_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 4: Retrieve (D2H) ----------------
+            let retrieve_handle = {
+                let device = Arc::clone(&self.device);
+                let timers = Arc::clone(&self.timers);
+                let timing = self.cfg.timing;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(out) = kernel_rx.recv() {
+                        if !device.unified_memory() {
+                            // Kernel output lives in host memory already (we
+                            // execute on host threads); charge the modeled
+                            // PCIe retrieval of the collector's bytes.
+                            let t0 = Instant::now();
+                            let bytes = out.collector.bytes();
+                            let wall = t0.elapsed();
+                            let modeled = match timing {
+                                TimingMode::Wall => wall,
+                                TimingMode::Modeled => {
+                                    device.profile().transfer_time(bytes, false)
+                                }
+                            };
+                            timers.add(StageId::Retrieve, out.seq, wall, modeled);
+                        }
+                        if retrieved_tx.send(out).is_err() {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(retrieved_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 5: Partition ----------------
+            let partition_handle = {
+                let app = Arc::clone(&self.app);
+                let endpoint = Arc::clone(&self.endpoint);
+                let intermediate = Arc::clone(&self.intermediate);
+                let timers = Arc::clone(&self.timers);
+                let cfg = self.cfg;
+                let node = self.node;
+                let nodes = self.nodes;
+                let pool = &partition_pool;
+                let records_out = &records_out;
+                let runs_remote = &runs_remote;
+                let runs_local = &runs_local;
+                let durability_dir = self.durability_dir.clone();
+                scope.spawn(move || -> Result<(), EngineError> {
+                    let n_lanes = cfg.partition_threads;
+                    let mut durability_seq = 0usize;
+                    while let Ok(mut out) = retrieved_rx.recv() {
+                        let t0 = Instant::now();
+                        // Scope the kernel so its borrow of the collector
+                        // ends before the collector is reset and recycled.
+                        {
+                        let collector: &dyn Collector = out.collector.as_ref();
+                        let app = &app;
+                        let endpoint = &endpoint;
+                        let intermediate = &intermediate;
+                        let durability_dir = &durability_dir;
+                        let dseq = durability_seq;
+                        let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                            let lane = ctx.global_id();
+                            // Decode this lane's share and bucket by global
+                            // partition.
+                            let mut builders: Vec<RunBuilder> =
+                                (0..total_partitions).map(|_| RunBuilder::new()).collect();
+                            collector.for_each_part(lane, n_lanes, &mut |k, v| {
+                                let gp = app.partition(k, total_partitions);
+                                builders[gp as usize].push(k, v);
+                            });
+                            for (gp, builder) in builders.into_iter().enumerate() {
+                                if builder.is_empty() {
+                                    continue;
+                                }
+                                let run = builder.build();
+                                records_out.fetch_add(run.records(), Ordering::Relaxed);
+                                // Durability copy (paper §III-E): map output
+                                // is stored persistently on local disk.
+                                if let Some(dir) = durability_dir {
+                                    let path = dir.join(format!(
+                                        "map-{node}-c{dseq}-l{lane}-p{gp}.gw"
+                                    ));
+                                    std::fs::write(path, run.bytes())
+                                        .expect("durability write failed");
+                                }
+                                let owner = partition_owner(gp as u32, nodes);
+                                let lp = local_partition(gp as u32, nodes);
+                                if owner == node.0 {
+                                    runs_local.fetch_add(1, Ordering::Relaxed);
+                                    intermediate.add_run(lp, run);
+                                } else {
+                                    runs_remote.fetch_add(1, Ordering::Relaxed);
+                                    let records = run.records();
+                                    let bytes = run.into_bytes();
+                                    let msg = ShuffleMsg::Partition {
+                                        partition: lp,
+                                        bytes,
+                                        records,
+                                    };
+                                    let wire = msg.wire_bytes();
+                                    endpoint.send(NodeId(owner), msg, wire);
+                                }
+                            }
+                        });
+                        pool.run(
+                            NdRange::new(n_lanes, 1).map_err(EngineError::Device)?,
+                            &kernel,
+                        );
+                        }
+                        durability_seq += 1;
+                        let wall = t0.elapsed();
+                        timers.add(StageId::Partition, out.seq, wall, wall);
+                        out.collector.reset();
+                        let _ = out_pool_tx.send(out.collector);
+                    }
+                    Ok(())
+                })
+            };
+
+            let results = [
+                input_handle.join().expect("input stage panicked"),
+                stage_handle.join().expect("stage stage panicked"),
+                kernel_handle.join().expect("kernel stage panicked"),
+                retrieve_handle.join().expect("retrieve stage panicked"),
+                partition_handle.join().expect("partition stage panicked"),
+            ];
+            results.into_iter().collect::<Result<(), EngineError>>()
+        });
+
+        // Broadcast end-of-map to every peer — even on failure, so a dead
+        // node cannot hang the rest of the cluster in the merge phase.
+        for peer in 0..self.nodes {
+            if peer != self.node.0 {
+                self.endpoint.send(NodeId(peer), ShuffleMsg::MapDone, 8);
+            }
+        }
+        scope_result?;
+
+        let mut r = report.into_inner();
+        r.records_out = records_out.load(Ordering::Relaxed);
+        r.runs_remote = runs_remote.load(Ordering::Relaxed);
+        r.runs_local = runs_local.load(Ordering::Relaxed);
+        r.tasks_retried = tasks_retried.load(Ordering::Relaxed);
+        r.elapsed = start.elapsed();
+        Ok(r)
+    }
+}
+
+/// Tiny Mutex wrapper so the closure-heavy code above reads cleanly.
+struct Mutexed<T>(parking_lot::Mutex<T>);
+
+impl<T> Mutexed<T> {
+    fn new(v: T) -> Self {
+        Mutexed(parking_lot::Mutex::new(v))
+    }
+    fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.0.lock()
+    }
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}

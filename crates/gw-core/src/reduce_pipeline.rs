@@ -1,0 +1,585 @@
+//! The 5-stage reduce pipeline (paper §III-C).
+//!
+//! ```text
+//! MergeRead → Stage → Kernel → Retrieve → Output
+//! ```
+//!
+//! The first stage "performs one last merge operation and supplies the
+//! pipeline with a consistent view of the intermediate data": a k-way
+//! merge over the partition's cached and spilled runs, grouped by key.
+//!
+//! Reduce-side fine-grained parallelism, exactly as the paper describes:
+//!
+//! * the pipeline "is capable of processing multiple keys concurrently" —
+//!   each kernel launch carries up to `reduce_concurrent_keys` keys;
+//! * "Glasswing provides the possibility to have each reduce kernel thread
+//!   process multiple keys sequentially" (`reduce_keys_per_thread`) to
+//!   amortise kernel-invocation overhead (Fig. 5);
+//! * "If the number of values to be reduced for one key is too large for
+//!   one kernel invocation, some state must be saved across kernel calls.
+//!   Glasswing provides scratch buffers for each key to store such state"
+//!   — value lists longer than `reduce_max_values_per_chunk` span several
+//!   chunks, with a per-key scratch buffer carried between invocations.
+//!
+//! Jobs without a reduce function (TeraSort) bypass the kernel: the merged,
+//! sorted intermediate stream is written directly — "its output is fully
+//! processed by the end of the intermediate data shuffle".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+
+use gw_device::{Device, KernelFn, NdRange, WorkItemCtx};
+use gw_intermediate::{GroupedMerge, IntermediateStore, MergeIter};
+use gw_storage::split::{FileStore, RecordBlockBuilder};
+use gw_storage::NodeId;
+
+use crate::api::{Emit, GwApp};
+use crate::collect::{for_each_record, BufferPoolCollector, Collector};
+use crate::config::{JobConfig, TimingMode};
+use crate::hash::global_partition;
+use crate::timers::{StageId, StageTimers};
+use crate::EngineError;
+
+/// One key's slice of values within a reduce chunk.
+struct Group<'r> {
+    key: &'r [u8],
+    values: Vec<&'r [u8]>,
+    /// Whether this is the key's final value chunk.
+    last: bool,
+}
+
+/// One work-item assignment: `part` of `parts` cooperating on a group
+/// (parts > 1 = the paper's parallel single-key reduction).
+#[derive(Debug, Clone, Copy)]
+struct Assignment {
+    group: usize,
+    part: usize,
+    parts: usize,
+}
+
+/// A batch of up to `reduce_concurrent_keys` groups.
+struct ReduceChunk<'r> {
+    seq: usize,
+    groups: Vec<Group<'r>>,
+    assignments: Vec<Assignment>,
+    bytes: usize,
+}
+
+/// Kernel output en route to the writer.
+struct ReduceOut {
+    seq: usize,
+    collector: Box<dyn Collector>,
+}
+
+/// Outcome of a node's reduce phase.
+#[derive(Debug, Clone, Default)]
+pub struct ReducePhaseReport {
+    /// Local partitions reduced.
+    pub partitions: usize,
+    /// Distinct keys processed.
+    pub keys: usize,
+    /// Output records written.
+    pub records_out: usize,
+    /// Kernel launches performed.
+    pub launches: usize,
+    /// Key-chunks reduced cooperatively by multiple work items (the
+    /// paper's parallel single-key reduction).
+    pub parallel_key_splits: usize,
+    /// Output files written (paths).
+    pub output_files: Vec<String>,
+    /// Wall-clock duration of the phase.
+    pub elapsed: Duration,
+}
+
+/// Everything a node needs to run its reduce phase.
+pub struct ReducePhase<'a> {
+    /// Job configuration.
+    pub cfg: &'a JobConfig,
+    /// This node.
+    pub node: NodeId,
+    /// Cluster size.
+    pub nodes: u32,
+    /// The application.
+    pub app: Arc<dyn GwApp>,
+    /// The node's compute device.
+    pub device: Arc<Device>,
+    /// Output storage.
+    pub store: Arc<dyn FileStore>,
+    /// The node's intermediate store (post merge phase).
+    pub intermediate: Arc<IntermediateStore>,
+    /// Stage timers to fill.
+    pub timers: Arc<StageTimers>,
+}
+
+impl ReducePhase<'_> {
+    /// Run reduction over every local partition.
+    pub fn run(self) -> Result<ReducePhaseReport, EngineError> {
+        let start = Instant::now();
+        let mut report = ReducePhaseReport::default();
+        let mut chunk_seq = 0usize;
+        for lp in 0..self.cfg.partitions_per_node {
+            let gp = global_partition(self.node.0, lp, self.nodes);
+            let path = format!("{}/part-r-{gp:05}", self.cfg.output);
+            let runs = self.intermediate.partition_runs(lp);
+            report.partitions += 1;
+            if self.app.has_reduce() {
+                self.reduce_partition(&runs, &path, &mut report, &mut chunk_seq)?;
+            } else {
+                self.passthrough_partition(&runs, &path, &mut report, &mut chunk_seq)?;
+            }
+            report.output_files.push(path);
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    /// Shuffle-only job: write the merged sorted stream directly.
+    fn passthrough_partition(
+        &self,
+        runs: &[gw_intermediate::Run],
+        path: &str,
+        report: &mut ReducePhaseReport,
+        chunk_seq: &mut usize,
+    ) -> Result<(), EngineError> {
+        let t0 = Instant::now();
+        let mut builder = RecordBlockBuilder::new(self.cfg.output_block_size);
+        let mut records = 0usize;
+        for (k, v) in MergeIter::new(runs.iter()) {
+            builder.append(k, v);
+            records += 1;
+        }
+        let merge_wall = t0.elapsed();
+        self.timers
+            .add(StageId::Input, *chunk_seq, merge_wall, merge_wall);
+        let t1 = Instant::now();
+        let sample = self
+            .store
+            .write_blocks(path, self.node, builder.finish(), self.cfg.output_replication)?;
+        let write_wall = t1.elapsed();
+        let write_modeled = match self.cfg.timing {
+            TimingMode::Wall => write_wall,
+            TimingMode::Modeled => write_wall + sample.modeled,
+        };
+        self.timers
+            .add(StageId::Partition, *chunk_seq, write_wall, write_modeled);
+        *chunk_seq += 1;
+        report.records_out += records;
+        report.keys += records;
+        Ok(())
+    }
+
+    /// Full 5-stage pipelined reduction of one partition.
+    fn reduce_partition<'r>(
+        &self,
+        runs: &'r [gw_intermediate::Run],
+        path: &str,
+        report: &mut ReducePhaseReport,
+        chunk_seq: &mut usize,
+    ) -> Result<(), EngineError> {
+        let cfg = self.cfg;
+        let b = cfg.buffering.depth();
+        let base_seq = *chunk_seq;
+        // Parallel single-key reduction is available only when the app
+        // declares an associative state merge (probed with empty states,
+        // which the contract requires to act as identities).
+        let threads_per_key = if cfg.reduce_threads_per_key > 1
+            && self.app.merge_states(&mut Vec::new(), &[])
+        {
+            cfg.reduce_threads_per_key
+        } else {
+            1
+        };
+
+        // Interlocks: B chunk tokens (input group), B collectors (output).
+        let (in_token_tx, in_token_rx) = bounded::<()>(b);
+        for _ in 0..b {
+            in_token_tx.send(()).expect("prime reduce tokens");
+        }
+        let (out_pool_tx, out_pool_rx) = bounded::<Box<dyn Collector>>(b);
+        for _ in 0..b {
+            out_pool_tx
+                .send(Box::new(BufferPoolCollector::new(
+                    cfg.collector_capacity,
+                    cfg.partition_threads.max(8),
+                )))
+                .expect("prime reduce collectors");
+        }
+
+        let (chunk_tx, chunk_rx) = bounded::<ReduceChunk<'r>>(1);
+        let (staged_tx, staged_rx) = bounded::<ReduceChunk<'r>>(1);
+        let (kernel_tx, kernel_rx) = bounded::<ReduceOut>(1);
+        let (retrieved_tx, retrieved_rx) = bounded::<ReduceOut>(1);
+
+        // Per-key scratch state persisting across kernel invocations
+        // (device-resident in real Glasswing; keyed map here). Keys within
+        // a chunk are distinct and chunks flow FIFO through the single
+        // kernel stage, so per-key access is serialized.
+        let scratch: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
+
+        let keys_seen = AtomicUsize::new(0);
+        let launches = AtomicUsize::new(0);
+        let records_out = AtomicUsize::new(0);
+        let parallel_splits = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| -> Result<(), EngineError> {
+            // ---------------- Stage 1: MergeRead ----------------
+            let merge_handle = {
+                let timers = Arc::clone(&self.timers);
+                let keys_seen = &keys_seen;
+                scope.spawn(move || -> Result<usize, EngineError> {
+                    let mut seq = base_seq;
+                    let mut groups: Vec<Group<'r>> = Vec::new();
+                    let mut assignments: Vec<Assignment> = Vec::new();
+                    let mut bytes = 0usize;
+                    let mut build_started = Instant::now();
+                    let flush =
+                        |groups: &mut Vec<Group<'r>>,
+                         assignments: &mut Vec<Assignment>,
+                         bytes: &mut usize,
+                         seq: &mut usize,
+                         build_started: &mut Instant|
+                         -> Result<(), EngineError> {
+                        if groups.is_empty() {
+                            return Ok(());
+                        }
+                        let wall = build_started.elapsed();
+                        timers.add(StageId::Input, *seq, wall, wall);
+                        if in_token_rx.recv().is_err() {
+                            return Err(EngineError::TaskFailed(
+                                "reduce pipeline stage failed".into(),
+                            ));
+                        }
+                        if chunk_tx
+                            .send(ReduceChunk {
+                                seq: *seq,
+                                groups: std::mem::take(groups),
+                                assignments: std::mem::take(assignments),
+                                bytes: std::mem::take(bytes),
+                            })
+                            .is_err()
+                        {
+                            // Downstream stage failed; surface its error.
+                            return Err(EngineError::TaskFailed(
+                                "reduce pipeline stage failed".into(),
+                            ));
+                        }
+                        *seq += 1;
+                        *build_started = Instant::now();
+                        Ok(())
+                    };
+                    for (key, values) in GroupedMerge::new(runs.iter()) {
+                        keys_seen.fetch_add(1, Ordering::Relaxed);
+                        let mut idx = 0usize;
+                        while idx < values.len() {
+                            let end = (idx + cfg.reduce_max_values_per_chunk).min(values.len());
+                            let slice = values[idx..end].to_vec();
+                            bytes += key.len() + slice.iter().map(|v| v.len()).sum::<usize>();
+                            // Split large value chunks over cooperating
+                            // work items when the app supports it.
+                            let parts = if threads_per_key > 1 && slice.len() >= 2 * threads_per_key
+                            {
+                                threads_per_key
+                            } else {
+                                1
+                            };
+                            let g = groups.len();
+                            for part in 0..parts {
+                                assignments.push(Assignment { group: g, part, parts });
+                            }
+                            let last = end == values.len();
+                            groups.push(Group {
+                                key,
+                                values: slice,
+                                last,
+                            });
+                            idx = end;
+                            // A key's scratch state is only consistent
+                            // across *launches*: a continued (non-final)
+                            // slice must close this chunk so its successor
+                            // lands in a later launch (otherwise two work
+                            // items could race on the key's state). Also
+                            // flush when the chunk is full.
+                            if !last || groups.len() >= cfg.reduce_concurrent_keys {
+                                flush(
+                                    &mut groups,
+                                    &mut assignments,
+                                    &mut bytes,
+                                    &mut seq,
+                                    &mut build_started,
+                                )?;
+                            }
+                        }
+                    }
+                    flush(
+                        &mut groups,
+                        &mut assignments,
+                        &mut bytes,
+                        &mut seq,
+                        &mut build_started,
+                    )?;
+                    // `chunk_tx` drops with this thread, closing the channel.
+                    Ok(seq)
+                })
+            };
+
+            // ---------------- Stage 2: Stage (H2D) ----------------
+            let stage_handle = {
+                let device = Arc::clone(&self.device);
+                let timers = Arc::clone(&self.timers);
+                let timing = cfg.timing;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(chunk) = chunk_rx.recv() {
+                        if !device.unified_memory() {
+                            let t0 = Instant::now();
+                            let wall = t0.elapsed();
+                            let modeled = match timing {
+                                TimingMode::Wall => wall,
+                                TimingMode::Modeled => {
+                                    device.profile().transfer_time(chunk.bytes, true)
+                                }
+                            };
+                            timers.add(StageId::Stage, chunk.seq, wall, modeled);
+                        }
+                        if staged_tx.send(chunk).is_err() {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(staged_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 3: Kernel ----------------
+            let kernel_handle = {
+                let device = Arc::clone(&self.device);
+                let app = Arc::clone(&self.app);
+                let timers = Arc::clone(&self.timers);
+                let scratch = &scratch;
+                let launches = &launches;
+                let parallel_splits = &parallel_splits;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(chunk) = staged_rx.recv() {
+                        let Ok(collector) = out_pool_rx.recv() else { break };
+                        {
+                            let emit_target: &dyn Collector = collector.as_ref();
+                            let groups = &chunk.groups;
+                            let assignments = &chunk.assignments;
+                            let kpt = cfg.reduce_keys_per_thread;
+                            let n_items = assignments.len().div_ceil(kpt);
+                            let app = &app;
+                            // Per-(group, part) partial states for groups
+                            // reduced cooperatively.
+                            let partials: Vec<Mutex<Vec<Option<Vec<u8>>>>> = groups
+                                .iter()
+                                .map(|_| Mutex::new(Vec::new()))
+                                .collect();
+                            for a in assignments {
+                                if a.parts > 1 {
+                                    let mut slot = partials[a.group].lock();
+                                    if slot.is_empty() {
+                                        slot.resize(a.parts, None);
+                                    }
+                                }
+                            }
+                            let partials = &partials;
+                            let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                                let emit = Emit::new(emit_target);
+                                let lo = ctx.global_id() * kpt;
+                                let hi = (lo + kpt).min(assignments.len());
+                                for a in &assignments[lo..hi] {
+                                    let group = &groups[a.group];
+                                    if a.parts == 1 {
+                                        // Fetch the key's scratch state (if
+                                        // any earlier chunk left one).
+                                        let mut state = scratch
+                                            .lock()
+                                            .remove(group.key)
+                                            .unwrap_or_default();
+                                        app.reduce(
+                                            group.key,
+                                            &group.values,
+                                            &mut state,
+                                            group.last,
+                                            &emit,
+                                        );
+                                        if !group.last {
+                                            scratch.lock().insert(group.key.to_vec(), state);
+                                        }
+                                    } else {
+                                        // Cooperative partial reduction over
+                                        // this part's slice of the values;
+                                        // merging and the final emit happen
+                                        // after the launch.
+                                        let n = group.values.len();
+                                        let lo_v = a.part * n / a.parts;
+                                        let hi_v = (a.part + 1) * n / a.parts;
+                                        let mut state = if a.part == 0 {
+                                            scratch
+                                                .lock()
+                                                .remove(group.key)
+                                                .unwrap_or_default()
+                                        } else {
+                                            Vec::new()
+                                        };
+                                        app.reduce(
+                                            group.key,
+                                            &group.values[lo_v..hi_v],
+                                            &mut state,
+                                            false,
+                                            &emit,
+                                        );
+                                        partials[a.group].lock()[a.part] = Some(state);
+                                    }
+                                }
+                            });
+                            let range = NdRange::new(
+                                n_items.max(1),
+                                cfg.work_group.min(n_items.max(1)),
+                            )
+                            .map_err(EngineError::Device)?;
+                            // Reduce failures are not re-executed (scratch
+                            // state may have been consumed); they fail the
+                            // job cleanly instead of tearing down threads.
+                            let stats = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| device.launch(range, &kernel)),
+                            )
+                            .map_err(|_| {
+                                EngineError::TaskFailed(format!(
+                                    "reduce kernel for chunk {} panicked",
+                                    chunk.seq
+                                ))
+                            })?;
+                            launches.fetch_add(1, Ordering::Relaxed);
+                            // Merge cooperative partial states and finish
+                            // each parallel group with one last=true call.
+                            let emit = Emit::new(emit_target);
+                            for (g, slots) in partials.iter().enumerate() {
+                                let mut slots = slots.lock();
+                                if slots.is_empty() {
+                                    continue;
+                                }
+                                parallel_splits.fetch_add(1, Ordering::Relaxed);
+                                let group = &groups[g];
+                                let mut acc = slots[0].take().expect("part 0 state");
+                                for slot in slots.iter_mut().skip(1) {
+                                    let other = slot.take().expect("partial state");
+                                    let merged = app.merge_states(&mut acc, &other);
+                                    debug_assert!(merged, "merge support changed mid-job");
+                                }
+                                if group.last {
+                                    app.reduce(group.key, &[], &mut acc, true, &emit);
+                                } else {
+                                    scratch.lock().insert(group.key.to_vec(), acc);
+                                }
+                            }
+                            let modeled = match cfg.timing {
+                                TimingMode::Wall => stats.wall,
+                                TimingMode::Modeled => stats.modeled,
+                            };
+                            timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
+                        }
+                        // Kernel done with the chunk: release its token.
+                        let _ = in_token_tx.send(());
+                        if kernel_tx
+                            .send(ReduceOut {
+                                seq: chunk.seq,
+                                collector,
+                            })
+                            .is_err()
+                        {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(kernel_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 4: Retrieve (D2H) ----------------
+            let retrieve_handle = {
+                let device = Arc::clone(&self.device);
+                let timers = Arc::clone(&self.timers);
+                let timing = cfg.timing;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    while let Ok(out) = kernel_rx.recv() {
+                        if !device.unified_memory() {
+                            let t0 = Instant::now();
+                            let bytes = out.collector.bytes();
+                            let wall = t0.elapsed();
+                            let modeled = match timing {
+                                TimingMode::Wall => wall,
+                                TimingMode::Modeled => {
+                                    device.profile().transfer_time(bytes, false)
+                                }
+                            };
+                            timers.add(StageId::Retrieve, out.seq, wall, modeled);
+                        }
+                        if retrieved_tx.send(out).is_err() {
+                            break; // downstream stage gone
+                        }
+                    }
+                    drop(retrieved_tx);
+                    Ok(())
+                })
+            };
+
+            // ---------------- Stage 5: Output ----------------
+            let output_handle = {
+                let store = Arc::clone(&self.store);
+                let timers = Arc::clone(&self.timers);
+                let node = self.node;
+                let records_out = &records_out;
+                scope.spawn(move || -> Result<(), EngineError> {
+                    let mut builder = RecordBlockBuilder::new(cfg.output_block_size);
+                    let mut last_seq = base_seq;
+                    while let Ok(mut out) = retrieved_rx.recv() {
+                        let t0 = Instant::now();
+                        for_each_record(out.collector.as_ref(), &mut |k, v| {
+                            builder.append(k, v);
+                            records_out.fetch_add(1, Ordering::Relaxed);
+                        });
+                        let wall = t0.elapsed();
+                        timers.add(StageId::Partition, out.seq, wall, wall);
+                        last_seq = out.seq;
+                        out.collector.reset();
+                        let _ = out_pool_tx.send(out.collector);
+                    }
+                    // Final write of the partition's output file.
+                    let t1 = Instant::now();
+                    let sample =
+                        store.write_blocks(path, node, builder.finish(), cfg.output_replication)?;
+                    let wall = t1.elapsed();
+                    let modeled = match cfg.timing {
+                        TimingMode::Wall => wall,
+                        TimingMode::Modeled => wall + sample.modeled,
+                    };
+                    timers.add(StageId::Partition, last_seq, wall, modeled);
+                    Ok(())
+                })
+            };
+
+            let final_seq = merge_handle.join().expect("merge-read stage panicked")?;
+            stage_handle.join().expect("stage stage panicked")?;
+            kernel_handle.join().expect("kernel stage panicked")?;
+            retrieve_handle.join().expect("retrieve stage panicked")?;
+            output_handle.join().expect("output stage panicked")?;
+            *chunk_seq = final_seq.max(base_seq + 1);
+            Ok(())
+        })?;
+
+        debug_assert!(
+            scratch.into_inner().is_empty(),
+            "scratch states must all be consumed by their final chunk"
+        );
+        report.keys += keys_seen.load(Ordering::Relaxed);
+        report.launches += launches.load(Ordering::Relaxed);
+        report.records_out += records_out.load(Ordering::Relaxed);
+        report.parallel_key_splits += parallel_splits.load(Ordering::Relaxed);
+        Ok(())
+    }
+}

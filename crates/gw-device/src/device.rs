@@ -1,0 +1,303 @@
+//! The [`Device`] object: a compute device with its worker pool, memory
+//! accounting, and transfer engines.
+//!
+//! This is the Glasswing middleware's view of an OpenCL device. The map and
+//! reduce pipelines call [`Device::stage`] / [`Device::retrieve`] from their
+//! Stage/Retrieve stages (disabled for unified memory) and
+//! [`Device::launch`] from their Kernel stage. Every operation returns both
+//! the *wall* duration (host execution) and the *modeled* duration (what
+//! the profiled device would have taken), so instrumented experiments can
+//! report either.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::buffer::DeviceBuffer;
+use crate::kernel::Kernel;
+use crate::ndrange::NdRange;
+use crate::pool::WorkerPool;
+use crate::profile::DeviceProfile;
+use crate::DeviceError;
+
+/// Timing result of one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchStats {
+    /// Measured host-pool execution time.
+    pub wall: Duration,
+    /// Modeled device execution time (profile-transformed).
+    pub modeled: Duration,
+    /// Work items executed.
+    pub work_items: usize,
+}
+
+/// Timing result of one stage/retrieve transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferStats {
+    /// Measured host copy time (zero for unified memory — no copy happens).
+    pub wall: Duration,
+    /// Modeled PCIe transfer time.
+    pub modeled: Duration,
+    /// Bytes moved.
+    pub bytes: usize,
+}
+
+/// Cumulative device counters, useful for experiment reports.
+#[derive(Debug, Default)]
+pub struct DeviceCounters {
+    launches: AtomicUsize,
+    work_items: AtomicUsize,
+    bytes_h2d: AtomicUsize,
+    bytes_d2h: AtomicUsize,
+    kernel_wall_nanos: AtomicU64,
+}
+
+/// Snapshot of [`DeviceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCountersSnapshot {
+    /// Number of kernel launches.
+    pub launches: usize,
+    /// Total work items executed.
+    pub work_items: usize,
+    /// Total bytes staged host→device.
+    pub bytes_h2d: usize,
+    /// Total bytes retrieved device→host.
+    pub bytes_d2h: usize,
+    /// Total wall time spent inside kernel launches.
+    pub kernel_wall: Duration,
+}
+
+/// A compute device: profile + worker pool + memory accounting.
+pub struct Device {
+    profile: DeviceProfile,
+    pool: WorkerPool,
+    allocated: AtomicUsize,
+    counters: DeviceCounters,
+}
+
+impl Device {
+    /// Open a device described by `profile`, with a worker pool sized to
+    /// the host (at most `profile.compute_units` threads).
+    pub fn open(profile: DeviceProfile) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let threads = profile.compute_units.min(host);
+        Self::open_with_threads(profile, threads)
+    }
+
+    /// Open a device with an explicit pool size. Pool size controls *real*
+    /// parallelism; the profile controls *modeled* timing.
+    pub fn open_with_threads(profile: DeviceProfile, threads: usize) -> Self {
+        // The calling thread participates in launches, so spawn one fewer.
+        let background = threads.saturating_sub(1);
+        Device {
+            profile,
+            pool: WorkerPool::new(background),
+            allocated: AtomicUsize::new(0),
+            counters: DeviceCounters::default(),
+        }
+    }
+
+    /// The device's profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Whether Stage/Retrieve are no-ops for this device.
+    pub fn unified_memory(&self) -> bool {
+        self.profile.unified_memory
+    }
+
+    /// Execution lanes available during a launch (pool + caller).
+    pub fn parallelism(&self) -> usize {
+        self.pool.threads() + 1
+    }
+
+    /// Allocate a device buffer, enforcing the modeled memory capacity.
+    pub fn alloc(&self, bytes: usize) -> Result<DeviceBuffer, DeviceError> {
+        let mut cur = self.allocated.load(Ordering::Relaxed);
+        loop {
+            let available = self.profile.mem_capacity.saturating_sub(cur);
+            if bytes > available {
+                return Err(DeviceError::OutOfDeviceMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+            match self.allocated.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(DeviceBuffer::with_capacity(bytes)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release a buffer's device memory accounting.
+    pub fn free(&self, buf: DeviceBuffer) {
+        self.allocated.fetch_sub(buf.capacity(), Ordering::Relaxed);
+        drop(buf);
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Stage host memory into a device buffer (the pipeline's second stage).
+    ///
+    /// For unified-memory devices this performs no copy and reports zero
+    /// modeled time; callers should skip the stage entirely, but calling it
+    /// is harmless and still fills the buffer for uniformity.
+    pub fn stage(&self, host: &[u8], dev: &mut DeviceBuffer) -> Result<TransferStats, DeviceError> {
+        if host.len() > dev.capacity() {
+            return Err(DeviceError::TransferSizeMismatch {
+                src: host.len(),
+                dst: dev.capacity(),
+            });
+        }
+        let start = Instant::now();
+        dev.fill_from(host);
+        let wall = start.elapsed();
+        self.counters
+            .bytes_h2d
+            .fetch_add(host.len(), Ordering::Relaxed);
+        Ok(TransferStats {
+            wall,
+            modeled: self.profile.transfer_time(host.len(), true),
+            bytes: host.len(),
+        })
+    }
+
+    /// Retrieve a device buffer into host memory (the fourth stage).
+    pub fn retrieve(
+        &self,
+        dev: &DeviceBuffer,
+        host: &mut Vec<u8>,
+    ) -> Result<TransferStats, DeviceError> {
+        let start = Instant::now();
+        host.clear();
+        host.extend_from_slice(dev.bytes());
+        let wall = start.elapsed();
+        self.counters
+            .bytes_d2h
+            .fetch_add(dev.len(), Ordering::Relaxed);
+        Ok(TransferStats {
+            wall,
+            modeled: self.profile.transfer_time(dev.len(), false),
+            bytes: dev.len(),
+        })
+    }
+
+    /// Launch a kernel over `range`, blocking until completion.
+    pub fn launch(&self, range: NdRange, kernel: &dyn Kernel) -> LaunchStats {
+        let start = Instant::now();
+        self.pool.run(range, kernel);
+        let wall = start.elapsed();
+        self.counters.launches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .work_items
+            .fetch_add(range.global_size, Ordering::Relaxed);
+        self.counters
+            .kernel_wall_nanos
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        LaunchStats {
+            wall,
+            modeled: self.profile.model_kernel_time(wall),
+            work_items: range.global_size,
+        }
+    }
+
+    /// Snapshot of cumulative counters.
+    pub fn counters(&self) -> DeviceCountersSnapshot {
+        DeviceCountersSnapshot {
+            launches: self.counters.launches.load(Ordering::Relaxed),
+            work_items: self.counters.work_items.load(Ordering::Relaxed),
+            bytes_h2d: self.counters.bytes_h2d.load(Ordering::Relaxed),
+            bytes_d2h: self.counters.bytes_d2h.load(Ordering::Relaxed),
+            kernel_wall: Duration::from_nanos(
+                self.counters.kernel_wall_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelFn, WorkItemCtx};
+    use std::sync::atomic::AtomicUsize;
+
+    fn tiny_gpu() -> Device {
+        let mut profile = DeviceProfile::gtx480();
+        profile.mem_capacity = 1024;
+        Device::open_with_threads(profile, 2)
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let dev = tiny_gpu();
+        let a = dev.alloc(600).unwrap();
+        let err = dev.alloc(600).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+        dev.free(a);
+        let _b = dev.alloc(600).unwrap();
+    }
+
+    #[test]
+    fn stage_retrieve_roundtrip() {
+        let dev = tiny_gpu();
+        let mut buf = dev.alloc(128).unwrap();
+        let payload: Vec<u8> = (0..100u8).collect();
+        let s = dev.stage(&payload, &mut buf).unwrap();
+        assert_eq!(s.bytes, 100);
+        assert!(s.modeled > Duration::ZERO, "discrete device models transfer time");
+        let mut back = Vec::new();
+        let r = dev.retrieve(&buf, &mut back).unwrap();
+        assert_eq!(r.bytes, 100);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn stage_too_large_fails() {
+        let dev = tiny_gpu();
+        let mut buf = dev.alloc(16).unwrap();
+        let err = dev.stage(&[0u8; 32], &mut buf).unwrap_err();
+        assert!(matches!(err, DeviceError::TransferSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn unified_memory_models_zero_transfer() {
+        let dev = Device::open_with_threads(DeviceProfile::host(), 1);
+        assert!(dev.unified_memory());
+        let mut buf = dev.alloc(64).unwrap();
+        let s = dev.stage(&[1, 2, 3], &mut buf).unwrap();
+        assert_eq!(s.modeled, Duration::ZERO);
+    }
+
+    #[test]
+    fn launch_counts_work_items() {
+        let dev = tiny_gpu();
+        let hits = AtomicUsize::new(0);
+        let k = KernelFn(|_: &WorkItemCtx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        let stats = dev.launch(NdRange::new(500, 32).unwrap(), &k);
+        assert_eq!(stats.work_items, 500);
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+        let c = dev.counters();
+        assert_eq!(c.launches, 1);
+        assert_eq!(c.work_items, 500);
+    }
+
+    #[test]
+    fn modeled_kernel_time_includes_launch_overhead() {
+        let dev = tiny_gpu();
+        let k = KernelFn(|_: &WorkItemCtx| {});
+        let stats = dev.launch(NdRange::new(1, 1).unwrap(), &k);
+        assert!(stats.modeled >= dev.profile().launch_overhead);
+    }
+}

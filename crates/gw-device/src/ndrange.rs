@@ -1,0 +1,134 @@
+//! One-dimensional NDRange descriptions, mirroring OpenCL's
+//! `clEnqueueNDRangeKernel` geometry.
+//!
+//! Glasswing only uses 1-D ranges: each work item processes a contiguous
+//! slice of the records in the current input chunk (map) or a set of keys
+//! (reduce). The *work-group* is the unit the scheduler hands to a worker
+//! thread, just as a GPU hands thread blocks to SMs.
+
+use crate::DeviceError;
+
+/// A one-dimensional kernel launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Total number of work items.
+    pub global_size: usize,
+    /// Work items per work-group. The final group may be partial.
+    pub local_size: usize,
+}
+
+impl NdRange {
+    /// Create a range, validating the geometry.
+    pub fn new(global_size: usize, local_size: usize) -> Result<Self, DeviceError> {
+        if global_size == 0 {
+            return Err(DeviceError::InvalidNdRange(
+                "global_size must be nonzero".into(),
+            ));
+        }
+        if local_size == 0 {
+            return Err(DeviceError::InvalidNdRange(
+                "local_size must be nonzero".into(),
+            ));
+        }
+        Ok(NdRange {
+            global_size,
+            local_size,
+        })
+    }
+
+    /// A range with one work item per element and a default group size.
+    pub fn linear(global_size: usize) -> Result<Self, DeviceError> {
+        Self::new(global_size, global_size.clamp(1, 256))
+    }
+
+    /// Number of work-groups (ceiling division; the last may be partial).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.global_size.div_ceil(self.local_size)
+    }
+
+    /// The `[start, end)` global-id range covered by work-group `group`.
+    #[inline]
+    pub fn group_span(&self, group: usize) -> (usize, usize) {
+        let start = group * self.local_size;
+        let end = (start + self.local_size).min(self.global_size);
+        (start, end)
+    }
+}
+
+/// Split `n_items` data elements evenly over `n_workers` work items and
+/// return the `[start, end)` slice owned by `worker`.
+///
+/// This is the allocation-of-records-over-threads idiom the paper describes:
+/// "These compute kernels divide the available number of records between them
+/// and invoke the application-specific map function on each record."
+#[inline]
+pub fn partition_items(n_items: usize, n_workers: usize, worker: usize) -> (usize, usize) {
+    debug_assert!(worker < n_workers.max(1));
+    if n_workers == 0 {
+        return (0, n_items);
+    }
+    let base = n_items / n_workers;
+    let extra = n_items % n_workers;
+    // The first `extra` workers take one extra item each.
+    let start = worker * base + worker.min(extra);
+    let len = base + usize::from(worker < extra);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert!(NdRange::new(0, 1).is_err());
+        assert!(NdRange::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn group_count_rounds_up() {
+        let r = NdRange::new(10, 4).unwrap();
+        assert_eq!(r.num_groups(), 3);
+        assert_eq!(r.group_span(0), (0, 4));
+        assert_eq!(r.group_span(2), (8, 10));
+    }
+
+    #[test]
+    fn linear_caps_local_size() {
+        let r = NdRange::linear(10_000).unwrap();
+        assert_eq!(r.local_size, 256);
+        let r = NdRange::linear(5).unwrap();
+        assert_eq!(r.local_size, 5);
+    }
+
+    #[test]
+    fn partition_items_covers_everything_exactly_once() {
+        for n_items in [0usize, 1, 7, 64, 1000] {
+            for n_workers in [1usize, 2, 3, 8, 17] {
+                let mut covered = vec![0u8; n_items];
+                let mut prev_end = 0;
+                for w in 0..n_workers {
+                    let (s, e) = partition_items(n_items, n_workers, w);
+                    assert_eq!(s, prev_end, "ranges must be contiguous");
+                    prev_end = e;
+                    for it in covered.iter_mut().take(e).skip(s) {
+                        *it += 1;
+                    }
+                }
+                assert_eq!(prev_end, n_items);
+                assert!(covered.iter().all(|&c| c == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_items_is_balanced() {
+        let (s0, e0) = partition_items(10, 3, 0);
+        let (s1, e1) = partition_items(10, 3, 1);
+        let (s2, e2) = partition_items(10, 3, 2);
+        assert_eq!(e0 - s0, 4);
+        assert_eq!(e1 - s1, 3);
+        assert_eq!(e2 - s2, 3);
+    }
+}

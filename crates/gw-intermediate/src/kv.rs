@@ -1,0 +1,246 @@
+//! Sorted key/value runs — the unit of intermediate data.
+//!
+//! A [`Run`] is a byte buffer holding records `varint(klen) varint(vlen)
+//! key value`, sorted by `(key, value)`. Runs are produced by the map
+//! pipeline's partitioning stage (which sorts each chunk's output), cached,
+//! spilled, shipped between nodes, and finally k-way merged for reduction.
+//! Byte-wise key order is the job's sort order, as in Hadoop's raw
+//! comparator fast path.
+
+use gw_storage::varint;
+
+/// A sorted, serialized run of key/value records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Run {
+    bytes: Vec<u8>,
+    records: usize,
+}
+
+impl Run {
+    /// Wrap raw bytes known to be a valid, sorted record stream.
+    ///
+    /// Used when receiving runs from the network; validity is checked in
+    /// debug builds.
+    pub fn from_sorted_bytes(bytes: Vec<u8>, records: usize) -> Self {
+        let run = Run { bytes, records };
+        debug_assert!(run.check_sorted(), "run bytes are not sorted");
+        run
+    }
+
+    /// Serialized length in bytes.
+    #[inline]
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// `true` when the run has no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The raw serialized bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume into raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Iterate over `(key, value)` slices in sorted order.
+    pub fn iter(&self) -> RunIter<'_> {
+        RunIter { rest: &self.bytes }
+    }
+
+    /// Verify the sorted invariant (O(n), used in debug assertions/tests).
+    pub fn check_sorted(&self) -> bool {
+        let mut prev: Option<(&[u8], &[u8])> = None;
+        let mut count = 0usize;
+        for (k, v) in self.iter() {
+            if let Some((pk, pv)) = prev {
+                if (pk, pv) > (k, v) {
+                    return false;
+                }
+            }
+            prev = Some((k, v));
+            count += 1;
+        }
+        count == self.records
+    }
+}
+
+/// Borrowing iterator over a run's records.
+#[derive(Debug, Clone)]
+pub struct RunIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for RunIter<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let (klen, n1) = varint::read_len(self.rest).expect("corrupt run: key length");
+        let (vlen, n2) = varint::read_len(&self.rest[n1..]).expect("corrupt run: value length");
+        let body = &self.rest[n1 + n2..];
+        assert!(body.len() >= klen + vlen, "corrupt run: truncated record");
+        let key = &body[..klen];
+        let value = &body[klen..klen + vlen];
+        self.rest = &body[klen + vlen..];
+        Some((key, value))
+    }
+}
+
+impl<'a> IntoIterator for &'a Run {
+    type Item = (&'a [u8], &'a [u8]);
+    type IntoIter = RunIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Accumulates unsorted records, then sorts and serializes them into a
+/// [`Run`]. This is the partitioning stage's workhorse.
+#[derive(Debug, Default)]
+pub struct RunBuilder {
+    records: Vec<(Vec<u8>, Vec<u8>)>,
+    payload_bytes: usize,
+}
+
+impl RunBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one record.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        self.payload_bytes += key.len() + value.len();
+        self.records.push((key.to_vec(), value.to_vec()));
+    }
+
+    /// Add one owned record (avoids a copy).
+    pub fn push_owned(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.payload_bytes += key.len() + value.len();
+        self.records.push((key, value));
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Sort by `(key, value)` and serialize.
+    pub fn build(mut self) -> Run {
+        self.records.sort_unstable();
+        let mut bytes =
+            Vec::with_capacity(self.payload_bytes + self.records.len() * 4 + 16);
+        for (k, v) in &self.records {
+            varint::write_len(&mut bytes, k.len());
+            varint::write_len(&mut bytes, v.len());
+            bytes.extend_from_slice(k);
+            bytes.extend_from_slice(v);
+        }
+        Run {
+            bytes,
+            records: self.records.len(),
+        }
+    }
+}
+
+/// Build a run directly from a record list (tests, generators).
+pub fn run_from_pairs<'r>(pairs: impl IntoIterator<Item = (&'r [u8], &'r [u8])>) -> Run {
+    let mut b = RunBuilder::new();
+    for (k, v) in pairs {
+        b.push(k, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builder_sorts_records() {
+        let run = run_from_pairs([
+            (b"zebra".as_slice(), b"1".as_slice()),
+            (b"apple".as_slice(), b"2".as_slice()),
+            (b"mango".as_slice(), b"3".as_slice()),
+            (b"apple".as_slice(), b"1".as_slice()),
+        ]);
+        let keys: Vec<&[u8]> = run.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"apple".as_slice(), b"apple", b"mango", b"zebra"]);
+        // Duplicate keys sorted by value.
+        let apples: Vec<&[u8]> = run
+            .iter()
+            .filter(|(k, _)| *k == b"apple")
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(apples, vec![b"1".as_slice(), b"2"]);
+        assert!(run.check_sorted());
+        assert_eq!(run.records(), 4);
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let run = RunBuilder::new().build();
+        assert!(run.is_empty());
+        assert!(run.check_sorted());
+        assert_eq!(run.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_sorted_bytes_roundtrip() {
+        let run = run_from_pairs([(b"a".as_slice(), b"x".as_slice()), (b"b", b"y")]);
+        let rebuilt = Run::from_sorted_bytes(run.bytes().to_vec(), run.records());
+        assert_eq!(rebuilt, run);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not sorted")]
+    fn from_unsorted_bytes_panics_in_debug() {
+        let a = run_from_pairs([(b"b".as_slice(), b"".as_slice())]);
+        let b = run_from_pairs([(b"a".as_slice(), b"".as_slice())]);
+        let mut bytes = a.into_bytes();
+        bytes.extend_from_slice(b.bytes());
+        let _ = Run::from_sorted_bytes(bytes, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn build_preserves_multiset(pairs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..12),
+             proptest::collection::vec(any::<u8>(), 0..24)), 0..100)) {
+            let mut builder = RunBuilder::new();
+            for (k, v) in &pairs {
+                builder.push(k, v);
+            }
+            let run = builder.build();
+            prop_assert!(run.check_sorted());
+            let mut expect: Vec<(Vec<u8>, Vec<u8>)> = pairs.clone();
+            expect.sort();
+            let got: Vec<(Vec<u8>, Vec<u8>)> =
+                run.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

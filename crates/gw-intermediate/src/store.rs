@@ -1,0 +1,571 @@
+//! Per-node intermediate-data store: partition cache, spill files, and the
+//! background merger threads.
+//!
+//! Reproduces paper §III-B:
+//!
+//! * "each node maintains an in-memory cache of Partitions which are merged
+//!   and flushed to disk when their aggregate size exceeds a configurable
+//!   threshold" — [`IntermediateStore::add_run`] + the flush tasks;
+//! * "intermediate data Partitions produced by other cluster nodes are
+//!   received and added to the in-memory cache" — the network receiver
+//!   calls the same `add_run`;
+//! * "Partitions residing on disk are continuously merged using multi-way
+//!   merging so the number of intermediate data files is limited to a
+//!   configurable count" — the compaction step of the merger tasks;
+//! * "Glasswing can be configured to use multiple threads to speed-up both
+//!   the merge and flush operations" — `merger_threads`;
+//! * the **merge delay** metric — "the time dedicated to merging
+//!   intermediate data after the completion of the map phase and before
+//!   reduction starts" — measured by [`IntermediateStore::finish_map`].
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::compress;
+use crate::kv::Run;
+use crate::merge::merge_runs;
+use crate::tempdir::TempDir;
+use crate::PartitionId;
+
+/// Configuration of a node's intermediate store.
+#[derive(Debug, Clone)]
+pub struct IntermediateConfig {
+    /// Number of partitions hosted by this node (the paper's `P`).
+    pub num_partitions: u32,
+    /// Aggregate cached bytes that trigger a merge-and-flush.
+    pub cache_threshold: usize,
+    /// Maximum spill files per partition before compaction merges them.
+    pub max_spill_files: usize,
+    /// Background merger/flusher threads (the paper sets this equal to `P`
+    /// in its Fig. 4 experiments).
+    pub merger_threads: usize,
+    /// Whether spills are stored compressed (the paper always compresses;
+    /// disabling is useful for ablation).
+    pub compress: bool,
+}
+
+impl Default for IntermediateConfig {
+    fn default() -> Self {
+        IntermediateConfig {
+            num_partitions: 1,
+            cache_threshold: 64 << 20,
+            max_spill_files: 8,
+            merger_threads: 1,
+            compress: true,
+        }
+    }
+}
+
+/// A spilled, serialized, (optionally) compressed run on disk.
+#[derive(Debug)]
+struct SpillFile {
+    path: PathBuf,
+    records: usize,
+    raw_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct PartState {
+    cache: Vec<Run>,
+    cache_bytes: usize,
+    spills: Vec<SpillFile>,
+    /// A flush/compact task is in flight for this partition.
+    busy: bool,
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    flushes: AtomicUsize,
+    compactions: AtomicUsize,
+    spilled_raw: AtomicUsize,
+    spilled_disk: AtomicUsize,
+    runs_added: AtomicUsize,
+    records_added: AtomicUsize,
+    merge_delay_nanos: AtomicU64,
+}
+
+/// Snapshot of store metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Cache→disk flush operations performed.
+    pub flushes: usize,
+    /// Disk compaction merges performed.
+    pub compactions: usize,
+    /// Uncompressed bytes spilled.
+    pub spilled_raw: usize,
+    /// On-disk (compressed) bytes spilled.
+    pub spilled_disk: usize,
+    /// Runs added to the cache (local + received).
+    pub runs_added: usize,
+    /// Records across all added runs.
+    pub records_added: usize,
+    /// Measured merge delay (zero until [`IntermediateStore::finish_map`]).
+    pub merge_delay: Duration,
+}
+
+struct Inner {
+    cfg: IntermediateConfig,
+    dir: TempDir,
+    parts: Vec<Mutex<PartState>>,
+    cache_bytes: AtomicUsize,
+    pending: AtomicUsize,
+    quiesce_lock: Mutex<()>,
+    quiesce_cv: Condvar,
+    spill_seq: AtomicU64,
+    metrics: Metrics,
+}
+
+impl Inner {
+    fn task_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.quiesce_lock.lock();
+            self.quiesce_cv.notify_all();
+        }
+    }
+
+    fn wait_quiesce(&self) {
+        let mut guard = self.quiesce_lock.lock();
+        while self.pending.load(Ordering::Acquire) != 0 {
+            self.quiesce_cv.wait(&mut guard);
+        }
+    }
+
+    fn write_spill(&self, run: &Run) -> std::io::Result<SpillFile> {
+        let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.file(&format!("spill-{seq}.gw"));
+        let raw = run.bytes();
+        let on_disk = if self.cfg.compress {
+            compress::compress(raw)
+        } else {
+            raw.to_vec()
+        };
+        std::fs::write(&path, &on_disk)?;
+        self.metrics.flushes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.spilled_raw.fetch_add(raw.len(), Ordering::Relaxed);
+        self.metrics
+            .spilled_disk
+            .fetch_add(on_disk.len(), Ordering::Relaxed);
+        Ok(SpillFile {
+            path,
+            records: run.records(),
+            raw_bytes: raw.len(),
+        })
+    }
+
+    fn read_spill(&self, spill: &SpillFile) -> std::io::Result<Run> {
+        let on_disk = std::fs::read(&spill.path)?;
+        let raw = if self.cfg.compress {
+            compress::decompress(&on_disk).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?
+        } else {
+            on_disk
+        };
+        debug_assert_eq!(raw.len(), spill.raw_bytes);
+        Ok(Run::from_sorted_bytes(raw, spill.records))
+    }
+
+    /// Flush a partition's cache to one new spill, then compact if the
+    /// spill-file count exceeds the limit. Runs on merger threads.
+    fn flush_and_compact(&self, p: PartitionId) {
+        let idx = p as usize;
+        // Take the cached runs.
+        let runs: Vec<Run> = {
+            let mut st = self.parts[idx].lock();
+            let bytes = std::mem::take(&mut st.cache_bytes);
+            self.cache_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            std::mem::take(&mut st.cache)
+        };
+        if !runs.is_empty() {
+            let merged = merge_runs(&runs);
+            drop(runs);
+            if !merged.is_empty() {
+                let spill = self.write_spill(&merged).expect("spill write failed");
+                self.parts[idx].lock().spills.push(spill);
+            }
+        }
+        // Compact spills if over the limit.
+        loop {
+            let spills: Vec<SpillFile> = {
+                let mut st = self.parts[idx].lock();
+                if st.spills.len() <= self.cfg.max_spill_files {
+                    st.busy = false;
+                    return;
+                }
+                std::mem::take(&mut st.spills)
+            };
+            let runs: Vec<Run> = spills
+                .iter()
+                .map(|s| self.read_spill(s).expect("spill read failed"))
+                .collect();
+            let merged = merge_runs(&runs);
+            drop(runs);
+            for s in &spills {
+                let _ = std::fs::remove_file(&s.path);
+            }
+            self.metrics.compactions.fetch_add(1, Ordering::Relaxed);
+            let spill = self.write_spill(&merged).expect("spill write failed");
+            self.parts[idx].lock().spills.push(spill);
+        }
+    }
+}
+
+/// The per-node intermediate store.
+pub struct IntermediateStore {
+    inner: Arc<Inner>,
+    task_tx: Option<Sender<PartitionId>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl IntermediateStore {
+    /// Create a store with its background merger threads.
+    pub fn new(cfg: IntermediateConfig) -> std::io::Result<Self> {
+        assert!(cfg.num_partitions > 0, "at least one partition");
+        let dir = TempDir::new("gw-intermediate")?;
+        let parts = (0..cfg.num_partitions)
+            .map(|_| Mutex::new(PartState::default()))
+            .collect();
+        let threads = cfg.merger_threads.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            dir,
+            parts,
+            cache_bytes: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            quiesce_lock: Mutex::new(()),
+            quiesce_cv: Condvar::new(),
+            spill_seq: AtomicU64::new(0),
+            metrics: Metrics::default(),
+        });
+        let (tx, rx): (Sender<PartitionId>, Receiver<PartitionId>) = unbounded();
+        let workers = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gw-merger-{i}"))
+                    .spawn(move || {
+                        while let Ok(p) = rx.recv() {
+                            inner.flush_and_compact(p);
+                            inner.task_done();
+                        }
+                    })
+                    .expect("spawn merger thread")
+            })
+            .collect();
+        Ok(IntermediateStore {
+            inner,
+            task_tx: Some(tx),
+            workers,
+        })
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &IntermediateConfig {
+        &self.inner.cfg
+    }
+
+    /// Add a sorted run to partition `p`'s cache (local map output or a
+    /// partition received from another node). Triggers merge-and-flush when
+    /// the aggregate cache exceeds the threshold.
+    pub fn add_run(&self, p: PartitionId, run: Run) {
+        assert!(p < self.inner.cfg.num_partitions, "partition out of range");
+        if run.is_empty() {
+            return;
+        }
+        self.inner.metrics.runs_added.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .records_added
+            .fetch_add(run.records(), Ordering::Relaxed);
+        let bytes = run.len_bytes();
+        {
+            let mut st = self.inner.parts[p as usize].lock();
+            st.cache_bytes += bytes;
+            st.cache.push(run);
+        }
+        let total = self.inner.cache_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if total > self.inner.cfg.cache_threshold {
+            self.flush_all();
+        }
+    }
+
+    /// Schedule a flush for every partition with cached data.
+    pub fn flush_all(&self) {
+        for p in 0..self.inner.cfg.num_partitions {
+            self.schedule(p);
+        }
+    }
+
+    fn schedule(&self, p: PartitionId) {
+        let inner = &self.inner;
+        {
+            let mut st = inner.parts[p as usize].lock();
+            let needs_work =
+                !st.cache.is_empty() || st.spills.len() > inner.cfg.max_spill_files;
+            if st.busy || !needs_work {
+                return;
+            }
+            st.busy = true;
+        }
+        inner.pending.fetch_add(1, Ordering::AcqRel);
+        if let Some(tx) = &self.task_tx {
+            if tx.send(p).is_err() {
+                // Workers gone (drop in progress): run inline.
+                inner.flush_and_compact(p);
+                inner.task_done();
+            }
+        }
+    }
+
+    /// Signal that the map phase (including reception of all remote
+    /// partitions) has completed. Flushes all remaining cached data, waits
+    /// for the merger threads to drain, and returns the **merge delay**.
+    pub fn finish_map(&self) -> Duration {
+        let start = Instant::now();
+        // Mergers may still be working on the backlog; add final flushes.
+        self.flush_all();
+        // New work may have become schedulable after the first drain (a
+        // flush can push a partition over the spill-file limit), so loop.
+        loop {
+            self.inner.wait_quiesce();
+            let mut scheduled = false;
+            for p in 0..self.inner.cfg.num_partitions {
+                let st = self.inner.parts[p as usize].lock();
+                let needs =
+                    !st.cache.is_empty() || st.spills.len() > self.inner.cfg.max_spill_files;
+                drop(st);
+                if needs {
+                    self.schedule(p);
+                    scheduled = true;
+                }
+            }
+            if !scheduled {
+                break;
+            }
+        }
+        let delay = start.elapsed();
+        self.inner
+            .metrics
+            .merge_delay_nanos
+            .store(delay.as_nanos() as u64, Ordering::Relaxed);
+        delay
+    }
+
+    /// Block until all scheduled flush/compaction tasks have drained.
+    pub fn quiesce(&self) {
+        self.inner.wait_quiesce();
+    }
+
+    /// Load all runs of partition `p` for reduction: every spill file plus
+    /// any still-cached runs. The reduce input reader performs the final
+    /// k-way merge over these.
+    pub fn partition_runs(&self, p: PartitionId) -> Vec<Run> {
+        let idx = p as usize;
+        let st = self.inner.parts[idx].lock();
+        let mut runs: Vec<Run> = st
+            .spills
+            .iter()
+            .map(|s| self.inner.read_spill(s).expect("spill read failed"))
+            .collect();
+        runs.extend(st.cache.iter().cloned());
+        runs
+    }
+
+    /// Number of spill files currently held by partition `p`.
+    pub fn spill_count(&self, p: PartitionId) -> usize {
+        self.inner.parts[p as usize].lock().spills.len()
+    }
+
+    /// Total records across a partition's cache and spills.
+    pub fn partition_records(&self, p: PartitionId) -> usize {
+        let st = self.inner.parts[p as usize].lock();
+        st.spills.iter().map(|s| s.records).sum::<usize>()
+            + st.cache.iter().map(|r| r.records()).sum::<usize>()
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> StoreMetrics {
+        let m = &self.inner.metrics;
+        StoreMetrics {
+            flushes: m.flushes.load(Ordering::Relaxed),
+            compactions: m.compactions.load(Ordering::Relaxed),
+            spilled_raw: m.spilled_raw.load(Ordering::Relaxed),
+            spilled_disk: m.spilled_disk.load(Ordering::Relaxed),
+            runs_added: m.runs_added.load(Ordering::Relaxed),
+            records_added: m.records_added.load(Ordering::Relaxed),
+            merge_delay: Duration::from_nanos(m.merge_delay_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Drop for IntermediateStore {
+    fn drop(&mut self) {
+        self.task_tx = None; // close the channel
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::run_from_pairs;
+    use crate::merge::GroupedMerge;
+
+    fn cfg(parts: u32) -> IntermediateConfig {
+        IntermediateConfig {
+            num_partitions: parts,
+            cache_threshold: 1 << 10,
+            max_spill_files: 2,
+            merger_threads: 2,
+            compress: true,
+        }
+    }
+
+    fn word_run(words: &[&str]) -> Run {
+        run_from_pairs(words.iter().map(|w| (w.as_bytes(), b"1".as_slice())))
+    }
+
+    #[test]
+    fn small_data_stays_in_cache() {
+        let store = IntermediateStore::new(cfg(1)).unwrap();
+        store.add_run(0, word_run(&["a", "b"]));
+        let delay = store.finish_map();
+        assert!(delay < Duration::from_secs(1));
+        // One flush happens at finish_map (cache drained to disk).
+        assert_eq!(store.partition_records(0), 2);
+    }
+
+    #[test]
+    fn exceeding_threshold_triggers_spill() {
+        let store = IntermediateStore::new(cfg(1)).unwrap();
+        let big: Vec<String> = (0..200).map(|i| format!("word{i:05}")).collect();
+        let refs: Vec<&str> = big.iter().map(|s| s.as_str()).collect();
+        for _ in 0..4 {
+            store.add_run(0, word_run(&refs));
+        }
+        store.finish_map();
+        let m = store.metrics();
+        assert!(m.flushes >= 1, "expected at least one flush, got {m:?}");
+        assert!(m.spilled_disk < m.spilled_raw, "compression should shrink spills");
+        assert_eq!(store.partition_records(0), 800);
+    }
+
+    #[test]
+    fn spill_file_count_is_bounded() {
+        let mut c = cfg(1);
+        c.cache_threshold = 1; // flush on every run
+        c.max_spill_files = 2;
+        let store = IntermediateStore::new(c).unwrap();
+        for i in 0..20 {
+            let w = format!("key{i:03}");
+            store.add_run(0, word_run(&[w.as_str()]));
+            // Drain after every run so each add produces its own spill and
+            // the compaction path is exercised deterministically.
+            store.quiesce();
+        }
+        store.finish_map();
+        assert!(
+            store.spill_count(0) <= 2,
+            "spill files must be compacted to the limit, got {}",
+            store.spill_count(0)
+        );
+        assert!(store.metrics().compactions >= 1);
+        assert_eq!(store.partition_records(0), 20);
+    }
+
+    #[test]
+    fn partition_runs_merge_to_global_order() {
+        let mut c = cfg(1);
+        c.cache_threshold = 64;
+        let store = IntermediateStore::new(c).unwrap();
+        store.add_run(0, word_run(&["m", "z", "a"]));
+        store.add_run(0, word_run(&["b", "m", "q"]));
+        store.add_run(0, word_run(&["a", "c"]));
+        store.finish_map();
+        let runs = store.partition_runs(0);
+        let keys: Vec<Vec<u8>> = GroupedMerge::new(runs.iter())
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"m".to_vec(),
+                b"q".to_vec(),
+                b"z".to_vec()
+            ]
+        );
+        // "m" and "a" got two values each.
+        let groups: Vec<(Vec<u8>, usize)> = GroupedMerge::new(runs.iter())
+            .map(|(k, vs)| (k.to_vec(), vs.len()))
+            .collect();
+        assert!(groups.contains(&(b"a".to_vec(), 2)));
+        assert!(groups.contains(&(b"m".to_vec(), 2)));
+    }
+
+    #[test]
+    fn multiple_partitions_are_independent() {
+        let store = IntermediateStore::new(cfg(4)).unwrap();
+        for p in 0..4u32 {
+            let w = format!("p{p}");
+            store.add_run(p, word_run(&[w.as_str()]));
+        }
+        store.finish_map();
+        for p in 0..4u32 {
+            assert_eq!(store.partition_records(p), 1);
+            let runs = store.partition_runs(p);
+            let (k, _) = GroupedMerge::new(runs.iter()).next().unwrap();
+            assert_eq!(k, format!("p{p}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_runs_are_ignored() {
+        let store = IntermediateStore::new(cfg(1)).unwrap();
+        store.add_run(0, Run::default());
+        store.finish_map();
+        assert_eq!(store.metrics().runs_added, 0);
+        assert_eq!(store.partition_records(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition out of range")]
+    fn out_of_range_partition_panics() {
+        let store = IntermediateStore::new(cfg(1)).unwrap();
+        store.add_run(5, word_run(&["x"]));
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_records() {
+        let mut c = cfg(2);
+        c.cache_threshold = 256;
+        let store = std::sync::Arc::new(IntermediateStore::new(c).unwrap());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let w = format!("t{t}-k{i:03}");
+                        store.add_run((i % 2) as u32, word_run(&[w.as_str()]));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        store.finish_map();
+        let total = store.partition_records(0) + store.partition_records(1);
+        assert_eq!(total, 200);
+    }
+}

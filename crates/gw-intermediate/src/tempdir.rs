@@ -1,0 +1,66 @@
+//! Minimal self-cleaning temporary directory (no external crates).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory with a unique name under the OS temp dir.
+    pub fn new(prefix: &str) -> std::io::Result<Self> {
+        let unique = format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join(unique);
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let path;
+        {
+            let dir = TempDir::new("gw-test").unwrap();
+            path = dir.path().to_path_buf();
+            assert!(path.is_dir());
+            std::fs::write(dir.file("x.bin"), b"data").unwrap();
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new("gw-test").unwrap();
+        let b = TempDir::new("gw-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,268 @@
+//! The in-process cluster fabric: one inbox per node, paced egress.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::profile::NetProfile;
+use crate::throttle::Throttle;
+use gw_storage::NodeId;
+
+/// A message in flight.
+#[derive(Debug)]
+pub struct Envelope<T> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub payload: T,
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    bytes_sent: AtomicUsize,
+    bytes_received: AtomicUsize,
+    messages_sent: AtomicUsize,
+}
+
+impl NetStats {
+    /// Bytes sent by this node.
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received by this node.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Messages sent by this node.
+    pub fn messages_sent(&self) -> usize {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared<T> {
+    inboxes: Vec<Sender<Envelope<T>>>,
+    egress: Vec<Throttle>,
+    stats: Vec<NetStats>,
+}
+
+/// A cluster fabric for `n` nodes carrying messages of type `T`.
+pub struct Fabric<T> {
+    shared: Arc<Shared<T>>,
+    receivers: Vec<Option<Receiver<Envelope<T>>>>,
+}
+
+impl<T: Send + 'static> Fabric<T> {
+    /// Build a fabric where every node's egress NIC follows `profile`.
+    pub fn new(nodes: u32, profile: NetProfile) -> Self {
+        let mut inboxes = Vec::with_capacity(nodes as usize);
+        let mut receivers = Vec::with_capacity(nodes as usize);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(Some(rx));
+        }
+        let egress = (0..nodes).map(|_| Throttle::new(profile)).collect();
+        let stats = (0..nodes).map(|_| NetStats::default()).collect();
+        Fabric {
+            shared: Arc::new(Shared {
+                inboxes,
+                egress,
+                stats,
+            }),
+            receivers,
+        }
+    }
+
+    /// Number of nodes on the fabric.
+    pub fn nodes(&self) -> u32 {
+        self.shared.inboxes.len() as u32
+    }
+
+    /// Take node `n`'s endpoint. Each endpoint can be taken once; the
+    /// endpoint is `Send` and moves into the node's runtime thread.
+    ///
+    /// # Panics
+    /// Panics if the endpoint was already taken or `n` is out of range.
+    pub fn endpoint(&mut self, n: NodeId) -> Endpoint<T> {
+        let rx = self.receivers[n.index()]
+            .take()
+            .expect("endpoint already taken");
+        Endpoint {
+            node: n,
+            shared: Arc::clone(&self.shared),
+            rx,
+        }
+    }
+
+    /// Traffic counters for node `n`.
+    pub fn stats(&self, n: NodeId) -> &NetStats {
+        &self.shared.stats[n.index()]
+    }
+}
+
+/// One node's attachment to the fabric.
+pub struct Endpoint<T> {
+    node: NodeId,
+    shared: Arc<Shared<T>>,
+    rx: Receiver<Envelope<T>>,
+}
+
+impl<T: Send + 'static> Endpoint<T> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send `payload` (`wire_bytes` long on the wire) to node `to`,
+    /// blocking for the modeled transmission time on this node's egress
+    /// link. Returns the modeled wire duration.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range. Delivery to a dropped endpoint is
+    /// silently discarded (the peer has left the computation).
+    pub fn send(&self, to: NodeId, payload: T, wire_bytes: usize) -> std::time::Duration {
+        let stats = &self.shared.stats[self.node.index()];
+        stats.bytes_sent.fetch_add(wire_bytes, Ordering::Relaxed);
+        stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats[to.index()]
+            .bytes_received
+            .fetch_add(wire_bytes, Ordering::Relaxed);
+        let wire = self.shared.egress[self.node.index()].acquire(wire_bytes);
+        let _ = self.shared.inboxes[to.index()].send(Envelope {
+            from: self.node,
+            payload,
+        });
+        wire
+    }
+
+    /// Receive the next message, blocking until one arrives or all senders
+    /// are gone (returns `None`).
+    pub fn recv(&self) -> Option<Envelope<T>> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `Ok(None)` means all senders are gone.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Envelope<T>>, RecvTimeoutError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(e @ RecvTimeoutError::Timeout) => Err(e),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<T>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut fabric: Fabric<String> = Fabric::new(3, NetProfile::unlimited());
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        a.send(NodeId(1), "hello".to_string(), 5);
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.payload, "hello");
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut fabric: Fabric<u32> = Fabric::new(2, NetProfile::unlimited());
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        a.send(NodeId(1), 42, 1000);
+        a.send(NodeId(1), 43, 500);
+        assert_eq!(fabric.stats(NodeId(0)).bytes_sent(), 1500);
+        assert_eq!(fabric.stats(NodeId(0)).messages_sent(), 2);
+        assert_eq!(fabric.stats(NodeId(1)).bytes_received(), 1500);
+        drop(b);
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let mut fabric: Fabric<u8> = Fabric::new(1, NetProfile::unlimited());
+        let a = fabric.endpoint(NodeId(0));
+        a.send(NodeId(0), 7, 1);
+        assert_eq!(a.recv().unwrap().payload, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint already taken")]
+    fn endpoint_can_only_be_taken_once() {
+        let mut fabric: Fabric<u8> = Fabric::new(1, NetProfile::unlimited());
+        let _a = fabric.endpoint(NodeId(0));
+        let _b = fabric.endpoint(NodeId(0));
+    }
+
+    #[test]
+    fn random_traffic_is_conserved() {
+        // Every sent message arrives exactly once at its addressee, and
+        // the byte accounting matches, under arbitrary traffic patterns.
+        use std::collections::HashMap;
+        let nodes = 4u32;
+        let mut fabric: Fabric<(u32, u64)> = Fabric::new(nodes, NetProfile::unlimited());
+        let endpoints: Vec<_> = (0..nodes).map(|n| Arc::new(fabric.endpoint(NodeId(n)))).collect();
+        let mut expected: HashMap<u32, Vec<u64>> = HashMap::new();
+        // Deterministic pseudo-random pattern.
+        let mut x = 0x12345678u64;
+        for msg_id in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let from = (x >> 33) as u32 % nodes;
+            let to = (x >> 17) as u32 % nodes;
+            endpoints[from as usize].send(NodeId(to), (to, msg_id), 16);
+            expected.entry(to).or_default().push(msg_id);
+        }
+        for (n, ep) in endpoints.iter().enumerate() {
+            let want = expected.remove(&(n as u32)).unwrap_or_default();
+            let mut got = Vec::new();
+            for _ in 0..want.len() {
+                let env = ep.recv().unwrap();
+                assert_eq!(env.payload.0, n as u32, "misrouted message");
+                got.push(env.payload.1);
+            }
+            assert!(ep.try_recv().is_none(), "extra messages at node {n}");
+            assert_eq!(got.len(), want.len());
+            // FIFO per (sender, receiver) pair is not global FIFO; compare
+            // as multisets.
+            let mut got_s = got;
+            let mut want_s = want;
+            got_s.sort_unstable();
+            want_s.sort_unstable();
+            assert_eq!(got_s, want_s);
+        }
+        let sent: usize = (0..nodes).map(|n| fabric.stats(NodeId(n)).messages_sent()).sum();
+        assert_eq!(sent, 500);
+        use std::sync::Arc;
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let mut fabric: Fabric<usize> = Fabric::new(2, NetProfile::unlimited());
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        let sender = std::thread::spawn(move || {
+            for i in 0..100 {
+                a.send(NodeId(1), i, 8);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(b.recv().unwrap().payload);
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

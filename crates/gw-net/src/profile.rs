@@ -1,0 +1,82 @@
+//! Network profiles matching the paper's cluster interconnects.
+
+use std::time::Duration;
+
+/// Bandwidth/latency description of a NIC + link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// Sustained point-to-point bandwidth in bytes/second.
+    /// `f64::INFINITY` disables throttling.
+    pub bandwidth: f64,
+    /// One-way message latency.
+    pub latency: Duration,
+}
+
+impl NetProfile {
+    /// Gigabit Ethernet: ~117 MB/s effective, ~50 µs latency.
+    pub fn gigabit_ethernet() -> Self {
+        NetProfile {
+            bandwidth: 117.0e6,
+            latency: Duration::from_micros(50),
+        }
+    }
+
+    /// QDR InfiniBand used as IP-over-InfiniBand: the IP stack caps the
+    /// 32 Gbit/s link at roughly 1.2 GB/s with ~20 µs latency.
+    pub fn ipoib_qdr() -> Self {
+        NetProfile {
+            bandwidth: 1.2e9,
+            latency: Duration::from_micros(20),
+        }
+    }
+
+    /// Unthrottled fabric for correctness-only runs and tests.
+    pub fn unlimited() -> Self {
+        NetProfile {
+            bandwidth: f64::INFINITY,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// A deliberately slow profile for tests that need to observe pacing
+    /// without large payloads.
+    pub fn slow_test(bytes_per_sec: f64) -> Self {
+        NetProfile {
+            bandwidth: bytes_per_sec,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Modeled wire time for a message of `bytes`.
+    pub fn wire_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
+            self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+        } else {
+            self.latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipoib_is_faster_than_gbe() {
+        let n = 100 << 20;
+        assert!(
+            NetProfile::ipoib_qdr().wire_time(n) < NetProfile::gigabit_ethernet().wire_time(n)
+        );
+    }
+
+    #[test]
+    fn unlimited_is_free() {
+        assert_eq!(NetProfile::unlimited().wire_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn wire_time_includes_latency() {
+        let p = NetProfile::gigabit_ethernet();
+        assert!(p.wire_time(0) >= Duration::from_micros(50));
+    }
+}

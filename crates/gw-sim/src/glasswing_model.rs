@@ -1,0 +1,501 @@
+//! DES model of a Glasswing job.
+//!
+//! Each node runs the 5-stage map pipeline as a chain of FIFO resources
+//! (input disk, PCIe stager, kernel, PCIe retriever, partitioner) with the
+//! §III-D buffer-token interlocks as semaphores, a NIC egress resource for
+//! the push shuffle, and a multi-server merger resource absorbing
+//! intermediate runs in the background. The reduce phase — which starts
+//! only after every peer has finished mapping *and* the local mergers have
+//! drained — is evaluated with the pipelined-stage bound
+//! `max(stage totals) + fill`, the same steady-state property the real
+//! engine's schedule model exhibits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::{ResourceId, SemaphoreId, Sim};
+use crate::params::{AppParams, ClusterParams};
+
+/// Outcome of one simulated Glasswing job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlasswingOutcome {
+    /// End of the map phase across all nodes (incl. push shuffle sends).
+    pub map_phase: f64,
+    /// Merge delay: merger drain time after global map completion (max
+    /// over nodes).
+    pub merge_delay: f64,
+    /// Reduce-phase duration (max over nodes).
+    pub reduce_phase: f64,
+    /// Total job time.
+    pub total: f64,
+}
+
+/// Per-chunk stage service times (seconds) under a configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkDemand {
+    /// Input read (occupies the node's disk).
+    pub input: f64,
+    /// Host→device staging.
+    pub stage: f64,
+    /// Map kernel.
+    pub kernel: f64,
+    /// Device→host retrieval.
+    pub retrieve: f64,
+    /// Partition (decode + sort, over N threads).
+    pub partition: f64,
+    /// Durability write of the chunk's intermediate data (paper §III-E:
+    /// map output "is stored persistently on disk"); contends with input
+    /// reads on the node's disk.
+    pub durability: f64,
+    /// Push-shuffle send of the chunk's remote share.
+    pub send: f64,
+    /// Merge work the chunk generates at its destination.
+    pub merge: f64,
+}
+
+/// Compute the per-chunk service demands for `app` on `cluster` with
+/// `nodes` nodes.
+pub fn chunk_demand(app: &AppParams, cluster: &ClusterParams, nodes: usize) -> ChunkDemand {
+    let chunk = app.chunk_mb;
+    let inter = chunk * app.intermediate_ratio;
+    let scale = cluster.device.kernel_scale(app.gpu_scale);
+    let discrete = cluster.device.discrete();
+    let remote_fraction = if nodes > 1 {
+        (nodes as f64 - 1.0) / nodes as f64
+    } else {
+        0.0
+    };
+    ChunkDemand {
+        input: chunk / cluster.read_bw(),
+        stage: if discrete { chunk / cluster.pcie_bw_mb } else { 0.0 },
+        kernel: chunk * app.map_sec_per_mb / scale,
+        retrieve: if discrete { inter / cluster.pcie_bw_mb } else { 0.0 },
+        partition: inter * app.partition_sec_per_mb / cluster.partition_threads,
+        durability: inter / cluster.write_bw_mb,
+        send: inter * remote_fraction / cluster.net_bw_mb,
+        merge: inter / cluster.merge_bw_mb,
+    }
+}
+
+struct NodeIds {
+    /// The node's disk: serves the Input stage *and* durability writes,
+    /// so the two contend as on real hardware.
+    disk: ResourceId,
+    stage: ResourceId,
+    kernel: ResourceId,
+    retrieve: ResourceId,
+    partition: ResourceId,
+    nic: ResourceId,
+    merger: ResourceId,
+    in_tok: SemaphoreId,
+    out_tok: SemaphoreId,
+}
+
+#[derive(Default)]
+struct State {
+    /// Per node: chunks whose partition+send have completed.
+    chunks_done: Vec<usize>,
+    /// Per node: total chunks assigned.
+    chunks_assigned: Vec<usize>,
+    /// Chunks completed across all nodes.
+    chunks_done_total: usize,
+    /// Per node: time the map phase (incl. sends) finished.
+    map_end: Vec<f64>,
+    /// Per node: completion time of the last merger job.
+    merger_last: Vec<f64>,
+    /// Per node: merger jobs scheduled but not yet completed.
+    merger_outstanding: Vec<usize>,
+    /// Every node's map phase has completed.
+    global_map_done: bool,
+    /// Per node: reduce pipeline launched.
+    reduce_started: Vec<bool>,
+    /// Per node: reduce chunks to process.
+    reduce_chunks: Vec<usize>,
+    /// Per node: reduce chunks completed.
+    reduce_done: Vec<usize>,
+    /// Per node: reduce start time (after merge drain).
+    reduce_start: Vec<f64>,
+    /// Per node: reduce completion time.
+    reduce_end: Vec<f64>,
+}
+
+/// Per-chunk reduce-pipeline service times.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceDemand {
+    /// Final k-way merge read of the chunk (one merger thread).
+    pub read: f64,
+    /// Host→device staging.
+    pub stage: f64,
+    /// Reduce kernel.
+    pub kernel: f64,
+    /// Device→host retrieval.
+    pub retrieve: f64,
+    /// Output write (incl. replication traffic) on the node's disk.
+    pub write: f64,
+}
+
+/// Compute the per-chunk reduce demands.
+pub fn reduce_demand(app: &AppParams, cluster: &ClusterParams) -> ReduceDemand {
+    let inter_chunk = app.chunk_mb * app.intermediate_ratio;
+    let out_chunk = app.chunk_mb * app.output_ratio;
+    let scale = cluster.device.kernel_scale(app.gpu_scale);
+    let discrete = cluster.device.discrete();
+    ReduceDemand {
+        read: inter_chunk / cluster.merge_bw_mb,
+        stage: if discrete { inter_chunk / cluster.pcie_bw_mb } else { 0.0 },
+        kernel: if app.has_reduce {
+            inter_chunk * app.reduce_sec_per_mb / scale
+        } else {
+            0.0
+        },
+        retrieve: if discrete { out_chunk / cluster.pcie_bw_mb } else { 0.0 },
+        write: out_chunk * app.output_replication / cluster.write_bw_mb,
+    }
+}
+
+/// Launch one node's reduce pipeline (its map phase and merge backlog are
+/// complete). Reuses the node's stage/kernel/retrieve/disk resources and
+/// buffer-token semaphores — all idle once map ended.
+fn start_reduce(
+    sim: &mut Sim,
+    ids: &Rc<Vec<NodeIds>>,
+    state: &Rc<RefCell<State>>,
+    node: usize,
+    rd: ReduceDemand,
+) {
+    {
+        let mut s = state.borrow_mut();
+        debug_assert!(!s.reduce_started[node]);
+        s.reduce_started[node] = true;
+        s.reduce_start[node] = sim.now();
+        if s.reduce_chunks[node] == 0 {
+            s.reduce_end[node] = sim.now();
+            return;
+        }
+    }
+    let rchunks = state.borrow().reduce_chunks[node];
+    for _ in 0..rchunks {
+        let ids = Rc::clone(ids);
+        let state = Rc::clone(state);
+        sim.schedule(0.0, move |sim| {
+            let nid = &ids[node];
+            let in_tok = nid.in_tok;
+            let out_tok = nid.out_tok;
+            let (merger_r, stage_r, kernel_r, retrieve_r, disk_r) =
+                (nid.merger, nid.stage, nid.kernel, nid.retrieve, nid.disk);
+            sim.acquire(in_tok, move |sim| {
+                sim.use_resource(merger_r, rd.read, move |sim| {
+                    sim.use_resource(stage_r, rd.stage, move |sim| {
+                        sim.acquire(out_tok, move |sim| {
+                            sim.use_resource(kernel_r, rd.kernel, move |sim| {
+                                sim.release(in_tok);
+                                sim.use_resource(retrieve_r, rd.retrieve, move |sim| {
+                                    sim.use_resource(disk_r, rd.write, move |sim| {
+                                        sim.release(out_tok);
+                                        let mut s = state.borrow_mut();
+                                        s.reduce_done[node] += 1;
+                                        if s.reduce_done[node] == s.reduce_chunks[node] {
+                                            s.reduce_end[node] = sim.now();
+                                        }
+                                    });
+                                });
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }
+}
+
+/// Check (and fire) the reduce-start condition for `node`: every node's
+/// map phase done, and this node's merge backlog drained.
+fn maybe_start_reduce(
+    sim: &mut Sim,
+    ids: &Rc<Vec<NodeIds>>,
+    state: &Rc<RefCell<State>>,
+    node: usize,
+    rd: ReduceDemand,
+) {
+    let ready = {
+        let s = state.borrow();
+        s.global_map_done && s.merger_outstanding[node] == 0 && !s.reduce_started[node]
+    };
+    if ready {
+        start_reduce(sim, ids, state, node, rd);
+    }
+}
+
+/// Simulate the full job — map ∥ merge, then the pipelined reduce — with
+/// the DES; returns the phase breakdown.
+pub fn simulate_glasswing(
+    app: &AppParams,
+    cluster: &ClusterParams,
+    nodes: usize,
+) -> GlasswingOutcome {
+    assert!(nodes > 0);
+    let demand = chunk_demand(app, cluster, nodes);
+    let rdemand = reduce_demand(app, cluster);
+    let total_chunks = app.total_chunks();
+    let mut sim = Sim::new();
+
+    let ids: Rc<Vec<NodeIds>> = Rc::new(
+        (0..nodes)
+            .map(|_| NodeIds {
+                disk: sim.add_resource(1),
+                stage: sim.add_resource(1),
+                kernel: sim.add_resource(1),
+                retrieve: sim.add_resource(1),
+                partition: sim.add_resource(1),
+                nic: sim.add_resource(1),
+                merger: sim.add_resource(cluster.merger_threads.max(1.0) as usize),
+                in_tok: sim.add_semaphore(cluster.buffering.max(1)),
+                out_tok: sim.add_semaphore(cluster.buffering.max(1)),
+            })
+            .collect(),
+    );
+
+    let state = Rc::new(RefCell::new(State {
+        chunks_done: vec![0; nodes],
+        chunks_assigned: vec![0; nodes],
+        chunks_done_total: 0,
+        map_end: vec![0.0; nodes],
+        merger_last: vec![0.0; nodes],
+        merger_outstanding: vec![0; nodes],
+        global_map_done: false,
+        reduce_started: vec![false; nodes],
+        reduce_chunks: vec![0; nodes],
+        reduce_done: vec![0; nodes],
+        reduce_start: vec![0.0; nodes],
+        reduce_end: vec![0.0; nodes],
+    }));
+
+    // Round-robin chunk assignment (locality-aware scheduling keeps reads
+    // local under replication 3, so assignment order is all that matters).
+    // Reduce work lands where the merge work landed (dest = c % nodes).
+    for c in 0..total_chunks {
+        let mut s = state.borrow_mut();
+        s.chunks_assigned[c % nodes] += 1;
+        s.reduce_chunks[c % nodes] += 1;
+    }
+
+    // Launch every map chunk's pipeline chain at t=0; FIFO semaphores and
+    // resources preserve per-node chunk order.
+    for c in 0..total_chunks {
+        let node = c % nodes;
+        let dest = c % nodes.max(1); // merge-work destination (uniform)
+        let ids = Rc::clone(&ids);
+        let state = Rc::clone(&state);
+        sim.schedule(0.0, move |sim| {
+            let nid = &ids[node];
+            let in_tok = nid.in_tok;
+            let out_tok = nid.out_tok;
+            let (disk_r, stage_r, kernel_r, retrieve_r, partition_r, nic_r) = (
+                nid.disk,
+                nid.stage,
+                nid.kernel,
+                nid.retrieve,
+                nid.partition,
+                nid.nic,
+            );
+            let merger_r = ids[dest].merger;
+            let ids2 = Rc::clone(&ids);
+            sim.acquire(in_tok, move |sim| {
+                sim.use_resource(disk_r, demand.input, move |sim| {
+                    sim.use_resource(stage_r, demand.stage, move |sim| {
+                        sim.acquire(out_tok, move |sim| {
+                            sim.use_resource(kernel_r, demand.kernel, move |sim| {
+                                sim.release(in_tok);
+                                sim.use_resource(retrieve_r, demand.retrieve, move |sim| {
+                                    sim.use_resource(partition_r, demand.partition, move |sim| {
+                                        // Durability copy to the local
+                                        // disk, then the push over the NIC.
+                                        sim.use_resource(disk_r, demand.durability, move |sim| {
+                                        sim.use_resource(nic_r, demand.send, move |sim| {
+                                            sim.release(out_tok);
+                                            // Background merge at the
+                                            // destination node.
+                                            state.borrow_mut().merger_outstanding[dest] += 1;
+                                            let st = Rc::clone(&state);
+                                            let ids3 = Rc::clone(&ids2);
+                                            sim.use_resource(
+                                                merger_r,
+                                                demand.merge,
+                                                move |sim| {
+                                                    {
+                                                        let mut s = st.borrow_mut();
+                                                        s.merger_last[dest] =
+                                                            s.merger_last[dest].max(sim.now());
+                                                        s.merger_outstanding[dest] -= 1;
+                                                    }
+                                                    maybe_start_reduce(
+                                                        sim, &ids3, &st, dest, rdemand,
+                                                    );
+                                                },
+                                            );
+                                            let all_done = {
+                                                let mut s = state.borrow_mut();
+                                                s.chunks_done[node] += 1;
+                                                s.chunks_done_total += 1;
+                                                if s.chunks_done[node]
+                                                    == s.chunks_assigned[node]
+                                                {
+                                                    s.map_end[node] = sim.now();
+                                                }
+                                                if s.chunks_done_total == total_chunks {
+                                                    s.global_map_done = true;
+                                                    true
+                                                } else {
+                                                    false
+                                                }
+                                            };
+                                            if all_done {
+                                                for n in 0..nodes {
+                                                    maybe_start_reduce(
+                                                        sim, &ids2, &state, n, rdemand,
+                                                    );
+                                                }
+                                            }
+                                        });
+                                        });
+                                    });
+                                });
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    }
+
+    // A zero-chunk job completes instantly.
+    if total_chunks == 0 {
+        return GlasswingOutcome {
+            map_phase: 0.0,
+            merge_delay: 0.0,
+            reduce_phase: 0.0,
+            total: cluster.glasswing_job_fixed,
+        };
+    }
+
+    sim.run();
+
+    let s = state.borrow();
+    debug_assert!(s.reduce_started.iter().all(|&r| r), "reduce never started");
+    debug_assert!(
+        s.reduce_done
+            .iter()
+            .zip(&s.reduce_chunks)
+            .all(|(d, c)| d == c),
+        "reduce chunks unfinished"
+    );
+    let map_phase = s.map_end.iter().cloned().fold(0.0, f64::max);
+    // Merge delay: how long past global map completion the slowest node's
+    // reduce start slipped (merger backlog drain).
+    let merge_delay = s
+        .reduce_start
+        .iter()
+        .map(|&r| (r - map_phase).max(0.0))
+        .fold(0.0, f64::max);
+    let sim_end = s.reduce_end.iter().cloned().fold(0.0, f64::max);
+    let reduce_phase = (sim_end - map_phase - merge_delay).max(0.0);
+
+    GlasswingOutcome {
+        map_phase,
+        merge_delay,
+        reduce_phase,
+        // Per-job fixed cost: pipeline spin-up + OpenCL kernel compilation.
+        total: sim_end + cluster.glasswing_job_fixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{AppParams, ClusterParams, StorageKind};
+
+    #[test]
+    fn single_node_map_is_bounded_by_dominant_stage() {
+        let app = AppParams::wc();
+        let cluster = ClusterParams::das4_cpu_hdfs();
+        let out = simulate_glasswing(&app, &cluster, 1);
+        let d = chunk_demand(&app, &cluster, 1);
+        let chunks = app.total_chunks() as f64;
+        let dominant = d.input.max(d.kernel).max(d.partition) * chunks;
+        let serial: f64 = (d.input + d.stage + d.kernel + d.retrieve + d.partition) * chunks;
+        assert!(out.map_phase >= dominant * 0.99, "{out:?}");
+        assert!(
+            out.map_phase < serial * 0.8,
+            "pipeline must overlap stages: {} vs serial {}",
+            out.map_phase,
+            serial
+        );
+    }
+
+    #[test]
+    fn scaling_reduces_time_and_speedup_is_sublinear() {
+        let app = AppParams::wc();
+        let cluster = ClusterParams::das4_cpu_hdfs();
+        let t1 = simulate_glasswing(&app, &cluster, 1).total;
+        let t16 = simulate_glasswing(&app, &cluster, 16).total;
+        let t64 = simulate_glasswing(&app, &cluster, 64).total;
+        assert!(t16 < t1);
+        assert!(t64 < t16);
+        let speedup64 = t1 / t64;
+        assert!(
+            speedup64 > 16.0 && speedup64 <= 64.0,
+            "speedup at 64 nodes: {speedup64:.1}"
+        );
+    }
+
+    #[test]
+    fn gpu_accelerates_compute_bound_km_but_not_pvc() {
+        let cpu = ClusterParams::das4_cpu_hdfs();
+        let gpu = ClusterParams::das4_gpu_hdfs();
+        let km = AppParams::km_many_centers();
+        let km_cpu = simulate_glasswing(&km, &cpu, 1).total;
+        let km_gpu = simulate_glasswing(&km, &gpu, 1).total;
+        assert!(
+            km_gpu * 5.0 < km_cpu,
+            "KM should gain ≥5× on GPU: {km_cpu:.1} vs {km_gpu:.1}"
+        );
+        let pvc = AppParams::pvc();
+        let pvc_cpu = simulate_glasswing(&pvc, &cpu, 4).total;
+        let pvc_gpu = simulate_glasswing(&pvc, &gpu, 4).total;
+        assert!(
+            pvc_gpu > pvc_cpu * 0.8,
+            "I/O-bound PVC should not gain much: {pvc_cpu:.1} vs {pvc_gpu:.1}"
+        );
+    }
+
+    #[test]
+    fn local_fs_beats_hdfs_for_io_bound_gpu_jobs() {
+        let hdfs = ClusterParams::das4_gpu_hdfs();
+        let mut local = ClusterParams::das4_gpu_hdfs();
+        local.storage = StorageKind::LocalFs;
+        let mm = AppParams::mm();
+        let t_hdfs = simulate_glasswing(&mm, &hdfs, 4).total;
+        let t_local = simulate_glasswing(&mm, &local, 4).total;
+        assert!(
+            t_local < t_hdfs,
+            "paper Fig 3(d): local FS below HDFS ({t_local:.1} vs {t_hdfs:.1})"
+        );
+    }
+
+    #[test]
+    fn merge_delay_is_small_relative_to_map() {
+        let app = AppParams::ts();
+        let cluster = ClusterParams::das4_cpu_hdfs();
+        let out = simulate_glasswing(&app, &cluster, 16);
+        assert!(out.merge_delay < out.map_phase * 0.5, "{out:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let app = AppParams::pvc();
+        let cluster = ClusterParams::das4_cpu_hdfs();
+        let a = simulate_glasswing(&app, &cluster, 8);
+        let b = simulate_glasswing(&app, &cluster, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Analytic model of a GPMR job.
+//!
+//! Structure per the paper's observation: "GPMR first reads all data,
+//! then starts its computation pipeline; its total time is the sum of
+//! computation and I/O" — no overlap between phases. GPMR runs GPU-only,
+//! reads fully replicated local files, keeps intermediate data in core,
+//! and (for matmul) "does not store or transfer intermediate data between
+//! nodes" — its phases are: read-all, map kernels (+PCIe), in-core
+//! exchange, reduce kernels, write.
+
+use crate::params::{AppParams, ClusterParams};
+
+/// Phase breakdown of a simulated GPMR job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpmrOutcome {
+    /// Reading all input before any computation.
+    pub io_read: f64,
+    /// Map kernels + PCIe staging/retrieval.
+    pub compute: f64,
+    /// Exchange + sort of intermediate data.
+    pub exchange: f64,
+    /// Reduce kernels.
+    pub reduce: f64,
+    /// Output write.
+    pub io_write: f64,
+    /// Total job time (strict sum — the defining property).
+    pub total: f64,
+}
+
+impl GpmrOutcome {
+    /// Compute-only time (the paper plots GPMR's compute and
+    /// compute-plus-I/O as separate lines in Fig. 3(e)).
+    pub fn compute_only(&self) -> f64 {
+        self.compute + self.exchange + self.reduce
+    }
+}
+
+/// Simulate a GPMR job analytically. `kernel_penalty` multiplies the map
+/// kernel demand, reproducing the paper's observation that GPMR's K-Means
+/// "is optimized for a small number of centers and is not expected to run
+/// efficiently for larger numbers" (1.0 = no penalty).
+pub fn simulate_gpmr(
+    app: &AppParams,
+    cluster: &ClusterParams,
+    nodes: usize,
+    kernel_penalty: f64,
+) -> GpmrOutcome {
+    assert!(nodes > 0);
+    let n = nodes as f64;
+    let input_per_node = app.input_mb / n;
+    let inter_per_node = app.input_mb * app.intermediate_ratio / n;
+    let out_per_node = app.input_mb * app.output_ratio / n;
+    let scale = cluster.device.kernel_scale(app.gpu_scale);
+
+    // Phase 1: read everything (local FS, fully replicated).
+    let io_read = input_per_node / cluster.local_read_bw_mb;
+    // Phase 2: map kernels + staging both ways.
+    let pcie = (input_per_node + inter_per_node) / cluster.pcie_bw_mb;
+    let compute = input_per_node * app.map_sec_per_mb * kernel_penalty / scale + pcie;
+    // Phase 3: exchange + sort (in-core).
+    let remote_fraction = if nodes > 1 { (n - 1.0) / n } else { 0.0 };
+    let exchange = inter_per_node * remote_fraction / cluster.net_bw_mb
+        + inter_per_node / cluster.merge_bw_mb;
+    // Phase 4: reduce kernels.
+    let reduce = if app.has_reduce {
+        inter_per_node * app.reduce_sec_per_mb / scale
+    } else {
+        0.0
+    };
+    // Phase 5: write (local FS, replication 1 — GPMR's setup).
+    let io_write = out_per_node / cluster.write_bw_mb;
+
+    GpmrOutcome {
+        io_read,
+        compute,
+        exchange,
+        reduce,
+        io_write,
+        total: io_read + compute + exchange + reduce + io_write + cluster.gpmr_job_fixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glasswing_model::simulate_glasswing;
+    use crate::params::{AppParams, ClusterParams, StorageKind};
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let app = AppParams::km_few_centers();
+        let cluster = ClusterParams::das4_gpu_local();
+        let o = simulate_gpmr(&app, &cluster, 4, 1.0);
+        let sum = o.io_read + o.compute + o.exchange + o.reduce + o.io_write
+            + ClusterParams::das4_gpu_local().gpmr_job_fixed;
+        assert!((o.total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn glasswing_beats_gpmr_by_overlap_on_io_dominant_km() {
+        // Paper Fig. 3(e): with few centers KM is I/O-dominant; Glasswing's
+        // total ≈ max(compute, I/O) while GPMR's = compute + I/O, giving
+        // GPMR ≈ 1.5× Glasswing across cluster sizes.
+        let app = AppParams::km_few_centers();
+        let mut cluster = ClusterParams::das4_gpu_local();
+        cluster.storage = StorageKind::LocalFs;
+        for nodes in [1usize, 4, 16] {
+            let gpmr = simulate_gpmr(&app, &cluster, nodes, 1.0);
+            let gw = simulate_glasswing(&app, &cluster, nodes);
+            let ratio = gpmr.total / gw.total;
+            assert!(
+                (1.2..2.2).contains(&ratio),
+                "nodes={nodes}: GPMR/Glasswing ratio {ratio:.2} outside the ≈1.5× band \
+                 (gpmr {:.1}s, gw {:.1}s)",
+                gpmr.total,
+                gw.total
+            );
+        }
+    }
+
+    #[test]
+    fn many_centers_penalty_hurts_gpmr() {
+        let app = AppParams::km_many_centers();
+        let cluster = ClusterParams::das4_gpu_local();
+        let fair = simulate_gpmr(&app, &cluster, 4, 1.0);
+        let penalised = simulate_gpmr(&app, &cluster, 4, 6.0);
+        assert!(penalised.total > fair.total * 2.0);
+    }
+
+    #[test]
+    fn compute_only_excludes_io() {
+        let app = AppParams::km_few_centers();
+        let cluster = ClusterParams::das4_gpu_local();
+        let o = simulate_gpmr(&app, &cluster, 2, 1.0);
+        assert!(o.compute_only() < o.total);
+        assert!(o.compute_only() > 0.0);
+    }
+}

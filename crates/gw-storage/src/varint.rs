@@ -1,0 +1,134 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! Used by the SeqFile record format and by the intermediate-data
+//! serialization: MapReduce intermediate data is dominated by short keys and
+//! values, so length prefixes must be compact (1 byte for lengths < 128).
+
+/// Append `value` to `out` as a LEB128 varint. Returns bytes written.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a varint from the front of `buf`. Returns `(value, bytes_read)`,
+/// or `None` if the buffer is truncated or the varint overflows u64.
+#[inline]
+pub fn read_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None; // overflow
+        }
+        let chunk = (byte & 0x7f) as u64;
+        // Reject bits that would shift past 64 (canonical-range check).
+        if shift == 63 && chunk > 1 {
+            return None;
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None // truncated
+}
+
+/// Encoded size of `value` in bytes (1..=10).
+#[inline]
+pub fn size_u64(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Convenience: write a `usize` length.
+#[inline]
+pub fn write_len(out: &mut Vec<u8>, len: usize) -> usize {
+    write_u64(out, len as u64)
+}
+
+/// Convenience: read a `usize` length.
+#[inline]
+pub fn read_len(buf: &[u8]) -> Option<(usize, usize)> {
+    read_u64(buf).map(|(v, n)| (v as usize, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut out = Vec::new();
+        write_u64(&mut out, 0);
+        assert_eq!(out, [0]);
+        out.clear();
+        write_u64(&mut out, 127);
+        assert_eq!(out, [127]);
+        out.clear();
+        write_u64(&mut out, 128);
+        assert_eq!(out, [0x80, 0x01]);
+        out.clear();
+        write_u64(&mut out, 300);
+        assert_eq!(out, [0xAC, 0x02]);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        assert_eq!(read_u64(&[]), None);
+        assert_eq!(read_u64(&[0x80]), None);
+        assert_eq!(read_u64(&[0x80, 0x80]), None);
+    }
+
+    #[test]
+    fn oversized_varint_is_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let bad = [0xFFu8; 11];
+        assert_eq!(read_u64(&bad), None);
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let mut out = Vec::new();
+        write_u64(&mut out, u64::MAX);
+        assert_eq!(out.len(), 10);
+        assert_eq!(read_u64(&out), Some((u64::MAX, 10)));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            let written = write_u64(&mut out, v);
+            prop_assert_eq!(written, out.len());
+            prop_assert_eq!(written, size_u64(v));
+            let (back, read) = read_u64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(read, written);
+        }
+
+        #[test]
+        fn roundtrip_with_trailing_garbage(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut out = Vec::new();
+            let written = write_u64(&mut out, v);
+            out.extend_from_slice(&tail);
+            let (back, read) = read_u64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(read, written);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: word-count a small corpus on a 2-node in-process Glasswing
+//! cluster and print the most frequent words plus the per-stage pipeline
+//! breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use glasswing::apps::codec;
+use glasswing::apps::workloads::{text_corpus, CorpusSpec};
+use glasswing::core::StageId;
+use glasswing::prelude::*;
+
+fn main() {
+    // 1. Generate a Zipf-distributed corpus and load it into the
+    //    HDFS-like store (replication 3, cut into record-aligned blocks).
+    let spec = CorpusSpec {
+        lines: 2000,
+        words_per_line: 12,
+        vocabulary: 2000,
+        zipf_s: 1.05,
+        seed: 7,
+    };
+    let corpus = text_corpus(&spec);
+    let nodes = 2;
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes)));
+    dfs.write_records(
+        "/quickstart/in",
+        NodeId(0),
+        64 << 10,
+        3,
+        corpus.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .expect("load input");
+
+    // 2. Configure the job: hash-table collection with the WordCount
+    //    combiner, double buffering — the paper's preferred configuration.
+    let mut cfg = JobConfig::new("/quickstart/in", "/quickstart/out");
+    cfg.buffering = Buffering::Double;
+    cfg.collector = CollectorKind::HashTable;
+    cfg.partitions_per_node = 2;
+
+    // 3. Run on the in-process cluster.
+    let cluster = Cluster::new(dfs, NetProfile::ipoib_qdr());
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &cfg)
+        .expect("job failed");
+
+    // 4. Inspect the output.
+    let mut counts: Vec<(String, u64)> = read_job_output(cluster.store(), &report)
+        .expect("read output")
+        .into_iter()
+        .map(|(k, v)| (String::from_utf8_lossy(&k).into_owned(), codec::dec_u64(&v)))
+        .collect();
+    counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+
+    println!("== WordCount on {} lines, {} nodes ==", spec.lines, nodes);
+    println!("total distinct words: {}", counts.len());
+    println!("top 10:");
+    for (word, count) in counts.iter().take(10) {
+        println!("  {word:<12} {count}");
+    }
+
+    println!("\n== job report ==");
+    println!("elapsed:      {:?}", report.elapsed);
+    println!("merge delay:  {:?}", report.merge_delay());
+    println!("records in:   {}", report.records_mapped());
+    println!("records out:  {}", report.records_out());
+    let timers = report.map_timers_total();
+    println!("map pipeline stage totals (all nodes):");
+    for stage in StageId::ALL {
+        println!("  {:<10} {:?}", stage.name(), timers.wall(stage));
+    }
+}

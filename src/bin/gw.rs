@@ -1,0 +1,320 @@
+//! `gw` — command-line driver for the Glasswing reproduction.
+//!
+//! ```text
+//! gw wordcount  [--nodes N] [--lines L] [--collector hash|pool] [--no-combiner]
+//! gw pageviews  [--nodes N] [--entries E]
+//! gw terasort   [--nodes N] [--records R] [--partitions-per-node P]
+//! gw kmeans     [--nodes N] [--points P] [--centers K] [--dims D] [--iterations I] [--device cpu|gtx480|k20m|phi]
+//! gw matmul     [--nodes N] [--n SIZE] [--tile T]
+//! gw simulate   --app pvc|wc|ts|km|km64|mm --framework glasswing|hadoop|gpmr [--nodes-list 1,2,4,...]
+//! ```
+//!
+//! Every job runs on an in-process cluster over the HDFS-like store,
+//! prints a timing report, and verifies its output against the sequential
+//! reference implementation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{self, CorpusSpec, KmeansSpec, LogSpec, MatmulSpec};
+use glasswing::apps::{codec, reference, MatMul, PageviewCount, TeraSort, WordCount};
+use glasswing::core::StageId;
+use glasswing::prelude::*;
+use glasswing::sim;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, opts)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = match cmd.as_str() {
+        "wordcount" => wordcount(&opts),
+        "pageviews" => pageviews(&opts),
+        "terasort" => terasort(&opts),
+        "kmeans" => kmeans(&opts),
+        "matmul" => matmul(&opts),
+        "simulate" => simulate(&opts),
+        _ => {
+            eprintln!("unknown command `{cmd}`\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage: gw <wordcount|pageviews|terasort|kmeans|matmul|simulate> [--opt value]...
+run `gw <command> --help` hints inline; see README.md for details";
+
+type Opts = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Opts)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut opts = HashMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?.to_string();
+        // Boolean flags take no value.
+        if key == "no-combiner" || key == "help" {
+            opts.insert(key, "true".into());
+            continue;
+        }
+        let value = it.next()?.clone();
+        opts.insert(key, value);
+    }
+    Some((cmd, opts))
+}
+
+fn get<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_cluster(records: &workloads::Records, nodes: u32, block: usize) -> Cluster {
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes)));
+    dfs.write_records(
+        "/cli/in",
+        NodeId(0),
+        block,
+        3,
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .expect("load input");
+    Cluster::new(dfs, NetProfile::ipoib_qdr())
+}
+
+fn base_cfg(opts: &Opts) -> JobConfig {
+    let mut cfg = JobConfig::new("/cli/in", "/cli/out");
+    cfg.partitions_per_node = get(opts, "partitions-per-node", 2u32);
+    cfg.partition_threads = get(opts, "partition-threads", 2usize);
+    cfg.max_task_retries = get(opts, "retries", 2usize);
+    if let Some(collector) = opts.get("collector") {
+        cfg.collector = match collector.as_str() {
+            "pool" => CollectorKind::BufferPool,
+            _ => CollectorKind::HashTable,
+        };
+    }
+    if let Some(device) = opts.get("device") {
+        cfg.device = match device.as_str() {
+            "gtx480" => DeviceProfile::gtx480(),
+            "k20m" => DeviceProfile::k20m(),
+            "phi" => DeviceProfile::xeon_phi(),
+            _ => DeviceProfile::host(),
+        };
+        if device != "cpu" {
+            cfg.timing = TimingMode::Modeled;
+        }
+    }
+    cfg
+}
+
+fn print_report(report: &JobReport) {
+    println!("\nelapsed:       {:?}", report.elapsed);
+    println!("merge delay:   {:?}", report.merge_delay());
+    println!("records in:    {}", report.records_mapped());
+    println!("records out:   {}", report.records_out());
+    let retried: usize = report.nodes.iter().map(|n| n.map.tasks_retried).sum();
+    if retried > 0 {
+        println!("tasks retried: {retried}");
+    }
+    let timers = report.map_timers_total();
+    println!("map stage totals:");
+    for stage in StageId::ALL {
+        let t = timers.wall(stage);
+        if !t.is_zero() {
+            println!("  {:<10} {t:?}", stage.name());
+        }
+    }
+}
+
+fn wordcount(opts: &Opts) -> Result<(), String> {
+    let spec = CorpusSpec {
+        lines: get(opts, "lines", 20_000),
+        vocabulary: get(opts, "vocabulary", 20_000),
+        ..Default::default()
+    };
+    let nodes = get(opts, "nodes", 2u32);
+    let recs = workloads::text_corpus(&spec);
+    let cluster = build_cluster(&recs, nodes, 128 << 10);
+    let app: Arc<dyn GwApp> = if opts.contains_key("no-combiner") {
+        Arc::new(WordCount::without_combiner())
+    } else {
+        Arc::new(WordCount::new())
+    };
+    let report = cluster.run(app, &base_cfg(opts)).map_err(|e| e.to_string())?;
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    let expect = reference::wordcount(&recs);
+    println!(
+        "wordcount: {} lines, {nodes} nodes, {} distinct words — output {}",
+        spec.lines,
+        out.len(),
+        if out == expect { "VERIFIED" } else { "MISMATCH" }
+    );
+    out.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (w, c) in out.iter().take(5) {
+        println!("  {:<14} {c}", String::from_utf8_lossy(w));
+    }
+    print_report(&report);
+    Ok(())
+}
+
+fn pageviews(opts: &Opts) -> Result<(), String> {
+    let spec = LogSpec {
+        entries: get(opts, "entries", 20_000),
+        ..Default::default()
+    };
+    let nodes = get(opts, "nodes", 2u32);
+    let logs = workloads::web_logs(&spec);
+    let cluster = build_cluster(&logs, nodes, 128 << 10);
+    let report = cluster
+        .run(Arc::new(PageviewCount::new()), &base_cfg(opts))
+        .map_err(|e| e.to_string())?;
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    let verified = out == reference::pageviews(&logs);
+    println!(
+        "pageviews: {} entries, {nodes} nodes, {} distinct URLs — output {}",
+        spec.entries,
+        out.len(),
+        if verified { "VERIFIED" } else { "MISMATCH" }
+    );
+    print_report(&report);
+    Ok(())
+}
+
+fn terasort(opts: &Opts) -> Result<(), String> {
+    let n_records = get(opts, "records", 50_000usize);
+    let nodes = get(opts, "nodes", 2u32);
+    let recs = workloads::teragen(n_records, get(opts, "seed", 42u64));
+    let cluster = build_cluster(&recs, nodes, 256 << 10);
+    let mut cfg = base_cfg(opts);
+    cfg.output_replication = 1;
+    let samples = workloads::sample_keys(&recs, 1000, 7);
+    let app = Arc::new(TeraSort::new(samples, cfg.partitions_per_node * nodes));
+    let report = cluster.run(app, &cfg).map_err(|e| e.to_string())?;
+    let out = read_job_output(cluster.store(), &report).map_err(|e| e.to_string())?;
+    // TeraValidate: total order + order-insensitive checksum vs the input.
+    let vout = glasswing::apps::terasort::validate(
+        out.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    );
+    let vin = glasswing::apps::terasort::validate(
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    );
+    println!(
+        "terasort: {n_records} records, {nodes} nodes — total order {}, checksum {}",
+        if vout.ordered { "VERIFIED" } else { "MISMATCH" },
+        if vout.records == vin.records && vout.checksum == vin.checksum {
+            "VERIFIED"
+        } else {
+            "MISMATCH"
+        },
+    );
+    print_report(&report);
+    Ok(())
+}
+
+fn kmeans(opts: &Opts) -> Result<(), String> {
+    let spec = KmeansSpec {
+        points: get(opts, "points", 30_000),
+        dims: get(opts, "dims", 8),
+        centers: get(opts, "centers", 32),
+        seed: get(opts, "seed", 11u64),
+    };
+    let nodes = get(opts, "nodes", 2u32);
+    let iterations = get(opts, "iterations", 1usize);
+    let pts = workloads::kmeans_points(&spec);
+    let centers = workloads::kmeans_centers(&spec);
+    println!(
+        "kmeans: {} points, {} centers, {} dims, {iterations} iteration(s), {nodes} nodes",
+        spec.points, spec.centers, spec.dims
+    );
+    let cluster = build_cluster(&pts, nodes, 256 << 10);
+    let cfg = base_cfg(opts);
+    let run = glasswing::apps::kmeans::run_iterations(
+        &cluster, &cfg, centers, spec.centers, spec.dims, iterations,
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, m) in run.movements.iter().enumerate() {
+        println!("  iteration {i}: total center movement {m:.3}");
+    }
+    Ok(())
+}
+
+fn matmul(opts: &Opts) -> Result<(), String> {
+    let spec = MatmulSpec {
+        n: get(opts, "n", 64),
+        tile: get(opts, "tile", 16),
+        seed: get(opts, "seed", 23u64),
+    };
+    let nodes = get(opts, "nodes", 2u32);
+    let w = workloads::matmul_workload(&spec);
+    let cluster = build_cluster(&w.records, nodes, 256 << 10);
+    let app = Arc::new(MatMul::new(spec.tile));
+    let report = cluster.run(app, &base_cfg(opts)).map_err(|e| e.to_string())?;
+    let out = read_job_output(cluster.store(), &report).map_err(|e| e.to_string())?;
+    let got = reference::assemble_tiles(&out, spec.n, spec.tile);
+    let expect = reference::matmul(&w.a, &w.b);
+    let diff = reference::max_abs_diff(&got, &expect);
+    println!(
+        "matmul: {0}x{0} in {1}x{1} tiles, {nodes} nodes — max |err| {diff:.2e} ({2})",
+        spec.n,
+        spec.tile,
+        if diff < 1e-2 { "VERIFIED" } else { "MISMATCH" }
+    );
+    print_report(&report);
+    Ok(())
+}
+
+fn simulate(opts: &Opts) -> Result<(), String> {
+    let app = match opts.get("app").map(|s| s.as_str()) {
+        Some("pvc") => sim::AppParams::pvc(),
+        Some("wc") | None => sim::AppParams::wc(),
+        Some("ts") => sim::AppParams::ts(),
+        Some("km") => sim::AppParams::km_many_centers(),
+        Some("km64") => sim::AppParams::km_few_centers(),
+        Some("mm") => sim::AppParams::mm(),
+        Some(other) => return Err(format!("unknown app `{other}`")),
+    };
+    let framework = match opts.get("framework").map(|s| s.as_str()) {
+        Some("hadoop") => sim::FrameworkKind::Hadoop,
+        Some("gpmr") => sim::FrameworkKind::GPMR,
+        _ => sim::FrameworkKind::Glasswing,
+    };
+    let cluster = match opts.get("cluster").map(|s| s.as_str()) {
+        Some("gpu") => sim::ClusterParams::das4_gpu_hdfs(),
+        Some("gpu-local") => sim::ClusterParams::das4_gpu_local(),
+        _ => sim::ClusterParams::das4_cpu_hdfs(),
+    };
+    let nodes: Vec<usize> = opts
+        .get("nodes-list")
+        .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(sim::sweep::paper_node_counts);
+    println!(
+        "simulate: {} under {} ({:?} storage)",
+        app.name,
+        framework.name(),
+        cluster.storage
+    );
+    println!("{:>6} | {:>12} | {:>10} | {:>10} | {:>10}", "nodes", "total (s)", "map", "merge", "reduce");
+    for &n in &nodes {
+        let r = sim::sweep::simulate(framework, &app, &cluster, n);
+        println!(
+            "{n:>6} | {:>12.1} | {:>10.1} | {:>10.1} | {:>10.1}",
+            r.total, r.map_phase, r.merge_phase, r.reduce_phase
+        );
+    }
+    Ok(())
+}

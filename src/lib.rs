@@ -1,0 +1,68 @@
+//! # Glasswing-rs
+//!
+//! A Rust reproduction of **Glasswing** — *"Scaling MapReduce Vertically
+//! and Horizontally"* (El-Helw, Hofman, Bal; SC 2014): a MapReduce
+//! framework built around a 5-stage pipeline that overlaps disk I/O,
+//! host↔device transfers, kernel computation and network communication,
+//! with OpenCL-style fine-grained parallelism inside every node.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`gw-core`) — the engine: pipelines, collectors, cluster
+//!   runtime, configuration and schedule model;
+//! * [`device`] (`gw-device`) — the OpenCL-like compute-device layer;
+//! * [`storage`] (`gw-storage`) — HDFS-like DFS, local FS, SeqFile format;
+//! * [`net`] (`gw-net`) — the throttled in-process cluster fabric;
+//! * [`intermediate`] (`gw-intermediate`) — partition cache, compression,
+//!   spills and k-way merging;
+//! * [`apps`] (`gw-apps`) — the paper's five evaluation applications;
+//! * [`baseline`] (`gw-baseline`) — Hadoop-model and GPMR-model engines;
+//! * [`sim`] (`gw-sim`) — the discrete-event cluster simulator behind the
+//!   horizontal-scalability figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use glasswing::prelude::*;
+//!
+//! // A 2-node in-process cluster over an HDFS-like store.
+//! let dfs = Arc::new(Dfs::new(DfsConfig::new(2).free_io()));
+//! let lines = [
+//!     ("l1", "glasswing scales mapreduce"),
+//!     ("l2", "mapreduce scales with glasswing"),
+//! ];
+//! dfs.write_records(
+//!     "/demo/in", NodeId(0), 64, 2,
+//!     lines.iter().map(|(k, v)| (k.as_bytes(), v.as_bytes())),
+//! ).unwrap();
+//!
+//! let cluster = Cluster::new(dfs, NetProfile::unlimited());
+//! let cfg = JobConfig::new("/demo/in", "/demo/out");
+//! let report = cluster.run(Arc::new(WordCount::new()), &cfg).unwrap();
+//! let output = read_job_output(cluster.store(), &report).unwrap();
+//! assert!(output.iter().any(|(k, _)| k == b"glasswing"));
+//! ```
+
+pub use gw_apps as apps;
+pub use gw_baseline as baseline;
+pub use gw_core as core;
+pub use gw_device as device;
+pub use gw_intermediate as intermediate;
+pub use gw_net as net;
+pub use gw_sim as sim;
+pub use gw_storage as storage;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use gw_apps::{KMeans, MatMul, PageviewCount, TeraSort, WordCount};
+    pub use gw_core::cluster::read_job_output;
+    pub use gw_core::{
+        Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport, NodeId,
+        TimingMode,
+    };
+    pub use gw_device::DeviceProfile;
+    pub use gw_net::NetProfile;
+    pub use gw_storage::split::{FileStore, FileStoreExt};
+    pub use gw_storage::{Dfs, DfsConfig, LocalFs};
+}

@@ -1,0 +1,307 @@
+//! End-to-end integration tests: every paper application executed on the
+//! real Glasswing engine (multi-node, push shuffle, background merging,
+//! pipelined reduce) and validated bit-for-bit (or within float tolerance)
+//! against its sequential reference implementation.
+
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{self, CorpusSpec, KmeansSpec, LogSpec, MatmulSpec};
+use glasswing::apps::{codec, reference, KMeans, MatMul, PageviewCount, TeraSort, WordCount};
+use glasswing::prelude::*;
+
+fn dfs_with(records: &workloads::Records, nodes: u32, block: usize) -> Arc<Dfs> {
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/job/in",
+        NodeId(0),
+        block,
+        3,
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    dfs
+}
+
+fn small_cfg() -> JobConfig {
+    let mut cfg = JobConfig::new("/job/in", "/job/out");
+    cfg.device_threads = 2;
+    cfg.partition_threads = 2;
+    cfg.collector_capacity = 1 << 20;
+    cfg.cache_threshold = 1 << 18;
+    cfg
+}
+
+fn run_job(
+    cluster: &Cluster,
+    app: Arc<dyn GwApp>,
+    cfg: &JobConfig,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let report = cluster.run(app, cfg).unwrap();
+    read_job_output(cluster.store(), &report).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// WordCount
+// ---------------------------------------------------------------------------
+
+fn check_wordcount(nodes: u32, collector: CollectorKind, combiner: bool) {
+    let spec = CorpusSpec {
+        lines: 300,
+        words_per_line: 10,
+        vocabulary: 400,
+        zipf_s: 1.05,
+        seed: 99,
+    };
+    let recs = workloads::text_corpus(&spec);
+    let cluster = Cluster::new(dfs_with(&recs, nodes, 4096), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.collector = collector;
+    cfg.partitions_per_node = 2;
+    let app: Arc<dyn GwApp> = if combiner {
+        Arc::new(WordCount::new())
+    } else {
+        Arc::new(WordCount::without_combiner())
+    };
+    let mut out: Vec<(Vec<u8>, u64)> = run_job(&cluster, app, &cfg)
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}
+
+#[test]
+fn wordcount_hash_table_with_combiner_4_nodes() {
+    check_wordcount(4, CollectorKind::HashTable, true);
+}
+
+#[test]
+fn wordcount_hash_table_without_combiner_2_nodes() {
+    check_wordcount(2, CollectorKind::HashTable, false);
+}
+
+#[test]
+fn wordcount_buffer_pool_3_nodes() {
+    check_wordcount(3, CollectorKind::BufferPool, false);
+}
+
+// ---------------------------------------------------------------------------
+// Pageview Count
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pageview_count_matches_reference() {
+    let spec = LogSpec {
+        entries: 600,
+        hot_urls: 20,
+        hot_fraction: 0.15,
+        seed: 5,
+    };
+    let logs = workloads::web_logs(&spec);
+    let cluster = Cluster::new(dfs_with(&logs, 3, 8192), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.partitions_per_node = 2;
+    let mut out: Vec<(Vec<u8>, u64)> = run_job(&cluster, Arc::new(PageviewCount::new()), &cfg)
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::pageviews(&logs));
+    // Sparse URL space: most keys unique.
+    let total: u64 = out.iter().map(|(_, c)| c).sum();
+    assert_eq!(total as usize, spec.entries);
+}
+
+// ---------------------------------------------------------------------------
+// TeraSort
+// ---------------------------------------------------------------------------
+
+#[test]
+fn terasort_produces_total_order_across_partitions() {
+    let recs = workloads::teragen(1500, 77);
+    let nodes = 4u32;
+    let cluster = Cluster::new(dfs_with(&recs, nodes, 16 << 10), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.partitions_per_node = 2;
+    cfg.output_replication = 1; // the paper's TS output configuration
+    let total_partitions = cfg.partitions_per_node * nodes;
+    let samples = workloads::sample_keys(&recs, 200, 3);
+    let app = Arc::new(TeraSort::new(samples, total_partitions));
+    let out = run_job(&cluster, app, &cfg);
+    // Exactly the input multiset, globally sorted.
+    assert_eq!(out.len(), recs.len());
+    assert!(
+        out.windows(2).all(|w| w[0] <= w[1]),
+        "output must be totally ordered across partition files"
+    );
+    assert_eq!(out, reference::terasort(&recs));
+}
+
+#[test]
+fn terasort_single_node_degenerates_gracefully() {
+    let recs = workloads::teragen(200, 8);
+    let cluster = Cluster::new(dfs_with(&recs, 1, 4 << 10), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.output_replication = 1;
+    let app = Arc::new(TeraSort::new(workloads::sample_keys(&recs, 50, 1), 1));
+    let out = run_job(&cluster, app, &cfg);
+    assert_eq!(out, reference::terasort(&recs));
+}
+
+// ---------------------------------------------------------------------------
+// K-Means
+// ---------------------------------------------------------------------------
+
+fn check_kmeans(nodes: u32, combiner: bool) {
+    let spec = KmeansSpec {
+        points: 2000,
+        dims: 4,
+        centers: 12,
+        seed: 31,
+    };
+    let pts = workloads::kmeans_points(&spec);
+    let centers = workloads::kmeans_centers(&spec);
+    let cluster = Cluster::new(dfs_with(&pts, nodes, 8 << 10), NetProfile::unlimited());
+    let cfg = small_cfg();
+    let app = KMeans::new(centers.clone(), spec.centers, spec.dims);
+    let app = if combiner { app } else { app.without_combiner() };
+    let app = Arc::new(app);
+    let reference_app = KMeans::new(centers, spec.centers, spec.dims);
+    let expect = reference::kmeans_iteration(&pts, &reference_app);
+
+    let out = run_job(&cluster, app, &cfg);
+    assert_eq!(out.len(), expect.len(), "one record per non-empty center");
+    for (k, v) in out {
+        let c = codec::dec_key_u32(&k);
+        let got = codec::get_f32s(&v);
+        let (_, want) = expect
+            .iter()
+            .find(|(ec, _)| *ec == c)
+            .unwrap_or_else(|| panic!("unexpected center {c}"));
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g - w).abs() < 0.01 + w.abs() * 1e-4,
+                "center {c}: {g} vs {w} (f32 summation tolerance exceeded)"
+            );
+        }
+    }
+}
+
+#[test]
+fn kmeans_with_combiner_matches_reference() {
+    check_kmeans(3, true);
+}
+
+#[test]
+fn kmeans_without_combiner_matches_reference() {
+    check_kmeans(2, false);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Multiply
+// ---------------------------------------------------------------------------
+
+fn check_matmul(nodes: u32, combiner: bool) {
+    let spec = MatmulSpec {
+        n: 32,
+        tile: 8,
+        seed: 17,
+    };
+    let w = workloads::matmul_workload(&spec);
+    let cluster = Cluster::new(dfs_with(&w.records, nodes, 8 << 10), NetProfile::unlimited());
+    let cfg = small_cfg();
+    let app = MatMul::new(spec.tile);
+    let app = if combiner { app } else { app.without_combiner() };
+    let out = run_job(&cluster, Arc::new(app), &cfg);
+    assert_eq!(
+        out.len(),
+        w.tiles * w.tiles,
+        "one output record per result tile"
+    );
+    let got = reference::assemble_tiles(&out, spec.n, spec.tile);
+    let expect = reference::matmul(&w.a, &w.b);
+    let diff = reference::max_abs_diff(&got, &expect);
+    assert!(diff < 1e-3, "max elementwise error {diff}");
+}
+
+#[test]
+fn matmul_with_combiner_matches_reference() {
+    check_matmul(2, true);
+}
+
+#[test]
+fn matmul_without_combiner_matches_reference() {
+    check_matmul(3, false);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-cutting engine behaviour on real apps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn throttled_network_does_not_change_results() {
+    let spec = CorpusSpec {
+        lines: 120,
+        vocabulary: 100,
+        ..Default::default()
+    };
+    let recs = workloads::text_corpus(&spec);
+    // A slow (but not glacial) fabric: results must be identical.
+    let cluster = Cluster::new(
+        dfs_with(&recs, 2, 4096),
+        NetProfile::slow_test(20.0e6),
+    );
+    let mut out: Vec<(Vec<u8>, u64)> = run_job(&cluster, Arc::new(WordCount::new()), &small_cfg())
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}
+
+#[test]
+fn simulated_gpu_cluster_matches_reference() {
+    let spec = KmeansSpec {
+        points: 800,
+        dims: 3,
+        centers: 6,
+        seed: 13,
+    };
+    let pts = workloads::kmeans_points(&spec);
+    let centers = workloads::kmeans_centers(&spec);
+    let cluster = Cluster::new(dfs_with(&pts, 2, 8 << 10), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.device = DeviceProfile::gtx480();
+    cfg.timing = TimingMode::Modeled;
+    let app = Arc::new(KMeans::new(centers.clone(), spec.centers, spec.dims));
+    let report = cluster.run(app, &cfg).unwrap();
+    let out = read_job_output(cluster.store(), &report).unwrap();
+    let expect = reference::kmeans_iteration(&pts, &KMeans::new(centers, spec.centers, spec.dims));
+    assert_eq!(out.len(), expect.len());
+    // GPU pipeline exercises Stage/Retrieve.
+    let timers = report.map_timers_total();
+    assert!(timers.modeled(glasswing::core::StageId::Stage) > std::time::Duration::ZERO);
+}
+
+#[test]
+fn many_partitions_per_node_preserve_results() {
+    let spec = CorpusSpec {
+        lines: 150,
+        vocabulary: 200,
+        ..Default::default()
+    };
+    let recs = workloads::text_corpus(&spec);
+    let cluster = Cluster::new(dfs_with(&recs, 2, 2048), NetProfile::unlimited());
+    let mut cfg = small_cfg();
+    cfg.partitions_per_node = 4;
+    cfg.merger_threads = 4;
+    let report = cluster.run(Arc::new(WordCount::new()), &cfg).unwrap();
+    assert_eq!(report.output_files().len(), 8);
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}

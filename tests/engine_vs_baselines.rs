@@ -1,0 +1,153 @@
+//! Cross-engine validation: the Glasswing engine, the Hadoop-model
+//! baseline, and the GPMR-model baseline must produce identical results
+//! from the same input — the paper "verified the output of Glasswing and
+//! Hadoop applications to be identical and correct".
+
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{self, CorpusSpec, KmeansSpec};
+use glasswing::apps::{codec, reference, KMeans, WordCount};
+use glasswing::baseline::{GpmrCluster, GpmrConfig, HadoopCluster, HadoopConfig};
+use glasswing::prelude::*;
+
+fn counts(records: Vec<(Vec<u8>, Vec<u8>)>) -> Vec<(Vec<u8>, u64)> {
+    let mut out: Vec<(Vec<u8>, u64)> = records
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn three_engines_agree_on_wordcount() {
+    let spec = CorpusSpec {
+        lines: 200,
+        vocabulary: 150,
+        ..Default::default()
+    };
+    let recs = workloads::text_corpus(&spec);
+    let expect = reference::wordcount(&recs);
+    let nodes = 2u32;
+
+    // Glasswing engine on DFS.
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/in",
+        NodeId(0),
+        4096,
+        3,
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let mut cfg = JobConfig::new("/in", "/gw-out");
+    cfg.device_threads = 2;
+    let report = gw.run(Arc::new(WordCount::new()), &cfg).unwrap();
+    let gw_out = counts(read_job_output(gw.store(), &report).unwrap());
+    assert_eq!(gw_out, expect);
+
+    // Hadoop-model engine on the same DFS.
+    let hadoop = HadoopCluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>);
+    let hcfg = HadoopConfig::new("/in", "/hadoop-out");
+    hadoop.run(Arc::new(WordCount::new()), &hcfg).unwrap();
+    let h_out = counts(hadoop.read_output(&hcfg).unwrap());
+    assert_eq!(h_out, expect);
+
+    // GPMR-model engine on a local FS copy.
+    let local = Arc::new(LocalFs::new(nodes));
+    local
+        .write_records(
+            "/in",
+            NodeId(0),
+            4096,
+            1,
+            recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .unwrap();
+    let gpmr = GpmrCluster::new(local as Arc<dyn FileStore>);
+    let gcfg = GpmrConfig::new("/in", "/gpmr-out");
+    gpmr.run(Arc::new(WordCount::without_combiner()), &gcfg)
+        .unwrap();
+    let g_out = counts(gpmr.read_output(&gcfg).unwrap());
+    assert_eq!(g_out, expect);
+}
+
+#[test]
+fn glasswing_and_hadoop_agree_on_kmeans() {
+    let spec = KmeansSpec {
+        points: 600,
+        dims: 3,
+        centers: 8,
+        seed: 21,
+    };
+    let pts = workloads::kmeans_points(&spec);
+    let centers = workloads::kmeans_centers(&spec);
+    let nodes = 2u32;
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/in",
+        NodeId(0),
+        8192,
+        3,
+        pts.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+
+    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let mut cfg = JobConfig::new("/in", "/gw-out");
+    cfg.device_threads = 2;
+    let app = Arc::new(KMeans::new(centers.clone(), spec.centers, spec.dims));
+    let report = gw.run(Arc::clone(&app) as Arc<dyn GwApp>, &cfg).unwrap();
+    let gw_out = read_job_output(gw.store(), &report).unwrap();
+
+    let hadoop = HadoopCluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>);
+    let hcfg = HadoopConfig::new("/in", "/hadoop-out");
+    hadoop.run(app, &hcfg).unwrap();
+    let h_out = hadoop.read_output(&hcfg).unwrap();
+
+    assert_eq!(gw_out.len(), h_out.len());
+    let lookup: std::collections::HashMap<Vec<u8>, Vec<u8>> = h_out.into_iter().collect();
+    for (k, v) in gw_out {
+        let hv = lookup.get(&k).expect("center present in both");
+        let a = codec::get_f32s(&v);
+        let b = codec::get_f32s(hv);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.01, "center mismatch: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn hadoop_terasort_equals_glasswing_terasort() {
+    use glasswing::apps::TeraSort;
+    let recs = workloads::teragen(500, 19);
+    let nodes = 2u32;
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/in",
+        NodeId(0),
+        8 << 10,
+        3,
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    let samples = workloads::sample_keys(&recs, 100, 2);
+
+    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let mut cfg = JobConfig::new("/in", "/gw-out");
+    cfg.device_threads = 2;
+    cfg.output_replication = 1;
+    let app = Arc::new(TeraSort::new(samples.clone(), nodes));
+    let report = gw.run(Arc::clone(&app) as Arc<dyn GwApp>, &cfg).unwrap();
+    let gw_out = read_job_output(gw.store(), &report).unwrap();
+
+    let hadoop = HadoopCluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>);
+    let mut hcfg = HadoopConfig::new("/in", "/hadoop-out");
+    hcfg.output_replication = 1;
+    hadoop.run(app, &hcfg).unwrap();
+    let h_out = hadoop.read_output(&hcfg).unwrap();
+
+    assert_eq!(gw_out, h_out);
+    assert_eq!(gw_out, reference::terasort(&recs));
+}

@@ -1,0 +1,194 @@
+//! Task-failure handling (paper §III-E).
+//!
+//! The original Glasswing "currently does not handle task failure", noting
+//! that "the standard approach ... is re-execution: if a task fails, its
+//! partial output is discarded and its input is rescheduled for
+//! processing. Addition of this functionality would consist of bookkeeping
+//! only". This reproduction implements that bookkeeping: map chunks whose
+//! kernel fails are discarded (collector reset) and re-executed up to
+//! `max_task_retries` times; exhausted budgets fail the job cleanly — on a
+//! multi-node cluster a dying node must not hang its peers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use glasswing::apps::codec::{dec_u64, enc_u64};
+use glasswing::core::EngineError;
+use glasswing::prelude::*;
+
+/// Word count whose map panics the first `failures` times it sees the
+/// poison marker, then behaves normally — a transient task fault.
+struct FlakyWordCount {
+    remaining_failures: AtomicUsize,
+    poison: &'static [u8],
+}
+
+impl FlakyWordCount {
+    fn new(failures: usize, poison: &'static [u8]) -> Self {
+        FlakyWordCount {
+            remaining_failures: AtomicUsize::new(failures),
+            poison,
+        }
+    }
+}
+
+impl GwApp for FlakyWordCount {
+    fn name(&self) -> &'static str {
+        "flaky-wordcount"
+    }
+
+    fn map(&self, _key: &[u8], value: &[u8], emit: &Emit<'_>) {
+        for word in value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            if word == self.poison {
+                let left = self.remaining_failures.load(Ordering::SeqCst);
+                if left > 0
+                    && self
+                        .remaining_failures
+                        .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    panic!("injected transient map fault");
+                }
+            }
+            emit.emit(word, &enc_u64(1));
+        }
+    }
+
+    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+        if state.is_empty() {
+            state.extend_from_slice(&enc_u64(0));
+        }
+        let mut acc = dec_u64(state);
+        for v in values {
+            acc += dec_u64(v);
+        }
+        state.copy_from_slice(&enc_u64(acc));
+        if last {
+            emit.emit(key, &enc_u64(acc));
+        }
+    }
+}
+
+/// Reducer that always panics — a deterministic reduce-side fault.
+struct PoisonReduce;
+impl GwApp for PoisonReduce {
+    fn name(&self) -> &'static str {
+        "poison-reduce"
+    }
+    fn map(&self, key: &[u8], value: &[u8], emit: &Emit<'_>) {
+        emit.emit(key, value);
+    }
+    fn reduce(&self, _: &[u8], _: &[&[u8]], _: &mut Vec<u8>, _: bool, _: &Emit<'_>) {
+        panic!("injected reduce fault");
+    }
+}
+
+fn cluster_with_lines(nodes: u32, lines: &[&str]) -> Cluster {
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    let records: Vec<(Vec<u8>, Vec<u8>)> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (format!("{i:04}").into_bytes(), l.as_bytes().to_vec()))
+        .collect();
+    dfs.write_records(
+        "/ft/in",
+        NodeId(0),
+        64,
+        3,
+        records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    Cluster::new(dfs, NetProfile::unlimited())
+}
+
+fn cfg(retries: usize) -> JobConfig {
+    let mut cfg = JobConfig::new("/ft/in", "/ft/out");
+    cfg.device_threads = 1;
+    cfg.partition_threads = 1;
+    cfg.max_task_retries = retries;
+    cfg
+}
+
+const LINES: &[&str] = &[
+    "alpha beta gamma",
+    "beta POISON beta",
+    "gamma alpha alpha",
+    "delta beta gamma",
+];
+
+#[test]
+fn transient_map_fault_is_reexecuted_and_output_is_correct() {
+    let cluster = cluster_with_lines(2, LINES);
+    let app = Arc::new(FlakyWordCount::new(2, b"POISON"));
+    let report = cluster.run(app, &cfg(3)).unwrap();
+    let retried: usize = report.nodes.iter().map(|n| n.map.tasks_retried).sum();
+    assert!(retried >= 1, "the fault must have triggered a re-execution");
+    let mut out: Vec<(Vec<u8>, u64)> = glasswing::core::cluster::read_job_output(
+        cluster.store(),
+        &report,
+    )
+    .unwrap()
+    .into_iter()
+    .map(|(k, v)| (k, dec_u64(&v)))
+    .collect();
+    out.sort();
+    // Discard-and-reexecute must not duplicate the poisoned chunk's output.
+    let beta = out.iter().find(|(k, _)| k == b"beta").unwrap().1;
+    assert_eq!(beta, 4, "partial output of failed attempts must be discarded");
+    let alpha = out.iter().find(|(k, _)| k == b"alpha").unwrap().1;
+    assert_eq!(alpha, 3);
+    assert_eq!(out.iter().find(|(k, _)| k == b"POISON").unwrap().1, 1);
+}
+
+#[test]
+fn exhausted_retry_budget_fails_the_job_cleanly() {
+    let cluster = cluster_with_lines(1, LINES);
+    // More injected failures than the retry budget allows.
+    let app = Arc::new(FlakyWordCount::new(10, b"POISON"));
+    let err = cluster.run(app, &cfg(1)).unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+}
+
+#[test]
+fn map_fault_on_one_node_does_not_hang_the_cluster() {
+    // 3 nodes; the fault fires on whichever node claims the poisoned
+    // split. Without the failure-path MapDone broadcast the other two
+    // nodes would wait forever in their merge phase.
+    let cluster = cluster_with_lines(3, LINES);
+    let app = Arc::new(FlakyWordCount::new(10, b"POISON"));
+    let start = std::time::Instant::now();
+    let err = cluster.run(app, &cfg(0)).unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "failure must propagate promptly, not deadlock"
+    );
+}
+
+#[test]
+fn zero_retries_matches_paper_behaviour() {
+    // With the budget at 0 (the paper's unmodified system) a single
+    // transient fault already kills the job.
+    let cluster = cluster_with_lines(1, LINES);
+    let app = Arc::new(FlakyWordCount::new(1, b"POISON"));
+    let err = cluster.run(app, &cfg(0)).unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed(_)));
+}
+
+#[test]
+fn reduce_fault_fails_cleanly_without_retry() {
+    let cluster = cluster_with_lines(2, LINES);
+    let err = cluster.run(Arc::new(PoisonReduce), &cfg(3)).unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+}
+
+#[test]
+fn retries_do_not_perturb_healthy_jobs() {
+    let cluster = cluster_with_lines(2, LINES);
+    let app = Arc::new(FlakyWordCount::new(0, b"POISON"));
+    let report = cluster.run(app, &cfg(3)).unwrap();
+    assert_eq!(
+        report.nodes.iter().map(|n| n.map.tasks_retried).sum::<usize>(),
+        0
+    );
+}

@@ -1,0 +1,158 @@
+//! The paper's *first* form of reduce parallelism (§III-C): "applications
+//! can choose to process each single key with multiple threads. This is
+//! advantageous to compute-intensive applications that can benefit from
+//! parallel reduction."
+//!
+//! These tests run jobs with `reduce_threads_per_key > 1`, verify that
+//! cooperative splits actually happened, and that results stay identical
+//! to the sequential reduction.
+
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{self, CorpusSpec, KmeansSpec};
+use glasswing::apps::{codec, reference, KMeans, WordCount};
+use glasswing::prelude::*;
+
+fn wc_cluster(lines: usize, nodes: u32) -> (Cluster, workloads::Records) {
+    let spec = CorpusSpec {
+        lines,
+        words_per_line: 10,
+        vocabulary: 40, // few keys ⇒ long value lists ⇒ splits trigger
+        zipf_s: 0.9,
+        seed: 321,
+    };
+    let recs = workloads::text_corpus(&spec);
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/pr/in",
+        NodeId(0),
+        4096,
+        3,
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    (Cluster::new(dfs, NetProfile::unlimited()), recs)
+}
+
+fn cfg(threads_per_key: usize) -> JobConfig {
+    let mut cfg = JobConfig::new("/pr/in", "/pr/out");
+    cfg.device_threads = 2;
+    // Disable the combiner path so keys really carry many values.
+    cfg.collector = CollectorKind::BufferPool;
+    cfg.reduce_threads_per_key = threads_per_key;
+    cfg.reduce_max_values_per_chunk = 64;
+    cfg
+}
+
+#[test]
+fn parallel_single_key_reduction_matches_sequential() {
+    let (cluster, recs) = wc_cluster(400, 2);
+    let app = Arc::new(WordCount::without_combiner());
+    let report = cluster.run(app, &cfg(4)).unwrap();
+    let splits: usize = report
+        .nodes
+        .iter()
+        .map(|n| n.reduce.parallel_key_splits)
+        .sum();
+    assert!(splits > 0, "long value lists must trigger cooperative splits");
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}
+
+#[test]
+fn threads_per_key_one_never_splits() {
+    let (cluster, recs) = wc_cluster(200, 1);
+    let report = cluster
+        .run(Arc::new(WordCount::without_combiner()), &cfg(1))
+        .unwrap();
+    assert_eq!(report.nodes[0].reduce.parallel_key_splits, 0);
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}
+
+#[test]
+fn unsupported_apps_fall_back_to_sequential() {
+    // TeraSort has no reduce; use an app whose merge_states is the default
+    // `false`: results must still be exact, with zero splits.
+    struct NoMergeWc(WordCount);
+    impl GwApp for NoMergeWc {
+        fn name(&self) -> &'static str {
+            "wc-no-merge"
+        }
+        fn map(&self, k: &[u8], v: &[u8], e: &Emit<'_>) {
+            self.0.map(k, v, e);
+        }
+        fn reduce(&self, k: &[u8], vs: &[&[u8]], s: &mut Vec<u8>, l: bool, e: &Emit<'_>) {
+            self.0.reduce(k, vs, s, l, e);
+        }
+        // merge_states: default (unsupported)
+    }
+    let (cluster, recs) = wc_cluster(200, 1);
+    let report = cluster
+        .run(Arc::new(NoMergeWc(WordCount::without_combiner())), &cfg(8))
+        .unwrap();
+    assert_eq!(report.nodes[0].reduce.parallel_key_splits, 0);
+    let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, codec::dec_u64(&v)))
+        .collect();
+    out.sort();
+    assert_eq!(out, reference::wordcount(&recs));
+}
+
+#[test]
+fn kmeans_parallel_reduction_matches_reference() {
+    // KM is the paper's poster child for parallel reduction: few keys
+    // (centers), many values (points).
+    let spec = KmeansSpec {
+        points: 2000,
+        dims: 4,
+        centers: 3,
+        seed: 88,
+    };
+    let pts = workloads::kmeans_points(&spec);
+    let centers = workloads::kmeans_centers(&spec);
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(2).free_io()));
+    dfs.write_records(
+        "/pr/in",
+        NodeId(0),
+        8 << 10,
+        3,
+        pts.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    let cluster = Cluster::new(dfs, NetProfile::unlimited());
+    let mut c = cfg(4);
+    c.collector = CollectorKind::BufferPool; // no combiner: long value lists
+    let app = Arc::new(KMeans::new(centers.clone(), spec.centers, spec.dims));
+    let report = cluster.run(app, &c).unwrap();
+    let splits: usize = report
+        .nodes
+        .iter()
+        .map(|n| n.reduce.parallel_key_splits)
+        .sum();
+    assert!(splits > 0);
+    let out = read_job_output(cluster.store(), &report).unwrap();
+    let expect =
+        reference::kmeans_iteration(&pts, &KMeans::new(centers, spec.centers, spec.dims));
+    assert_eq!(out.len(), expect.len());
+    for (k, v) in out {
+        let cidx = codec::dec_key_u32(&k);
+        let got = codec::get_f32s(&v);
+        let (_, want) = expect.iter().find(|(ec, _)| *ec == cidx).unwrap();
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 0.02, "center {cidx}: {g} vs {w}");
+        }
+    }
+}

