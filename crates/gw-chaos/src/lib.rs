@@ -1,0 +1,428 @@
+//! Seeded, deterministic fault injection for the Glasswing engine.
+//!
+//! A [`FaultPlan`] derives a whole fault schedule from one RNG seed: a
+//! node crash at a chosen pipeline site, a per-block storage read fault,
+//! and a shuffle message drop or delay. The engine consults the plan at
+//! well-defined sites through the trait hooks in `gw-storage`
+//! ([`StorageFaultHook`]) and `gw-net` ([`NetFaultHook`]) plus explicit
+//! crash-site probes in the pipelines — everything is pull-based, so an
+//! unarmed engine pays nothing.
+//!
+//! Determinism contract: two plans built from the same seed and node
+//! count schedule identical faults ([`FaultPlan::describe`] is equal), and
+//! each fault fires **at most once per plan instance**. A plan is
+//! therefore single-use; to replay a schedule, build a fresh plan from the
+//! same seed.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Duration;
+
+use gw_net::{NetFaultAction, NetFaultHook};
+use gw_storage::{NodeId, StorageFaultHook};
+
+/// SplitMix64 — a tiny deterministic RNG. In-repo so the fault plane
+/// depends on no external crates and no global entropy.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` clamped to at least 1).
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.gen_range(100) < percent
+    }
+}
+
+/// Pipeline site at which a planned node crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Input stage, after claiming a split (dies holding the claim).
+    Read,
+    /// Stage (H2D) stage.
+    Stage,
+    /// Map kernel stage.
+    Kernel,
+    /// Retrieve (D2H) stage.
+    Retrieve,
+    /// Partition/shuffle stage.
+    Shuffle,
+    /// Reduce kernel — injected as a reduce-task panic, not a node death
+    /// (see [`FaultPlan::reduce_fault_fires`]).
+    Reduce,
+}
+
+impl CrashSite {
+    /// Stable lowercase name (used by [`FaultPlan::describe`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashSite::Read => "read",
+            CrashSite::Stage => "stage",
+            CrashSite::Kernel => "kernel",
+            CrashSite::Retrieve => "retrieve",
+            CrashSite::Shuffle => "shuffle",
+            CrashSite::Reduce => "reduce",
+        }
+    }
+
+    fn from_index(i: u64) -> Self {
+        match i % 6 {
+            0 => CrashSite::Read,
+            1 => CrashSite::Stage,
+            2 => CrashSite::Kernel,
+            3 => CrashSite::Retrieve,
+            4 => CrashSite::Shuffle,
+            _ => CrashSite::Reduce,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CrashFault {
+    node: u32,
+    site: CrashSite,
+    /// Passages of the site survived before the crash fires.
+    after: u32,
+    seen: AtomicU32,
+    fired: AtomicBool,
+}
+
+#[derive(Debug)]
+struct ReadFault {
+    block: usize,
+    fired: AtomicBool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetFaultKind {
+    Drop,
+    Delay(Duration),
+}
+
+#[derive(Debug)]
+struct NetFault {
+    from: u32,
+    to: u32,
+    kind: NetFaultKind,
+    /// Data messages on the (from, to) link let through before firing.
+    nth: u32,
+    seen: AtomicU32,
+    fired: AtomicBool,
+}
+
+/// A deterministic, single-use schedule of injected faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crash: Option<CrashFault>,
+    read: Option<ReadFault>,
+    net: Option<NetFault>,
+}
+
+impl FaultPlan {
+    /// Derive a full fault schedule from `seed` for an `nodes`-node
+    /// cluster. Every plan schedules at least one fault.
+    pub fn from_seed(seed: u64, nodes: u32) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan {
+            seed,
+            ..Default::default()
+        };
+        // ~60% of plans crash a node (or fault a reduce task); storage and
+        // network faults each ~45%, so most seeds combine fault classes.
+        if rng.chance(60) {
+            plan.crash = Some(CrashFault {
+                node: rng.gen_range(nodes.max(1) as u64) as u32,
+                site: CrashSite::from_index(rng.next_u64()),
+                after: rng.gen_range(3) as u32,
+                seen: AtomicU32::new(0),
+                fired: AtomicBool::new(false),
+            });
+        }
+        if rng.chance(45) {
+            plan.read = Some(ReadFault {
+                block: rng.gen_range(8) as usize,
+                fired: AtomicBool::new(false),
+            });
+        }
+        if rng.chance(45) && nodes > 1 {
+            let from = rng.gen_range(nodes as u64) as u32;
+            let to = (from + 1 + rng.gen_range(nodes as u64 - 1) as u32) % nodes;
+            let kind = if rng.chance(50) {
+                NetFaultKind::Drop
+            } else {
+                NetFaultKind::Delay(Duration::from_millis(5 + rng.gen_range(60)))
+            };
+            plan.net = Some(NetFault {
+                from,
+                to,
+                kind,
+                nth: rng.gen_range(4) as u32,
+                seen: AtomicU32::new(0),
+                fired: AtomicBool::new(false),
+            });
+        }
+        if plan.crash.is_none() && plan.read.is_none() && plan.net.is_none() {
+            plan.read = Some(ReadFault {
+                block: rng.gen_range(8) as usize,
+                fired: AtomicBool::new(false),
+            });
+        }
+        plan
+    }
+
+    /// Explicit plan: crash `node` at `site` after surviving
+    /// `after_chunks` passages of that site.
+    pub fn crash(node: u32, site: CrashSite, after_chunks: u32) -> Self {
+        FaultPlan {
+            seed: 0,
+            crash: Some(CrashFault {
+                node,
+                site,
+                after: after_chunks,
+                seen: AtomicU32::new(0),
+                fired: AtomicBool::new(false),
+            }),
+            ..Default::default()
+        }
+    }
+
+    /// Empty plan to extend with the `with_*` builders.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a one-shot read fault on block index `block` (any file).
+    pub fn with_read_fault(mut self, block: usize) -> Self {
+        self.read = Some(ReadFault {
+            block,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Drop the `nth` (0-based) data message on the `from → to` link.
+    pub fn with_net_drop(mut self, from: u32, to: u32, nth: u32) -> Self {
+        self.net = Some(NetFault {
+            from,
+            to,
+            kind: NetFaultKind::Drop,
+            nth,
+            seen: AtomicU32::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Delay the `nth` (0-based) data message on the `from → to` link.
+    pub fn with_net_delay(mut self, from: u32, to: u32, nth: u32, delay: Duration) -> Self {
+        self.net = Some(NetFault {
+            from,
+            to,
+            kind: NetFaultKind::Delay(delay),
+            nth,
+            seen: AtomicU32::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// The seed the plan was derived from (0 for explicit plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether a whole-node crash is scheduled (at a map-side site).
+    pub fn schedules_node_crash(&self) -> bool {
+        self.crash
+            .as_ref()
+            .is_some_and(|c| c.site != CrashSite::Reduce)
+    }
+
+    /// Deterministic human-readable schedule, for reproducibility checks:
+    /// equal seeds (and node counts) must yield equal descriptions.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("seed={:#x}", self.seed)];
+        if let Some(c) = &self.crash {
+            parts.push(format!(
+                "crash(node={},site={},after={})",
+                c.node,
+                c.site.name(),
+                c.after
+            ));
+        }
+        if let Some(r) = &self.read {
+            parts.push(format!("read(block={})", r.block));
+        }
+        if let Some(n) = &self.net {
+            let kind = match n.kind {
+                NetFaultKind::Drop => "drop".to_string(),
+                NetFaultKind::Delay(d) => format!("delay={}ms", d.as_millis()),
+            };
+            parts.push(format!("net({} {}->{},nth={})", kind, n.from, n.to, n.nth));
+        }
+        parts.join(" ")
+    }
+
+    /// Probe a map-pipeline crash site. Returns `true` exactly once — on
+    /// the victim node's `after+1`-th passage of the scheduled site — after
+    /// which the caller must treat the node as crashed.
+    pub fn crash_fires(&self, node: u32, site: CrashSite) -> bool {
+        let Some(c) = &self.crash else { return false };
+        if c.site == CrashSite::Reduce || c.node != node || c.site != site {
+            return false;
+        }
+        let seen = c.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        seen > c.after && !c.fired.swap(true, Ordering::Relaxed)
+    }
+
+    /// Probe the reduce fault for `node`. A [`CrashSite::Reduce`] schedule
+    /// is injected as a reduce-task panic (recovered by the reduce retry
+    /// budget), not as a node death: by the reduce phase a node's merged
+    /// shuffle state is the only copy of its partitions, so whole-node
+    /// reduce crashes are unrecoverable by re-execution alone (see
+    /// DESIGN.md §3.5).
+    pub fn reduce_fault_fires(&self, node: u32) -> bool {
+        let Some(c) = &self.crash else { return false };
+        c.site == CrashSite::Reduce && c.node == node && !c.fired.swap(true, Ordering::Relaxed)
+    }
+}
+
+impl StorageFaultHook for FaultPlan {
+    fn read_fault(&self, _path: &str, block: usize, _source: NodeId) -> bool {
+        let Some(r) = &self.read else { return false };
+        r.block == block && !r.fired.swap(true, Ordering::Relaxed)
+    }
+}
+
+impl NetFaultHook for FaultPlan {
+    fn on_data_message(&self, from: NodeId, to: NodeId) -> NetFaultAction {
+        let Some(f) = &self.net else {
+            return NetFaultAction::Deliver;
+        };
+        if f.from != from.0 || f.to != to.0 || f.fired.load(Ordering::Relaxed) {
+            return NetFaultAction::Deliver;
+        }
+        let seen = f.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen > f.nth && !f.fired.swap(true, Ordering::Relaxed) {
+            match f.kind {
+                NetFaultKind::Drop => NetFaultAction::Drop,
+                NetFaultKind::Delay(d) => NetFaultAction::Delay(d),
+            }
+        } else {
+            NetFaultAction::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF, u64::MAX] {
+            let a = FaultPlan::from_seed(seed, 4);
+            let b = FaultPlan::from_seed(seed, 4);
+            assert_eq!(a.describe(), b.describe(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_plan_schedules_at_least_one_fault() {
+        for seed in 0..200u64 {
+            let p = FaultPlan::from_seed(seed, 4);
+            assert!(
+                p.crash.is_some() || p.read.is_some() || p.net.is_some(),
+                "seed {seed} scheduled nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_fires_once_at_the_right_passage() {
+        let p = FaultPlan::crash(2, CrashSite::Kernel, 2);
+        // Wrong node / site: never fires, never consumes passages.
+        assert!(!p.crash_fires(1, CrashSite::Kernel));
+        assert!(!p.crash_fires(2, CrashSite::Shuffle));
+        // Victim survives `after` passages, dies on the next, only once.
+        assert!(!p.crash_fires(2, CrashSite::Kernel));
+        assert!(!p.crash_fires(2, CrashSite::Kernel));
+        assert!(p.crash_fires(2, CrashSite::Kernel));
+        assert!(!p.crash_fires(2, CrashSite::Kernel));
+    }
+
+    #[test]
+    fn reduce_site_fires_via_reduce_probe_only() {
+        let p = FaultPlan::crash(1, CrashSite::Reduce, 0);
+        assert!(!p.schedules_node_crash());
+        assert!(!p.crash_fires(1, CrashSite::Kernel));
+        assert!(!p.reduce_fault_fires(0));
+        assert!(p.reduce_fault_fires(1));
+        assert!(!p.reduce_fault_fires(1));
+    }
+
+    #[test]
+    fn read_fault_fires_once_on_its_block() {
+        let p = FaultPlan::empty().with_read_fault(3);
+        assert!(!p.read_fault("/f", 0, NodeId(0)));
+        assert!(p.read_fault("/f", 3, NodeId(1)));
+        assert!(!p.read_fault("/f", 3, NodeId(1)));
+    }
+
+    #[test]
+    fn net_fault_fires_on_nth_message_of_its_link() {
+        let p = FaultPlan::empty().with_net_drop(1, 0, 2);
+        // Other links unaffected.
+        assert_eq!(
+            p.on_data_message(NodeId(0), NodeId(1)),
+            NetFaultAction::Deliver
+        );
+        // nth=2: two messages pass, the third drops, later ones pass.
+        assert_eq!(
+            p.on_data_message(NodeId(1), NodeId(0)),
+            NetFaultAction::Deliver
+        );
+        assert_eq!(
+            p.on_data_message(NodeId(1), NodeId(0)),
+            NetFaultAction::Deliver
+        );
+        assert_eq!(p.on_data_message(NodeId(1), NodeId(0)), NetFaultAction::Drop);
+        assert_eq!(
+            p.on_data_message(NodeId(1), NodeId(0)),
+            NetFaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut uniq = xs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), xs.len());
+    }
+}

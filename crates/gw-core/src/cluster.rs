@@ -11,23 +11,50 @@
 //! then the 5-stage reduce pipeline. A shared [`Coordinator`] hands out
 //! splits with locality preference; a [`gw_net::Fabric`] carries the
 //! push-based shuffle.
+//!
+//! ## Fault tolerance
+//!
+//! Arming the cluster with a [`FaultPlan`] ([`Cluster::with_fault_plan`])
+//! switches the job into *supervised* mode: nodes heartbeat the
+//! coordinator, a staleness scan declares silent nodes dead, the dead
+//! node's splits are re-executed by the survivors (reading surviving DFS
+//! replicas), its partitions are adopted, and the shuffle runs it owed or
+//! held are re-produced or re-served from retention buffers — see
+//! DESIGN.md §3.5. The master tolerates [`EngineError::NodeLost`] results
+//! as long as the survivors cover every output partition.
+//! [`JobConfig::job_deadline`] additionally arms a master-side watchdog
+//! (supervised or not) that aborts the job with
+//! [`EngineError::JobTimeout`] when it expires, so no fault — injected or
+//! real — can hang the caller.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::RecvTimeoutError;
+
+use gw_chaos::FaultPlan;
 use gw_device::Device;
-use gw_intermediate::{IntermediateConfig, IntermediateStore, TempDir};
-use gw_net::{Fabric, NetProfile, ShuffleMsg, ShuffleReceiver};
+use gw_intermediate::{IntermediateConfig, IntermediateStore, Run, TempDir};
+use gw_net::{Fabric, NetProfile, ShuffleMsg, ShuffleReceiver, ShuffleSummary};
 use gw_storage::split::{FileStore, FileStoreExt};
 use gw_storage::NodeId;
 
 use crate::api::GwApp;
 use crate::config::JobConfig;
-use crate::coordinator::Coordinator;
+use crate::coordinator::{Coordinator, NodeChaos, RecoveryState, RunKey};
 use crate::map_pipeline::{MapPhase, MapPhaseReport};
 use crate::reduce_pipeline::{ReducePhase, ReducePhaseReport};
 use crate::timers::{StageTimers, TimerReport};
 use crate::EngineError;
+
+/// Supervised receiver poll tick: how often it interleaves liveness scans
+/// and recovery checks with message reception.
+const RX_TICK: Duration = Duration::from_millis(2);
+
+/// Minimum interval between re-requests of the same missing runs.
+const REREQUEST_EVERY: Duration = Duration::from_millis(50);
 
 /// Per-node job outcome.
 #[derive(Debug)]
@@ -57,8 +84,16 @@ pub struct NodeReport {
 pub struct JobReport {
     /// Wall-clock job duration (max across nodes, measured at the master).
     pub elapsed: Duration,
-    /// Per-node reports, indexed by node.
+    /// Per-node reports of the surviving nodes, sorted by node id.
     pub nodes: Vec<NodeReport>,
+    /// Nodes declared dead during the job (0 unless a fault plan was
+    /// armed and a whole-node fault fired).
+    pub nodes_lost: usize,
+    /// Splits requeued and re-executed because their node died.
+    pub splits_rescheduled: usize,
+    /// DFS block reads that failed over to another replica because of a
+    /// dead node or an injected read fault.
+    pub blocks_read_remote_due_to_fault: usize,
 }
 
 impl JobReport {
@@ -115,13 +150,28 @@ impl JobReport {
 pub struct Cluster {
     store: Arc<dyn FileStore>,
     net: NetProfile,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Cluster {
     /// Create a cluster over `store` (its `cluster_size` defines the node
     /// count) with network profile `net`.
     pub fn new(store: Arc<dyn FileStore>, net: NetProfile) -> Self {
-        Cluster { store, net }
+        Cluster {
+            store,
+            net,
+            fault_plan: None,
+        }
+    }
+
+    /// Arm a fault-injection plan for the next job. Plans are single-use:
+    /// each [`Cluster::run`] consumes the armed schedule, so runs after
+    /// the first execute fault-free (but still supervised). A node killed
+    /// by the plan stays dead in the underlying store across later runs on
+    /// this cluster, as a real crashed machine would.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
     }
 
     /// Number of nodes.
@@ -134,15 +184,42 @@ impl Cluster {
         &self.store
     }
 
-    /// Execute `app` under `cfg`, blocking until the job completes.
+    /// Execute `app` under `cfg`, blocking until the job completes, fails
+    /// with a typed error, or exceeds `cfg.job_deadline`.
     pub fn run(&self, app: Arc<dyn GwApp>, cfg: &JobConfig) -> Result<JobReport, EngineError> {
         cfg.validate().map_err(EngineError::Config)?;
         let nodes = self.nodes();
+        let total_partitions = cfg.partitions_per_node * nodes;
         let splits = self.store.splits(&cfg.input)?;
-        let coordinator = Arc::new(Coordinator::new(splits));
-        let mut fabric: Fabric<ShuffleMsg> = Fabric::new(nodes, self.net);
+
+        let mut coordinator = Coordinator::new(splits);
+        if self.fault_plan.is_some() {
+            coordinator.enable_supervision(
+                nodes,
+                total_partitions,
+                cfg.node_timeout,
+                Some(Arc::clone(&self.store)),
+            );
+        }
+        let coordinator = Arc::new(coordinator);
+
+        // Arm the chaos hooks on the storage and network planes for the
+        // duration of the job (the guard disarms storage on every exit).
+        let net_hook = self
+            .fault_plan
+            .as_ref()
+            .map(|p| Arc::clone(p) as Arc<dyn gw_net::NetFaultHook>);
+        let mut fabric: Fabric<ShuffleMsg> = Fabric::with_fault_hook(nodes, self.net, net_hook);
+        if let Some(plan) = &self.fault_plan {
+            self.store
+                .arm_fault_hook(Some(Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>));
+        }
+        let _disarm = DisarmOnDrop(&self.store);
+        let failovers_before = self.store.fault_failovers();
 
         let start = Instant::now();
+        let (res_tx, res_rx) =
+            crossbeam::channel::unbounded::<(u32, Result<NodeReport, EngineError>)>();
         let mut handles = Vec::with_capacity(nodes as usize);
         for n in 0..nodes {
             let node = NodeId(n);
@@ -151,34 +228,328 @@ impl Cluster {
             let store = Arc::clone(&self.store);
             let coordinator = Arc::clone(&coordinator);
             let cfg = cfg.clone();
+            let chaos = self.fault_plan.as_ref().map(|plan| NodeChaos {
+                plan: Arc::clone(plan),
+                recovery: Arc::new(RecoveryState::new()),
+                dead: Arc::new(AtomicBool::new(false)),
+            });
+            let res_tx = res_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("gw-node-{n}"))
-                .spawn(move || -> Result<NodeReport, EngineError> {
-                    run_node(node, nodes, app, store, coordinator, endpoint, &cfg)
+                .spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_node(node, nodes, app, store, coordinator, endpoint, &cfg, chaos)
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(EngineError::TaskFailed("node runtime panicked".into()))
+                    });
+                    let _ = res_tx.send((n, result));
                 })
                 .expect("spawn node runtime");
             handles.push(handle);
         }
-        let mut reports = Vec::with_capacity(handles.len());
-        let mut first_err: Option<EngineError> = None;
-        for h in handles {
-            match h.join() {
-                Ok(Ok(r)) => reports.push(r),
-                Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Err(_) => {
-                    first_err = first_err
-                        .or(Some(EngineError::TaskFailed("node runtime panicked".into())))
+        drop(res_tx);
+
+        // Collect node results; the watchdog bounds the whole job.
+        let wall_deadline = cfg.job_deadline.map(|d| (start + d, d));
+        let mut results: Vec<(u32, Result<NodeReport, EngineError>)> =
+            Vec::with_capacity(nodes as usize);
+        let mut timed_out = false;
+        while results.len() < nodes as usize {
+            match wall_deadline {
+                Some((at, _)) => {
+                    let left = at.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        timed_out = true;
+                        break;
+                    }
+                    match res_rx.recv_timeout(left) {
+                        Ok(r) => results.push(r),
+                        Err(RecvTimeoutError::Timeout) => {
+                            timed_out = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
                 }
+                None => match res_rx.recv() {
+                    Ok(r) => results.push(r),
+                    Err(_) => break,
+                },
+            }
+        }
+        if timed_out {
+            // Tell every supervised loop to unwind, then *detach* the node
+            // threads: the caller gets its deadline honored even if some
+            // thread is stuck past any abort check.
+            coordinator.abort();
+            drop(handles);
+            return Err(EngineError::JobTimeout(wall_deadline.unwrap().1));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let elapsed = start.elapsed();
+        results.sort_by_key(|(n, _)| *n);
+
+        let supervised = self.fault_plan.is_some();
+        let mut reports = Vec::with_capacity(results.len());
+        let mut lost_nodes_seen = 0usize;
+        let mut first_err: Option<EngineError> = None;
+        for (_, result) in results {
+            match result {
+                Ok(r) => reports.push(r),
+                // Supervised jobs tolerate lost nodes as long as the
+                // survivors cover the whole output (checked below).
+                Err(EngineError::NodeLost(_)) if supervised => lost_nodes_seen += 1,
+                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
         if let Some(e) = first_err {
             return Err(e);
         }
+        if reports.len() + lost_nodes_seen < nodes as usize {
+            return Err(EngineError::TaskFailed(
+                "a node runtime exited without reporting".into(),
+            ));
+        }
+        if supervised {
+            let covered: usize = reports.iter().map(|r| r.reduce.output_files.len()).sum();
+            if covered != total_partitions as usize {
+                return Err(EngineError::NodeLost(format!(
+                    "unrecovered partitions: only {covered} of {total_partitions} written \
+                     after losing {lost_nodes_seen} node(s)"
+                )));
+            }
+        }
+        reports.sort_by_key(|r| r.node.0);
         Ok(JobReport {
-            elapsed: start.elapsed(),
+            elapsed,
             nodes: reports,
+            nodes_lost: coordinator.nodes_lost(),
+            splits_rescheduled: coordinator.splits_rescheduled(),
+            blocks_read_remote_due_to_fault: self
+                .store
+                .fault_failovers()
+                .saturating_sub(failovers_before),
         })
     }
+}
+
+/// Disarms the store's chaos hook on every exit path of [`Cluster::run`].
+struct DisarmOnDrop<'a>(&'a Arc<dyn FileStore>);
+
+impl Drop for DisarmOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.arm_fault_hook(None);
+    }
+}
+
+/// Liveness heartbeat, posted from a dedicated thread for the node's whole
+/// lifetime (map, merge and reduce). Dropping the guard stops the beats —
+/// after which the staleness scan declares the node dead, which is exactly
+/// right on every exit path: normal completion (supervision ends with the
+/// job) and failure alike.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(coordinator: Arc<Coordinator>, node: NodeId, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("gw-heartbeat-{node}"))
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    coordinator.heartbeat(node);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn heartbeat");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The node's merge-phase receiver: plain (the paper's protocol) or
+/// supervised (the fault-tolerant protocol).
+enum ShuffleRx {
+    Plain(ShuffleReceiver),
+    Supervised(std::thread::JoinHandle<Result<ShuffleSummary, EngineError>>),
+}
+
+impl ShuffleRx {
+    fn join(self) -> Result<ShuffleSummary, EngineError> {
+        match self {
+            ShuffleRx::Plain(r) => Ok(r.join()),
+            ShuffleRx::Supervised(h) => h
+                .join()
+                .unwrap_or_else(|_| {
+                    Err(EngineError::TaskFailed("shuffle receiver panicked".into()))
+                }),
+        }
+    }
+}
+
+/// The fault-tolerant shuffle receiver.
+///
+/// Tick loop over `recv_timeout`: admits runs with de-duplication (tagged
+/// runs from re-executed splits arrive at most once), serves `Resend`
+/// requests from the node's retention buffer, and interleaves liveness
+/// scans. Reception is complete when the map phase is globally complete,
+/// every peer is done or dead, and the coordinator's ledger says this node
+/// is owed nothing; missing runs are periodically re-requested from their
+/// live producers instead of blocking in `recv`. The thread then *keeps
+/// serving* until every live node is satisfied, so no peer's re-request
+/// can hit an exited server.
+#[allow(clippy::too_many_arguments)]
+fn spawn_supervised_receiver(
+    endpoint: Arc<gw_net::Endpoint<ShuffleMsg>>,
+    intermediate: Arc<IntermediateStore>,
+    coordinator: Arc<Coordinator>,
+    nodes: u32,
+    node: NodeId,
+    chaos: NodeChaos,
+) -> std::thread::JoinHandle<Result<ShuffleSummary, EngineError>> {
+    std::thread::Builder::new()
+        .name(format!("gw-shuffle-rx-{node}"))
+        .spawn(move || {
+            let mut summary = ShuffleSummary {
+                runs: 0,
+                bytes: 0,
+                done_markers: 0,
+            };
+            let mut done_from: HashSet<u32> = HashSet::new();
+            let mut satisfied = false;
+            let mut last_rerequest = Instant::now() - REREQUEST_EVERY;
+            loop {
+                if chaos.is_dead() || coordinator.is_dead(node) {
+                    return Err(EngineError::NodeLost(format!(
+                        "node {node} lost during the shuffle"
+                    )));
+                }
+                if coordinator.aborted() {
+                    return Err(EngineError::NodeLost("job aborted".into()));
+                }
+                match endpoint.recv_timeout(RX_TICK) {
+                    Ok(Some(env)) => match env.payload {
+                        ShuffleMsg::Partition {
+                            partition,
+                            bytes,
+                            records,
+                            tag,
+                        } => {
+                            let fresh = match tag {
+                                Some(t) => chaos.recovery.admit(RunKey::from(t)),
+                                None => true,
+                            };
+                            if fresh {
+                                summary.runs += 1;
+                                summary.bytes += bytes.len();
+                                intermediate
+                                    .add_run(partition, Run::from_sorted_bytes(bytes, records));
+                            }
+                        }
+                        ShuffleMsg::MapDone => {
+                            done_from.insert(env.from.0);
+                            summary.done_markers += 1;
+                        }
+                        ShuffleMsg::Resend { ids } => {
+                            for id in ids {
+                                if let Some((bytes, records)) =
+                                    chaos.recovery.retained(RunKey::from(id))
+                                {
+                                    let msg = ShuffleMsg::Partition {
+                                        partition: id.partition,
+                                        bytes,
+                                        records,
+                                        tag: Some(id),
+                                    };
+                                    let wire = msg.wire_bytes();
+                                    // Control path: re-served runs are not
+                                    // subject to further injected drops.
+                                    endpoint.send(env.from, msg, wire);
+                                }
+                            }
+                        }
+                    },
+                    Ok(None) => {
+                        return Err(EngineError::TaskFailed(
+                            "shuffle fabric disconnected".into(),
+                        ));
+                    }
+                    Err(_timeout) => coordinator.scan_liveness(),
+                }
+                if !satisfied {
+                    if coordinator.map_complete() {
+                        let dead = coordinator.dead_nodes();
+                        let peers_done = (0..nodes)
+                            .all(|p| p == node.0 || done_from.contains(&p) || dead.contains(&p));
+                        let received = chaos.recovery.received_snapshot();
+                        let missing = coordinator.missing_runs_for(node.0, nodes, &received);
+                        if missing.is_empty() {
+                            if peers_done {
+                                satisfied = true;
+                                coordinator.mark_shuffle_satisfied(node);
+                            }
+                        } else if last_rerequest.elapsed() >= REREQUEST_EVERY {
+                            last_rerequest = Instant::now();
+                            for (producer, ids) in missing {
+                                if producer == node.0 {
+                                    // Runs we produced for partitions we now
+                                    // own (sent to a node that then died):
+                                    // serve ourselves from retention.
+                                    for id in ids {
+                                        let key = RunKey::from(id);
+                                        if let Some((bytes, records)) =
+                                            chaos.recovery.retained(key)
+                                        {
+                                            if chaos.recovery.admit(key) {
+                                                summary.runs += 1;
+                                                summary.bytes += bytes.len();
+                                                intermediate.add_run(
+                                                    key.partition,
+                                                    Run::from_sorted_bytes(bytes, records),
+                                                );
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    let msg = ShuffleMsg::Resend { ids };
+                                    let wire = msg.wire_bytes();
+                                    endpoint.send(NodeId(producer), msg, wire);
+                                }
+                            }
+                        }
+                    } else if coordinator.map_stalled() {
+                        // Splits were lost after every node left its input
+                        // loop: nobody can re-execute them. Fail the whole
+                        // job cleanly rather than wait for the watchdog.
+                        coordinator.abort();
+                        return Err(EngineError::NodeLost(
+                            "splits lost with no live mapper left to re-execute them".into(),
+                        ));
+                    }
+                }
+                if satisfied && coordinator.all_live_satisfied(nodes) {
+                    return Ok(summary);
+                }
+            }
+        })
+        .expect("spawn supervised shuffle receiver")
 }
 
 /// Broadcast `MapDone` to every peer (used on early failure paths; the
@@ -192,6 +563,7 @@ fn broadcast_map_done(endpoint: &gw_net::Endpoint<ShuffleMsg>, nodes: u32, node:
 }
 
 /// One node's full job execution: map ∥ merge, then reduce.
+#[allow(clippy::too_many_arguments)]
 fn run_node(
     node: NodeId,
     nodes: u32,
@@ -200,13 +572,21 @@ fn run_node(
     coordinator: Arc<Coordinator>,
     endpoint: Arc<gw_net::Endpoint<ShuffleMsg>>,
     cfg: &JobConfig,
+    chaos: Option<NodeChaos>,
 ) -> Result<NodeReport, EngineError> {
+    // Heartbeats span the node's whole lifetime (map through reduce).
+    let _heartbeat = chaos.as_ref().map(|_| {
+        Heartbeat::start(Arc::clone(&coordinator), node, cfg.heartbeat_interval)
+    });
+
     let device = Arc::new(Device::open_with_threads(
         cfg.device.clone(),
         cfg.device_threads,
     ));
+    // Intermediate stores are indexed by *global* partition, so a node can
+    // adopt a dead peer's partitions without re-indexing.
     let store_result = IntermediateStore::new(IntermediateConfig {
-        num_partitions: cfg.partitions_per_node,
+        num_partitions: cfg.partitions_per_node * nodes,
         cache_threshold: cfg.cache_threshold,
         max_spill_files: cfg.max_spill_files,
         merger_threads: cfg.merger_threads,
@@ -223,17 +603,31 @@ fn run_node(
     };
 
     // Merge phase: receive peers' partitions concurrently with our map.
-    let receiver = ShuffleReceiver::spawn(
-        Arc::clone(&endpoint),
-        Arc::clone(&intermediate),
-        nodes as usize - 1,
-    );
+    let receiver = match &chaos {
+        Some(cx) => ShuffleRx::Supervised(spawn_supervised_receiver(
+            Arc::clone(&endpoint),
+            Arc::clone(&intermediate),
+            Arc::clone(&coordinator),
+            nodes,
+            node,
+            cx.clone(),
+        )),
+        None => ShuffleRx::Plain(ShuffleReceiver::spawn(
+            Arc::clone(&endpoint),
+            Arc::clone(&intermediate),
+            nodes as usize - 1,
+        )),
+    };
 
     let durability = if cfg.durable_map_output {
         match TempDir::new(&format!("gw-durability-{node}")) {
             Ok(d) => Some(d),
             Err(e) => {
+                if let Some(cx) = &chaos {
+                    cx.kill();
+                }
                 broadcast_map_done(&endpoint, nodes, node);
+                let _ = receiver.join();
                 return Err(e.into());
             }
         }
@@ -250,26 +644,34 @@ fn run_node(
         app: Arc::clone(&app),
         device: Arc::clone(&device),
         store: Arc::clone(&store),
-        coordinator,
+        coordinator: Arc::clone(&coordinator),
         intermediate: Arc::clone(&intermediate),
         endpoint: Arc::clone(&endpoint),
         timers: Arc::clone(&map_timers),
         durability_dir: durability.as_ref().map(|d| d.path().to_path_buf()),
+        chaos: chaos.clone(),
     }
     .run();
     let map_report = match map_report {
         Ok(r) => r,
         Err(e) => {
-            // The pipeline already broadcast MapDone on its failure path;
-            // drain our receiver before propagating.
+            // Halt our receiver: a supervised one would otherwise keep
+            // waiting on a map phase this node will never finish.
+            if let Some(cx) = &chaos {
+                cx.kill();
+            }
             let _ = receiver.join();
             return Err(e);
         }
     };
 
     // Wait for every peer's data, then let the mergers drain.
-    let shuffle_summary = receiver.join();
+    let shuffle_summary = receiver.join()?;
     let merge_delay = intermediate.finish_map();
+
+    if coordinator.aborted() {
+        return Err(EngineError::NodeLost("job aborted before reduce".into()));
+    }
 
     // Reduce phase.
     let reduce_timers = Arc::new(StageTimers::new());
@@ -280,8 +682,10 @@ fn run_node(
         app,
         device,
         store,
+        coordinator: Arc::clone(&coordinator),
         intermediate: Arc::clone(&intermediate),
         timers: Arc::clone(&reduce_timers),
+        chaos,
     }
     .run()?;
 
@@ -524,5 +928,26 @@ mod tests {
         cfg.partitions_per_node = 0;
         let err = cluster.run(Arc::new(WordCount), &cfg).unwrap_err();
         assert!(matches!(err, EngineError::Config(_)));
+    }
+
+    #[test]
+    fn unarmed_jobs_report_zero_fault_accounting() {
+        let cluster = make_cluster(2);
+        let report = cluster.run(Arc::new(WordCount), &base_cfg()).unwrap();
+        assert_eq!(report.nodes_lost, 0);
+        assert_eq!(report.splits_rescheduled, 0);
+        assert_eq!(report.blocks_read_remote_due_to_fault, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_supervises_without_changing_the_answer() {
+        let cluster = make_cluster(2).with_fault_plan(FaultPlan::empty());
+        let mut cfg = base_cfg();
+        cfg.node_timeout = Duration::from_millis(500);
+        cfg.heartbeat_interval = Duration::from_millis(10);
+        let report = cluster.run(Arc::new(WordCount), &cfg).unwrap();
+        assert_eq!(report.nodes_lost, 0);
+        assert_eq!(report.splits_rescheduled, 0);
+        check_output(&cluster, &report);
     }
 }

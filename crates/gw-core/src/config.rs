@@ -110,8 +110,21 @@ pub struct JobConfig {
     /// discarded and re-executed up to this many times before the job
     /// fails (paper §III-E: "if a task fails, its partial output is
     /// discarded and its input is rescheduled for processing"). `0`
-    /// matches the paper's unmodified system (no failure handling).
+    /// matches the paper's unmodified system (no failure handling). The
+    /// same budget governs reduce-task re-execution.
     pub max_task_retries: usize,
+    /// Wall-clock deadline for the whole job. When set, a master-side
+    /// watchdog aborts the job and returns
+    /// [`crate::EngineError::JobTimeout`] once it expires — the job never
+    /// hangs, even when recovery itself gets stuck. `None` (the default)
+    /// disables the watchdog.
+    pub job_deadline: Option<std::time::Duration>,
+    /// Interval at which each node posts a liveness heartbeat to the
+    /// coordinator (fault-tolerant mode only).
+    pub heartbeat_interval: std::time::Duration,
+    /// A node whose last heartbeat is older than this is declared dead and
+    /// its work rescheduled. Must exceed `heartbeat_interval`.
+    pub node_timeout: std::time::Duration,
 }
 
 impl JobConfig {
@@ -145,6 +158,9 @@ impl JobConfig {
             output_block_size: 8 << 20,
             timing: TimingMode::Wall,
             max_task_retries: 0,
+            job_deadline: None,
+            heartbeat_interval: std::time::Duration::from_millis(25),
+            node_timeout: std::time::Duration::from_millis(1000),
         }
     }
 
@@ -177,6 +193,12 @@ impl JobConfig {
         }
         if self.output_replication == 0 {
             return Err("output replication must be ≥ 1".into());
+        }
+        if self.node_timeout <= self.heartbeat_interval {
+            return Err("node_timeout must exceed heartbeat_interval".into());
+        }
+        if self.job_deadline == Some(std::time::Duration::ZERO) {
+            return Err("job_deadline must be nonzero when set".into());
         }
         Ok(())
     }
@@ -215,5 +237,20 @@ mod tests {
         let mut c = JobConfig::new("/in", "/out");
         c.output_replication = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn liveness_timing_is_validated() {
+        let mut c = JobConfig::new("/in", "/out");
+        c.node_timeout = c.heartbeat_interval;
+        assert!(c.validate().is_err());
+
+        let mut c = JobConfig::new("/in", "/out");
+        c.job_deadline = Some(std::time::Duration::ZERO);
+        assert!(c.validate().is_err());
+
+        let mut c = JobConfig::new("/in", "/out");
+        c.job_deadline = Some(std::time::Duration::from_secs(60));
+        assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -1,19 +1,199 @@
-//! Locality-aware split coordination.
+//! Locality-aware split coordination and whole-node fault recovery.
 //!
 //! "Glasswing's job coordinator is like Hadoop's: both use a dedicated
 //! master node; Glasswing's scheduler considers file affinity in its job
 //! allocation." Nodes pull splits from the shared coordinator; a node is
 //! preferentially given a split whose block it holds locally, falling back
 //! to remote splits only when no local work remains.
+//!
+//! Beyond the paper's task re-execution (§III-E), the coordinator carries
+//! the cluster's liveness and recovery state when *supervision* is enabled
+//! (a fault plan is armed):
+//!
+//! * **Liveness** — every node posts heartbeats; a staleness scan declares
+//!   a node dead once its last beat is older than `node_timeout`. A dead
+//!   node's claimed *and completed* splits return to the queue for the
+//!   survivors, and each global partition it owned is adopted by the next
+//!   live node on the ring.
+//! * **Run ledger** — every sorted run a map task produces is recorded as
+//!   a [`RunKey`] → producer entry *before* it is retained/sent, so a
+//!   receiver can compute exactly which runs it is still owed and
+//!   re-request them from the producers' retention buffers. Re-executed
+//!   splits overwrite their ledger entries, replacing dead producers.
+//! * **Fault accounting** — `nodes_lost` and `splits_rescheduled` feed the
+//!   job report.
+//!
+//! Unsupervised (the default), the coordinator is exactly the paper's
+//! split queue: every supervised path is behind an `Option` that stays
+//! `None`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use gw_chaos::FaultPlan;
+use gw_net::RunTag;
+use gw_storage::split::FileStore;
 use gw_storage::{InputSplit, NodeId};
 
-/// Shared split queue with locality preference.
+use crate::hash::partition_owner;
+
+/// Identity of one sorted run, independent of which node produced it (a
+/// re-executed split re-produces runs under the same keys, which is what
+/// makes receiver-side de-duplication and ledger overwrite sound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Global partition the run belongs to.
+    pub partition: u32,
+    /// Input block the run was computed from.
+    pub block: u32,
+    /// Producer-side lane (pinned to 0 in supervised mode, where a block's
+    /// lanes are merged into one deterministic run per partition).
+    pub lane: u32,
+}
+
+impl From<RunTag> for RunKey {
+    fn from(t: RunTag) -> Self {
+        RunKey {
+            partition: t.partition,
+            block: t.block,
+            lane: t.lane,
+        }
+    }
+}
+
+impl RunKey {
+    /// The wire tag for this run as (re)produced by `producer`.
+    pub fn tag(self, producer: u32) -> RunTag {
+        RunTag {
+            producer,
+            partition: self.partition,
+            block: self.block,
+            lane: self.lane,
+        }
+    }
+}
+
+/// Per-node shuffle recovery state: which runs this node has admitted into
+/// its intermediate store (for de-duplication of re-produced runs), and
+/// the serialized runs it has sent to peers (retained so it can re-serve
+/// them on [`gw_net::ShuffleMsg::Resend`]).
+#[derive(Debug, Default)]
+pub struct RecoveryState {
+    received: Mutex<HashSet<RunKey>>,
+    retained: Mutex<HashMap<RunKey, (Vec<u8>, usize)>>,
+}
+
+impl RecoveryState {
+    /// Fresh state for one node in one job.
+    pub fn new() -> Self {
+        RecoveryState::default()
+    }
+
+    /// Admit a run into the local store. Returns `false` if an identical
+    /// run was already admitted (duplicate delivery or re-execution).
+    pub fn admit(&self, key: RunKey) -> bool {
+        self.received.lock().insert(key)
+    }
+
+    /// Whether `key` has been admitted.
+    pub fn is_admitted(&self, key: RunKey) -> bool {
+        self.received.lock().contains(&key)
+    }
+
+    /// Snapshot of the admitted set (for the missing-run scan).
+    pub fn received_snapshot(&self) -> HashSet<RunKey> {
+        self.received.lock().clone()
+    }
+
+    /// Retain a serialized run sent to a peer, for possible re-serving.
+    pub fn retain(&self, key: RunKey, bytes: Vec<u8>, records: usize) {
+        self.retained.lock().insert(key, (bytes, records));
+    }
+
+    /// Fetch a retained run (cloned; retention survives re-serving).
+    pub fn retained(&self, key: RunKey) -> Option<(Vec<u8>, usize)> {
+        self.retained.lock().get(&key).cloned()
+    }
+}
+
+/// Everything a node's pipelines need to participate in fault injection
+/// and recovery. Present only when the cluster is armed with a
+/// [`FaultPlan`].
+#[derive(Clone)]
+pub struct NodeChaos {
+    /// The job's fault schedule.
+    pub plan: Arc<FaultPlan>,
+    /// This node's shuffle recovery state.
+    pub recovery: Arc<RecoveryState>,
+    /// Set when this node has crashed (by injection or by being declared
+    /// dead); every pipeline loop checks it and unwinds.
+    pub dead: Arc<AtomicBool>,
+}
+
+impl NodeChaos {
+    /// Whether this node has crashed.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Mark this node crashed.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Pending,
+    Claimed(u32),
+    Complete(u32),
+}
+
+#[derive(Debug)]
+struct Slot {
+    split: InputSplit,
+    state: SlotState,
+}
+
+struct Liveness {
+    /// Last heartbeat per node.
+    beats: Vec<Instant>,
+    /// Nodes declared dead.
+    dead: HashSet<u32>,
+    /// Nodes still inside their map input loop (able to claim splits).
+    mapping: HashSet<u32>,
+    /// Nodes whose shuffle reception is complete.
+    satisfied: HashSet<u32>,
+    /// Partition adoptions: global partition → live owner, for partitions
+    /// whose hash owner died.
+    owner_override: HashMap<u32, u32>,
+}
+
+struct Supervision {
+    nodes: u32,
+    total_partitions: u32,
+    node_timeout: Duration,
+    store: Option<Arc<dyn FileStore>>,
+    live: Mutex<Liveness>,
+    /// RunKey → current producer. Lock order: `ledger` before `live`.
+    ledger: Mutex<HashMap<RunKey, u32>>,
+}
+
+/// Shared split queue with locality preference and (optionally) the
+/// cluster's liveness/recovery state.
 pub struct Coordinator {
-    inner: Mutex<Vec<Option<InputSplit>>>,
+    /// Lock order: `live` (supervision) before `slots`.
+    slots: Mutex<Vec<Slot>>,
     total: usize,
+    supervision: Option<Supervision>,
+    has_overrides: AtomicBool,
+    aborted: AtomicBool,
+    nodes_lost: AtomicUsize,
+    splits_rescheduled: AtomicUsize,
 }
 
 impl Coordinator {
@@ -21,9 +201,55 @@ impl Coordinator {
     pub fn new(splits: Vec<InputSplit>) -> Self {
         let total = splits.len();
         Coordinator {
-            inner: Mutex::new(splits.into_iter().map(Some).collect()),
+            slots: Mutex::new(
+                splits
+                    .into_iter()
+                    .map(|split| Slot {
+                        split,
+                        state: SlotState::Pending,
+                    })
+                    .collect(),
+            ),
             total,
+            supervision: None,
+            has_overrides: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            nodes_lost: AtomicUsize::new(0),
+            splits_rescheduled: AtomicUsize::new(0),
         }
+    }
+
+    /// Arm liveness tracking and the run ledger for an `nodes`-node job
+    /// with `total_partitions` global partitions. `store`, when given, is
+    /// told about node deaths so DFS reads fail over to surviving
+    /// replicas.
+    pub fn enable_supervision(
+        &mut self,
+        nodes: u32,
+        total_partitions: u32,
+        node_timeout: Duration,
+        store: Option<Arc<dyn FileStore>>,
+    ) {
+        let now = Instant::now();
+        self.supervision = Some(Supervision {
+            nodes,
+            total_partitions,
+            node_timeout,
+            store,
+            live: Mutex::new(Liveness {
+                beats: vec![now; nodes as usize],
+                dead: HashSet::new(),
+                mapping: (0..nodes).collect(),
+                satisfied: HashSet::new(),
+                owner_override: HashMap::new(),
+            }),
+            ledger: Mutex::new(HashMap::new()),
+        });
+    }
+
+    /// Whether supervision is armed.
+    pub fn supervised(&self) -> bool {
+        self.supervision.is_some()
     }
 
     /// Total splits in the job.
@@ -31,20 +257,262 @@ impl Coordinator {
         self.total
     }
 
-    /// Splits not yet handed out.
+    /// Splits not currently handed out (requeued splits count again).
     pub fn remaining(&self) -> usize {
-        self.inner.lock().iter().filter(|s| s.is_some()).count()
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| s.state == SlotState::Pending)
+            .count()
     }
 
     /// Claim the next split for `node`: local-first, then any.
     pub fn next_for(&self, node: NodeId) -> Option<InputSplit> {
-        let mut splits = self.inner.lock();
-        // First pass: a split local to this node.
-        let local_idx = splits
+        let mut slots = self.slots.lock();
+        let pending = |s: &Slot| s.state == SlotState::Pending;
+        let idx = slots
             .iter()
-            .position(|s| s.as_ref().is_some_and(|s| s.is_local_to(node)));
-        let idx = local_idx.or_else(|| splits.iter().position(|s| s.is_some()))?;
-        splits[idx].take()
+            .position(|s| pending(s) && s.split.is_local_to(node))
+            .or_else(|| slots.iter().position(pending))?;
+        slots[idx].state = SlotState::Claimed(node.0);
+        Some(slots[idx].split.clone())
+    }
+
+    /// Record that `node` fully processed the split for `block`: all its
+    /// runs are recorded in the ledger and delivered or retained. No-op if
+    /// the claim was revoked in the meantime (the claimant was declared
+    /// dead and the split requeued).
+    pub fn complete_split(&self, node: NodeId, block: usize) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots
+            .iter_mut()
+            .find(|s| s.split.block == block && s.state == SlotState::Claimed(node.0))
+        {
+            slot.state = SlotState::Complete(node.0);
+        }
+    }
+
+    /// Whether every split has been fully processed by a (still-credited)
+    /// node. Reverts to `false` if a completer dies and its splits requeue.
+    pub fn map_complete(&self) -> bool {
+        self.slots
+            .lock()
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Complete(_)))
+    }
+
+    /// Post a liveness heartbeat for `node`.
+    pub fn heartbeat(&self, node: NodeId) {
+        if let Some(sup) = &self.supervision {
+            let mut live = sup.live.lock();
+            let at = &mut live.beats[node.0 as usize];
+            *at = Instant::now();
+        }
+    }
+
+    /// Declare any node whose last heartbeat is older than `node_timeout`
+    /// dead, requeueing its splits and adopting its partitions. Cheap when
+    /// nothing changed; any supervised wait loop may call it.
+    pub fn scan_liveness(&self) {
+        let Some(sup) = &self.supervision else { return };
+        let mut live = sup.live.lock();
+        let stale: Vec<u32> = (0..sup.nodes)
+            .filter(|n| !live.dead.contains(n))
+            .filter(|&n| live.beats[n as usize].elapsed() > sup.node_timeout)
+            .collect();
+        for node in stale {
+            self.mark_dead_locked(sup, &mut live, node);
+        }
+    }
+
+    fn mark_dead_locked(&self, sup: &Supervision, live: &mut Liveness, node: u32) {
+        if !live.dead.insert(node) {
+            return;
+        }
+        live.mapping.remove(&node);
+        self.nodes_lost.fetch_add(1, Ordering::Relaxed);
+
+        // Requeue everything the dead node claimed or completed: its local
+        // shuffle state (runs it produced for itself, runs it received) is
+        // gone, so its completed splits must be re-executed too.
+        let requeued = {
+            let mut slots = self.slots.lock();
+            let mut n = 0;
+            for slot in slots.iter_mut() {
+                match slot.state {
+                    SlotState::Claimed(x) | SlotState::Complete(x) if x == node => {
+                        slot.state = SlotState::Pending;
+                        n += 1;
+                    }
+                    _ => {}
+                }
+            }
+            n
+        };
+        self.splits_rescheduled.fetch_add(requeued, Ordering::Relaxed);
+
+        // Adopt the dead node's partitions onto the next live node on the
+        // ring after it.
+        let adopter = (1..sup.nodes)
+            .map(|d| (node + d) % sup.nodes)
+            .find(|cand| !live.dead.contains(cand));
+        if let Some(adopter) = adopter {
+            let mut adopted = false;
+            for gp in 0..sup.total_partitions {
+                let owner = live
+                    .owner_override
+                    .get(&gp)
+                    .copied()
+                    .unwrap_or_else(|| partition_owner(gp, sup.nodes));
+                if owner == node {
+                    live.owner_override.insert(gp, adopter);
+                    adopted = true;
+                }
+            }
+            if adopted {
+                self.has_overrides.store(true, Ordering::Release);
+            }
+        }
+
+        if let Some(store) = &sup.store {
+            store.mark_node_dead(NodeId(node));
+        }
+    }
+
+    /// Whether `node` has been declared dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        match &self.supervision {
+            Some(sup) => sup.live.lock().dead.contains(&node.0),
+            None => false,
+        }
+    }
+
+    /// The set of nodes declared dead so far.
+    pub fn dead_nodes(&self) -> HashSet<u32> {
+        match &self.supervision {
+            Some(sup) => sup.live.lock().dead.clone(),
+            None => HashSet::new(),
+        }
+    }
+
+    /// Record that `node` left its map input loop (normally or by dying):
+    /// it will not claim further splits.
+    pub fn exit_map(&self, node: NodeId) {
+        if let Some(sup) = &self.supervision {
+            sup.live.lock().mapping.remove(&node.0);
+        }
+    }
+
+    /// `true` when splits remain unprocessed but no node can claim them
+    /// anymore (every node left its input loop or died) — the job cannot
+    /// recover by re-execution and must fail over to a typed error rather
+    /// than wait forever.
+    pub fn map_stalled(&self) -> bool {
+        let Some(sup) = &self.supervision else {
+            return false;
+        };
+        let mappers = sup.live.lock().mapping.is_empty();
+        mappers && !self.map_complete()
+    }
+
+    /// Current live owner of global `partition` (hash owner unless the
+    /// partition was adopted after a death).
+    pub fn owner_of(&self, partition: u32, nodes: u32) -> u32 {
+        if !self.has_overrides.load(Ordering::Acquire) {
+            return partition_owner(partition, nodes);
+        }
+        let Some(sup) = &self.supervision else {
+            return partition_owner(partition, nodes);
+        };
+        sup.live
+            .lock()
+            .owner_override
+            .get(&partition)
+            .copied()
+            .unwrap_or_else(|| partition_owner(partition, nodes))
+    }
+
+    /// Ledger write: `producer` has produced (or re-produced) run `key`.
+    /// Called before the run is retained/sent, so the ledger never misses
+    /// a run a receiver might be owed.
+    pub fn record_run(&self, key: RunKey, producer: u32) {
+        if let Some(sup) = &self.supervision {
+            sup.ledger.lock().insert(key, producer);
+        }
+    }
+
+    /// Runs owed to `node` (it owns their partition) that it has not
+    /// admitted, grouped by live producer, producers sorted. Runs whose
+    /// recorded producer is dead are omitted: they are covered by split
+    /// re-execution, which overwrites their ledger entries with a live
+    /// producer.
+    pub fn missing_runs_for(
+        &self,
+        node: u32,
+        nodes: u32,
+        received: &HashSet<RunKey>,
+    ) -> Vec<(u32, Vec<RunTag>)> {
+        let Some(sup) = &self.supervision else {
+            return Vec::new();
+        };
+        let ledger = sup.ledger.lock();
+        let live = sup.live.lock();
+        let mut by_producer: HashMap<u32, Vec<RunTag>> = HashMap::new();
+        for (key, &producer) in ledger.iter() {
+            if live.dead.contains(&producer) || received.contains(key) {
+                continue;
+            }
+            let owner = live
+                .owner_override
+                .get(&key.partition)
+                .copied()
+                .unwrap_or_else(|| partition_owner(key.partition, nodes));
+            if owner == node {
+                by_producer.entry(producer).or_default().push(key.tag(producer));
+            }
+        }
+        let mut out: Vec<_> = by_producer.into_iter().collect();
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Record that `node`'s shuffle reception is complete (all owed runs
+    /// admitted).
+    pub fn mark_shuffle_satisfied(&self, node: NodeId) {
+        if let Some(sup) = &self.supervision {
+            sup.live.lock().satisfied.insert(node.0);
+        }
+    }
+
+    /// Whether every live node's shuffle reception is complete. Receivers
+    /// keep serving `Resend` requests until this holds, so no node stops
+    /// serving while a peer still needs its retention buffer.
+    pub fn all_live_satisfied(&self, nodes: u32) -> bool {
+        let Some(sup) = &self.supervision else {
+            return true;
+        };
+        let live = sup.live.lock();
+        (0..nodes).all(|n| live.dead.contains(&n) || live.satisfied.contains(&n))
+    }
+
+    /// Abort the job: every supervised loop unwinds at its next check.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// Whether the job has been aborted.
+    pub fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Nodes declared dead during the job.
+    pub fn nodes_lost(&self) -> usize {
+        self.nodes_lost.load(Ordering::Relaxed)
+    }
+
+    /// Splits requeued because their node died (claimed and completed).
+    pub fn splits_rescheduled(&self) -> usize {
+        self.splits_rescheduled.load(Ordering::Relaxed)
     }
 }
 
@@ -118,5 +586,160 @@ mod tests {
             .collect();
         all.sort();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    fn supervised(nodes: u32, parts: u32, splits: Vec<InputSplit>) -> Coordinator {
+        let mut c = Coordinator::new(splits);
+        c.enable_supervision(nodes, parts, Duration::from_millis(5), None);
+        c
+    }
+
+    #[test]
+    fn dead_node_work_is_requeued_onto_survivors() {
+        let c = supervised(2, 2, (0..4).map(|i| split(i, vec![(i % 2) as u32])).collect());
+        // Node 1 claims two splits and completes one.
+        let a = c.next_for(NodeId(1)).unwrap();
+        let _b = c.next_for(NodeId(1)).unwrap();
+        c.complete_split(NodeId(1), a.block);
+        assert_eq!(c.remaining(), 2);
+
+        // Node 1 stops heartbeating; node 0 stays alive.
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+
+        assert!(c.is_dead(NodeId(1)));
+        assert!(!c.is_dead(NodeId(0)));
+        assert_eq!(c.nodes_lost(), 1);
+        // Both its splits — claimed AND completed — are pending again.
+        assert_eq!(c.splits_rescheduled(), 2);
+        assert_eq!(c.remaining(), 4);
+        assert!(!c.map_complete());
+
+        // The survivor can claim and finish everything.
+        let mut done = 0;
+        while let Some(s) = c.next_for(NodeId(0)) {
+            c.complete_split(NodeId(0), s.block);
+            done += 1;
+        }
+        assert_eq!(done, 4);
+        assert!(c.map_complete());
+        // Scanning again does not double-count the same death.
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+        assert_eq!(c.nodes_lost(), 1);
+    }
+
+    #[test]
+    fn dead_nodes_partitions_are_adopted_by_the_ring() {
+        let c = supervised(4, 8, vec![split(0, vec![0])]);
+        for n in 0..4 {
+            assert_eq!(c.owner_of(n, 4), n, "hash owners before any death");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        for n in [0u32, 2, 3] {
+            c.heartbeat(NodeId(n));
+        }
+        c.scan_liveness();
+        assert!(c.is_dead(NodeId(1)));
+        // Node 1 owned global partitions 1 and 5; node 2 adopts both.
+        assert_eq!(c.owner_of(1, 4), 2);
+        assert_eq!(c.owner_of(5, 4), 2);
+        // Other owners unchanged.
+        assert_eq!(c.owner_of(0, 4), 0);
+        assert_eq!(c.owner_of(2, 4), 2);
+        assert_eq!(c.owner_of(7, 4), 3);
+    }
+
+    #[test]
+    fn ledger_reports_missing_runs_by_live_producer() {
+        let c = supervised(2, 2, vec![split(0, vec![0]), split(1, vec![1])]);
+        let k0 = RunKey { partition: 0, block: 0, lane: 0 };
+        let k1 = RunKey { partition: 0, block: 1, lane: 0 };
+        let k2 = RunKey { partition: 1, block: 0, lane: 0 };
+        c.record_run(k0, 0);
+        c.record_run(k1, 1);
+        c.record_run(k2, 0);
+
+        // Node 0 owns partition 0 and has admitted nothing: it is owed k0
+        // (from itself) and k1 (from node 1).
+        let missing = c.missing_runs_for(0, 2, &HashSet::new());
+        assert_eq!(missing.len(), 2);
+        assert_eq!(missing[0].0, 0);
+        assert_eq!(missing[0].1, vec![k0.tag(0)]);
+        assert_eq!(missing[1].0, 1);
+        assert_eq!(missing[1].1, vec![k1.tag(1)]);
+
+        // Once admitted, nothing is owed.
+        let have: HashSet<RunKey> = [k0, k1].into_iter().collect();
+        assert!(c.missing_runs_for(0, 2, &have).is_empty());
+
+        // A dead producer's runs are not re-requestable (re-execution
+        // covers them), so they drop out of the scan.
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+        assert!(c.is_dead(NodeId(1)));
+        let missing = c.missing_runs_for(0, 2, &HashSet::new());
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].0, 0);
+
+        // Re-execution overwrites the dead producer; the run is owed again
+        // — now from the survivor. Partition 1's adoption also routes k2
+        // to node 0.
+        c.record_run(k1, 0);
+        let missing = c.missing_runs_for(0, 2, &HashSet::new());
+        assert_eq!(missing.len(), 1);
+        let (producer, mut tags) = missing.into_iter().next().unwrap();
+        assert_eq!(producer, 0);
+        tags.sort_by_key(|t| (t.partition, t.block));
+        assert_eq!(tags, vec![k0.tag(0), k1.tag(0), k2.tag(0)]);
+    }
+
+    #[test]
+    fn shuffle_satisfaction_ignores_the_dead() {
+        let c = supervised(3, 3, vec![split(0, vec![0])]);
+        assert!(!c.all_live_satisfied(3));
+        c.mark_shuffle_satisfied(NodeId(0));
+        c.mark_shuffle_satisfied(NodeId(2));
+        assert!(!c.all_live_satisfied(3), "node 1 not satisfied, not dead");
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(0));
+        c.heartbeat(NodeId(2));
+        c.scan_liveness();
+        assert!(c.all_live_satisfied(3));
+    }
+
+    #[test]
+    fn map_stall_is_detected_when_no_mapper_can_requeue() {
+        let c = supervised(2, 2, vec![split(0, vec![0]), split(1, vec![1])]);
+        assert!(!c.map_stalled(), "all nodes still mapping");
+        let s0 = c.next_for(NodeId(0)).unwrap();
+        c.complete_split(NodeId(0), s0.block);
+        let s1 = c.next_for(NodeId(1)).unwrap();
+        c.complete_split(NodeId(1), s1.block);
+        c.exit_map(NodeId(0));
+        c.exit_map(NodeId(1));
+        assert!(!c.map_stalled(), "map is complete, not stalled");
+        // Node 1 dies after completion: its split requeues with nobody
+        // left to claim it.
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+        assert!(c.map_stalled());
+    }
+
+    #[test]
+    fn unsupervised_coordinator_reports_no_faults() {
+        let c = Coordinator::new(vec![split(0, vec![0])]);
+        assert!(!c.supervised());
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+        assert!(!c.is_dead(NodeId(0)));
+        assert!(!c.map_stalled());
+        assert_eq!(c.nodes_lost(), 0);
+        assert_eq!(c.splits_rescheduled(), 0);
+        assert!(c.all_live_satisfied(1));
+        assert_eq!(c.owner_of(5, 2), partition_owner(5, 2));
     }
 }

@@ -56,6 +56,7 @@ pub use coordinator::Coordinator;
 pub use schedule::{pipeline_makespan, ChunkTimes};
 pub use timers::{StageId, StageTimers, TimerReport};
 
+pub use gw_chaos::{CrashSite, FaultPlan};
 pub use gw_storage::NodeId;
 
 /// Errors surfaced by the engine.
@@ -73,6 +74,13 @@ pub enum EngineError {
     /// (paper §III-E: failed tasks are discarded and re-executed; the
     /// budget bounds deterministic failures).
     TaskFailed(String),
+    /// A node died mid-job and its work could not be recovered onto the
+    /// survivors (or, on the dead node's own thread, the local death
+    /// itself — tolerated and accounted by the cluster runtime).
+    NodeLost(String),
+    /// The job exceeded its configured wall-clock deadline
+    /// ([`JobConfig::job_deadline`]) and was aborted by the watchdog.
+    JobTimeout(std::time::Duration),
 }
 
 impl std::fmt::Display for EngineError {
@@ -83,11 +91,24 @@ impl std::fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "io error: {e}"),
             EngineError::Config(msg) => write!(f, "config error: {msg}"),
             EngineError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            EngineError::NodeLost(msg) => write!(f, "node lost: {msg}"),
+            EngineError::JobTimeout(d) => {
+                write!(f, "job exceeded deadline of {:.3}s and was aborted", d.as_secs_f64())
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Device(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<gw_storage::StorageError> for EngineError {
     fn from(e: gw_storage::StorageError) -> Self {
@@ -102,5 +123,38 @@ impl From<gw_device::DeviceError> for EngineError {
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn fault_variants_display_their_cause() {
+        let lost = EngineError::NodeLost("node 2 stopped heartbeating".into());
+        assert_eq!(lost.to_string(), "node lost: node 2 stopped heartbeating");
+
+        let timeout = EngineError::JobTimeout(std::time::Duration::from_millis(1500));
+        let msg = timeout.to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        assert!(msg.contains("1.500"), "{msg}");
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_layer() {
+        let io = EngineError::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"));
+        assert!(io.source().is_some_and(|s| s.to_string().contains("disk gone")));
+
+        let storage = EngineError::Storage(gw_storage::StorageError::AllReplicasLost(
+            "/wc/in block 3".into(),
+        ));
+        assert!(storage
+            .source()
+            .is_some_and(|s| s.to_string().contains("all replicas lost")));
+
+        assert!(EngineError::Config("bad".into()).source().is_none());
+        assert!(EngineError::NodeLost("n1".into()).source().is_none());
     }
 }

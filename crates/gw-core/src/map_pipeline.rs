@@ -21,6 +21,21 @@
 //! sorts each partition, optionally writes a durability copy, and pushes
 //! each partition to its home node (in-memory cache if local, network
 //! otherwise), parallelised over `N = partition_threads` lanes (Fig. 4a).
+//!
+//! ## Fault-tolerant (supervised) mode
+//!
+//! When the node carries a [`NodeChaos`] handle, every stage loop probes
+//! the fault plan's crash site for this node and checks the shared
+//! dead/abort flags, so an injected crash (or a death declared by the
+//! coordinator) unwinds the whole pipeline between chunks — a split is
+//! either fully processed (all of its runs recorded in the coordinator's
+//! ledger and delivered or retained, then `complete_split`) or not at all.
+//! The partitioning stage additionally merges each chunk's lanes into one
+//! run per (block, partition): [`RunBuilder::build`] sorts by
+//! `(key, value)`, so a re-executed split re-produces byte-identical runs
+//! under the same [`RunKey`]s no matter how the collector scattered
+//! records over lanes, which is what makes receiver-side de-duplication
+//! sound.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -28,8 +43,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
 
+use gw_chaos::CrashSite;
 use gw_device::{Device, DeviceBuffer, KernelFn, NdRange, WorkItemCtx, WorkerPool};
-use gw_intermediate::{IntermediateStore, RunBuilder};
+use gw_intermediate::{IntermediateStore, Run, RunBuilder};
 use gw_net::{Endpoint, ShuffleMsg};
 use gw_storage::split::FileStore;
 use gw_storage::{seqfile::SeqReader, NodeId};
@@ -37,8 +53,8 @@ use gw_storage::{seqfile::SeqReader, NodeId};
 use crate::api::{Emit, GwApp};
 use crate::collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
 use crate::config::{JobConfig, TimingMode};
-use crate::coordinator::Coordinator;
-use crate::hash::{local_partition, partition_owner};
+use crate::coordinator::{Coordinator, NodeChaos, RunKey};
+use crate::hash::partition_owner;
 use crate::timers::{StageId, StageTimers};
 use crate::EngineError;
 
@@ -54,6 +70,7 @@ pub(crate) struct RecordRef {
 /// A chunk read from storage, with its recycled input-buffer token.
 struct InputChunk {
     seq: usize,
+    block_idx: usize,
     block: Arc<[u8]>,
     records: Vec<RecordRef>,
     token: InputToken,
@@ -68,6 +85,7 @@ struct InputToken {
 /// A chunk staged onto the compute device.
 struct StagedChunk {
     seq: usize,
+    block_idx: usize,
     block: Arc<[u8]>,
     records: Vec<RecordRef>,
     token: InputToken,
@@ -76,6 +94,7 @@ struct StagedChunk {
 /// Kernel output travelling to Retrieve/Partition with its collector.
 struct KernelOut {
     seq: usize,
+    block_idx: usize,
     collector: Box<dyn Collector>,
 }
 
@@ -153,10 +172,17 @@ pub struct MapPhase<'a> {
     pub timers: Arc<StageTimers>,
     /// Directory for durability copies of map output (when enabled).
     pub durability_dir: Option<std::path::PathBuf>,
+    /// Fault-injection and recovery handle (supervised mode only).
+    pub chaos: Option<NodeChaos>,
 }
 
 impl MapPhase<'_> {
     /// Run the map phase to completion, then broadcast `MapDone`.
+    ///
+    /// Supervised mode: an injected (or declared) node death unwinds the
+    /// pipeline and returns [`EngineError::NodeLost`]; the `MapDone`
+    /// broadcast is suppressed, since the peers' supervised receivers
+    /// account for dead nodes through the coordinator instead.
     pub fn run(self) -> Result<MapPhaseReport, EngineError> {
         let start = Instant::now();
         let b = self.cfg.buffering.depth();
@@ -208,9 +234,44 @@ impl MapPhase<'_> {
                 let node = self.node;
                 let timing = self.cfg.timing;
                 let report = &report;
+                let chaos = self.chaos.clone();
                 scope.spawn(move || -> Result<(), EngineError> {
+                    // Inner closure so every exit path — including errors —
+                    // falls through to `exit_map` below (a node that leaves
+                    // this loop can never claim splits again, and the
+                    // coordinator must know that to detect stalls).
+                    let result = (|| -> Result<(), EngineError> {
                     let mut seq = 0usize;
-                    while let Some(split) = coordinator.next_for(node) {
+                    loop {
+                        if let Some(cx) = &chaos {
+                            if cx.is_dead() || coordinator.is_dead(node) || coordinator.aborted()
+                            {
+                                cx.kill();
+                                break;
+                            }
+                        }
+                        let Some(split) = coordinator.next_for(node) else {
+                            if chaos.is_none() {
+                                break; // paper behaviour: the queue is drained once
+                            }
+                            // Supervised: a dead node's splits may requeue,
+                            // so stay in the loop until every split is
+                            // fully processed.
+                            if coordinator.map_complete() {
+                                break;
+                            }
+                            coordinator.scan_liveness();
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        };
+                        if let Some(cx) = &chaos {
+                            // Crash site Read: dies holding the fresh claim
+                            // (the survivors requeue it via liveness).
+                            if cx.plan.crash_fires(node.0, CrashSite::Read) {
+                                cx.kill();
+                                break;
+                            }
+                        }
                         // Wait for a free input buffer (interlock). The
                         // pool closes if a downstream stage failed.
                         let Ok(token) = in_token_rx.recv() else { break };
@@ -234,6 +295,7 @@ impl MapPhase<'_> {
                         if input_tx
                             .send(InputChunk {
                                 seq,
+                                block_idx: split.block,
                                 block,
                                 records,
                                 token,
@@ -244,8 +306,16 @@ impl MapPhase<'_> {
                         }
                         seq += 1;
                     }
-                    drop(input_tx);
                     Ok(())
+                    })();
+                    if result.is_err() {
+                        if let Some(cx) = &chaos {
+                            cx.kill();
+                        }
+                    }
+                    coordinator.exit_map(node);
+                    drop(input_tx);
+                    result
                 })
             };
 
@@ -254,8 +324,20 @@ impl MapPhase<'_> {
                 let device = Arc::clone(&self.device);
                 let timers = Arc::clone(&self.timers);
                 let timing = self.cfg.timing;
+                let node = self.node;
+                let chaos = self.chaos.clone();
                 scope.spawn(move || -> Result<(), EngineError> {
+                    let result = (|| -> Result<(), EngineError> {
                     while let Ok(mut chunk) = input_rx.recv() {
+                        if let Some(cx) = &chaos {
+                            if cx.is_dead() {
+                                break;
+                            }
+                            if cx.plan.crash_fires(node.0, CrashSite::Stage) {
+                                cx.kill();
+                                break;
+                            }
+                        }
                         if let Some(buf) = chunk.token.device_buf.as_mut() {
                             let t0 = Instant::now();
                             let stats = device.stage(&chunk.block, buf)?;
@@ -269,6 +351,7 @@ impl MapPhase<'_> {
                         if staged_tx
                             .send(StagedChunk {
                                 seq: chunk.seq,
+                                block_idx: chunk.block_idx,
                                 block: chunk.block,
                                 records: chunk.records,
                                 token: chunk.token,
@@ -278,8 +361,15 @@ impl MapPhase<'_> {
                             break; // downstream stage gone
                         }
                     }
-                    drop(staged_tx);
                     Ok(())
+                    })();
+                    if result.is_err() {
+                        if let Some(cx) = &chaos {
+                            cx.kill();
+                        }
+                    }
+                    drop(staged_tx);
+                    result
                 })
             };
 
@@ -289,9 +379,21 @@ impl MapPhase<'_> {
                 let app = Arc::clone(&self.app);
                 let timers = Arc::clone(&self.timers);
                 let cfg = self.cfg;
+                let node = self.node;
+                let chaos = self.chaos.clone();
                 let tasks_retried = &tasks_retried;
                 scope.spawn(move || -> Result<(), EngineError> {
+                    let result = (|| -> Result<(), EngineError> {
                     while let Ok(chunk) = staged_rx.recv() {
+                        if let Some(cx) = &chaos {
+                            if cx.is_dead() {
+                                break;
+                            }
+                            if cx.plan.crash_fires(node.0, CrashSite::Kernel) {
+                                cx.kill();
+                                break;
+                            }
+                        }
                         // Wait for a free output buffer (interlock).
                         let Ok(mut collector) = out_pool_rx.recv() else {
                             break;
@@ -352,6 +454,7 @@ impl MapPhase<'_> {
                         if kernel_tx
                             .send(KernelOut {
                                 seq: chunk.seq,
+                                block_idx: chunk.block_idx,
                                 collector,
                             })
                             .is_err()
@@ -359,8 +462,15 @@ impl MapPhase<'_> {
                             break; // downstream stage gone
                         }
                     }
-                    drop(kernel_tx);
                     Ok(())
+                    })();
+                    if result.is_err() {
+                        if let Some(cx) = &chaos {
+                            cx.kill();
+                        }
+                    }
+                    drop(kernel_tx);
+                    result
                 })
             };
 
@@ -369,8 +479,19 @@ impl MapPhase<'_> {
                 let device = Arc::clone(&self.device);
                 let timers = Arc::clone(&self.timers);
                 let timing = self.cfg.timing;
+                let node = self.node;
+                let chaos = self.chaos.clone();
                 scope.spawn(move || -> Result<(), EngineError> {
                     while let Ok(out) = kernel_rx.recv() {
+                        if let Some(cx) = &chaos {
+                            if cx.is_dead() {
+                                break;
+                            }
+                            if cx.plan.crash_fires(node.0, CrashSite::Retrieve) {
+                                cx.kill();
+                                break;
+                            }
+                        }
                         if !device.unified_memory() {
                             // Kernel output lives in host memory already (we
                             // execute on host threads); charge the modeled
@@ -400,6 +521,7 @@ impl MapPhase<'_> {
                 let app = Arc::clone(&self.app);
                 let endpoint = Arc::clone(&self.endpoint);
                 let intermediate = Arc::clone(&self.intermediate);
+                let coordinator = Arc::clone(&self.coordinator);
                 let timers = Arc::clone(&self.timers);
                 let cfg = self.cfg;
                 let node = self.node;
@@ -409,11 +531,28 @@ impl MapPhase<'_> {
                 let runs_remote = &runs_remote;
                 let runs_local = &runs_local;
                 let durability_dir = self.durability_dir.clone();
+                let chaos = self.chaos.clone();
                 scope.spawn(move || -> Result<(), EngineError> {
+                    let result = (|| -> Result<(), EngineError> {
                     let n_lanes = cfg.partition_threads;
                     let mut durability_seq = 0usize;
                     while let Ok(mut out) = retrieved_rx.recv() {
+                        if let Some(cx) = &chaos {
+                            if cx.is_dead() {
+                                break;
+                            }
+                            if cx.plan.crash_fires(node.0, CrashSite::Shuffle) {
+                                cx.kill();
+                                break;
+                            }
+                        }
                         let t0 = Instant::now();
+                        // Supervised mode collects every lane's runs here
+                        // and merges them per partition after the pool
+                        // drains, so each (block, partition) yields exactly
+                        // one deterministic run.
+                        let chunk_runs: Option<Mutexed<Vec<(u32, Run)>>> =
+                            chaos.as_ref().map(|_| Mutexed::new(Vec::new()));
                         // Scope the kernel so its borrow of the collector
                         // ends before the collector is reset and recycled.
                         {
@@ -422,6 +561,7 @@ impl MapPhase<'_> {
                         let endpoint = &endpoint;
                         let intermediate = &intermediate;
                         let durability_dir = &durability_dir;
+                        let chunk_runs = &chunk_runs;
                         let dseq = durability_seq;
                         let kernel = KernelFn(move |ctx: &WorkItemCtx| {
                             let lane = ctx.global_id();
@@ -438,6 +578,12 @@ impl MapPhase<'_> {
                                     continue;
                                 }
                                 let run = builder.build();
+                                if let Some(chunk_runs) = chunk_runs {
+                                    // Supervised: hand the lane's run to the
+                                    // per-chunk merge below.
+                                    chunk_runs.lock().push((gp as u32, run));
+                                    continue;
+                                }
                                 records_out.fetch_add(run.records(), Ordering::Relaxed);
                                 // Durability copy (paper §III-E): map output
                                 // is stored persistently on local disk.
@@ -449,18 +595,18 @@ impl MapPhase<'_> {
                                         .expect("durability write failed");
                                 }
                                 let owner = partition_owner(gp as u32, nodes);
-                                let lp = local_partition(gp as u32, nodes);
                                 if owner == node.0 {
                                     runs_local.fetch_add(1, Ordering::Relaxed);
-                                    intermediate.add_run(lp, run);
+                                    intermediate.add_run(gp as u32, run);
                                 } else {
                                     runs_remote.fetch_add(1, Ordering::Relaxed);
                                     let records = run.records();
                                     let bytes = run.into_bytes();
                                     let msg = ShuffleMsg::Partition {
-                                        partition: lp,
+                                        partition: gp as u32,
                                         bytes,
                                         records,
+                                        tag: None,
                                     };
                                     let wire = msg.wire_bytes();
                                     endpoint.send(NodeId(owner), msg, wire);
@@ -472,6 +618,72 @@ impl MapPhase<'_> {
                             &kernel,
                         );
                         }
+                        if let (Some(cx), Some(chunk_runs)) = (&chaos, chunk_runs) {
+                            // Merge the chunk's lanes into one sorted run
+                            // per partition; record in the ledger *before*
+                            // delivering, so a receiver can never be owed a
+                            // run the ledger does not know about.
+                            let mut lane_runs = chunk_runs.into_inner();
+                            lane_runs.sort_by_key(|(gp, _)| *gp);
+                            let mut i = 0;
+                            while i < lane_runs.len() {
+                                let gp = lane_runs[i].0;
+                                let mut j = i + 1;
+                                while j < lane_runs.len() && lane_runs[j].0 == gp {
+                                    j += 1;
+                                }
+                                let run = if j - i == 1 {
+                                    std::mem::take(&mut lane_runs[i].1)
+                                } else {
+                                    let mut rb = RunBuilder::new();
+                                    for (_, lane_run) in &lane_runs[i..j] {
+                                        for (k, v) in lane_run.iter() {
+                                            rb.push(k, v);
+                                        }
+                                    }
+                                    rb.build()
+                                };
+                                i = j;
+                                records_out.fetch_add(run.records(), Ordering::Relaxed);
+                                if let Some(dir) = &durability_dir {
+                                    let path = dir.join(format!(
+                                        "map-{node}-c{dseq}-l0-p{gp}.gw",
+                                        dseq = durability_seq
+                                    ));
+                                    std::fs::write(path, run.bytes())
+                                        .expect("durability write failed");
+                                }
+                                let key = RunKey {
+                                    partition: gp,
+                                    block: out.block_idx as u32,
+                                    lane: 0,
+                                };
+                                coordinator.record_run(key, node.0);
+                                let owner = coordinator.owner_of(gp, nodes);
+                                if owner == node.0 {
+                                    if cx.recovery.admit(key) {
+                                        runs_local.fetch_add(1, Ordering::Relaxed);
+                                        intermediate.add_run(gp, run);
+                                    }
+                                } else {
+                                    runs_remote.fetch_add(1, Ordering::Relaxed);
+                                    let records = run.records();
+                                    let bytes = run.into_bytes();
+                                    cx.recovery.retain(key, bytes.clone(), records);
+                                    let msg = ShuffleMsg::Partition {
+                                        partition: gp,
+                                        bytes,
+                                        records,
+                                        tag: Some(key.tag(node.0)),
+                                    };
+                                    let wire = msg.wire_bytes();
+                                    endpoint.send_data(NodeId(owner), msg, wire);
+                                }
+                            }
+                            // The split is now fully processed: every run is
+                            // in the ledger and delivered or retained.
+                            coordinator.complete_split(node, out.block_idx);
+                        }
                         durability_seq += 1;
                         let wall = t0.elapsed();
                         timers.add(StageId::Partition, out.seq, wall, wall);
@@ -479,6 +691,13 @@ impl MapPhase<'_> {
                         let _ = out_pool_tx.send(out.collector);
                     }
                     Ok(())
+                    })();
+                    if result.is_err() {
+                        if let Some(cx) = &chaos {
+                            cx.kill();
+                        }
+                    }
+                    result
                 })
             };
 
@@ -492,14 +711,25 @@ impl MapPhase<'_> {
             results.into_iter().collect::<Result<(), EngineError>>()
         });
 
-        // Broadcast end-of-map to every peer — even on failure, so a dead
-        // node cannot hang the rest of the cluster in the merge phase.
-        for peer in 0..self.nodes {
-            if peer != self.node.0 {
-                self.endpoint.send(NodeId(peer), ShuffleMsg::MapDone, 8);
+        let crashed = self.chaos.as_ref().is_some_and(|cx| cx.is_dead());
+        if !crashed {
+            // Broadcast end-of-map to every peer — even on failure, so a
+            // failed node cannot hang the rest of the cluster in the merge
+            // phase. A *crashed* node stays silent: its peers account for
+            // it through the coordinator's dead set instead.
+            for peer in 0..self.nodes {
+                if peer != self.node.0 {
+                    self.endpoint.send(NodeId(peer), ShuffleMsg::MapDone, 8);
+                }
             }
         }
         scope_result?;
+        if crashed {
+            return Err(EngineError::NodeLost(format!(
+                "node {} crashed during its map phase",
+                self.node
+            )));
+        }
 
         let mut r = report.into_inner();
         r.records_out = records_out.load(Ordering::Relaxed);

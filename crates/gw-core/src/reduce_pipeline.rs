@@ -41,7 +41,7 @@ use gw_storage::NodeId;
 use crate::api::{Emit, GwApp};
 use crate::collect::{for_each_record, BufferPoolCollector, Collector};
 use crate::config::{JobConfig, TimingMode};
-use crate::hash::global_partition;
+use crate::coordinator::{Coordinator, NodeChaos};
 use crate::timers::{StageId, StageTimers};
 use crate::EngineError;
 
@@ -90,6 +90,9 @@ pub struct ReducePhaseReport {
     /// Key-chunks reduced cooperatively by multiple work items (the
     /// paper's parallel single-key reduction).
     pub parallel_key_splits: usize,
+    /// Reduce kernel launches that failed and were re-executed within the
+    /// `max_task_retries` budget.
+    pub tasks_retried: usize,
     /// Output files written (paths).
     pub output_files: Vec<String>,
     /// Wall-clock duration of the phase.
@@ -112,20 +115,31 @@ pub struct ReducePhase<'a> {
     pub store: Arc<dyn FileStore>,
     /// The node's intermediate store (post merge phase).
     pub intermediate: Arc<IntermediateStore>,
+    /// Split/partition coordinator: the reduce phase asks it which global
+    /// partitions this node owns (adopted partitions included).
+    pub coordinator: Arc<Coordinator>,
     /// Stage timers to fill.
     pub timers: Arc<StageTimers>,
+    /// Fault-injection context (supervised jobs only).
+    pub chaos: Option<NodeChaos>,
 }
 
 impl ReducePhase<'_> {
-    /// Run reduction over every local partition.
+    /// Run reduction over every global partition this node owns.
     pub fn run(self) -> Result<ReducePhaseReport, EngineError> {
         let start = Instant::now();
         let mut report = ReducePhaseReport::default();
         let mut chunk_seq = 0usize;
-        for lp in 0..self.cfg.partitions_per_node {
-            let gp = global_partition(self.node.0, lp, self.nodes);
+        let total_partitions = self.cfg.partitions_per_node * self.nodes;
+        for gp in 0..total_partitions {
+            if self.coordinator.owner_of(gp, self.nodes) != self.node.0 {
+                continue;
+            }
+            if self.coordinator.aborted() {
+                return Err(EngineError::NodeLost("job aborted during reduce".into()));
+            }
             let path = format!("{}/part-r-{gp:05}", self.cfg.output);
-            let runs = self.intermediate.partition_runs(lp);
+            let runs = self.intermediate.partition_runs(gp);
             report.partitions += 1;
             if self.app.has_reduce() {
                 self.reduce_partition(&runs, &path, &mut report, &mut chunk_seq)?;
@@ -221,10 +235,14 @@ impl ReducePhase<'_> {
         // kernel stage, so per-key access is serialized.
         let scratch: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
 
+        // Fault-injection context, probed once per kernel attempt.
+        let chaos = self.chaos.clone();
+
         let keys_seen = AtomicUsize::new(0);
         let launches = AtomicUsize::new(0);
         let records_out = AtomicUsize::new(0);
         let parallel_splits = AtomicUsize::new(0);
+        let tasks_retried = AtomicUsize::new(0);
 
         std::thread::scope(|scope| -> Result<(), EngineError> {
             // ---------------- Stage 1: MergeRead ----------------
@@ -360,129 +378,192 @@ impl ReducePhase<'_> {
                 let app = Arc::clone(&self.app);
                 let timers = Arc::clone(&self.timers);
                 let scratch = &scratch;
+                let chaos = &chaos;
                 let launches = &launches;
                 let parallel_splits = &parallel_splits;
+                let tasks_retried = &tasks_retried;
+                let node = self.node;
                 scope.spawn(move || -> Result<(), EngineError> {
+                    let retries = cfg.max_task_retries;
                     while let Ok(chunk) = staged_rx.recv() {
-                        let Ok(collector) = out_pool_rx.recv() else { break };
-                        {
-                            let emit_target: &dyn Collector = collector.as_ref();
-                            let groups = &chunk.groups;
-                            let assignments = &chunk.assignments;
-                            let kpt = cfg.reduce_keys_per_thread;
-                            let n_items = assignments.len().div_ceil(kpt);
-                            let app = &app;
-                            // Per-(group, part) partial states for groups
-                            // reduced cooperatively.
-                            let partials: Vec<Mutex<Vec<Option<Vec<u8>>>>> = groups
-                                .iter()
-                                .map(|_| Mutex::new(Vec::new()))
-                                .collect();
-                            for a in assignments {
-                                if a.parts > 1 {
-                                    let mut slot = partials[a.group].lock();
-                                    if slot.is_empty() {
-                                        slot.resize(a.parts, None);
+                        let Ok(mut collector) = out_pool_rx.recv() else { break };
+                        // Snapshot the scratch states this chunk can touch,
+                        // so a failed attempt rolls back and re-executes
+                        // (paper §III-E, extended to the reduce side).
+                        let snapshot: Option<Vec<(Vec<u8>, Option<Vec<u8>>)>> = if retries > 0 {
+                            let s = scratch.lock();
+                            Some(
+                                chunk
+                                    .groups
+                                    .iter()
+                                    .map(|g| (g.key.to_vec(), s.get(g.key).cloned()))
+                                    .collect(),
+                            )
+                        } else {
+                            None
+                        };
+                        let coop_groups = chunk
+                            .assignments
+                            .iter()
+                            .filter(|a| a.parts > 1 && a.part == 0)
+                            .count();
+                        let mut attempt = 0usize;
+                        let stats = loop {
+                            let result = {
+                                let emit_target: &dyn Collector = collector.as_ref();
+                                let groups = &chunk.groups;
+                                let assignments = &chunk.assignments;
+                                let kpt = cfg.reduce_keys_per_thread;
+                                let n_items = assignments.len().div_ceil(kpt);
+                                let app = &app;
+                                // Per-(group, part) partial states for groups
+                                // reduced cooperatively.
+                                let partials: Vec<Mutex<Vec<Option<Vec<u8>>>>> = groups
+                                    .iter()
+                                    .map(|_| Mutex::new(Vec::new()))
+                                    .collect();
+                                for a in assignments {
+                                    if a.parts > 1 {
+                                        let mut slot = partials[a.group].lock();
+                                        if slot.is_empty() {
+                                            slot.resize(a.parts, None);
+                                        }
                                     }
                                 }
-                            }
-                            let partials = &partials;
-                            let kernel = KernelFn(move |ctx: &WorkItemCtx| {
-                                let emit = Emit::new(emit_target);
-                                let lo = ctx.global_id() * kpt;
-                                let hi = (lo + kpt).min(assignments.len());
-                                for a in &assignments[lo..hi] {
-                                    let group = &groups[a.group];
-                                    if a.parts == 1 {
-                                        // Fetch the key's scratch state (if
-                                        // any earlier chunk left one).
-                                        let mut state = scratch
-                                            .lock()
-                                            .remove(group.key)
-                                            .unwrap_or_default();
-                                        app.reduce(
-                                            group.key,
-                                            &group.values,
-                                            &mut state,
-                                            group.last,
-                                            &emit,
-                                        );
-                                        if !group.last {
-                                            scratch.lock().insert(group.key.to_vec(), state);
-                                        }
-                                    } else {
-                                        // Cooperative partial reduction over
-                                        // this part's slice of the values;
-                                        // merging and the final emit happen
-                                        // after the launch.
-                                        let n = group.values.len();
-                                        let lo_v = a.part * n / a.parts;
-                                        let hi_v = (a.part + 1) * n / a.parts;
-                                        let mut state = if a.part == 0 {
-                                            scratch
+                                let partials = &partials;
+                                let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                                    let emit = Emit::new(emit_target);
+                                    let lo = ctx.global_id() * kpt;
+                                    let hi = (lo + kpt).min(assignments.len());
+                                    for a in &assignments[lo..hi] {
+                                        let group = &groups[a.group];
+                                        if a.parts == 1 {
+                                            // Fetch the key's scratch state (if
+                                            // any earlier chunk left one).
+                                            let mut state = scratch
                                                 .lock()
                                                 .remove(group.key)
-                                                .unwrap_or_default()
+                                                .unwrap_or_default();
+                                            app.reduce(
+                                                group.key,
+                                                &group.values,
+                                                &mut state,
+                                                group.last,
+                                                &emit,
+                                            );
+                                            if !group.last {
+                                                scratch.lock().insert(group.key.to_vec(), state);
+                                            }
                                         } else {
-                                            Vec::new()
-                                        };
-                                        app.reduce(
-                                            group.key,
-                                            &group.values[lo_v..hi_v],
-                                            &mut state,
-                                            false,
-                                            &emit,
-                                        );
-                                        partials[a.group].lock()[a.part] = Some(state);
+                                            // Cooperative partial reduction over
+                                            // this part's slice of the values;
+                                            // merging and the final emit happen
+                                            // after the launch.
+                                            let n = group.values.len();
+                                            let lo_v = a.part * n / a.parts;
+                                            let hi_v = (a.part + 1) * n / a.parts;
+                                            let mut state = if a.part == 0 {
+                                                scratch
+                                                    .lock()
+                                                    .remove(group.key)
+                                                    .unwrap_or_default()
+                                            } else {
+                                                Vec::new()
+                                            };
+                                            app.reduce(
+                                                group.key,
+                                                &group.values[lo_v..hi_v],
+                                                &mut state,
+                                                false,
+                                                &emit,
+                                            );
+                                            partials[a.group].lock()[a.part] = Some(state);
+                                        }
+                                    }
+                                });
+                                let range = NdRange::new(
+                                    n_items.max(1),
+                                    cfg.work_group.min(n_items.max(1)),
+                                )
+                                .map_err(EngineError::Device)?;
+                                // The whole attempt — injected-fault probe,
+                                // kernel launch, cooperative-state merge and
+                                // final emits — is one unwind scope, so a
+                                // failure anywhere rolls back as a unit.
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if let Some(cx) = chaos {
+                                        if cx.plan.reduce_fault_fires(node.0) {
+                                            panic!("injected reduce-site fault");
+                                        }
+                                    }
+                                    let stats = device.launch(range, &kernel);
+                                    // Merge cooperative partial states and
+                                    // finish each parallel group with one
+                                    // last=true call.
+                                    let emit = Emit::new(emit_target);
+                                    for (g, slots) in partials.iter().enumerate() {
+                                        let mut slots = slots.lock();
+                                        if slots.is_empty() {
+                                            continue;
+                                        }
+                                        let group = &groups[g];
+                                        let mut acc = slots[0].take().expect("part 0 state");
+                                        for slot in slots.iter_mut().skip(1) {
+                                            let other = slot.take().expect("partial state");
+                                            let merged = app.merge_states(&mut acc, &other);
+                                            debug_assert!(merged, "merge support changed mid-job");
+                                        }
+                                        if group.last {
+                                            app.reduce(group.key, &[], &mut acc, true, &emit);
+                                        } else {
+                                            scratch.lock().insert(group.key.to_vec(), acc);
+                                        }
+                                    }
+                                    stats
+                                }))
+                            };
+                            match result {
+                                Ok(stats) => {
+                                    launches.fetch_add(1, Ordering::Relaxed);
+                                    parallel_splits.fetch_add(coop_groups, Ordering::Relaxed);
+                                    break stats;
+                                }
+                                Err(_) if attempt < retries => {
+                                    // Discard the attempt's partial output,
+                                    // restore the scratch states it consumed,
+                                    // and re-execute (paper §III-E: "its
+                                    // partial output is discarded and its
+                                    // input is rescheduled for processing").
+                                    attempt += 1;
+                                    tasks_retried.fetch_add(1, Ordering::Relaxed);
+                                    collector.reset();
+                                    let snap = snapshot.as_ref().expect("snapshot taken");
+                                    let mut s = scratch.lock();
+                                    for (key, state) in snap {
+                                        match state {
+                                            Some(state) => {
+                                                s.insert(key.clone(), state.clone());
+                                            }
+                                            None => {
+                                                s.remove(key.as_slice());
+                                            }
+                                        }
                                     }
                                 }
-                            });
-                            let range = NdRange::new(
-                                n_items.max(1),
-                                cfg.work_group.min(n_items.max(1)),
-                            )
-                            .map_err(EngineError::Device)?;
-                            // Reduce failures are not re-executed (scratch
-                            // state may have been consumed); they fail the
-                            // job cleanly instead of tearing down threads.
-                            let stats = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| device.launch(range, &kernel)),
-                            )
-                            .map_err(|_| {
-                                EngineError::TaskFailed(format!(
-                                    "reduce kernel for chunk {} panicked",
-                                    chunk.seq
-                                ))
-                            })?;
-                            launches.fetch_add(1, Ordering::Relaxed);
-                            // Merge cooperative partial states and finish
-                            // each parallel group with one last=true call.
-                            let emit = Emit::new(emit_target);
-                            for (g, slots) in partials.iter().enumerate() {
-                                let mut slots = slots.lock();
-                                if slots.is_empty() {
-                                    continue;
-                                }
-                                parallel_splits.fetch_add(1, Ordering::Relaxed);
-                                let group = &groups[g];
-                                let mut acc = slots[0].take().expect("part 0 state");
-                                for slot in slots.iter_mut().skip(1) {
-                                    let other = slot.take().expect("partial state");
-                                    let merged = app.merge_states(&mut acc, &other);
-                                    debug_assert!(merged, "merge support changed mid-job");
-                                }
-                                if group.last {
-                                    app.reduce(group.key, &[], &mut acc, true, &emit);
-                                } else {
-                                    scratch.lock().insert(group.key.to_vec(), acc);
+                                Err(_) => {
+                                    return Err(EngineError::TaskFailed(format!(
+                                        "reduce kernel for chunk {} failed after {} attempt(s)",
+                                        chunk.seq,
+                                        attempt + 1
+                                    )));
                                 }
                             }
-                            let modeled = match cfg.timing {
-                                TimingMode::Wall => stats.wall,
-                                TimingMode::Modeled => stats.modeled,
-                            };
-                            timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
-                        }
+                        };
+                        let modeled = match cfg.timing {
+                            TimingMode::Wall => stats.wall,
+                            TimingMode::Modeled => stats.modeled,
+                        };
+                        timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
                         // Kernel done with the chunk: release its token.
                         let _ = in_token_tx.send(());
                         if kernel_tx
@@ -580,6 +661,7 @@ impl ReducePhase<'_> {
         report.launches += launches.load(Ordering::Relaxed);
         report.records_out += records_out.load(Ordering::Relaxed);
         report.parallel_key_splits += parallel_splits.load(Ordering::Relaxed);
+        report.tasks_retried += tasks_retried.load(Ordering::Relaxed);
         Ok(())
     }
 }

@@ -43,10 +43,32 @@ impl NetStats {
     }
 }
 
+/// Outcome of consulting a [`NetFaultHook`] for one data-class message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message (the bytes still left the NIC).
+    Drop,
+    /// Deliver after sleeping for the given duration.
+    Delay(std::time::Duration),
+}
+
+/// Chaos hook for injecting message loss and delay. Only *data-class*
+/// traffic sent through [`Endpoint::send_data`] consults the hook; control
+/// messages (end-of-map markers, resend requests, re-served runs) use
+/// [`Endpoint::send`] and stay reliable, so the recovery protocol itself
+/// cannot be wedged by the faults it is recovering from.
+pub trait NetFaultHook: Send + Sync {
+    /// Decide the fate of a data message from `from` to `to`.
+    fn on_data_message(&self, from: NodeId, to: NodeId) -> NetFaultAction;
+}
+
 struct Shared<T> {
     inboxes: Vec<Sender<Envelope<T>>>,
     egress: Vec<Throttle>,
     stats: Vec<NetStats>,
+    fault: Option<Arc<dyn NetFaultHook>>,
 }
 
 /// A cluster fabric for `n` nodes carrying messages of type `T`.
@@ -58,6 +80,16 @@ pub struct Fabric<T> {
 impl<T: Send + 'static> Fabric<T> {
     /// Build a fabric where every node's egress NIC follows `profile`.
     pub fn new(nodes: u32, profile: NetProfile) -> Self {
+        Self::with_fault_hook(nodes, profile, None)
+    }
+
+    /// Like [`Fabric::new`], with a chaos fault hook armed on data-class
+    /// traffic (see [`NetFaultHook`]).
+    pub fn with_fault_hook(
+        nodes: u32,
+        profile: NetProfile,
+        fault: Option<Arc<dyn NetFaultHook>>,
+    ) -> Self {
         let mut inboxes = Vec::with_capacity(nodes as usize);
         let mut receivers = Vec::with_capacity(nodes as usize);
         for _ in 0..nodes {
@@ -72,6 +104,7 @@ impl<T: Send + 'static> Fabric<T> {
                 inboxes,
                 egress,
                 stats,
+                fault,
             }),
             receivers,
         }
@@ -137,6 +170,26 @@ impl<T: Send + 'static> Endpoint<T> {
             payload,
         });
         wire
+    }
+
+    /// Send a *data-class* message: like [`Endpoint::send`], but consults
+    /// the fabric's chaos fault hook (if armed), which may drop the
+    /// message or delay its delivery. Dropped messages are still charged
+    /// to the sender's stats and throttle — the bytes left the NIC.
+    pub fn send_data(&self, to: NodeId, payload: T, wire_bytes: usize) -> std::time::Duration {
+        if let Some(hook) = &self.shared.fault {
+            match hook.on_data_message(self.node, to) {
+                NetFaultAction::Deliver => {}
+                NetFaultAction::Drop => {
+                    let stats = &self.shared.stats[self.node.index()];
+                    stats.bytes_sent.fetch_add(wire_bytes, Ordering::Relaxed);
+                    stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                    return self.shared.egress[self.node.index()].acquire(wire_bytes);
+                }
+                NetFaultAction::Delay(d) => std::thread::sleep(d),
+            }
+        }
+        self.send(to, payload, wire_bytes)
     }
 
     /// Receive the next message, blocking until one arrives or all senders
@@ -246,6 +299,39 @@ mod tests {
         let sent: usize = (0..nodes).map(|n| fabric.stats(NodeId(n)).messages_sent()).sum();
         assert_eq!(sent, 500);
         use std::sync::Arc;
+    }
+
+    #[test]
+    fn fault_hook_drops_and_delays_data_messages_only() {
+        use std::sync::atomic::AtomicUsize;
+        struct DropFirst(AtomicUsize);
+        impl NetFaultHook for DropFirst {
+            fn on_data_message(&self, _from: NodeId, _to: NodeId) -> NetFaultAction {
+                match self.0.fetch_add(1, Ordering::Relaxed) {
+                    0 => NetFaultAction::Drop,
+                    1 => NetFaultAction::Delay(std::time::Duration::from_millis(10)),
+                    _ => NetFaultAction::Deliver,
+                }
+            }
+        }
+        let mut fabric: Fabric<u32> = Fabric::with_fault_hook(
+            2,
+            NetProfile::unlimited(),
+            Some(Arc::new(DropFirst(AtomicUsize::new(0)))),
+        );
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        a.send_data(NodeId(1), 1, 8); // dropped
+        let t0 = std::time::Instant::now();
+        a.send_data(NodeId(1), 2, 8); // delayed
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        a.send_data(NodeId(1), 3, 8); // delivered
+        a.send(NodeId(1), 4, 8); // control path: never consults the hook
+        assert_eq!(b.recv().unwrap().payload, 2);
+        assert_eq!(b.recv().unwrap().payload, 3);
+        assert_eq!(b.recv().unwrap().payload, 4);
+        // Dropped messages are still charged to the sender.
+        assert_eq!(fabric.stats(NodeId(0)).messages_sent(), 4);
     }
 
     #[test]

@@ -17,9 +17,9 @@ pub mod profile;
 pub mod throttle;
 pub mod transport;
 
-pub use fabric::{Endpoint, Fabric, NetStats};
+pub use fabric::{Endpoint, Fabric, NetFaultAction, NetFaultHook, NetStats};
 pub use profile::NetProfile;
 pub use throttle::Throttle;
-pub use transport::{ShuffleMsg, ShuffleReceiver};
+pub use transport::{RunTag, ShuffleMsg, ShuffleReceiver, ShuffleSummary};
 
 pub use gw_storage::NodeId;

@@ -14,28 +14,56 @@ use gw_intermediate::{IntermediateStore, PartitionId, Run};
 
 use crate::fabric::Endpoint;
 
+/// Identity of one sorted run in the fault-tolerant shuffle. Present only
+/// when a recovery plan is armed: it lets receivers de-duplicate runs
+/// re-produced by re-executed map tasks and re-request runs lost to node
+/// crashes or message drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunTag {
+    /// Node that produced (or re-produced) the run.
+    pub producer: u32,
+    /// Global partition the run belongs to.
+    pub partition: u32,
+    /// Input block the run was computed from.
+    pub block: u32,
+    /// Producer-side lane (0 when lanes are merged per block).
+    pub lane: u32,
+}
+
 /// Messages of the shuffle protocol.
 #[derive(Debug)]
 pub enum ShuffleMsg {
-    /// A sorted run for one of the receiver's local partitions.
+    /// A sorted run for one of the receiver's partitions.
     Partition {
-        /// Receiver-local partition index.
+        /// Partition index at the receiver (global partition id when the
+        /// fault-tolerant protocol is armed).
         partition: PartitionId,
         /// Serialized sorted run bytes.
         bytes: Vec<u8>,
         /// Record count of the run.
         records: usize,
+        /// Recovery identity; `None` in the plain (fault-free) protocol.
+        tag: Option<RunTag>,
     },
     /// The sender has finished its map phase (no more partitions follow).
     MapDone,
+    /// Recovery protocol: the sender is missing these runs and asks their
+    /// producer to re-serve them from its retention buffer.
+    Resend {
+        /// Identities of the missing runs.
+        ids: Vec<RunTag>,
+    },
 }
 
 impl ShuffleMsg {
     /// Wire size estimate used for throttling.
     pub fn wire_bytes(&self) -> usize {
         match self {
-            ShuffleMsg::Partition { bytes, .. } => bytes.len() + 16,
+            ShuffleMsg::Partition { bytes, tag, .. } => {
+                bytes.len() + 16 + if tag.is_some() { 16 } else { 0 }
+            }
             ShuffleMsg::MapDone => 8,
+            ShuffleMsg::Resend { ids } => 8 + 16 * ids.len(),
         }
     }
 }
@@ -87,12 +115,16 @@ impl ShuffleReceiver {
                             partition,
                             bytes,
                             records,
+                            tag: _,
                         } => {
                             summary.runs += 1;
                             summary.bytes += bytes.len();
                             store.add_run(partition, Run::from_sorted_bytes(bytes, records));
                         }
                         ShuffleMsg::MapDone => summary.done_markers += 1,
+                        // The plain receiver has no retention buffer; the
+                        // fault-tolerant receiver (gw-core) serves these.
+                        ShuffleMsg::Resend { .. } => {}
                     }
                 }
                 summary
@@ -148,6 +180,7 @@ mod tests {
                         partition: (n.0 - 1) % 2,
                         bytes,
                         records,
+                        tag: None,
                     };
                     let wire = msg.wire_bytes();
                     ep.send(NodeId(0), msg, wire);

@@ -16,13 +16,14 @@
 //! matter the replication factor), which keeps multi-node in-process
 //! clusters cheap while preserving all placement/locality bookkeeping.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use crate::iomodel::{IoModel, IoSample, IoStats};
-use crate::split::{FileStore, InputSplit};
+use crate::split::{FileStore, InputSplit, StorageFaultHook};
 use crate::{NodeId, StorageError};
 
 /// Configuration of a [`Dfs`] instance.
@@ -82,6 +83,9 @@ pub struct Dfs {
     cfg: DfsConfig,
     ns: RwLock<Namespace>,
     stats: IoStats,
+    fault: RwLock<Option<Arc<dyn StorageFaultHook>>>,
+    dead: RwLock<HashSet<NodeId>>,
+    failovers: AtomicUsize,
 }
 
 impl Dfs {
@@ -92,6 +96,9 @@ impl Dfs {
             cfg,
             ns: RwLock::new(Namespace::default()),
             stats: IoStats::default(),
+            fault: RwLock::new(None),
+            dead: RwLock::new(HashSet::new()),
+            failovers: AtomicUsize::new(0),
         }
     }
 
@@ -216,7 +223,43 @@ impl FileStore for Dfs {
         let block = blocks
             .get(split.block)
             .ok_or_else(|| StorageError::Corrupt(format!("no block {} in {}", split.block, split.path)))?;
-        let local = block.replicas.contains(&reader);
+        // Choose the serving replica: the reader's own copy first, then the
+        // placement order — skipping dead nodes and chaos-faulted reads.
+        let hook = self.fault.read().clone();
+        let mut candidates: Vec<NodeId> = Vec::with_capacity(block.replicas.len());
+        if block.replicas.contains(&reader) {
+            candidates.push(reader);
+        }
+        candidates.extend(block.replicas.iter().copied().filter(|&r| r != reader));
+        let mut skipped = 0usize;
+        let mut source = None;
+        {
+            let dead = self.dead.read();
+            for &cand in &candidates {
+                if dead.contains(&cand) {
+                    skipped += 1;
+                    continue;
+                }
+                if let Some(h) = &hook {
+                    if h.read_fault(&split.path, split.block, cand) {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                source = Some(cand);
+                break;
+            }
+        }
+        let Some(source) = source else {
+            return Err(StorageError::AllReplicasLost(format!(
+                "{} block {}",
+                split.path, split.block
+            )));
+        };
+        if skipped > 0 {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        let local = source == reader;
         let sample = IoSample {
             modeled: self.cfg.io.call_time(block.data.len(), local),
             bytes: block.data.len(),
@@ -245,6 +288,18 @@ impl FileStore for Dfs {
 
     fn cluster_size(&self) -> u32 {
         self.cfg.nodes
+    }
+
+    fn arm_fault_hook(&self, hook: Option<Arc<dyn StorageFaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    fn mark_node_dead(&self, node: NodeId) {
+        self.dead.write().insert(node);
+    }
+
+    fn fault_failovers(&self) -> usize {
+        self.failovers.load(Ordering::Relaxed)
     }
 }
 
@@ -392,5 +447,67 @@ mod tests {
             .write_blocks("/x", NodeId(9), vec![(vec![0], 1)], 1)
             .unwrap_err();
         assert!(matches!(err, StorageError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn read_fails_over_to_surviving_replica_when_node_dies() {
+        let dfs = Dfs::new(DfsConfig::new(4));
+        write_file(&dfs, "/in", 100, 256);
+        let splits = dfs.splits("/in").unwrap();
+        let split = &splits[0];
+        // Kill the primary (writer) replica; a non-replica reader must be
+        // served transparently by one of the survivors.
+        dfs.mark_node_dead(split.locations[0]);
+        let reader = (0..4)
+            .map(NodeId)
+            .find(|n| !split.locations.contains(n))
+            .unwrap();
+        let (data, sample) = dfs.read_split(split, reader).unwrap();
+        assert!(!data.is_empty());
+        assert!(!sample.local);
+        assert!(dfs.fault_failovers() >= 1);
+    }
+
+    #[test]
+    fn read_fails_over_past_a_chaos_fault() {
+        struct FailPrimaryOnce(std::sync::atomic::AtomicBool);
+        impl StorageFaultHook for FailPrimaryOnce {
+            fn read_fault(&self, _path: &str, block: usize, _source: NodeId) -> bool {
+                block == 0 && !self.0.swap(true, Ordering::Relaxed)
+            }
+        }
+        let dfs = Dfs::new(DfsConfig::new(3));
+        write_file(&dfs, "/in", 100, 256);
+        dfs.arm_fault_hook(Some(Arc::new(FailPrimaryOnce(
+            std::sync::atomic::AtomicBool::new(false),
+        ))));
+        let splits = dfs.splits("/in").unwrap();
+        let reader = splits[0].locations[0];
+        // The first replica attempt faults; the read still succeeds from
+        // the next replica and the failover is counted.
+        let (data, _) = dfs.read_split(&splits[0], reader).unwrap();
+        assert!(!data.is_empty());
+        assert_eq!(dfs.fault_failovers(), 1);
+        // The fault was single-use: later reads are clean.
+        dfs.read_split(&splits[0], reader).unwrap();
+        assert_eq!(dfs.fault_failovers(), 1);
+    }
+
+    #[test]
+    fn losing_every_replica_is_a_typed_error() {
+        let dfs = Dfs::new(DfsConfig::new(2));
+        let recs = records(10);
+        dfs.write_records(
+            "/in",
+            NodeId(0),
+            64,
+            1, // replication 1: a single death loses the block
+            recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .unwrap();
+        let splits = dfs.splits("/in").unwrap();
+        dfs.mark_node_dead(splits[0].locations[0]);
+        let err = dfs.read_split(&splits[0], NodeId(1)).unwrap_err();
+        assert!(matches!(err, StorageError::AllReplicasLost(_)), "got: {err}");
     }
 }

@@ -33,7 +33,7 @@ pub use dfs::{Dfs, DfsConfig};
 pub use iomodel::{IoModel, IoSample, IoStats};
 pub use localfs::LocalFs;
 pub use seqfile::{SeqReader, SeqWriter};
-pub use split::{split_blocks, InputSplit};
+pub use split::{split_blocks, InputSplit, StorageFaultHook};
 
 /// An owned key/value record list — the currency of job input/output.
 pub type KvVec = Vec<(Vec<u8>, Vec<u8>)>;
@@ -67,6 +67,9 @@ pub enum StorageError {
     Corrupt(String),
     /// Operation referenced an unknown node.
     UnknownNode(NodeId),
+    /// Every replica of a block is unreadable (its nodes are dead or its
+    /// reads keep faulting), so the data is gone.
+    AllReplicasLost(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -76,6 +79,9 @@ impl std::fmt::Display for StorageError {
             StorageError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            StorageError::AllReplicasLost(what) => {
+                write!(f, "all replicas lost: {what}")
+            }
         }
     }
 }

@@ -35,6 +35,16 @@ impl InputSplit {
     }
 }
 
+/// Chaos hook for injecting per-replica read faults. Armed on a store via
+/// [`FileStore::arm_fault_hook`]; a `true` return fails the read attempt
+/// from that replica, making the store fall over to the next one. Unarmed
+/// stores never consult a hook.
+pub trait StorageFaultHook: Send + Sync {
+    /// Whether this read of `path`'s block `block`, about to be served by
+    /// the replica on `source`, should fail.
+    fn read_fault(&self, path: &str, block: usize, source: NodeId) -> bool;
+}
+
 /// Common read interface over the storage backends.
 pub trait FileStore: Send + Sync {
     /// Write a record-blocked file. `blocks` are raw record streams (no
@@ -70,6 +80,20 @@ pub trait FileStore: Send + Sync {
 
     /// Number of cluster nodes this store serves.
     fn cluster_size(&self) -> u32;
+
+    /// Arm (`Some`) or disarm (`None`) a chaos read-fault hook. Stores
+    /// without fault-injection support ignore this.
+    fn arm_fault_hook(&self, _hook: Option<Arc<dyn StorageFaultHook>>) {}
+
+    /// Mark a node dead: its replicas stop serving reads and other
+    /// replicas take over. Stores without replica bookkeeping ignore this.
+    fn mark_node_dead(&self, _node: NodeId) {}
+
+    /// Reads that skipped a dead or faulted replica and were served by a
+    /// surviving one.
+    fn fault_failovers(&self) -> usize {
+        0
+    }
 }
 
 /// Extension helpers available on every [`FileStore`].

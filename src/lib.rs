@@ -15,6 +15,8 @@
 //! * [`net`] (`gw-net`) — the throttled in-process cluster fabric;
 //! * [`intermediate`] (`gw-intermediate`) — partition cache, compression,
 //!   spills and k-way merging;
+//! * [`chaos`] (`gw-chaos`) — seeded deterministic fault injection for
+//!   exercising the engine's fault tolerance;
 //! * [`apps`] (`gw-apps`) — the paper's five evaluation applications;
 //! * [`baseline`] (`gw-baseline`) — Hadoop-model and GPMR-model engines;
 //! * [`sim`] (`gw-sim`) — the discrete-event cluster simulator behind the
@@ -46,6 +48,7 @@
 
 pub use gw_apps as apps;
 pub use gw_baseline as baseline;
+pub use gw_chaos as chaos;
 pub use gw_core as core;
 pub use gw_device as device;
 pub use gw_intermediate as intermediate;
@@ -56,6 +59,7 @@ pub use gw_storage as storage;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use gw_apps::{KMeans, MatMul, PageviewCount, TeraSort, WordCount};
+    pub use gw_chaos::{CrashSite, FaultPlan};
     pub use gw_core::cluster::read_job_output;
     pub use gw_core::{
         Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport, NodeId,

@@ -83,6 +83,53 @@ impl GwApp for PoisonReduce {
     }
 }
 
+/// Word count whose reduce panics the first `failures` calls, then behaves
+/// normally — a transient reduce-side fault.
+struct FlakyReduce {
+    remaining_failures: AtomicUsize,
+}
+
+impl FlakyReduce {
+    fn new(failures: usize) -> Self {
+        FlakyReduce {
+            remaining_failures: AtomicUsize::new(failures),
+        }
+    }
+}
+
+impl GwApp for FlakyReduce {
+    fn name(&self) -> &'static str {
+        "flaky-reduce"
+    }
+    fn map(&self, _key: &[u8], value: &[u8], emit: &Emit<'_>) {
+        for word in value.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            emit.emit(word, &enc_u64(1));
+        }
+    }
+    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+        let left = self.remaining_failures.load(Ordering::SeqCst);
+        if left > 0
+            && self
+                .remaining_failures
+                .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            panic!("injected transient reduce fault");
+        }
+        if state.is_empty() {
+            state.extend_from_slice(&enc_u64(0));
+        }
+        let mut acc = dec_u64(state);
+        for v in values {
+            acc += dec_u64(v);
+        }
+        state.copy_from_slice(&enc_u64(acc));
+        if last {
+            emit.emit(key, &enc_u64(acc));
+        }
+    }
+}
+
 fn cluster_with_lines(nodes: u32, lines: &[&str]) -> Cluster {
     let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).free_io()));
     let records: Vec<(Vec<u8>, Vec<u8>)> = lines
@@ -176,10 +223,53 @@ fn zero_retries_matches_paper_behaviour() {
 }
 
 #[test]
-fn reduce_fault_fails_cleanly_without_retry() {
+fn reduce_fault_fails_cleanly_with_zero_budget() {
+    // The paper's unmodified behaviour: no reduce re-execution.
+    let cluster = cluster_with_lines(2, LINES);
+    let err = cluster.run(Arc::new(PoisonReduce), &cfg(0)).unwrap_err();
+    assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+}
+
+#[test]
+fn deterministic_reduce_fault_exhausts_its_budget() {
+    // A reducer that fails every attempt burns the whole budget, then
+    // fails the job cleanly (no hang, no partial success).
     let cluster = cluster_with_lines(2, LINES);
     let err = cluster.run(Arc::new(PoisonReduce), &cfg(3)).unwrap_err();
-    assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+    match err {
+        EngineError::TaskFailed(msg) => {
+            assert!(msg.contains("attempt"), "got: {msg}");
+        }
+        other => panic!("expected TaskFailed, got: {other}"),
+    }
+}
+
+#[test]
+fn transient_reduce_fault_is_reexecuted_and_output_is_correct() {
+    let cluster = cluster_with_lines(2, LINES);
+    let app = Arc::new(FlakyReduce::new(2));
+    let mut job_cfg = cfg(3);
+    // Force multi-chunk keys so retries must also restore cross-launch
+    // scratch state, not just discard emitted records.
+    job_cfg.reduce_max_values_per_chunk = 2;
+    let report = cluster.run(app, &job_cfg).unwrap();
+    let retried: usize = report.nodes.iter().map(|n| n.reduce.tasks_retried).sum();
+    assert!(retried >= 1, "the fault must have triggered a re-execution");
+    let mut out: Vec<(Vec<u8>, u64)> = glasswing::core::cluster::read_job_output(
+        cluster.store(),
+        &report,
+    )
+    .unwrap()
+    .into_iter()
+    .map(|(k, v)| (k, dec_u64(&v)))
+    .collect();
+    out.sort();
+    let count = |word: &[u8]| out.iter().find(|(k, _)| k == word).unwrap().1;
+    assert_eq!(count(b"alpha"), 3, "retried reduce must not lose or duplicate");
+    assert_eq!(count(b"beta"), 4);
+    assert_eq!(count(b"gamma"), 3);
+    assert_eq!(count(b"delta"), 1);
+    assert_eq!(count(b"POISON"), 1);
 }
 
 #[test]
