@@ -1,0 +1,376 @@
+//! Tracked shuffle benchmark: the zero-copy arena intermediate path
+//! against its pre-arena baselines, written to `BENCH_shuffle.json` at
+//! the repo root so the speedups are versioned alongside the code.
+//!
+//! Measured metrics (new vs baseline, best-of-N wall time):
+//!
+//! * `run_sort`    — arena `RunBuilder` (MSB radix on the offset index)
+//!   vs owned-pair `sort_unstable` + serialize.
+//! * `merge8`      — 8-way loser-tree merge vs the `BinaryHeap` merge.
+//! * `partition`   — the end-to-end WordCount partition stage (lane
+//!   builders + per-partition lane merge, recycled arenas) vs the same
+//!   stage on the owned-pair path. This is the headline number.
+//! * `compress` / `decompress` — codec throughput over run bytes
+//!   (informational; the partition stage itself does not compress).
+//!
+//! Every comparison also asserts the two paths produce byte-identical
+//! runs — the determinism contract the fault-tolerant shuffle's
+//! de-duplication depends on.
+//!
+//! Usage: `cargo bench -p gw-bench --bench shuffle -- [--quick] [--check]`
+//!
+//! * `--quick` shrinks the workload (CI smoke). A full run additionally
+//!   measures the quick workload and records its speedups as `quick_*`
+//!   fields, so a quick check compares like against like (speedups vary
+//!   with workload size, not just machine).
+//! * `--check` does not rewrite the tracked file; instead it validates
+//!   the committed `BENCH_shuffle.json` (parseable, required fields) and
+//!   fails if any measured speedup fell below 0.75x the committed one
+//!   for the same mode (ratios are machine-portable where absolute
+//!   throughput is not).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gw_bench::baseline::{heap_merge, naive_run_from_pairs};
+use gw_bench::flatjson::{self, Val};
+use gw_core::hash::default_partition;
+use gw_intermediate::{compress, merge_runs, Run, RunBuilder, RunPool};
+
+/// Words drawn from a Zipf-ish rank distribution — the WordCount map
+/// output profile (a few hot words, a long cold tail).
+fn word_stream(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let r = next();
+            // ~1/3 of draws hit the 16 hottest words; the rest spread
+            // over a 16k vocabulary.
+            let rank = if r % 3 == 0 { r % 16 } else { r % 16_384 };
+            let key = format!("word{rank:05}").into_bytes();
+            (key, 1u32.to_le_bytes().to_vec())
+        })
+        .collect()
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds.
+fn best_secs<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-`iters` wall times of a new/baseline pair, interleaved so
+/// both paths sample the same machine conditions (frequency scaling and
+/// neighbor noise would otherwise skew whichever phase it landed on).
+fn best_secs_pair<A, B>(
+    iters: usize,
+    mut new: impl FnMut() -> A,
+    mut base: impl FnMut() -> B,
+) -> (f64, f64) {
+    let (mut best_new, mut best_base) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(new());
+        best_new = best_new.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(base());
+        best_base = best_base.min(t.elapsed().as_secs_f64());
+    }
+    (best_new, best_base)
+}
+
+fn assert_same_bytes(what: &str, a: &Run, b: &Run) {
+    assert_eq!(
+        &*a.clone().into_shared(),
+        &*b.clone().into_shared(),
+        "{what}: arena path diverged from baseline bytes"
+    );
+}
+
+struct Sizes {
+    iters: usize,
+    sort_records: usize,
+    merge_records_per_run: usize,
+    partition_records: usize,
+}
+
+// Quick sizes are chosen to keep the smoke run under ~10 s while staying
+// large enough that best-of-N timings are stable (tiny merges measured in
+// microseconds made the speedup ratio swing run to run).
+const QUICK: Sizes = Sizes {
+    iters: 5,
+    sort_records: 16_000,
+    merge_records_per_run: 8_000,
+    partition_records: 120_000,
+};
+
+const FULL: Sizes = Sizes {
+    iters: 5,
+    sort_records: 64_000,
+    merge_records_per_run: 16_000,
+    partition_records: 600_000,
+};
+
+const PARTS: u32 = 16;
+const LANES: usize = 4;
+
+/// The arena partition stage: per-lane recycled builders, then a
+/// per-partition loser-tree merge across lanes (the supervised-mode
+/// shape of `gw-core`'s Partition stage).
+fn partition_arena(recs: &[(Vec<u8>, Vec<u8>)], pool: &Arc<RunPool>) -> Vec<Run> {
+    let lane_len = recs.len().div_ceil(LANES);
+    let lane_runs: Vec<Vec<Run>> = recs
+        .chunks(lane_len)
+        .map(|lane| {
+            let mut builders: Vec<_> = (0..PARTS).map(|_| pool.builder()).collect();
+            for (k, v) in lane {
+                builders[default_partition(k, PARTS) as usize].push(k, v);
+            }
+            builders.into_iter().map(|b| b.build()).collect()
+        })
+        .collect();
+    (0..PARTS as usize)
+        .map(|p| merge_runs(lane_runs.iter().map(|lane| &lane[p])))
+        .collect()
+}
+
+/// The pre-arena partition stage: per-lane owned-pair runs, then the
+/// old gather-and-resort lane merge.
+fn partition_naive(recs: &[(Vec<u8>, Vec<u8>)]) -> Vec<Run> {
+    let lane_len = recs.len().div_ceil(LANES);
+    let lane_runs: Vec<Vec<Run>> = recs
+        .chunks(lane_len)
+        .map(|lane| {
+            let mut buckets: Vec<Vec<(Vec<u8>, Vec<u8>)>> =
+                (0..PARTS).map(|_| Vec::new()).collect();
+            for (k, v) in lane {
+                buckets[default_partition(k, PARTS) as usize].push((k.clone(), v.clone()));
+            }
+            buckets.into_iter().map(naive_run_from_pairs).collect()
+        })
+        .collect();
+    (0..PARTS as usize)
+        .map(|p| {
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = lane_runs
+                .iter()
+                .flat_map(|lane| lane[p].iter())
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            naive_run_from_pairs(pairs)
+        })
+        .collect()
+}
+
+struct Metrics {
+    input_mb: f64,
+    run_sort_new: f64,
+    run_sort_naive: f64,
+    merge8_new: f64,
+    merge8_heap: f64,
+    compress_mbps: f64,
+    decompress_mbps: f64,
+    partition_new: f64,
+    partition_naive: f64,
+}
+
+impl Metrics {
+    fn run_sort_speedup(&self) -> f64 {
+        self.run_sort_new / self.run_sort_naive
+    }
+    fn merge8_speedup(&self) -> f64 {
+        self.merge8_new / self.merge8_heap
+    }
+    fn partition_speedup(&self) -> f64 {
+        self.partition_new / self.partition_naive
+    }
+}
+
+fn measure(sizes: &Sizes) -> Metrics {
+    // --- run_sort: arena radix builder vs owned-pair sort ---
+    let sort_input = word_stream(sizes.sort_records);
+    let pool = Arc::new(RunPool::new());
+    let (arena_sort, naive_sort) = best_secs_pair(
+        sizes.iters,
+        || {
+            let mut b = pool.builder();
+            for (k, v) in &sort_input {
+                b.push(k, v);
+            }
+            b.build()
+        },
+        || naive_run_from_pairs(sort_input.clone()),
+    );
+    {
+        let mut b = RunBuilder::new();
+        for (k, v) in &sort_input {
+            b.push(k, v);
+        }
+        assert_same_bytes(
+            "run_sort",
+            &b.build(),
+            &naive_run_from_pairs(sort_input.clone()),
+        );
+    }
+    let mrecs = |records: usize, secs: f64| records as f64 / secs / 1e6;
+
+    // --- merge8: loser tree vs BinaryHeap ---
+    let merge_input: Vec<Run> = (0..8)
+        .map(|lane| {
+            let recs = word_stream(sizes.merge_records_per_run + lane * 37);
+            naive_run_from_pairs(recs)
+        })
+        .collect();
+    let merged_records: usize = merge_input.iter().map(|r| r.records()).sum();
+    let (tree_merge, heap_merge_s) = best_secs_pair(
+        sizes.iters,
+        || merge_runs(&merge_input),
+        || heap_merge(&merge_input),
+    );
+    assert_same_bytes("merge8", &merge_runs(&merge_input), &heap_merge(&merge_input));
+
+    // --- compress / decompress over run bytes ---
+    let codec_run = merge_runs(&merge_input).into_shared();
+    let packed = compress::compress(&codec_run);
+    let comp = best_secs(sizes.iters, || compress::compress(&codec_run));
+    let decomp = best_secs(sizes.iters, || compress::decompress(&packed).unwrap());
+    let mbps = |bytes: usize, secs: f64| bytes as f64 / secs / 1e6;
+
+    // --- partition: end-to-end WC partition stage ---
+    let part_input = word_stream(sizes.partition_records);
+    let input_bytes: usize = part_input.iter().map(|(k, v)| k.len() + v.len()).sum();
+    let part_pool = Arc::new(RunPool::new());
+    // Warm the recycling pool so the measurement sees steady state.
+    std::hint::black_box(partition_arena(&part_input, &part_pool));
+    let (arena_part, naive_part) = best_secs_pair(
+        sizes.iters,
+        || partition_arena(&part_input, &part_pool),
+        || partition_naive(&part_input),
+    );
+    let arena_out = partition_arena(&part_input, &part_pool);
+    let naive_out = partition_naive(&part_input);
+    for (p, (a, n)) in arena_out.iter().zip(&naive_out).enumerate() {
+        assert_same_bytes(&format!("partition p{p}"), a, n);
+    }
+
+    Metrics {
+        input_mb: input_bytes as f64 / 1e6,
+        run_sort_new: mrecs(sizes.sort_records, arena_sort),
+        run_sort_naive: mrecs(sizes.sort_records, naive_sort),
+        merge8_new: mrecs(merged_records, tree_merge),
+        merge8_heap: mrecs(merged_records, heap_merge_s),
+        compress_mbps: mbps(codec_run.len(), comp),
+        decompress_mbps: mbps(codec_run.len(), decomp),
+        partition_new: mbps(input_bytes, arena_part),
+        partition_naive: mbps(input_bytes, naive_part),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let check = argv.iter().any(|a| a == "--check");
+
+    let m = measure(if quick { &QUICK } else { &FULL });
+    // A full (tracked) run also measures the quick workload so CI's quick
+    // check has same-size reference speedups to compare against.
+    let quick_ref = if quick { None } else { Some(measure(&QUICK)) };
+
+    let mut fields = vec![
+        ("schema", Val::Str("gw-shuffle-bench-v1".into())),
+        ("mode", Val::Str(if quick { "quick" } else { "full" }.into())),
+        ("partitions", Val::Num(PARTS as f64)),
+        ("lanes", Val::Num(LANES as f64)),
+        ("partition_input_mb", Val::Num(m.input_mb)),
+        ("run_sort_new_mrecs", Val::Num(m.run_sort_new)),
+        ("run_sort_naive_mrecs", Val::Num(m.run_sort_naive)),
+        ("run_sort_speedup", Val::Num(m.run_sort_speedup())),
+        ("merge8_new_mrecs", Val::Num(m.merge8_new)),
+        ("merge8_heap_mrecs", Val::Num(m.merge8_heap)),
+        ("merge8_speedup", Val::Num(m.merge8_speedup())),
+        ("compress_mbps", Val::Num(m.compress_mbps)),
+        ("decompress_mbps", Val::Num(m.decompress_mbps)),
+        ("partition_new_mbps", Val::Num(m.partition_new)),
+        ("partition_naive_mbps", Val::Num(m.partition_naive)),
+        ("partition_speedup", Val::Num(m.partition_speedup())),
+    ];
+    if let Some(q) = &quick_ref {
+        fields.extend([
+            ("quick_run_sort_speedup", Val::Num(q.run_sort_speedup())),
+            ("quick_merge8_speedup", Val::Num(q.merge8_speedup())),
+            ("quick_partition_speedup", Val::Num(q.partition_speedup())),
+        ]);
+    }
+
+    println!("shuffle bench ({})", if quick { "quick" } else { "full" });
+    for (k, v) in &fields {
+        match v {
+            Val::Str(s) => println!("  {k:24} {s}"),
+            Val::Num(n) => println!("  {k:24} {n:.3}"),
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shuffle.json");
+    if check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_shuffle.json unreadable: {e}"));
+        let map = flatjson::parse(&committed)
+            .unwrap_or_else(|e| panic!("BENCH_shuffle.json malformed: {e}"));
+        match map.get("schema").and_then(Val::as_str) {
+            Some("gw-shuffle-bench-v1") => {}
+            other => panic!("BENCH_shuffle.json schema mismatch: {other:?}"),
+        }
+        let committed_num = |key: &str| -> f64 {
+            map.get(key)
+                .and_then(Val::as_num)
+                .filter(|n| *n > 0.0)
+                .unwrap_or_else(|| panic!("BENCH_shuffle.json missing/invalid {key}"))
+        };
+        // Compare speedups against the committed run of the same workload
+        // size; the quick_* reference fields exist for exactly this.
+        let prefix = if quick { "quick_" } else { "" };
+        let mut failed = false;
+        for (key, measured) in [
+            ("run_sort_speedup", m.run_sort_speedup()),
+            ("merge8_speedup", m.merge8_speedup()),
+            ("partition_speedup", m.partition_speedup()),
+        ] {
+            let floor = 0.75 * committed_num(&format!("{prefix}{key}"));
+            let ok = measured >= floor;
+            println!(
+                "  check {prefix}{key:22} measured {measured:.3} vs floor {floor:.3} ... {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        // Throughput fields must exist and be positive even though their
+        // absolute values are machine-specific.
+        for key in [
+            "run_sort_new_mrecs",
+            "merge8_new_mrecs",
+            "compress_mbps",
+            "decompress_mbps",
+            "partition_new_mbps",
+        ] {
+            committed_num(key);
+        }
+        if failed {
+            eprintln!("shuffle bench check FAILED: speedup regressed >25% vs committed");
+            std::process::exit(1);
+        }
+        println!("shuffle bench check passed");
+    } else {
+        std::fs::write(path, flatjson::write(&fields)).expect("write BENCH_shuffle.json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the arena shuffle substrates against
+//! their pre-arena baselines: run sorting (radix index sort vs owned-pair
+//! `sort_unstable`), k-way merging (loser tree vs `BinaryHeap`) at
+//! k ∈ {2, 8, 64}, and the run-byte compression codec.
+//!
+//! The tracked end-to-end numbers live in `BENCH_shuffle.json` (see the
+//! `shuffle` bench); these isolate each mechanism.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gw_bench::baseline::{heap_merge, naive_run_from_pairs};
+use gw_intermediate::{compress, merge_runs, Run, RunPool};
+
+/// WordCount-profile records: hot head, long cold tail.
+fn words(n: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let r = next();
+            let rank = if r % 3 == 0 { r % 16 } else { r % 16_384 };
+            (
+                format!("word{rank:05}").into_bytes(),
+                1u32.to_le_bytes().to_vec(),
+            )
+        })
+        .collect()
+}
+
+fn bench_run_sort(c: &mut Criterion) {
+    let recs = words(16_000, 0xA5);
+    let pool = Arc::new(RunPool::new());
+    let mut g = c.benchmark_group("shuffle/run_sort_16k");
+    g.throughput(Throughput::Elements(recs.len() as u64));
+    g.bench_function("arena_radix", |b| {
+        b.iter(|| {
+            let mut builder = pool.builder();
+            for (k, v) in &recs {
+                builder.push(k, v);
+            }
+            black_box(builder.build())
+        })
+    });
+    g.bench_function("naive_sort_unstable", |b| {
+        b.iter(|| black_box(naive_run_from_pairs(black_box(recs.clone()))))
+    });
+    g.finish();
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle/kway_merge");
+    for k in [2usize, 8, 64] {
+        // Constant total records (~32k) so the axis is fan-in, not size.
+        let per_run = 32_768 / k;
+        let runs: Vec<Run> = (0..k)
+            .map(|s| naive_run_from_pairs(words(per_run, s as u64 * 7 + 1)))
+            .collect();
+        let total: usize = runs.iter().map(|r| r.records()).sum();
+        g.throughput(Throughput::Elements(total as u64));
+        g.bench_function(BenchmarkId::new("loser_tree", k), |b| {
+            b.iter(|| black_box(merge_runs(black_box(&runs))))
+        });
+        g.bench_function(BenchmarkId::new("binary_heap", k), |b| {
+            b.iter(|| black_box(heap_merge(black_box(&runs))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let run = naive_run_from_pairs(words(64_000, 0x1D));
+    let raw = run.into_shared();
+    let packed = compress::compress(&raw);
+    let mut g = c.benchmark_group("shuffle/codec");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("compress", |b| {
+        b.iter(|| black_box(compress::compress(black_box(&raw))))
+    });
+    g.bench_function("decompress", |b| {
+        b.iter(|| black_box(compress::decompress(black_box(&packed)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = shuffle_micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_run_sort, bench_kway_merge, bench_codec
+);
+criterion_main!(shuffle_micro);

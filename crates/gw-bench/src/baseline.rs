@@ -1,0 +1,99 @@
+//! Pre-arena reference implementations of run building and k-way
+//! merging, preserved as benchmark baselines.
+//!
+//! These reproduce what the intermediate-data path did before the
+//! zero-copy arena rework: owned `(key, value)` pairs sorted with
+//! `sort_unstable`, and a `BinaryHeap` k-way merge. The shuffle harness
+//! measures the live path against them, and asserts both produce
+//! byte-identical runs (the determinism contract the fault-tolerant
+//! shuffle's de-duplication depends on).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gw_intermediate::Run;
+use gw_storage::varint;
+
+/// Serialize sorted pairs in the run record format:
+/// `varint(klen) varint(vlen) key value` per record.
+fn serialize_pairs(pairs: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in pairs {
+        varint::write_u64(&mut out, k.len() as u64);
+        varint::write_u64(&mut out, v.len() as u64);
+        out.extend_from_slice(k);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Build a sorted run the pre-arena way: own every pair, sort the owned
+/// vector, serialize.
+pub fn naive_run_from_pairs(mut pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Run {
+    pairs.sort_unstable();
+    let records = pairs.len();
+    Run::from_sorted_bytes(serialize_pairs(&pairs), records)
+}
+
+/// K-way merge with a `BinaryHeap` of `(key, value, source)` cursors —
+/// the pre-loser-tree implementation, kept as the comparison baseline.
+pub fn heap_merge(runs: &[Run]) -> Run {
+    let mut iters: Vec<_> = runs.iter().map(|r| r.iter()).collect();
+    let mut heap: BinaryHeap<Reverse<(&[u8], &[u8], usize)>> = BinaryHeap::new();
+    for (src, it) in iters.iter_mut().enumerate() {
+        if let Some((k, v)) = it.next() {
+            heap.push(Reverse((k, v, src)));
+        }
+    }
+    let mut out = Vec::new();
+    let mut records = 0usize;
+    while let Some(Reverse((k, v, src))) = heap.pop() {
+        varint::write_u64(&mut out, k.len() as u64);
+        varint::write_u64(&mut out, v.len() as u64);
+        out.extend_from_slice(k);
+        out.extend_from_slice(v);
+        records += 1;
+        if let Some((nk, nv)) = iters[src].next() {
+            heap.push(Reverse((nk, nv, src)));
+        }
+    }
+    Run::from_sorted_bytes(out, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_intermediate::{merge_runs, RunBuilder};
+
+    fn pairs(n: usize, seed: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let k = format!("k{:04}", (i * 31 + seed) % 97).into_bytes();
+                (k, (i as u32).to_le_bytes().to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn naive_run_matches_arena_builder_bytes() {
+        let ps = pairs(500, 3);
+        let mut b = RunBuilder::new();
+        for (k, v) in &ps {
+            b.push(k, v);
+        }
+        let arena = b.build();
+        let naive = naive_run_from_pairs(ps);
+        assert_eq!(&*naive.clone().into_shared(), &*arena.into_shared());
+    }
+
+    #[test]
+    fn heap_merge_matches_loser_tree_bytes() {
+        let runs: Vec<Run> = (0..5)
+            .map(|s| naive_run_from_pairs(pairs(200, s)))
+            .collect();
+        let heap = heap_merge(&runs);
+        let tree = merge_runs(&runs);
+        assert_eq!(heap.records(), tree.records());
+        assert_eq!(&*heap.into_shared(), &*tree.into_shared());
+    }
+}

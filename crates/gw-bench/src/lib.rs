@@ -119,6 +119,9 @@ pub fn kmeans_cluster(
     (Cluster::new(dfs, NetProfile::unlimited()), c)
 }
 
+pub mod baseline;
+pub mod flatjson;
+
 /// The standard bench job configuration (scaled to this machine).
 pub fn bench_cfg() -> JobConfig {
     let mut cfg = JobConfig::new("/bench/in", "/bench/out");

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use gw_chaos::FaultPlan;
@@ -84,7 +85,7 @@ impl RunKey {
 #[derive(Debug, Default)]
 pub struct RecoveryState {
     received: Mutex<HashSet<RunKey>>,
-    retained: Mutex<HashMap<RunKey, (Vec<u8>, usize)>>,
+    retained: Mutex<HashMap<RunKey, (Bytes, usize)>>,
 }
 
 impl RecoveryState {
@@ -110,12 +111,15 @@ impl RecoveryState {
     }
 
     /// Retain a serialized run sent to a peer, for possible re-serving.
-    pub fn retain(&self, key: RunKey, bytes: Vec<u8>, records: usize) {
+    /// `Bytes` is refcounted, so retention aliases the run's arena rather
+    /// than copying it.
+    pub fn retain(&self, key: RunKey, bytes: Bytes, records: usize) {
         self.retained.lock().insert(key, (bytes, records));
     }
 
-    /// Fetch a retained run (cloned; retention survives re-serving).
-    pub fn retained(&self, key: RunKey) -> Option<(Vec<u8>, usize)> {
+    /// Fetch a retained run (a refcount clone; retention survives
+    /// re-serving).
+    pub fn retained(&self, key: RunKey) -> Option<(Bytes, usize)> {
         self.retained.lock().get(&key).cloned()
     }
 }

@@ -144,7 +144,7 @@ mod error_tests {
 
     #[test]
     fn source_chains_to_the_underlying_layer() {
-        let io = EngineError::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk gone"));
+        let io = EngineError::Io(std::io::Error::other("disk gone"));
         assert!(io.source().is_some_and(|s| s.to_string().contains("disk gone")));
 
         let storage = EngineError::Storage(gw_storage::StorageError::AllReplicasLost(

@@ -31,11 +31,12 @@
 //! either fully processed (all of its runs recorded in the coordinator's
 //! ledger and delivered or retained, then `complete_split`) or not at all.
 //! The partitioning stage additionally merges each chunk's lanes into one
-//! run per (block, partition): [`RunBuilder::build`] sorts by
-//! `(key, value)`, so a re-executed split re-produces byte-identical runs
-//! under the same [`RunKey`]s no matter how the collector scattered
-//! records over lanes, which is what makes receiver-side de-duplication
-//! sound.
+//! run per (block, partition): lane runs sort by `(key, value)` bytes and
+//! the k-way merge preserves that order, so a re-executed split
+//! re-produces byte-identical runs under the same [`RunKey`]s no matter
+//! how the collector scattered records over lanes, which is what makes
+//! receiver-side de-duplication sound (see `gw_intermediate::radix` for
+//! the determinism contract).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -45,7 +46,7 @@ use crossbeam::channel::bounded;
 
 use gw_chaos::CrashSite;
 use gw_device::{Device, DeviceBuffer, KernelFn, NdRange, WorkItemCtx, WorkerPool};
-use gw_intermediate::{IntermediateStore, Run, RunBuilder};
+use gw_intermediate::{merge_runs, IntermediateStore, Run, RunPool};
 use gw_net::{Endpoint, ShuffleMsg};
 use gw_storage::split::FileStore;
 use gw_storage::{seqfile::SeqReader, NodeId};
@@ -191,6 +192,11 @@ impl MapPhase<'_> {
 
         // Partitioning worker pool: N lanes (orchestrator participates).
         let partition_pool = WorkerPool::new(self.cfg.partition_threads.saturating_sub(1));
+
+        // Run-builder recycling: arenas and offset indexes cycle through
+        // this pool so steady-state partitioning does no per-record
+        // allocation (the first chunk's builders warm it up).
+        let run_pool = Arc::new(RunPool::new());
 
         // Buffer pools (the §III-D interlocks).
         let (in_token_tx, in_token_rx) = bounded::<InputToken>(b);
@@ -527,6 +533,7 @@ impl MapPhase<'_> {
                 let node = self.node;
                 let nodes = self.nodes;
                 let pool = &partition_pool;
+                let run_pool = Arc::clone(&run_pool);
                 let records_out = &records_out;
                 let runs_remote = &runs_remote;
                 let runs_local = &runs_local;
@@ -562,13 +569,16 @@ impl MapPhase<'_> {
                         let intermediate = &intermediate;
                         let durability_dir = &durability_dir;
                         let chunk_runs = &chunk_runs;
+                        let run_pool = &run_pool;
                         let dseq = durability_seq;
                         let kernel = KernelFn(move |ctx: &WorkItemCtx| {
                             let lane = ctx.global_id();
                             // Decode this lane's share and bucket by global
-                            // partition.
-                            let mut builders: Vec<RunBuilder> =
-                                (0..total_partitions).map(|_| RunBuilder::new()).collect();
+                            // partition. Builders come from the recycling
+                            // pool: their arenas/indexes carry capacity from
+                            // previous chunks.
+                            let mut builders: Vec<_> =
+                                (0..total_partitions).map(|_| run_pool.builder()).collect();
                             collector.for_each_part(lane, n_lanes, &mut |k, v| {
                                 let gp = app.partition(k, total_partitions);
                                 builders[gp as usize].push(k, v);
@@ -601,7 +611,9 @@ impl MapPhase<'_> {
                                 } else {
                                     runs_remote.fetch_add(1, Ordering::Relaxed);
                                     let records = run.records();
-                                    let bytes = run.into_bytes();
+                                    // Zero-copy ship: the message frames the
+                                    // run's shared arena slice as-is.
+                                    let bytes = run.into_shared();
                                     let msg = ShuffleMsg::Partition {
                                         partition: gp as u32,
                                         bytes,
@@ -624,7 +636,12 @@ impl MapPhase<'_> {
                             // delivering, so a receiver can never be owed a
                             // run the ledger does not know about.
                             let mut lane_runs = chunk_runs.into_inner();
-                            lane_runs.sort_by_key(|(gp, _)| *gp);
+                            // A single lane run needs no grouping pass at
+                            // all; only re-order when lanes actually have to
+                            // be grouped by partition.
+                            if lane_runs.len() > 1 {
+                                lane_runs.sort_by_key(|(gp, _)| *gp);
+                            }
                             let mut i = 0;
                             while i < lane_runs.len() {
                                 let gp = lane_runs[i].0;
@@ -632,17 +649,13 @@ impl MapPhase<'_> {
                                 while j < lane_runs.len() && lane_runs[j].0 == gp {
                                     j += 1;
                                 }
-                                let run = if j - i == 1 {
-                                    std::mem::take(&mut lane_runs[i].1)
-                                } else {
-                                    let mut rb = RunBuilder::new();
-                                    for (_, lane_run) in &lane_runs[i..j] {
-                                        for (k, v) in lane_run.iter() {
-                                            rb.push(k, v);
-                                        }
-                                    }
-                                    rb.build()
-                                };
+                                // Lane runs are sorted; a loser-tree merge
+                                // over them yields the same bytes as
+                                // re-sorting all records (the de-dup
+                                // determinism contract), without re-pushing
+                                // or re-encoding a single record. One lane
+                                // is returned by refcount, zero copies.
+                                let run = merge_runs(lane_runs[i..j].iter().map(|(_, r)| r));
                                 i = j;
                                 records_out.fetch_add(run.records(), Ordering::Relaxed);
                                 if let Some(dir) = &durability_dir {
@@ -668,7 +681,10 @@ impl MapPhase<'_> {
                                 } else {
                                     runs_remote.fetch_add(1, Ordering::Relaxed);
                                     let records = run.records();
-                                    let bytes = run.into_bytes();
+                                    // `into_shared` + clone are refcount
+                                    // bumps: retention and the wire frame
+                                    // alias one arena slice.
+                                    let bytes = run.into_shared();
                                     cx.recovery.retain(key, bytes.clone(), records);
                                     let msg = ShuffleMsg::Partition {
                                         partition: gp,

@@ -6,7 +6,9 @@
 //!
 //! The first stage "performs one last merge operation and supplies the
 //! pipeline with a consistent view of the intermediate data": a k-way
-//! merge over the partition's cached and spilled runs, grouped by key.
+//! loser-tree merge (`gw_intermediate::MergeIter`, one comparison per
+//! tree level per record) over the partition's cached and spilled runs,
+//! grouped by key.
 //!
 //! Reduce-side fine-grained parallelism, exactly as the paper describes:
 //!
@@ -44,6 +46,10 @@ use crate::config::{JobConfig, TimingMode};
 use crate::coordinator::{Coordinator, NodeChaos};
 use crate::timers::{StageId, StageTimers};
 use crate::EngineError;
+
+/// Saved scratch entries for one chunk's keys (`None` = key had no
+/// scratch state), restored when a failed reduce attempt rolls back.
+type ScratchSnapshot = Vec<(Vec<u8>, Option<Vec<u8>>)>;
 
 /// One key's slice of values within a reduce chunk.
 struct Group<'r> {
@@ -390,7 +396,7 @@ impl ReducePhase<'_> {
                         // Snapshot the scratch states this chunk can touch,
                         // so a failed attempt rolls back and re-executes
                         // (paper §III-E, extended to the reduce side).
-                        let snapshot: Option<Vec<(Vec<u8>, Option<Vec<u8>>)>> = if retries > 0 {
+                        let snapshot: Option<ScratchSnapshot> = if retries > 0 {
                             let s = scratch.lock();
                             Some(
                                 chunk

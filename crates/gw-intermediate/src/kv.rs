@@ -6,13 +6,28 @@
 //! spilled, shipped between nodes, and finally k-way merged for reduction.
 //! Byte-wise key order is the job's sort order, as in Hadoop's raw
 //! comparator fast path.
+//!
+//! Run bytes are [`Bytes`]-backed: cloning a run, caching it, retaining it
+//! for shuffle recovery, and framing it onto the network all share one
+//! refcounted arena slice instead of copying. [`RunBuilder`] accumulates
+//! records in a single flat arena (records serialized at push time) with a
+//! compact offset index; `build` sorts the index with the MSB radix sort in
+//! [`crate::radix`] and gathers the records in one pass — no per-record
+//! allocation, and the arena/index buffers recycle through a
+//! [`crate::pool::RunPool`].
 
+use bytes::Bytes;
 use gw_storage::varint;
 
+use crate::pool::RunPool;
+use crate::radix;
+
 /// A sorted, serialized run of key/value records.
+///
+/// Cheap to clone: the underlying buffer is refcounted ([`Bytes`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Run {
-    bytes: Vec<u8>,
+    bytes: Bytes,
     records: usize,
 }
 
@@ -20,9 +35,13 @@ impl Run {
     /// Wrap raw bytes known to be a valid, sorted record stream.
     ///
     /// Used when receiving runs from the network; validity is checked in
-    /// debug builds.
-    pub fn from_sorted_bytes(bytes: Vec<u8>, records: usize) -> Self {
-        let run = Run { bytes, records };
+    /// debug builds. Accepts `Vec<u8>` or [`Bytes`]; the latter is
+    /// zero-copy.
+    pub fn from_sorted_bytes(bytes: impl Into<Bytes>, records: usize) -> Self {
+        let run = Run {
+            bytes: bytes.into(),
+            records,
+        };
         debug_assert!(run.check_sorted(), "run bytes are not sorted");
         run
     }
@@ -51,8 +70,9 @@ impl Run {
         &self.bytes
     }
 
-    /// Consume into raw bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
+    /// Consume into the shared byte buffer (zero-copy: the shuffle ships
+    /// this slice as-is, and retention/caching clones are refcounts).
+    pub fn into_shared(self) -> Bytes {
         self.bytes
     }
 
@@ -110,56 +130,140 @@ impl<'a> IntoIterator for &'a Run {
     }
 }
 
-/// Accumulates unsorted records, then sorts and serializes them into a
-/// [`Run`]. This is the partitioning stage's workhorse.
+/// Compact reference to one serialized record inside a builder arena.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecRef {
+    /// Arena offset of the record header.
+    off: u32,
+    /// Header (two varints) length.
+    hdr: u16,
+    klen: u32,
+    vlen: u32,
+}
+
+impl RecRef {
+    #[inline]
+    pub(crate) fn key<'a>(&self, arena: &'a [u8]) -> &'a [u8] {
+        let start = self.off as usize + self.hdr as usize;
+        &arena[start..start + self.klen as usize]
+    }
+
+    #[inline]
+    pub(crate) fn value<'a>(&self, arena: &'a [u8]) -> &'a [u8] {
+        let start = self.off as usize + self.hdr as usize + self.klen as usize;
+        &arena[start..start + self.vlen as usize]
+    }
+
+    /// Serialized record length (header + key + value).
+    #[inline]
+    fn total(&self) -> usize {
+        self.hdr as usize + self.klen as usize + self.vlen as usize
+    }
+}
+
+/// The recyclable guts of a [`RunBuilder`]: the flat record arena, the
+/// offset index sorted in its place, and the radix scatter scratch.
+#[derive(Debug, Default)]
+pub(crate) struct BuilderParts {
+    pub(crate) arena: Vec<u8>,
+    pub(crate) index: Vec<RecRef>,
+    pub(crate) scratch: Vec<RecRef>,
+}
+
+impl BuilderParts {
+    /// Clear contents, keeping capacity for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.arena.clear();
+        self.index.clear();
+        // `scratch` holds no live data between sorts; keep as-is.
+    }
+}
+
+/// Accumulates unsorted records in a flat arena, then index-sorts and
+/// gathers them into a [`Run`]. This is the partitioning stage's workhorse.
+///
+/// Records are serialized once at `push`; `build` never re-encodes — it
+/// sorts the offset index (MSB radix on key bytes, value tie-break) and
+/// copies whole record slices in index order.
 #[derive(Debug, Default)]
 pub struct RunBuilder {
-    records: Vec<(Vec<u8>, Vec<u8>)>,
-    payload_bytes: usize,
+    parts: BuilderParts,
+    pool: Option<std::sync::Arc<RunPool>>,
 }
 
 impl RunBuilder {
-    /// Empty builder.
+    /// Empty builder (unpooled; see [`RunPool::builder`] for the recycling
+    /// path).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Add one record.
-    pub fn push(&mut self, key: &[u8], value: &[u8]) {
-        self.payload_bytes += key.len() + value.len();
-        self.records.push((key.to_vec(), value.to_vec()));
+    pub(crate) fn recycled(parts: BuilderParts, pool: std::sync::Arc<RunPool>) -> Self {
+        RunBuilder {
+            parts,
+            pool: Some(pool),
+        }
     }
 
-    /// Add one owned record (avoids a copy).
+    /// Add one record.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) {
+        let off = self.parts.arena.len();
+        assert!(
+            off + 20 + key.len() + value.len() <= u32::MAX as usize,
+            "run arena exceeds the 4 GiB index limit"
+        );
+        let h1 = varint::write_len(&mut self.parts.arena, key.len());
+        let h2 = varint::write_len(&mut self.parts.arena, value.len());
+        self.parts.arena.extend_from_slice(key);
+        self.parts.arena.extend_from_slice(value);
+        self.parts.index.push(RecRef {
+            off: off as u32,
+            hdr: (h1 + h2) as u16,
+            klen: key.len() as u32,
+            vlen: value.len() as u32,
+        });
+    }
+
+    /// Add one owned record. (Retained for API compatibility; the arena
+    /// layout copies payload bytes exactly once either way.)
     pub fn push_owned(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        self.payload_bytes += key.len() + value.len();
-        self.records.push((key, value));
+        self.push(&key, &value);
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.parts.index.len()
     }
 
     /// `true` when nothing was pushed.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.parts.index.is_empty()
     }
 
-    /// Sort by `(key, value)` and serialize.
+    /// Sort by `(key, value)` and serialize. Byte-identical to sorting
+    /// owned pairs with `sort_unstable` and serializing in order (the
+    /// determinism contract shuffle de-duplication relies on).
     pub fn build(mut self) -> Run {
-        self.records.sort_unstable();
-        let mut bytes =
-            Vec::with_capacity(self.payload_bytes + self.records.len() * 4 + 16);
-        for (k, v) in &self.records {
-            varint::write_len(&mut bytes, k.len());
-            varint::write_len(&mut bytes, v.len());
-            bytes.extend_from_slice(k);
-            bytes.extend_from_slice(v);
+        let parts = &mut self.parts;
+        radix::sort_index(&parts.arena, &mut parts.index, &mut parts.scratch);
+        let mut bytes = Vec::with_capacity(parts.arena.len());
+        for r in &parts.index {
+            let start = r.off as usize;
+            bytes.extend_from_slice(&parts.arena[start..start + r.total()]);
         }
+        let records = parts.index.len();
+        // `self` drops here, recycling arena/index/scratch into the pool.
         Run {
-            bytes,
-            records: self.records.len(),
+            bytes: Bytes::from(bytes),
+            records,
+        }
+    }
+}
+
+impl Drop for RunBuilder {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(std::mem::take(&mut self.parts));
         }
     }
 }
@@ -215,12 +319,21 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_the_buffer() {
+        let run = run_from_pairs([(b"a".as_slice(), b"x".as_slice()), (b"b", b"y")]);
+        let dup = run.clone();
+        // Bytes clones are refcounts over one allocation, not copies.
+        assert_eq!(run.bytes().as_ptr(), dup.bytes().as_ptr());
+        assert_eq!(run.into_shared().as_ptr(), dup.bytes().as_ptr());
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "not sorted")]
     fn from_unsorted_bytes_panics_in_debug() {
         let a = run_from_pairs([(b"b".as_slice(), b"".as_slice())]);
         let b = run_from_pairs([(b"a".as_slice(), b"".as_slice())]);
-        let mut bytes = a.into_bytes();
+        let mut bytes = a.bytes().to_vec();
         bytes.extend_from_slice(b.bytes());
         let _ = Run::from_sorted_bytes(bytes, 2);
     }

@@ -19,11 +19,14 @@
 pub mod compress;
 pub mod kv;
 pub mod merge;
+pub mod pool;
+mod radix;
 pub mod store;
 pub mod tempdir;
 
 pub use kv::{Run, RunBuilder};
 pub use merge::{merge_runs, GroupedMerge, MergeIter};
+pub use pool::RunPool;
 pub use store::{IntermediateConfig, IntermediateStore, StoreMetrics};
 pub use tempdir::TempDir;
 

@@ -4,42 +4,73 @@
 //! before a flush, continuously merging spilled runs to bound the file
 //! count, and the reduce input reader's "one last merge operation" that
 //! presents a consistent, key-grouped view of a partition's data.
+//!
+//! All three sites run on a **loser tree** (tournament tree) over
+//! per-source buffered cursors: emitting a record replays exactly one
+//! root-to-leaf path — one comparison per level, `⌈log₂ k⌉` total —
+//! where the previous `BinaryHeap` paid a pop *and* a push re-sift per
+//! record. Cursors parse records lazily from each run's flat byte buffer
+//! and expose the full serialized record slice, so [`merge_runs`] gathers
+//! output bytes without re-encoding varint headers.
+//!
+//! Output order is `(key, value, source index)` — record-for-record
+//! identical to the previous heap merge, preserving the run-byte
+//! determinism contract.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use gw_storage::varint;
 
-use crate::kv::{Run, RunBuilder, RunIter};
+use crate::kv::Run;
+
+/// A buffered read cursor over one sorted run's serialized bytes.
+struct Cursor<'a> {
+    key: &'a [u8],
+    value: &'a [u8],
+    /// Full serialized extent of the current record (header + payload).
+    rec: &'a [u8],
+    rest: &'a [u8],
+    done: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        let mut c = Cursor {
+            key: &[],
+            value: &[],
+            rec: &[],
+            rest: bytes,
+            done: false,
+        };
+        c.advance();
+        c
+    }
+
+    fn advance(&mut self) {
+        if self.rest.is_empty() {
+            self.done = true;
+            self.key = &[];
+            self.value = &[];
+            self.rec = &[];
+            return;
+        }
+        let (klen, n1) = varint::read_len(self.rest).expect("corrupt run: key length");
+        let (vlen, n2) = varint::read_len(&self.rest[n1..]).expect("corrupt run: value length");
+        let hdr = n1 + n2;
+        let total = hdr + klen + vlen;
+        assert!(self.rest.len() >= total, "corrupt run: truncated record");
+        self.rec = &self.rest[..total];
+        self.key = &self.rest[hdr..hdr + klen];
+        self.value = &self.rest[hdr + klen..total];
+        self.rest = &self.rest[total..];
+    }
+}
 
 /// Streaming k-way merge over borrowed runs, yielding records in
 /// `(key, value)` order.
 pub struct MergeIter<'a> {
-    heap: BinaryHeap<HeapEntry<'a>>,
-}
-
-struct HeapEntry<'a> {
-    key: &'a [u8],
-    value: &'a [u8],
-    /// Source run index; breaks ties deterministically.
-    src: usize,
-    iter: RunIter<'a>,
-}
-
-impl PartialEq for HeapEntry<'_> {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for HeapEntry<'_> {}
-impl PartialOrd for HeapEntry<'_> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry<'_> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse for ascending output.
-        (other.key, other.value, other.src).cmp(&(self.key, self.value, self.src))
-    }
+    cursors: Vec<Cursor<'a>>,
+    /// Loser tree: `tree[0]` is the overall winner, `tree[1..k]` hold the
+    /// losers of each internal match. Leaf of source `s` is node `k + s`.
+    tree: Vec<usize>,
 }
 
 impl<'a> MergeIter<'a> {
@@ -48,19 +79,91 @@ impl<'a> MergeIter<'a> {
     where
         I: IntoIterator<Item = &'a Run>,
     {
-        let mut heap = BinaryHeap::new();
-        for (src, run) in runs.into_iter().enumerate() {
-            let mut iter = run.iter();
-            if let Some((key, value)) = iter.next() {
-                heap.push(HeapEntry {
-                    key,
-                    value,
-                    src,
-                    iter,
-                });
-            }
+        let cursors: Vec<Cursor<'a>> = runs
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| Cursor::new(r.bytes()))
+            .collect();
+        let k = cursors.len();
+        let mut it = MergeIter {
+            cursors,
+            tree: vec![0; k.max(1)],
+        };
+        if k > 0 {
+            let winner = it.play(1);
+            it.tree[0] = winner;
         }
-        MergeIter { heap }
+        it
+    }
+
+    /// `true` when source `a`'s current record sorts before source `b`'s.
+    /// Exhausted cursors lose to everything; ties break by source index,
+    /// matching the previous heap's `(key, value, src)` order.
+    #[inline]
+    fn beats(&self, a: usize, b: usize) -> bool {
+        let (ca, cb) = (&self.cursors[a], &self.cursors[b]);
+        match (ca.done, cb.done) {
+            (true, _) => false,
+            (false, true) => true,
+            (false, false) => (ca.key, ca.value, a) < (cb.key, cb.value, b),
+        }
+    }
+
+    /// Recursively play the initial tournament for the subtree at `node`,
+    /// storing losers and returning the subtree winner.
+    fn play(&mut self, node: usize) -> usize {
+        let k = self.cursors.len();
+        if node >= k {
+            return node - k; // leaf: the source itself
+        }
+        let a = self.play(2 * node);
+        let b = self.play(2 * node + 1);
+        if self.beats(a, b) {
+            self.tree[node] = b;
+            a
+        } else {
+            self.tree[node] = a;
+            b
+        }
+    }
+
+    /// Advance source `s` and replay its leaf-to-root path.
+    fn replay(&mut self, s: usize) {
+        self.cursors[s].advance();
+        let k = self.cursors.len();
+        let mut winner = s;
+        let mut t = (k + s) / 2;
+        while t >= 1 {
+            let other = self.tree[t];
+            if self.beats(other, winner) {
+                self.tree[t] = winner;
+                winner = other;
+            }
+            t /= 2;
+        }
+        self.tree[0] = winner;
+    }
+
+    #[inline]
+    fn winner(&self) -> Option<usize> {
+        if self.cursors.is_empty() {
+            return None;
+        }
+        let w = self.tree[0];
+        if self.cursors[w].done {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Next record with its full serialized slice (header included), for
+    /// gather-style merging without re-encoding.
+    fn next_record(&mut self) -> Option<&'a [u8]> {
+        let w = self.winner()?;
+        let rec = self.cursors[w].rec;
+        self.replay(w);
+        Some(rec)
     }
 }
 
@@ -68,30 +171,39 @@ impl<'a> Iterator for MergeIter<'a> {
     type Item = (&'a [u8], &'a [u8]);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let mut top = self.heap.pop()?;
-        let out = (top.key, top.value);
-        if let Some((key, value)) = top.iter.next() {
-            top.key = key;
-            top.value = value;
-            self.heap.push(top);
-        }
+        let w = self.winner()?;
+        let out = (self.cursors[w].key, self.cursors[w].value);
+        self.replay(w);
         Some(out)
     }
 }
 
 /// Merge runs into a single new [`Run`].
-pub fn merge_runs(runs: &[Run]) -> Run {
-    // Fast path: nothing to merge.
-    if runs.len() == 1 {
-        return runs[0].clone();
+///
+/// Output bytes are gathered record-slice by record-slice — input records
+/// are already serialized, so no varint re-encoding happens. A single
+/// non-empty input is returned by refcount clone (no byte copy).
+pub fn merge_runs<'a, I>(runs: I) -> Run
+where
+    I: IntoIterator<Item = &'a Run>,
+{
+    let runs: Vec<&Run> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    match runs.len() {
+        0 => Run::default(),
+        // Fast path: nothing to merge; Bytes-backed clone shares the buffer.
+        1 => runs[0].clone(),
+        _ => {
+            let total: usize = runs.iter().map(|r| r.len_bytes()).sum();
+            let mut bytes = Vec::with_capacity(total);
+            let mut records = 0usize;
+            let mut it = MergeIter::new(runs);
+            while let Some(rec) = it.next_record() {
+                bytes.extend_from_slice(rec);
+                records += 1;
+            }
+            Run::from_sorted_bytes(bytes, records)
+        }
     }
-    let mut builder = RunBuilder::new();
-    for (k, v) in MergeIter::new(runs) {
-        builder.push(k, v);
-    }
-    // Input runs are sorted, so the builder's sort is a no-op pass; we reuse
-    // it for serialization symmetry.
-    builder.build()
 }
 
 /// Key-grouped view over a k-way merge: yields each distinct key once,
@@ -132,7 +244,7 @@ impl<'a> Iterator for GroupedMerge<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kv::run_from_pairs;
+    use crate::kv::{run_from_pairs, RunBuilder, RunIter};
     use proptest::prelude::*;
 
     #[test]
@@ -151,6 +263,16 @@ mod tests {
         let runs: Vec<Run> = vec![RunBuilder::new().build(); 3];
         assert_eq!(MergeIter::new(runs.iter()).count(), 0);
         assert!(merge_runs(&runs).is_empty());
+    }
+
+    #[test]
+    fn single_run_merge_shares_the_buffer() {
+        let a = run_from_pairs([(b"a".as_slice(), b"1".as_slice()), (b"b", b"2")]);
+        let empty = RunBuilder::new().build();
+        let merged = merge_runs([&empty, &a, &empty]);
+        // No byte copy: the merged run IS the single non-empty input.
+        assert_eq!(merged.bytes().as_ptr(), a.bytes().as_ptr());
+        assert_eq!(merged.records(), 2);
     }
 
     #[test]
@@ -175,6 +297,103 @@ mod tests {
         assert_eq!(merged.records(), 4);
     }
 
+    /// Reference model: the previous `BinaryHeap`-based merge, preserved
+    /// here verbatim so the loser tree is checked against it
+    /// record-for-record.
+    mod heap_reference {
+        use super::RunIter;
+        use crate::kv::Run;
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        pub struct HeapMerge<'a> {
+            heap: BinaryHeap<Entry<'a>>,
+        }
+
+        struct Entry<'a> {
+            key: &'a [u8],
+            value: &'a [u8],
+            src: usize,
+            iter: RunIter<'a>,
+        }
+
+        impl PartialEq for Entry<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == Ordering::Equal
+            }
+        }
+        impl Eq for Entry<'_> {}
+        impl PartialOrd for Entry<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                (other.key, other.value, other.src).cmp(&(self.key, self.value, self.src))
+            }
+        }
+
+        impl<'a> HeapMerge<'a> {
+            pub fn new<I: IntoIterator<Item = &'a Run>>(runs: I) -> Self {
+                let mut heap = BinaryHeap::new();
+                for (src, run) in runs.into_iter().enumerate() {
+                    let mut iter = run.iter();
+                    if let Some((key, value)) = iter.next() {
+                        heap.push(Entry {
+                            key,
+                            value,
+                            src,
+                            iter,
+                        });
+                    }
+                }
+                HeapMerge { heap }
+            }
+        }
+
+        impl<'a> Iterator for HeapMerge<'a> {
+            type Item = (&'a [u8], &'a [u8]);
+            fn next(&mut self) -> Option<Self::Item> {
+                let mut top = self.heap.pop()?;
+                let out = (top.key, top.value);
+                if let Some((key, value)) = top.iter.next() {
+                    top.key = key;
+                    top.value = value;
+                    self.heap.push(top);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    fn runs_from(pair_lists: &[Vec<(Vec<u8>, Vec<u8>)>]) -> Vec<Run> {
+        pair_lists
+            .iter()
+            .map(|pairs| {
+                let mut b = RunBuilder::new();
+                for (k, v) in pairs {
+                    b.push(k, v);
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loser_tree_matches_heap_with_duplicates_and_empties() {
+        let built = runs_from(&[
+            vec![(b"a".to_vec(), b"1".to_vec()), (b"a".to_vec(), b"1".to_vec())],
+            vec![],
+            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+            vec![],
+            vec![(b"a".to_vec(), b"0".to_vec())],
+        ]);
+        let tree: Vec<_> = MergeIter::new(built.iter()).collect();
+        let heap: Vec<_> = heap_reference::HeapMerge::new(built.iter()).collect();
+        assert_eq!(tree, heap);
+    }
+
     proptest! {
         #[test]
         fn merge_equals_sorted_concat(
@@ -184,13 +403,7 @@ mod tests {
                      proptest::collection::vec(any::<u8>(), 0..8)), 0..40),
                 0..6))
         {
-            let built: Vec<Run> = runs.iter().map(|pairs| {
-                let mut b = RunBuilder::new();
-                for (k, v) in pairs {
-                    b.push(k, v);
-                }
-                b.build()
-            }).collect();
+            let built = runs_from(&runs);
             let merged: Vec<(Vec<u8>, Vec<u8>)> = MergeIter::new(built.iter())
                 .map(|(k, v)| (k.to_vec(), v.to_vec()))
                 .collect();
@@ -198,6 +411,41 @@ mod tests {
                 runs.into_iter().flatten().collect();
             expect.sort();
             prop_assert_eq!(merged, expect);
+        }
+
+        /// Tentpole determinism contract: the loser tree emits the exact
+        /// record sequence of the previous BinaryHeap merge — duplicate
+        /// keys, duplicate records, and empty runs included — and
+        /// [`merge_runs`] serializes that sequence byte-identically.
+        #[test]
+        fn loser_tree_equals_heap_record_for_record(
+            runs in proptest::collection::vec(
+                proptest::collection::vec(
+                    (proptest::collection::vec(0u8..5, 0..4),
+                     proptest::collection::vec(0u8..5, 0..3)), 0..30),
+                0..8))
+        {
+            let built = runs_from(&runs);
+            let tree: Vec<(Vec<u8>, Vec<u8>)> = MergeIter::new(built.iter())
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            let heap: Vec<(Vec<u8>, Vec<u8>)> =
+                heap_reference::HeapMerge::new(built.iter())
+                    .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                    .collect();
+            prop_assert_eq!(&tree, &heap);
+
+            // Byte identity of the materialized merge vs. serializing the
+            // heap's record sequence.
+            let merged = merge_runs(built.iter());
+            let mut expect_bytes = Vec::new();
+            for (k, v) in &heap {
+                gw_storage::varint::write_len(&mut expect_bytes, k.len());
+                gw_storage::varint::write_len(&mut expect_bytes, v.len());
+                expect_bytes.extend_from_slice(k);
+                expect_bytes.extend_from_slice(v);
+            }
+            prop_assert_eq!(merged.bytes(), expect_bytes.as_slice());
         }
 
         #[test]

@@ -1,0 +1,121 @@
+//! Arena/run recycling pool.
+//!
+//! The partitioning stage acquires one [`RunBuilder`] per (chunk, lane,
+//! partition). Without recycling, every chunk re-grows each builder's
+//! arena and index from empty; with the pool, steady-state map execution
+//! performs **no per-record allocation**: pushed records append into an
+//! arena that already has capacity from previous chunks, and the offset
+//! index plus radix scratch are reused the same way. Only the final
+//! gathered run buffer is allocated per run (it is frozen into a shared
+//! [`bytes::Bytes`] and shipped/cached, so it cannot be recycled).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kv::{BuilderParts, RunBuilder};
+
+/// Upper bound on pooled builder part sets; beyond this, released parts
+/// are dropped so an unusually wide chunk cannot pin memory forever.
+const MAX_POOLED: usize = 128;
+
+/// A shared pool of recyclable [`RunBuilder`] buffers.
+#[derive(Debug, Default)]
+pub struct RunPool {
+    parts: Mutex<Vec<BuilderParts>>,
+    acquired: AtomicUsize,
+    reused: AtomicUsize,
+}
+
+impl RunPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire a builder, reusing pooled arena/index/scratch buffers when
+    /// available. The builder returns its buffers on `build` or drop.
+    pub fn builder(self: &Arc<Self>) -> RunBuilder {
+        self.acquired.fetch_add(1, Ordering::Relaxed);
+        let recycled = self.parts.lock().pop();
+        match recycled {
+            Some(parts) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                RunBuilder::recycled(parts, Arc::clone(self))
+            }
+            None => RunBuilder::recycled(BuilderParts::default(), Arc::clone(self)),
+        }
+    }
+
+    pub(crate) fn release(&self, mut parts: BuilderParts) {
+        parts.clear();
+        let mut pool = self.parts.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(parts);
+        }
+    }
+
+    /// Builders handed out so far.
+    pub fn acquired(&self) -> usize {
+        self.acquired.load(Ordering::Relaxed)
+    }
+
+    /// Of those, how many reused recycled buffers (steady state: all but
+    /// the first wave).
+    pub fn reused(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::run_from_pairs;
+
+    #[test]
+    fn pooled_builder_output_matches_unpooled() {
+        let pool = Arc::new(RunPool::new());
+        let pairs = [
+            (b"zebra".as_slice(), b"1".as_slice()),
+            (b"apple".as_slice(), b"2".as_slice()),
+            (b"apple".as_slice(), b"1".as_slice()),
+        ];
+        let mut b = pool.builder();
+        for (k, v) in pairs {
+            b.push(k, v);
+        }
+        let pooled = b.build();
+        let plain = run_from_pairs(pairs);
+        assert_eq!(pooled, plain);
+    }
+
+    #[test]
+    fn buffers_recycle_in_steady_state() {
+        let pool = Arc::new(RunPool::new());
+        for round in 0..10 {
+            let mut b = pool.builder();
+            for i in 0..100 {
+                b.push(format!("key{i:03}").as_bytes(), b"v");
+            }
+            let run = b.build();
+            assert_eq!(run.records(), 100);
+            let _ = round;
+        }
+        assert_eq!(pool.acquired(), 10);
+        // Every acquisition after the first reuses the recycled buffers.
+        assert_eq!(pool.reused(), 9);
+    }
+
+    #[test]
+    fn dropped_builder_returns_buffers() {
+        let pool = Arc::new(RunPool::new());
+        {
+            let mut b = pool.builder();
+            b.push(b"k", b"v");
+            // Dropped without build: buffers must still recycle.
+        }
+        let _ = pool.builder();
+        assert_eq!(pool.reused(), 1);
+    }
+}

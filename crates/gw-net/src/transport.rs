@@ -38,8 +38,9 @@ pub enum ShuffleMsg {
         /// Partition index at the receiver (global partition id when the
         /// fault-tolerant protocol is armed).
         partition: PartitionId,
-        /// Serialized sorted run bytes.
-        bytes: Vec<u8>,
+        /// Serialized sorted run bytes (refcounted; shipping a run shares
+        /// the producer's arena rather than copying it).
+        bytes: bytes::Bytes,
         /// Record count of the run.
         records: usize,
         /// Recovery identity; `None` in the plain (fault-free) protocol.
@@ -175,7 +176,7 @@ mod tests {
                         b"1".as_slice(),
                     )]);
                     let records = run.records();
-                    let bytes = run.into_bytes();
+                    let bytes = run.into_shared();
                     let msg = ShuffleMsg::Partition {
                         partition: (n.0 - 1) % 2,
                         bytes,

@@ -1,0 +1,238 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its micro-benchmarks use. Measurement is deliberately
+//! simple: calibrate an iteration count to a target sample duration, take
+//! `sample_size` wall-clock samples, report min/mean/max per iteration.
+//! No statistical regression machinery — trend tracking lives in the
+//! repo's own `BENCH_*.json` files instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Benchmark driver: collects named measurements and prints a summary
+/// line per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group; benchmarks inside print as `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Upstream-API shim: nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput (printed with the timing).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Measure one benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-iteration work unit declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter label.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (accepts `&str` too).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Handed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2));
+    }
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed / iters.max(1) as u32);
+    }
+    per_iter.sort_unstable();
+    let min = per_iter.first().copied().unwrap_or_default();
+    let max = per_iter.last().copied().unwrap_or_default();
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len().max(1) as u32;
+    println!("{name:<40} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({samples} samples x {iters} iters)");
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64));
+            ran += 1;
+        });
+        assert!(ran >= 3, "calibration + samples should invoke the closure");
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 8).into_benchmark_id(), "f/8");
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(100));
+        g.bench_function("fast", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+}

@@ -1,0 +1,10 @@
+//! Vendored minimal stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset it uses: [`channel`] with multi-producer multi-consumer
+//! bounded/unbounded channels. Semantics match crossbeam where the engine
+//! depends on them: bounded `send` blocks when full (pipeline
+//! backpressure), `recv` blocks when empty, and both unblock with a
+//! disconnect error once the other side is fully dropped.
+
+pub mod channel;

@@ -1,0 +1,51 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[S::Value; N]`, every element drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+macro_rules! uniform_fns {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// Array strategy drawing every element from `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_fns! {
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform8 => 8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn uniform5_fills_all_slots() {
+        let s = uniform5(1u64..50);
+        let mut rng = TestRng::for_case("array-tests", 0);
+        for _ in 0..100 {
+            let a = s.new_value(&mut rng);
+            assert_eq!(a.len(), 5);
+            assert!(a.iter().all(|&v| (1..50).contains(&v)));
+        }
+    }
+}

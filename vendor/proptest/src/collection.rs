@@ -1,0 +1,93 @@
+//! Collection strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Element-count bound for collection strategies; converts from the
+/// range/size forms the `vec` API accepts.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_cover_the_range() {
+        let s = vec(any::<u8>(), 0..4);
+        let mut rng = TestRng::for_case("collection-tests", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lengths seen: {seen:?}");
+    }
+
+    #[test]
+    fn nested_vecs_generate() {
+        let s = vec(vec(any::<u8>(), 1..3), 2..=2);
+        let mut rng = TestRng::for_case("collection-tests-nested", 0);
+        let v = s.new_value(&mut rng);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|inner| (1..3).contains(&inner.len())));
+    }
+}

@@ -1,0 +1,137 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its property tests use: the [`proptest!`] macro,
+//! `prop_assert*` macros, [`prop_oneof!`], [`strategy::Strategy`] with
+//! `prop_map`, `any::<T>()`, [`strategy::Just`], range strategies, tuple
+//! strategies, [`collection::vec`], and [`array`] strategies.
+//!
+//! Differences from upstream, deliberate and visible:
+//!
+//! - **No shrinking.** A failing case reports its inputs (`Debug`) and
+//!   the deterministic case seed, not a minimized counterexample.
+//! - **Deterministic by construction.** Case `i` of test `t` draws from a
+//!   PRNG seeded by `hash(module_path, test name, i)`, so failures
+//!   reproduce across runs and machines without a persistence file.
+//! - Default case count matches upstream (256) so coverage per test stays
+//!   comparable.
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run deterministic randomized cases of each contained `#[test]`
+/// function; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_id, case);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let inputs = format!("{:?}", ($(&$arg,)+));
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body };
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {case}/{total} of {id} failed: {err}\n  inputs: {inputs}",
+                            case = case,
+                            total = config.cases,
+                            id = test_id,
+                            err = err,
+                            inputs = inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Skip the enclosing proptest case unless the condition holds (upstream
+/// rejects and redraws; here the case simply passes vacuously, which keeps
+/// determinism and costs only the already-cheap draw).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fail the enclosing proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the enclosing proptest case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+}
+
+/// Fail the enclosing proptest case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::arm($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,15 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! No serializer backend exists in this offline workspace (`serde_json`
+//! et al. are not vendored), so `Serialize`/`Deserialize` are marker
+//! traits: deriving them documents intent and keeps type signatures
+//! source-compatible with the real crate, and nothing can call into a
+//! data format until one is added.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize {}

@@ -1,0 +1,73 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! The vendored `serde` defines `Serialize`/`Deserialize` as marker
+//! traits (no serializer backend exists in this offline workspace), so
+//! the derives only need to find the type name and emit an empty impl.
+//! Written against `proc_macro` directly — no syn/quote available.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input {
+        // Everything that is not an identifier (attribute groups, doc
+        // comments, ...) is skipped.
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde derive: no type name found");
+}
+
+/// Generic parameters are not supported by this stand-in; every consumer
+/// in the workspace derives on plain structs. Detect and fail loudly.
+fn assert_no_generics(input: &TokenStream) {
+    let mut after_name = false;
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(ident) => {
+                let s = ident.to_string();
+                if saw_keyword {
+                    after_name = true;
+                    saw_keyword = false;
+                    continue;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_keyword = true;
+                }
+            }
+            TokenTree::Punct(p) if after_name && p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generic types");
+            }
+            _ => {
+                if after_name {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    assert_no_generics(&input);
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .expect("serde derive: emit impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    assert_no_generics(&input);
+    format!("impl ::serde::Deserialize for {} {{}}", type_name(input))
+        .parse()
+        .expect("serde derive: emit impl")
+}
