@@ -39,7 +39,10 @@ pub fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
 
 /// Decode an `f32` slice.
 pub fn get_f32s(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len().is_multiple_of(4), "f32 payload must be 4-byte aligned");
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "f32 payload must be 4-byte aligned"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
@@ -49,14 +52,19 @@ pub fn get_f32s(bytes: &[u8]) -> Vec<f32> {
 /// Read the i-th `f32` without allocating.
 #[inline]
 pub fn get_f32(bytes: &[u8], i: usize) -> f32 {
-    f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("f32 index in range"))
+    f32::from_le_bytes(
+        bytes[i * 4..i * 4 + 4]
+            .try_into()
+            .expect("f32 index in range"),
+    )
 }
 
 /// Elementwise add `src` (f32s) into `dst` (f32s) in place.
 pub fn add_f32s_in_place(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "vector length mismatch");
     for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
-        let sum = f32::from_le_bytes(d.try_into().unwrap()) + f32::from_le_bytes(s.try_into().unwrap());
+        let sum =
+            f32::from_le_bytes(d.try_into().unwrap()) + f32::from_le_bytes(s.try_into().unwrap());
         d.copy_from_slice(&sum.to_le_bytes());
     }
 }
@@ -74,7 +82,10 @@ mod tests {
 
     #[test]
     fn u32_key_sorts_numerically() {
-        let keys: Vec<[u8; 4]> = [5u32, 1, 300, 2, 70000].iter().map(|&v| enc_key_u32(v)).collect();
+        let keys: Vec<[u8; 4]> = [5u32, 1, 300, 2, 70000]
+            .iter()
+            .map(|&v| enc_key_u32(v))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         let decoded: Vec<u32> = sorted.iter().map(|k| dec_key_u32(k)).collect();

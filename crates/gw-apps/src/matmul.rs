@@ -95,10 +95,18 @@ impl GwApp for MatMul {
     }
 
     fn combiner(&self) -> Option<Arc<dyn Combiner>> {
-        self.use_combiner.then(|| Arc::new(TileSumCombiner) as Arc<dyn Combiner>)
+        self.use_combiner
+            .then(|| Arc::new(TileSumCombiner) as Arc<dyn Combiner>)
     }
 
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    ) {
         if state.is_empty() {
             state.resize(self.tile * self.tile * 4, 0);
         }

@@ -61,10 +61,18 @@ impl GwApp for PageviewCount {
     }
 
     fn combiner(&self) -> Option<Arc<dyn Combiner>> {
-        self.use_combiner.then(|| Arc::new(CountSumCombiner) as Arc<dyn Combiner>)
+        self.use_combiner
+            .then(|| Arc::new(CountSumCombiner) as Arc<dyn Combiner>)
     }
 
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    ) {
         if state.is_empty() {
             state.extend_from_slice(&enc_u64(0));
         }

@@ -122,11 +122,7 @@ mod tests {
         let counts = wordcount(&records);
         assert_eq!(
             counts,
-            vec![
-                (b"a".to_vec(), 2),
-                (b"b".to_vec(), 2),
-                (b"c".to_vec(), 1)
-            ]
+            vec![(b"a".to_vec(), 2), (b"b".to_vec(), 2), (b"c".to_vec(), 1)]
         );
     }
 

@@ -138,7 +138,10 @@ pub fn web_logs(spec: &LogSpec) -> Records {
     (0..spec.entries)
         .map(|i| {
             let url = if rng.gen_bool(spec.hot_fraction) {
-                format!("http://en.wikipedia.org/wiki/Hot_{}", rng.gen_range(0..spec.hot_urls))
+                format!(
+                    "http://en.wikipedia.org/wiki/Hot_{}",
+                    rng.gen_range(0..spec.hot_urls)
+                )
             } else {
                 format!(
                     "http://en.wikipedia.org/wiki/Page_{}_{}",
@@ -221,7 +224,9 @@ pub fn kmeans_points(spec: &KmeansSpec) -> Records {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     (0..spec.points)
         .map(|i| {
-            let coords: Vec<f32> = (0..spec.dims).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let coords: Vec<f32> = (0..spec.dims)
+                .map(|_| rng.gen_range(-100.0..100.0))
+                .collect();
             let mut value = Vec::with_capacity(spec.dims * 4);
             codec::put_f32s(&mut value, &coords);
             (codec::enc_key_u32(i as u32).to_vec(), value)
@@ -243,7 +248,8 @@ pub fn clustered_points(spec: &KmeansSpec, spread: f32) -> (Records, Vec<f32>) {
             let c = rng.gen_range(0..spec.centers);
             let coords: Vec<f32> = (0..spec.dims)
                 .map(|d| {
-                    let noise: f32 = (0..3).map(|_| rng.gen_range(-spread..spread)).sum::<f32>() / 3.0;
+                    let noise: f32 =
+                        (0..3).map(|_| rng.gen_range(-spread..spread)).sum::<f32>() / 3.0;
                     truth[c * spec.dims + d] + noise
                 })
                 .collect();

@@ -192,8 +192,7 @@ impl GpmrCluster {
         let mut max_kernel_wall = Duration::ZERO;
         let mut max_kernel_modeled = Duration::ZERO;
         // (key, value) pairs partitioned by owning node.
-        let exchanged: Mutex<Vec<gw_storage::KvVec>> =
-            Mutex::new(vec![Vec::new(); nodes as usize]);
+        let exchanged: Mutex<Vec<gw_storage::KvVec>> = Mutex::new(vec![Vec::new(); nodes as usize]);
         let kernel_times: Mutex<Vec<(Duration, Duration)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for (n, blocks) in node_blocks.iter().enumerate() {
@@ -412,7 +411,9 @@ mod tests {
         let cluster = GpmrCluster::new(local_store_with(&pts, 2));
         let cfg = GpmrConfig::new("/in", "/out");
         let app = Arc::new(KMeans::new(centers.clone(), 5, 3));
-        cluster.run(Arc::clone(&app) as Arc<dyn GwApp>, &cfg).unwrap();
+        cluster
+            .run(Arc::clone(&app) as Arc<dyn GwApp>, &cfg)
+            .unwrap();
         let out = cluster.read_output(&cfg).unwrap();
         let expect = reference::kmeans_iteration(&pts, &app);
         assert_eq!(out.len(), expect.len());

@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use gw_core::{Emit, EngineError, GwApp};
 use gw_core::collect::{for_each_record, BufferPoolCollector};
+use gw_core::{Emit, EngineError, GwApp};
 use gw_storage::split::{FileStore, FileStoreExt, RecordBlockBuilder};
 use gw_storage::{seqfile::SeqReader, NodeId};
 
@@ -113,7 +113,11 @@ impl HadoopCluster {
     }
 
     /// Execute a job; returns the phase breakdown.
-    pub fn run(&self, app: Arc<dyn GwApp>, cfg: &HadoopConfig) -> Result<HadoopReport, EngineError> {
+    pub fn run(
+        &self,
+        app: Arc<dyn GwApp>,
+        cfg: &HadoopConfig,
+    ) -> Result<HadoopReport, EngineError> {
         let nodes = self.nodes();
         let total_reduces = cfg.reduces_per_node * nodes;
         let splits = self.store.splits(&cfg.input)?;
@@ -164,9 +168,7 @@ impl HadoopCluster {
                                     let mut combined: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
                                     for (k, v) in pairs.drain(..) {
                                         match combined.entry(k) {
-                                            std::collections::hash_map::Entry::Occupied(
-                                                mut e,
-                                            ) => {
+                                            std::collections::hash_map::Entry::Occupied(mut e) => {
                                                 let key = e.key().clone();
                                                 combiner.combine(&key, e.get_mut(), &v);
                                             }
@@ -227,7 +229,9 @@ impl HadoopCluster {
                 let records_out = &records_out;
                 scope.spawn(move || {
                     loop {
-                        let Some(p) = reduce_queue.lock().pop() else { break };
+                        let Some(p) = reduce_queue.lock().pop() else {
+                            break;
+                        };
                         if !cfg.task_startup.is_zero() {
                             std::thread::sleep(cfg.task_startup);
                         }
@@ -249,8 +253,7 @@ impl HadoopCluster {
                                 app.reduce(key, &values, &mut state, true, &emit);
                                 i = j;
                             }
-                            let mut builder =
-                                RecordBlockBuilder::new(cfg.output_block_size);
+                            let mut builder = RecordBlockBuilder::new(cfg.output_block_size);
                             for_each_record(&collector, &mut |k, v| {
                                 builder.append(k, v);
                                 records += 1;
@@ -265,8 +268,7 @@ impl HadoopCluster {
                                 .expect("output write failed");
                         } else {
                             // Shuffle-only job: write the sorted partition.
-                            let mut builder =
-                                RecordBlockBuilder::new(cfg.output_block_size);
+                            let mut builder = RecordBlockBuilder::new(cfg.output_block_size);
                             for (k, v) in input {
                                 builder.append(k, v);
                                 records += 1;

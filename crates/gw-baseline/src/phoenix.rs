@@ -123,7 +123,11 @@ impl PhoenixRuntime {
     }
 
     /// Execute a job entirely in memory on this machine.
-    pub fn run(&self, app: Arc<dyn GwApp>, cfg: &PhoenixConfig) -> Result<PhoenixReport, PhoenixError> {
+    pub fn run(
+        &self,
+        app: Arc<dyn GwApp>,
+        cfg: &PhoenixConfig,
+    ) -> Result<PhoenixReport, PhoenixError> {
         // ---- Table I constraint: single node only ----
         let nodes = self.store.cluster_size();
         if nodes != 1 {
@@ -175,9 +179,7 @@ impl PhoenixRuntime {
                     }
                     records_in.fetch_add(count, Ordering::Relaxed);
                     let mut pairs: KvVec = Vec::new();
-                    for_each_record(&collector, &mut |k, v| {
-                        pairs.push((k.to_vec(), v.to_vec()))
-                    });
+                    for_each_record(&collector, &mut |k, v| pairs.push((k.to_vec(), v.to_vec())));
                     if cfg.use_combiner {
                         if let Some(combiner) = app.combiner() {
                             let mut combined: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
@@ -243,7 +245,9 @@ impl PhoenixRuntime {
             }
         }
         let mut output: KvVec = Vec::new();
-        for_each_record(&collector, &mut |k, v| output.push((k.to_vec(), v.to_vec())));
+        for_each_record(&collector, &mut |k, v| {
+            output.push((k.to_vec(), v.to_vec()))
+        });
         output.sort();
         let reduce_phase = reduce_start.elapsed();
 

@@ -112,7 +112,11 @@ fn main() {
         let report = cluster
             .run(Arc::new(WordCount::without_combiner()), &cfg)
             .expect("job failed");
-        let raw: usize = report.nodes.iter().map(|n| n.intermediate.spilled_raw).sum();
+        let raw: usize = report
+            .nodes
+            .iter()
+            .map(|n| n.intermediate.spilled_raw)
+            .sum();
         let disk: usize = report
             .nodes
             .iter()
@@ -148,16 +152,28 @@ fn main() {
     rule(56);
     let gw16 = simulate(FrameworkKind::Glasswing, &wc, &base, 16).total;
     let gw64 = simulate(FrameworkKind::Glasswing, &wc, &base, 64).total;
-    println!("{:<22} | {:>10} | {:>10}", "glasswing (push)", sim_secs(gw16), sim_secs(gw64));
+    println!(
+        "{:<22} | {:>10} | {:>10}",
+        "glasswing (push)",
+        sim_secs(gw16),
+        sim_secs(gw64)
+    );
     let p16 = simulate(FrameworkKind::Hadoop, &wc, &pull_only, 16).total;
     let p64 = simulate(FrameworkKind::Hadoop, &wc, &pull_only, 64).total;
     println!(
         "{:<22} | {:>10} | {:>10}",
-        "pull, no-overlap only", sim_secs(p16), sim_secs(p64)
+        "pull, no-overlap only",
+        sim_secs(p16),
+        sim_secs(p64)
     );
     let h16 = simulate(FrameworkKind::Hadoop, &wc, &base, 16).total;
     let h64 = simulate(FrameworkKind::Hadoop, &wc, &base, 64).total;
-    println!("{:<22} | {:>10} | {:>10}", "full hadoop model", sim_secs(h16), sim_secs(h64));
+    println!(
+        "{:<22} | {:>10} | {:>10}",
+        "full hadoop model",
+        sim_secs(h16),
+        sim_secs(h64)
+    );
     rule(56);
     println!(
         "pull + lost overlap alone costs {:.0}% at 64 nodes; JVM/task/job\noverheads make up the rest of the {:.2}x gap",

@@ -19,7 +19,10 @@ fn run_subfigure(tag: &str, app: &AppParams, counts: &[usize]) {
     let gw_s = speedups(&gw);
     let hd_s = speedups(&hd);
 
-    println!("\nFig. 2({tag}): {} — Hadoop vs Glasswing (CPU, HDFS)", app.name);
+    println!(
+        "\nFig. 2({tag}): {} — Hadoop vs Glasswing (CPU, HDFS)",
+        app.name
+    );
     rule(78);
     println!(
         "{:>6} | {:>13} {:>10} | {:>13} {:>10} | {:>7}",

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use gw_apps::WordCount;
 use gw_bench::{bench_cfg, corpus_cluster, rule, secs};
-use gw_core::{CollectorKind, StageId};
+use gw_core::{CollectorKind, PipelineKind, StageId};
 
 fn run(concurrent_keys: usize, keys_per_thread: usize) -> (usize, f64, f64, f64) {
     let cluster = corpus_cluster(20_000, 60_000, 1, 256 << 10);
@@ -39,9 +39,12 @@ fn run(concurrent_keys: usize, keys_per_thread: usize) -> (usize, f64, f64, f64)
 
 fn main() {
     println!("=== Figure 5: reduce pipeline breakdown vs concurrent keys ===\n");
+    // The reduce pipeline's first stage is "merge-read" (the map side
+    // calls the same slot "input") — take the display name from the slot.
+    let merge_read = format!("{}(s)", StageId::Input.name_in(PipelineKind::Reduce));
     println!(
         "{:>10} {:>4} | {:>9} | {:>13} | {:>12} | {:>12}",
-        "conc.keys", "kpt", "launches", "merge-read(s)", "kernel (s)", "elapsed (s)"
+        "conc.keys", "kpt", "launches", merge_read, "kernel (s)", "elapsed (s)"
     );
     rule(74);
     let mut elapsed_series = Vec::new();

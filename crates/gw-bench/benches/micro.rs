@@ -14,7 +14,9 @@ use gw_intermediate::{compress, merge_runs, MergeIter};
 use gw_storage::varint;
 
 fn bench_varint(c: &mut Criterion) {
-    let values: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let values: Vec<u64> = (0..1000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     c.bench_function("varint/encode_1k", |b| {
         b.iter(|| {
             let mut out = Vec::with_capacity(10_000);

@@ -1,0 +1,227 @@
+//! Tracked pipeline-executor benchmark: map throughput of the shared
+//! stage-graph executor at each §III-D buffering level, plus the cost of
+//! *not* fusing the Stage/Retrieve pass-through stages on a unified-memory
+//! (CPU) profile. Written to `BENCH_pipeline.json` at the repo root so the
+//! executor's behaviour is versioned alongside the code.
+//!
+//! Measured metrics (best-of-N wall time of the real map phase):
+//!
+//! * `single_mrecs` / `double_mrecs` / `triple_mrecs` — map throughput
+//!   (million input records/s) at each buffering level, under paced
+//!   local-FS-style reads so the Input stage carries real time for
+//!   double/triple buffering to overlap (§III-D).
+//! * `fused_mrecs` vs `unfused_mrecs` — the same CPU-profile job with
+//!   Stage/Retrieve fused out of the graph (3 stage threads) vs forced
+//!   live (5 stage threads, DRAM-speed copies through a staging buffer).
+//!   `fused_over_unfused` is the headline delta: the paper's "the input
+//!   stager is disabled" optimisation as a measured ratio.
+//!
+//! Every run also asserts the executor's structural invariants: observed
+//! in-flight chunks never exceed the buffering depth, and the fused graph
+//! spawns exactly 3 stage threads where the unfused one spawns 5.
+//!
+//! Usage: `cargo bench -p gw-bench --bench pipeline -- [--quick] [--check]`
+//!
+//! * `--quick` shrinks the workload (CI smoke). A full run additionally
+//!   records the quick workload's ratios as `quick_*` fields so a quick
+//!   check compares like against like.
+//! * `--check` validates the committed `BENCH_pipeline.json` instead of
+//!   rewriting it, failing if a measured ratio fell below 0.75x the
+//!   committed one for the same mode.
+
+use std::sync::Arc;
+
+use gw_apps::WordCount;
+use gw_bench::flatjson::{self, Val};
+use gw_bench::{bench_cfg, corpus_cluster_paced};
+use gw_core::{Buffering, JobConfig};
+use gw_device::DeviceProfile;
+
+struct Sizes {
+    iters: usize,
+    lines: usize,
+    /// DFS block size; sized so every run streams dozens of chunks and
+    /// the measurement sees pipeline steady state, not fill/drain.
+    block: usize,
+}
+
+const QUICK: Sizes = Sizes {
+    iters: 3,
+    lines: 6_000,
+    block: 32 << 10,
+};
+
+const FULL: Sizes = Sizes {
+    iters: 5,
+    lines: 30_000,
+    block: 64 << 10,
+};
+
+/// The host CPU profile with fusion defeated: same compute model, but the
+/// executor must keep the Stage and Retrieve threads (and their staging
+/// copies) live.
+fn unfused_host() -> DeviceProfile {
+    DeviceProfile {
+        name: "host-unfused",
+        unified_memory: false,
+        ..DeviceProfile::host()
+    }
+}
+
+/// Best-of-`iters` map throughput (Mrec/s) for one configuration, with
+/// the executor's structural invariants asserted on every run.
+fn measure_map(sizes: &Sizes, mutate: impl Fn(&mut JobConfig)) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut stage_threads = 0;
+    for _ in 0..sizes.iters {
+        // Paced local-FS reads give the Input stage a real duration, so
+        // buffering has something to overlap (the paper's local-FS runs).
+        let cluster = corpus_cluster_paced(sizes.lines, 30_000, 1, sizes.block);
+        let mut cfg = bench_cfg();
+        mutate(&mut cfg);
+        let report = cluster
+            .run(Arc::new(WordCount::new()), &cfg)
+            .expect("job failed");
+        let n = &report.nodes[0];
+        assert!(
+            n.map.max_in_flight <= cfg.buffering.depth(),
+            "interlock violated: {} in flight under {:?}",
+            n.map.max_in_flight,
+            cfg.buffering
+        );
+        stage_threads = n.map.stage_threads;
+        best = best.min(n.map.elapsed.as_secs_f64() / n.map.records_in as f64);
+    }
+    (1e-6 / best, stage_threads)
+}
+
+struct Metrics {
+    single: f64,
+    double: f64,
+    triple: f64,
+    fused: f64,
+    unfused: f64,
+}
+
+impl Metrics {
+    fn double_over_single(&self) -> f64 {
+        self.double / self.single
+    }
+    fn triple_over_single(&self) -> f64 {
+        self.triple / self.single
+    }
+    fn fused_over_unfused(&self) -> f64 {
+        self.fused / self.unfused
+    }
+}
+
+fn measure(sizes: &Sizes) -> Metrics {
+    let buffered = |b: Buffering| {
+        let (mrecs, threads) = measure_map(sizes, |cfg| cfg.buffering = b);
+        assert_eq!(threads, 3, "host profile must fuse Stage/Retrieve");
+        mrecs
+    };
+    let single = buffered(Buffering::Single);
+    let double = buffered(Buffering::Double);
+    let triple = buffered(Buffering::Triple);
+    // Fused vs unfused at the default (double) buffering level.
+    let fused = double;
+    let (unfused, threads) = measure_map(sizes, |cfg| cfg.device = unfused_host());
+    assert_eq!(threads, 5, "unfused profile must keep all five stages");
+    Metrics {
+        single,
+        double,
+        triple,
+        fused,
+        unfused,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let check = argv.iter().any(|a| a == "--check");
+
+    let m = measure(if quick { &QUICK } else { &FULL });
+    let quick_ref = if quick { None } else { Some(measure(&QUICK)) };
+
+    let mut fields = vec![
+        ("schema", Val::Str("gw-pipeline-bench-v1".into())),
+        (
+            "mode",
+            Val::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("single_mrecs", Val::Num(m.single)),
+        ("double_mrecs", Val::Num(m.double)),
+        ("triple_mrecs", Val::Num(m.triple)),
+        ("fused_mrecs", Val::Num(m.fused)),
+        ("unfused_mrecs", Val::Num(m.unfused)),
+        ("double_over_single", Val::Num(m.double_over_single())),
+        ("triple_over_single", Val::Num(m.triple_over_single())),
+        ("fused_over_unfused", Val::Num(m.fused_over_unfused())),
+    ];
+    if let Some(q) = &quick_ref {
+        fields.extend([
+            ("quick_double_over_single", Val::Num(q.double_over_single())),
+            ("quick_triple_over_single", Val::Num(q.triple_over_single())),
+            ("quick_fused_over_unfused", Val::Num(q.fused_over_unfused())),
+        ]);
+    }
+
+    println!("pipeline bench ({})", if quick { "quick" } else { "full" });
+    for (k, v) in &fields {
+        match v {
+            Val::Str(s) => println!("  {k:24} {s}"),
+            Val::Num(n) => println!("  {k:24} {n:.3}"),
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    if check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_pipeline.json unreadable: {e}"));
+        let map = flatjson::parse(&committed)
+            .unwrap_or_else(|e| panic!("BENCH_pipeline.json malformed: {e}"));
+        match map.get("schema").and_then(Val::as_str) {
+            Some("gw-pipeline-bench-v1") => {}
+            other => panic!("BENCH_pipeline.json schema mismatch: {other:?}"),
+        }
+        let committed_num = |key: &str| -> f64 {
+            map.get(key)
+                .and_then(Val::as_num)
+                .filter(|n| *n > 0.0)
+                .unwrap_or_else(|| panic!("BENCH_pipeline.json missing/invalid {key}"))
+        };
+        let prefix = if quick { "quick_" } else { "" };
+        let mut failed = false;
+        for (key, measured) in [
+            ("double_over_single", m.double_over_single()),
+            ("triple_over_single", m.triple_over_single()),
+            ("fused_over_unfused", m.fused_over_unfused()),
+        ] {
+            let floor = 0.75 * committed_num(&format!("{prefix}{key}"));
+            let ok = measured >= floor;
+            println!(
+                "  check {prefix}{key:22} measured {measured:.3} vs floor {floor:.3} ... {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        for key in [
+            "single_mrecs",
+            "double_mrecs",
+            "triple_mrecs",
+            "unfused_mrecs",
+        ] {
+            committed_num(key);
+        }
+        if failed {
+            eprintln!("pipeline bench check FAILED: ratio regressed >25% vs committed");
+            std::process::exit(1);
+        }
+        println!("pipeline bench check passed");
+    } else {
+        std::fs::write(path, flatjson::write(&fields)).expect("write BENCH_pipeline.json");
+        println!("wrote {path}");
+    }
+}

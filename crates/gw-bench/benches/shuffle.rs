@@ -237,7 +237,11 @@ fn measure(sizes: &Sizes) -> Metrics {
         || merge_runs(&merge_input),
         || heap_merge(&merge_input),
     );
-    assert_same_bytes("merge8", &merge_runs(&merge_input), &heap_merge(&merge_input));
+    assert_same_bytes(
+        "merge8",
+        &merge_runs(&merge_input),
+        &heap_merge(&merge_input),
+    );
 
     // --- compress / decompress over run bytes ---
     let codec_run = merge_runs(&merge_input).into_shared();
@@ -288,7 +292,10 @@ fn main() {
 
     let mut fields = vec![
         ("schema", Val::Str("gw-shuffle-bench-v1".into())),
-        ("mode", Val::Str(if quick { "quick" } else { "full" }.into())),
+        (
+            "mode",
+            Val::Str(if quick { "quick" } else { "full" }.into()),
+        ),
         ("partitions", Val::Num(PARTS as f64)),
         ("lanes", Val::Num(LANES as f64)),
         ("partition_input_mb", Val::Num(m.input_mb)),

@@ -33,19 +33,57 @@ struct Row {
 fn main() {
     println!("=== Table II: WC map pipeline time breakdown (seconds) ===\n");
     let configs: [(&str, CollectorKind, bool, Buffering); 4] = [
-        ("hash+comb/dbl", CollectorKind::HashTable, true, Buffering::Double),
-        ("hash/dbl", CollectorKind::HashTable, false, Buffering::Double),
-        ("simple/dbl", CollectorKind::BufferPool, false, Buffering::Double),
-        ("hash+comb/sgl", CollectorKind::HashTable, true, Buffering::Single),
+        (
+            "hash+comb/dbl",
+            CollectorKind::HashTable,
+            true,
+            Buffering::Double,
+        ),
+        (
+            "hash/dbl",
+            CollectorKind::HashTable,
+            false,
+            Buffering::Double,
+        ),
+        (
+            "simple/dbl",
+            CollectorKind::BufferPool,
+            false,
+            Buffering::Double,
+        ),
+        (
+            "hash+comb/sgl",
+            CollectorKind::HashTable,
+            true,
+            Buffering::Single,
+        ),
     ];
 
     let mut rows = vec![
-        Row { label: "Input", values: Vec::new() },
-        Row { label: "Kernel", values: Vec::new() },
-        Row { label: "Partitioning", values: Vec::new() },
-        Row { label: "Map elapsed", values: Vec::new() },
-        Row { label: "Merge delay", values: Vec::new() },
-        Row { label: "Reduce time", values: Vec::new() },
+        Row {
+            label: "Input",
+            values: Vec::new(),
+        },
+        Row {
+            label: "Kernel",
+            values: Vec::new(),
+        },
+        Row {
+            label: "Partitioning",
+            values: Vec::new(),
+        },
+        Row {
+            label: "Map elapsed",
+            values: Vec::new(),
+        },
+        Row {
+            label: "Merge delay",
+            values: Vec::new(),
+        },
+        Row {
+            label: "Reduce time",
+            values: Vec::new(),
+        },
     ];
     let mut records_out = Vec::new();
 
@@ -110,8 +148,7 @@ fn main() {
     );
     println!(
         "  elapsed ≈ dominant stage under double buffering (config i): {}",
-        ok(elapsed[0]
-            < rows[0].values[0] + kernel[0] + partition[0])
+        ok(elapsed[0] < rows[0].values[0] + kernel[0] + partition[0])
     );
     println!(
         "  single buffering elapsed ≥ double buffering elapsed: {}",

@@ -124,13 +124,7 @@ fn main() {
     }
     rule(66);
     // Device hierarchy: K20m < GTX480 < XeonPhi < CPU on modeled kernels.
-    let get = |name: &str| {
-        modeled_kernels
-            .iter()
-            .find(|(n, _)| *n == name)
-            .unwrap()
-            .1
-    };
+    let get = |name: &str| modeled_kernels.iter().find(|(n, _)| *n == name).unwrap().1;
     println!(
         "modeled kernel hierarchy k20m < gtx480 < xeon-phi < cpu: {}",
         ok(get("nvidia-k20m") < get("nvidia-gtx480")

@@ -35,11 +35,14 @@ pub fn naive_run_from_pairs(mut pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Run {
     Run::from_sorted_bytes(serialize_pairs(&pairs), records)
 }
 
+/// A `(key, value, source)` merge cursor ordered for min-heap popping.
+type Cursor<'a> = Reverse<(&'a [u8], &'a [u8], usize)>;
+
 /// K-way merge with a `BinaryHeap` of `(key, value, source)` cursors —
 /// the pre-loser-tree implementation, kept as the comparison baseline.
 pub fn heap_merge(runs: &[Run]) -> Run {
     let mut iters: Vec<_> = runs.iter().map(|r| r.iter()).collect();
-    let mut heap: BinaryHeap<Reverse<(&[u8], &[u8], usize)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Cursor> = BinaryHeap::new();
     for (src, it) in iters.iter_mut().enumerate() {
         if let Some((k, v)) = it.next() {
             heap.push(Reverse((k, v, src)));

@@ -38,7 +38,13 @@ pub fn rule(width: usize) {
 /// free I/O model (local-FS-like: the pipeline-analysis experiments were
 /// run "on one Type-1 node without HDFS").
 pub fn corpus_cluster(lines: usize, vocabulary: usize, nodes: u32, block: usize) -> Cluster {
-    corpus_cluster_with(lines, vocabulary, nodes, block, DfsConfig::new(nodes).free_io())
+    corpus_cluster_with(
+        lines,
+        vocabulary,
+        nodes,
+        block,
+        DfsConfig::new(nodes).free_io(),
+    )
 }
 
 /// Like [`corpus_cluster`] but with *paced* local-FS-style reads, so the

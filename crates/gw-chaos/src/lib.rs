@@ -94,6 +94,20 @@ impl CrashSite {
             _ => CrashSite::Reduce,
         }
     }
+
+    /// The crash site probed when the map pipeline's executor passes a
+    /// chunk through `stage` (the [`CrashSite::Reduce`] site has no map
+    /// stage and is reached through
+    /// [`FaultPlan::reduce_fault_fires`] instead).
+    pub fn for_map_stage(stage: gw_pipeline::StageId) -> Self {
+        match stage {
+            gw_pipeline::StageId::Input => CrashSite::Read,
+            gw_pipeline::StageId::Stage => CrashSite::Stage,
+            gw_pipeline::StageId::Kernel => CrashSite::Kernel,
+            gw_pipeline::StageId::Retrieve => CrashSite::Retrieve,
+            gw_pipeline::StageId::Partition => CrashSite::Shuffle,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -406,10 +420,32 @@ mod tests {
             p.on_data_message(NodeId(1), NodeId(0)),
             NetFaultAction::Deliver
         );
-        assert_eq!(p.on_data_message(NodeId(1), NodeId(0)), NetFaultAction::Drop);
+        assert_eq!(
+            p.on_data_message(NodeId(1), NodeId(0)),
+            NetFaultAction::Drop
+        );
         assert_eq!(
             p.on_data_message(NodeId(1), NodeId(0)),
             NetFaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn map_stage_crash_sites_cover_all_five_stages() {
+        use gw_pipeline::StageId;
+        let sites: Vec<CrashSite> = StageId::ALL
+            .into_iter()
+            .map(CrashSite::for_map_stage)
+            .collect();
+        assert_eq!(
+            sites,
+            vec![
+                CrashSite::Read,
+                CrashSite::Stage,
+                CrashSite::Kernel,
+                CrashSite::Retrieve,
+                CrashSite::Shuffle,
+            ]
         );
     }
 

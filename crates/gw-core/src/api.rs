@@ -71,7 +71,14 @@ pub trait GwApp: Send + Sync + 'static {
     /// invocations; `state` is the key's scratch buffer persisting between
     /// chunks (paper §III-C) and `last` marks the final chunk. Typical
     /// implementations accumulate into `state` and emit on `last`.
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>);
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    );
 
     /// Partition function over the global partition space. "Glasswing
     /// partitions intermediate data based on a hash function which can be

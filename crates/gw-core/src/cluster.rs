@@ -211,8 +211,9 @@ impl Cluster {
             .map(|p| Arc::clone(p) as Arc<dyn gw_net::NetFaultHook>);
         let mut fabric: Fabric<ShuffleMsg> = Fabric::with_fault_hook(nodes, self.net, net_hook);
         if let Some(plan) = &self.fault_plan {
-            self.store
-                .arm_fault_hook(Some(Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>));
+            self.store.arm_fault_hook(Some(
+                Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>
+            ));
         }
         let _disarm = DisarmOnDrop(&self.store);
         let failovers_before = self.store.fault_failovers();
@@ -395,11 +396,9 @@ impl ShuffleRx {
     fn join(self) -> Result<ShuffleSummary, EngineError> {
         match self {
             ShuffleRx::Plain(r) => Ok(r.join()),
-            ShuffleRx::Supervised(h) => h
-                .join()
-                .unwrap_or_else(|_| {
-                    Err(EngineError::TaskFailed("shuffle receiver panicked".into()))
-                }),
+            ShuffleRx::Supervised(h) => h.join().unwrap_or_else(|_| {
+                Err(EngineError::TaskFailed("shuffle receiver panicked".into()))
+            }),
         }
     }
 }
@@ -514,8 +513,7 @@ fn spawn_supervised_receiver(
                                     // serve ourselves from retention.
                                     for id in ids {
                                         let key = RunKey::from(id);
-                                        if let Some((bytes, records)) =
-                                            chaos.recovery.retained(key)
+                                        if let Some((bytes, records)) = chaos.recovery.retained(key)
                                         {
                                             if chaos.recovery.admit(key) {
                                                 summary.runs += 1;
@@ -575,9 +573,9 @@ fn run_node(
     chaos: Option<NodeChaos>,
 ) -> Result<NodeReport, EngineError> {
     // Heartbeats span the node's whole lifetime (map through reduce).
-    let _heartbeat = chaos.as_ref().map(|_| {
-        Heartbeat::start(Arc::clone(&coordinator), node, cfg.heartbeat_interval)
-    });
+    let _heartbeat = chaos
+        .as_ref()
+        .map(|_| Heartbeat::start(Arc::clone(&coordinator), node, cfg.heartbeat_interval));
 
     let device = Arc::new(Device::open_with_threads(
         cfg.device.clone(),

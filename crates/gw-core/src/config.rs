@@ -6,34 +6,9 @@ use gw_device::DeviceProfile;
 
 use crate::collect::CollectorKind;
 
-/// Pipeline buffering level (paper §III-D).
-///
-/// The map pipeline's *input group* (Input, Stage, Kernel) shares this many
-/// input buffers and its *output group* (Kernel, Retrieve, Partition) this
-/// many output buffers. `Single` interlocks each group internally (the two
-/// groups still overlap each other); `Triple` lets all five stages run
-/// fully concurrently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Buffering {
-    /// One buffer set per group.
-    Single,
-    /// Two buffer sets per group (the paper's default configuration).
-    Double,
-    /// Three buffer sets per group.
-    Triple,
-}
-
-impl Buffering {
-    /// Number of buffer sets per group.
-    #[inline]
-    pub fn depth(self) -> usize {
-        match self {
-            Buffering::Single => 1,
-            Buffering::Double => 2,
-            Buffering::Triple => 3,
-        }
-    }
-}
+// The buffering level moved into the shared stage-graph executor (it is
+// the executor's token-group depth); the historical `gw_core` path stays.
+pub use gw_pipeline::Buffering;
 
 /// Which duration the stage timers report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

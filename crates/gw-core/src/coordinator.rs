@@ -150,6 +150,77 @@ impl NodeChaos {
     }
 }
 
+/// The map pipeline's hook into the fault plane: crash-site probing per
+/// stage, the node's dead flag, and — on the input stage, which is the
+/// point where a node commits to more work — the coordinator's own view
+/// of this node's liveness and the job-wide abort flag.
+pub struct MapPipelineProbe {
+    chaos: NodeChaos,
+    coordinator: Arc<Coordinator>,
+    node: NodeId,
+}
+
+impl MapPipelineProbe {
+    /// Probe for `node`'s map pipeline.
+    pub fn new(chaos: NodeChaos, coordinator: Arc<Coordinator>, node: NodeId) -> Self {
+        MapPipelineProbe {
+            chaos,
+            coordinator,
+            node,
+        }
+    }
+}
+
+impl gw_pipeline::PipelineProbe for MapPipelineProbe {
+    fn should_abort(&self, stage: gw_pipeline::StageId) -> bool {
+        self.chaos.is_dead()
+            || (stage == gw_pipeline::StageId::Input
+                && (self.coordinator.is_dead(self.node) || self.coordinator.aborted()))
+    }
+
+    fn crash_fires(&self, stage: gw_pipeline::StageId) -> bool {
+        self.chaos
+            .plan
+            .crash_fires(self.node.0, gw_chaos::CrashSite::for_map_stage(stage))
+    }
+
+    fn kill(&self) {
+        self.chaos.kill();
+    }
+}
+
+/// The reduce pipeline's hook into the fault plane. Reduce-site faults
+/// are task-level panics recovered by the §III-E retry budget (a
+/// whole-node reduce crash is unrecoverable — see DESIGN.md §3.5), so the
+/// probe exposes only [`gw_pipeline::PipelineProbe::task_fault_fires`].
+pub struct ReduceTaskProbe {
+    chaos: NodeChaos,
+    node: NodeId,
+}
+
+impl ReduceTaskProbe {
+    /// Probe for `node`'s reduce pipelines.
+    pub fn new(chaos: NodeChaos, node: NodeId) -> Self {
+        ReduceTaskProbe { chaos, node }
+    }
+}
+
+impl gw_pipeline::PipelineProbe for ReduceTaskProbe {
+    fn should_abort(&self, _stage: gw_pipeline::StageId) -> bool {
+        false
+    }
+
+    fn crash_fires(&self, _stage: gw_pipeline::StageId) -> bool {
+        false
+    }
+
+    fn kill(&self) {}
+
+    fn task_fault_fires(&self) -> bool {
+        self.chaos.plan.reduce_fault_fires(self.node.0)
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SlotState {
     Pending,
@@ -353,7 +424,8 @@ impl Coordinator {
             }
             n
         };
-        self.splits_rescheduled.fetch_add(requeued, Ordering::Relaxed);
+        self.splits_rescheduled
+            .fetch_add(requeued, Ordering::Relaxed);
 
         // Adopt the dead node's partitions onto the next live node on the
         // ring after it.
@@ -472,7 +544,10 @@ impl Coordinator {
                 .copied()
                 .unwrap_or_else(|| partition_owner(key.partition, nodes));
             if owner == node {
-                by_producer.entry(producer).or_default().push(key.tag(producer));
+                by_producer
+                    .entry(producer)
+                    .or_default()
+                    .push(key.tag(producer));
             }
         }
         let mut out: Vec<_> = by_producer.into_iter().collect();
@@ -600,7 +675,11 @@ mod tests {
 
     #[test]
     fn dead_node_work_is_requeued_onto_survivors() {
-        let c = supervised(2, 2, (0..4).map(|i| split(i, vec![(i % 2) as u32])).collect());
+        let c = supervised(
+            2,
+            2,
+            (0..4).map(|i| split(i, vec![(i % 2) as u32])).collect(),
+        );
         // Node 1 claims two splits and completes one.
         let a = c.next_for(NodeId(1)).unwrap();
         let _b = c.next_for(NodeId(1)).unwrap();
@@ -658,9 +737,21 @@ mod tests {
     #[test]
     fn ledger_reports_missing_runs_by_live_producer() {
         let c = supervised(2, 2, vec![split(0, vec![0]), split(1, vec![1])]);
-        let k0 = RunKey { partition: 0, block: 0, lane: 0 };
-        let k1 = RunKey { partition: 0, block: 1, lane: 0 };
-        let k2 = RunKey { partition: 1, block: 0, lane: 0 };
+        let k0 = RunKey {
+            partition: 0,
+            block: 0,
+            lane: 0,
+        };
+        let k1 = RunKey {
+            partition: 0,
+            block: 1,
+            lane: 0,
+        };
+        let k2 = RunKey {
+            partition: 1,
+            block: 0,
+            lane: 0,
+        };
         c.record_run(k0, 0);
         c.record_run(k1, 1);
         c.record_run(k2, 0);

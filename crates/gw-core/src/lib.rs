@@ -54,7 +54,7 @@ pub use collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollec
 pub use config::{Buffering, JobConfig, TimingMode};
 pub use coordinator::Coordinator;
 pub use schedule::{pipeline_makespan, ChunkTimes};
-pub use timers::{StageId, StageTimers, TimerReport};
+pub use timers::{PipelineKind, StageId, StageTimers, TimerReport};
 
 pub use gw_chaos::{CrashSite, FaultPlan};
 pub use gw_storage::NodeId;
@@ -93,7 +93,11 @@ impl std::fmt::Display for EngineError {
             EngineError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
             EngineError::NodeLost(msg) => write!(f, "node lost: {msg}"),
             EngineError::JobTimeout(d) => {
-                write!(f, "job exceeded deadline of {:.3}s and was aborted", d.as_secs_f64())
+                write!(
+                    f,
+                    "job exceeded deadline of {:.3}s and was aborted",
+                    d.as_secs_f64()
+                )
             }
         }
     }
@@ -145,7 +149,9 @@ mod error_tests {
     #[test]
     fn source_chains_to_the_underlying_layer() {
         let io = EngineError::Io(std::io::Error::other("disk gone"));
-        assert!(io.source().is_some_and(|s| s.to_string().contains("disk gone")));
+        assert!(io
+            .source()
+            .is_some_and(|s| s.to_string().contains("disk gone")));
 
         let storage = EngineError::Storage(gw_storage::StorageError::AllReplicasLost(
             "/wc/in block 3".into(),

@@ -1,15 +1,20 @@
-//! The 5-stage map pipeline (paper §III-A).
+//! The 5-stage map pipeline (paper §III-A), as thin stage definitions on
+//! the shared `gw-pipeline` executor.
 //!
 //! ```text
 //! Input → Stage → Kernel → Retrieve → Partition
 //! ```
 //!
-//! Each stage runs on its own thread; chunks flow through bounded channels.
-//! Buffer recycling implements the interlock of §III-D: `B` input-buffer
-//! tokens circulate Input → Stage → Kernel → Input, and `B` output
-//! collectors circulate Kernel → Retrieve → Partition → Kernel, where `B`
-//! is the buffering level. For unified-memory devices the Stage and
-//! Retrieve stages are pass-throughs ("the input stager is disabled").
+//! This module contains only the per-stage logic: what it means to read a
+//! split, stage it, launch the map kernel, charge the retrieval, and
+//! partition the output. Channel wiring, the §III-D buffer-token
+//! interlock (input group Input→Kernel, output group Kernel→Partition),
+//! crash-site probing, dead/abort checking, timers and error unwinding
+//! all live in [`gw_pipeline`]; the fault plane reaches the executor
+//! through [`MapPipelineProbe`]. On unified-memory devices the Stage and
+//! Retrieve stages report [`gw_pipeline::Stage::passthrough`] and are
+//! fused out of the graph at build time ("the input stager is disabled")
+//! — the pipeline runs on 3 threads, not 5.
 //!
 //! The Kernel stage launches the user's map function as an NDRange over
 //! the chunk's records — "Glasswing processes each split in parallel,
@@ -24,37 +29,38 @@
 //!
 //! ## Fault-tolerant (supervised) mode
 //!
-//! When the node carries a [`NodeChaos`] handle, every stage loop probes
-//! the fault plan's crash site for this node and checks the shared
-//! dead/abort flags, so an injected crash (or a death declared by the
-//! coordinator) unwinds the whole pipeline between chunks — a split is
-//! either fully processed (all of its runs recorded in the coordinator's
-//! ledger and delivered or retained, then `complete_split`) or not at all.
-//! The partitioning stage additionally merges each chunk's lanes into one
-//! run per (block, partition): lane runs sort by `(key, value)` bytes and
-//! the k-way merge preserves that order, so a re-executed split
-//! re-produces byte-identical runs under the same [`RunKey`]s no matter
-//! how the collector scattered records over lanes, which is what makes
-//! receiver-side de-duplication sound (see `gw_intermediate::radix` for
-//! the determinism contract).
+//! When the node carries a [`NodeChaos`] handle, the executor probes the
+//! fault plan's crash site for this node between chunks and checks the
+//! shared dead/abort flags, so an injected crash (or a death declared by
+//! the coordinator) unwinds the whole pipeline between chunks — a split
+//! is either fully processed (all of its runs recorded in the
+//! coordinator's ledger and delivered or retained, then `complete_split`)
+//! or not at all. The partitioning stage additionally merges each chunk's
+//! lanes into one run per (block, partition): lane runs sort by `(key,
+//! value)` bytes and the k-way merge preserves that order, so a
+//! re-executed split re-produces byte-identical runs under the same
+//! [`RunKey`]s no matter how the collector scattered records over lanes,
+//! which is what makes receiver-side de-duplication sound (see
+//! `gw_intermediate::radix` for the determinism contract).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::bounded;
-
-use gw_chaos::CrashSite;
 use gw_device::{Device, DeviceBuffer, KernelFn, NdRange, WorkItemCtx, WorkerPool};
 use gw_intermediate::{merge_runs, IntermediateStore, Run, RunPool};
 use gw_net::{Endpoint, ShuffleMsg};
+use gw_pipeline::{
+    run_task_with_retries, token_pool, PipelineBuilder, PipelineKind, PoolGet, PoolPut, Source,
+    Stage, StageCtx,
+};
 use gw_storage::split::FileStore;
 use gw_storage::{seqfile::SeqReader, NodeId};
 
 use crate::api::{Emit, GwApp};
 use crate::collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
 use crate::config::{JobConfig, TimingMode};
-use crate::coordinator::{Coordinator, NodeChaos, RunKey};
+use crate::coordinator::{Coordinator, MapPipelineProbe, NodeChaos, RunKey};
 use crate::hash::partition_owner;
 use crate::timers::{StageId, StageTimers};
 use crate::EngineError;
@@ -68,35 +74,15 @@ pub(crate) struct RecordRef {
     vlen: u32,
 }
 
-/// A chunk read from storage, with its recycled input-buffer token.
-struct InputChunk {
-    seq: usize,
+/// The one chunk type carried through the whole graph: a block read from
+/// storage, progressively annotated with its staging buffer (discrete
+/// memory only) and its kernel-output collector.
+struct MapChunk {
     block_idx: usize,
     block: Arc<[u8]>,
     records: Vec<RecordRef>,
-    token: InputToken,
-}
-
-/// The recycled input-buffer token: carries the device buffer for
-/// discrete-memory devices.
-struct InputToken {
-    device_buf: Option<DeviceBuffer>,
-}
-
-/// A chunk staged onto the compute device.
-struct StagedChunk {
-    seq: usize,
-    block_idx: usize,
-    block: Arc<[u8]>,
-    records: Vec<RecordRef>,
-    token: InputToken,
-}
-
-/// Kernel output travelling to Retrieve/Partition with its collector.
-struct KernelOut {
-    seq: usize,
-    block_idx: usize,
-    collector: Box<dyn Collector>,
+    buffer: Option<DeviceBuffer>,
+    collector: Option<Box<dyn Collector>>,
 }
 
 /// Outcome of a node's map phase.
@@ -116,6 +102,12 @@ pub struct MapPhaseReport {
     pub runs_local: usize,
     /// Map tasks that were discarded and re-executed (paper §III-E).
     pub tasks_retried: usize,
+    /// Stage threads the executor spawned: 3 with Stage/Retrieve fused on
+    /// unified memory, 5 on discrete-memory devices.
+    pub stage_threads: usize,
+    /// High-water mark of in-flight chunks across the §III-D token
+    /// groups; never exceeds the buffering depth.
+    pub max_in_flight: usize,
     /// Wall-clock duration of the whole map phase on this node.
     pub elapsed: Duration,
 }
@@ -147,6 +139,416 @@ fn parse_block(block: &[u8]) -> Result<Vec<RecordRef>, EngineError> {
         });
     }
     Ok(records)
+}
+
+/// Input stage: claim a split from the coordinator and read+parse it into
+/// a chunk, pulling a staging buffer from the recycling pool on
+/// discrete-memory devices.
+struct MapInput<'a> {
+    store: Arc<dyn FileStore>,
+    coordinator: Arc<Coordinator>,
+    node: NodeId,
+    timing: TimingMode,
+    /// Supervised mode stays in the claim loop until every split is fully
+    /// processed (a dead node's splits may requeue); unsupervised drains
+    /// the queue exactly once (the paper's behaviour).
+    supervised: bool,
+    buffers: Option<PoolGet<DeviceBuffer>>,
+    report: &'a Mutexed<MapPhaseReport>,
+}
+
+impl Source<MapChunk, EngineError> for MapInput<'_> {
+    fn next_chunk(&mut self, ctx: &mut StageCtx<'_>) -> Result<Option<MapChunk>, EngineError> {
+        let split = loop {
+            if ctx.should_stop() {
+                return Ok(None);
+            }
+            match self.coordinator.next_for(self.node) {
+                Some(split) => break split,
+                None => {
+                    if !self.supervised || self.coordinator.map_complete() {
+                        return Ok(None);
+                    }
+                    self.coordinator.scan_liveness();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        };
+        let buffer = match &self.buffers {
+            Some(pool) => match pool.take() {
+                Some(buf) => Some(buf),
+                None => {
+                    ctx.stop(); // pool closed: a downstream stage died
+                    return Ok(None);
+                }
+            },
+            None => None,
+        };
+        let t0 = Instant::now();
+        let (block, sample) = self.store.read_split(&split, self.node)?;
+        let records = parse_block(&block)?;
+        let wall = t0.elapsed();
+        let modeled = match self.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => wall + sample.modeled,
+        };
+        ctx.add_time(wall, modeled);
+        {
+            let mut r = self.report.lock();
+            r.splits += 1;
+            r.records_in += records.len();
+            if split.is_local_to(self.node) {
+                r.local_splits += 1;
+            }
+        }
+        Ok(Some(MapChunk {
+            block_idx: split.block,
+            block,
+            records,
+            buffer,
+            collector: None,
+        }))
+    }
+
+    fn close(&mut self) {
+        // On every exit path — a node that leaves the pipeline can never
+        // claim splits again, and the coordinator must know that to
+        // detect stalls.
+        self.coordinator.exit_map(self.node);
+    }
+}
+
+/// Stage (H2D): copy the chunk's block into its device buffer. Fused out
+/// of the graph on unified-memory devices.
+struct MapStageH2D {
+    device: Arc<Device>,
+    timing: TimingMode,
+    unified: bool,
+}
+
+impl Stage<MapChunk, EngineError> for MapStageH2D {
+    fn run_chunk(
+        &mut self,
+        mut chunk: MapChunk,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<MapChunk>, EngineError> {
+        let buf = chunk
+            .buffer
+            .as_mut()
+            .expect("discrete-memory chunk carries a staging buffer");
+        let t0 = Instant::now();
+        let stats = self.device.stage(&chunk.block, buf)?;
+        let wall = t0.elapsed();
+        let modeled = match self.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => stats.modeled,
+        };
+        ctx.add_time(wall, modeled);
+        Ok(Some(chunk))
+    }
+
+    fn passthrough(&self) -> bool {
+        self.unified
+    }
+}
+
+/// Kernel stage: launch the user's map function over the chunk's records
+/// into a pooled collector, with §III-E task re-execution. Recycles the
+/// chunk's staging buffer once the launch is done with it.
+struct MapKernel<'a> {
+    device: Arc<Device>,
+    app: Arc<dyn GwApp>,
+    cfg: &'a JobConfig,
+    collectors: PoolGet<Box<dyn Collector>>,
+    buffers_back: Option<PoolPut<DeviceBuffer>>,
+    tasks_retried: &'a AtomicUsize,
+}
+
+impl Stage<MapChunk, EngineError> for MapKernel<'_> {
+    fn run_chunk(
+        &mut self,
+        mut chunk: MapChunk,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<MapChunk>, EngineError> {
+        let Some(mut collector) = self.collectors.take() else {
+            ctx.stop(); // pool closed: the partition stage died
+            return Ok(None);
+        };
+        let n_records = chunk.records.len();
+        let bytes: &[u8] = match &chunk.buffer {
+            Some(buf) => buf.bytes(),
+            None => &chunk.block,
+        };
+        let work_items = self.cfg.map_work_items.min(n_records.max(1));
+        let range = NdRange::new(work_items, self.cfg.work_group.min(work_items))
+            .map_err(EngineError::Device)?;
+        let records = &chunk.records;
+        let app = &self.app;
+        let device = &self.device;
+        // Task execution with §III-E re-execution: a failed task's partial
+        // output is discarded (collector reset) and the chunk re-executed.
+        let attempt = run_task_with_retries(
+            self.cfg.max_task_retries,
+            &mut collector,
+            |collector| {
+                let emit_target: &dyn Collector = collector.as_ref();
+                let kernel = KernelFn(move |wctx: &WorkItemCtx| {
+                    let emit = Emit::new(emit_target);
+                    let (lo, hi) = wctx.my_items(n_records);
+                    for r in &records[lo..hi] {
+                        let key = &bytes[r.koff as usize..(r.koff + r.klen) as usize];
+                        let value = &bytes[r.voff as usize..(r.voff + r.vlen) as usize];
+                        app.map(key, value, &emit);
+                    }
+                });
+                device.launch(range, &kernel)
+            },
+            |collector| collector.reset(),
+        );
+        let stats = match attempt {
+            Ok((stats, retried)) => {
+                self.tasks_retried.fetch_add(retried, Ordering::Relaxed);
+                stats
+            }
+            Err(e) => {
+                self.tasks_retried
+                    .fetch_add(self.cfg.max_task_retries, Ordering::Relaxed);
+                return Err(EngineError::TaskFailed(format!(
+                    "map task for chunk {} failed after {} attempt(s)",
+                    ctx.seq(),
+                    e.attempts
+                )));
+            }
+        };
+        let modeled = match self.cfg.timing {
+            TimingMode::Wall => stats.wall,
+            TimingMode::Modeled => stats.modeled,
+        };
+        ctx.add_time(stats.wall, modeled);
+        // Kernel is done with the input buffer: recycle it.
+        if let (Some(buf), Some(put)) = (chunk.buffer.take(), &self.buffers_back) {
+            put.put(buf);
+        }
+        chunk.collector = Some(collector);
+        Ok(Some(chunk))
+    }
+}
+
+/// Retrieve (D2H): charge the modeled PCIe retrieval of the collector's
+/// bytes (kernel output already lives in host memory — we execute on host
+/// threads). Fused out of the graph on unified-memory devices.
+struct MapRetrieve {
+    device: Arc<Device>,
+    timing: TimingMode,
+    unified: bool,
+}
+
+impl Stage<MapChunk, EngineError> for MapRetrieve {
+    fn run_chunk(
+        &mut self,
+        chunk: MapChunk,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<MapChunk>, EngineError> {
+        let t0 = Instant::now();
+        let bytes = chunk
+            .collector
+            .as_ref()
+            .expect("kernel output collector")
+            .bytes();
+        let wall = t0.elapsed();
+        let modeled = match self.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => self.device.profile().transfer_time(bytes, false),
+        };
+        ctx.add_time(wall, modeled);
+        Ok(Some(chunk))
+    }
+
+    fn passthrough(&self) -> bool {
+        self.unified
+    }
+}
+
+/// Partition stage (sink): decode the collector over `N` lanes, bucket by
+/// global partition, sort, optionally write durability copies, and push
+/// each run to its home node. Recycles the collector when done.
+struct MapPartition<'a> {
+    app: Arc<dyn GwApp>,
+    endpoint: Arc<Endpoint<ShuffleMsg>>,
+    intermediate: Arc<IntermediateStore>,
+    coordinator: Arc<Coordinator>,
+    cfg: &'a JobConfig,
+    node: NodeId,
+    nodes: u32,
+    total_partitions: u32,
+    pool: &'a WorkerPool,
+    run_pool: Arc<RunPool>,
+    records_out: &'a AtomicUsize,
+    runs_remote: &'a AtomicUsize,
+    runs_local: &'a AtomicUsize,
+    durability_dir: Option<std::path::PathBuf>,
+    /// Recovery data plane only (run de-dup and retention); all fault
+    /// *probing* goes through the executor's probe.
+    chaos: Option<NodeChaos>,
+    collectors_back: PoolPut<Box<dyn Collector>>,
+    durability_seq: usize,
+}
+
+impl Stage<MapChunk, EngineError> for MapPartition<'_> {
+    fn run_chunk(
+        &mut self,
+        mut chunk: MapChunk,
+        _ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<MapChunk>, EngineError> {
+        let n_lanes = self.cfg.partition_threads;
+        let node = self.node;
+        let nodes = self.nodes;
+        let total_partitions = self.total_partitions;
+        let mut collector = chunk.collector.take().expect("kernel output collector");
+        // Supervised mode collects every lane's runs here and merges them
+        // per partition after the pool drains, so each (block, partition)
+        // yields exactly one deterministic run.
+        let chunk_runs: Option<Mutexed<Vec<(u32, Run)>>> =
+            self.chaos.as_ref().map(|_| Mutexed::new(Vec::new()));
+        // Scope the kernel so its borrow of the collector ends before the
+        // collector is reset and recycled.
+        {
+            let collector: &dyn Collector = collector.as_ref();
+            let app = &self.app;
+            let endpoint = &self.endpoint;
+            let intermediate = &self.intermediate;
+            let durability_dir = &self.durability_dir;
+            let chunk_runs = &chunk_runs;
+            let run_pool = &self.run_pool;
+            let records_out = self.records_out;
+            let runs_remote = self.runs_remote;
+            let runs_local = self.runs_local;
+            let dseq = self.durability_seq;
+            let kernel = KernelFn(move |ctx: &WorkItemCtx| {
+                let lane = ctx.global_id();
+                // Decode this lane's share and bucket by global partition.
+                // Builders come from the recycling pool: their
+                // arenas/indexes carry capacity from previous chunks.
+                let mut builders: Vec<_> =
+                    (0..total_partitions).map(|_| run_pool.builder()).collect();
+                collector.for_each_part(lane, n_lanes, &mut |k, v| {
+                    let gp = app.partition(k, total_partitions);
+                    builders[gp as usize].push(k, v);
+                });
+                for (gp, builder) in builders.into_iter().enumerate() {
+                    if builder.is_empty() {
+                        continue;
+                    }
+                    let run = builder.build();
+                    if let Some(chunk_runs) = chunk_runs {
+                        // Supervised: hand the lane's run to the per-chunk
+                        // merge below.
+                        chunk_runs.lock().push((gp as u32, run));
+                        continue;
+                    }
+                    records_out.fetch_add(run.records(), Ordering::Relaxed);
+                    // Durability copy (paper §III-E): map output is stored
+                    // persistently on local disk.
+                    if let Some(dir) = durability_dir {
+                        let path = dir.join(format!("map-{node}-c{dseq}-l{lane}-p{gp}.gw"));
+                        std::fs::write(path, run.bytes()).expect("durability write failed");
+                    }
+                    let owner = partition_owner(gp as u32, nodes);
+                    if owner == node.0 {
+                        runs_local.fetch_add(1, Ordering::Relaxed);
+                        intermediate.add_run(gp as u32, run);
+                    } else {
+                        runs_remote.fetch_add(1, Ordering::Relaxed);
+                        let records = run.records();
+                        // Zero-copy ship: the message frames the run's
+                        // shared arena slice as-is.
+                        let bytes = run.into_shared();
+                        let msg = ShuffleMsg::Partition {
+                            partition: gp as u32,
+                            bytes,
+                            records,
+                            tag: None,
+                        };
+                        let wire = msg.wire_bytes();
+                        endpoint.send(NodeId(owner), msg, wire);
+                    }
+                }
+            });
+            self.pool.run(
+                NdRange::new(n_lanes, 1).map_err(EngineError::Device)?,
+                &kernel,
+            );
+        }
+        if let (Some(cx), Some(chunk_runs)) = (&self.chaos, chunk_runs) {
+            // Merge the chunk's lanes into one sorted run per partition;
+            // record in the ledger *before* delivering, so a receiver can
+            // never be owed a run the ledger does not know about.
+            let mut lane_runs = chunk_runs.into_inner();
+            // A single lane run needs no grouping pass at all; only
+            // re-order when lanes actually have to be grouped by partition.
+            if lane_runs.len() > 1 {
+                lane_runs.sort_by_key(|(gp, _)| *gp);
+            }
+            let mut i = 0;
+            while i < lane_runs.len() {
+                let gp = lane_runs[i].0;
+                let mut j = i + 1;
+                while j < lane_runs.len() && lane_runs[j].0 == gp {
+                    j += 1;
+                }
+                // Lane runs are sorted; a loser-tree merge over them
+                // yields the same bytes as re-sorting all records (the
+                // de-dup determinism contract), without re-pushing or
+                // re-encoding a single record. One lane is returned by
+                // refcount, zero copies.
+                let run = merge_runs(lane_runs[i..j].iter().map(|(_, r)| r));
+                i = j;
+                self.records_out.fetch_add(run.records(), Ordering::Relaxed);
+                if let Some(dir) = &self.durability_dir {
+                    let path = dir.join(format!(
+                        "map-{node}-c{dseq}-l0-p{gp}.gw",
+                        dseq = self.durability_seq
+                    ));
+                    std::fs::write(path, run.bytes()).expect("durability write failed");
+                }
+                let key = RunKey {
+                    partition: gp,
+                    block: chunk.block_idx as u32,
+                    lane: 0,
+                };
+                self.coordinator.record_run(key, node.0);
+                let owner = self.coordinator.owner_of(gp, nodes);
+                if owner == node.0 {
+                    if cx.recovery.admit(key) {
+                        self.runs_local.fetch_add(1, Ordering::Relaxed);
+                        self.intermediate.add_run(gp, run);
+                    }
+                } else {
+                    self.runs_remote.fetch_add(1, Ordering::Relaxed);
+                    let records = run.records();
+                    // `into_shared` + clone are refcount bumps: retention
+                    // and the wire frame alias one arena slice.
+                    let bytes = run.into_shared();
+                    cx.recovery.retain(key, bytes.clone(), records);
+                    let msg = ShuffleMsg::Partition {
+                        partition: gp,
+                        bytes,
+                        records,
+                        tag: Some(key.tag(node.0)),
+                    };
+                    let wire = msg.wire_bytes();
+                    self.endpoint.send_data(NodeId(owner), msg, wire);
+                }
+            }
+            // The split is now fully processed: every run is in the
+            // ledger and delivered or retained.
+            self.coordinator.complete_split(node, chunk.block_idx);
+        }
+        self.durability_seq += 1;
+        collector.reset();
+        self.collectors_back.put(collector);
+        Ok(None)
+    }
 }
 
 /// Everything a node needs to run its map phase.
@@ -198,32 +600,20 @@ impl MapPhase<'_> {
         // allocation (the first chunk's builders warm it up).
         let run_pool = Arc::new(RunPool::new());
 
-        // Buffer pools (the §III-D interlocks).
-        let (in_token_tx, in_token_rx) = bounded::<InputToken>(b);
-        for _ in 0..b {
-            let device_buf = if unified {
-                None
-            } else {
-                // One device buffer per input buffer set, sized to a block.
-                Some(self.device.alloc(self.cfg.output_block_size.max(1 << 20))?)
-            };
-            in_token_tx
-                .send(InputToken { device_buf })
-                .expect("prime input tokens");
-        }
-        let (out_pool_tx, out_pool_rx) = bounded::<Box<dyn Collector>>(b);
-        for _ in 0..b {
-            out_pool_tx
-                .send(make_collector(self.cfg, &self.app))
-                .expect("prime collectors");
-        }
-
-        // Inter-stage queues (rendezvous-ish; tokens bound the in-flight
-        // chunks, queue capacity only smooths handoff).
-        let (input_tx, input_rx) = bounded::<InputChunk>(1);
-        let (staged_tx, staged_rx) = bounded::<StagedChunk>(1);
-        let (kernel_tx, kernel_rx) = bounded::<KernelOut>(1);
-        let (retrieved_tx, retrieved_rx) = bounded::<KernelOut>(1);
+        // The §III-D buffer sets: B device staging buffers (discrete
+        // memory only) and B output collectors, recycled through pools
+        // sized to the executor's token-group depth.
+        let (buffers, buffers_back) = if unified {
+            (None, None)
+        } else {
+            let sets = self
+                .device
+                .alloc_pool(b, self.cfg.output_block_size.max(1 << 20))?;
+            let (get, put) = token_pool(sets);
+            (Some(get), Some(put))
+        };
+        let (collectors, collectors_back) =
+            token_pool((0..b).map(|_| make_collector(self.cfg, &self.app)));
 
         let report = Mutexed::new(MapPhaseReport::default());
         let records_out = AtomicUsize::new(0);
@@ -231,501 +621,79 @@ impl MapPhase<'_> {
         let runs_local = AtomicUsize::new(0);
         let tasks_retried = AtomicUsize::new(0);
 
-        let scope_result = std::thread::scope(|scope| -> Result<(), EngineError> {
-            // ---------------- Stage 1: Input ----------------
-            let input_handle = {
-                let store = Arc::clone(&self.store);
-                let coordinator = Arc::clone(&self.coordinator);
-                let timers = Arc::clone(&self.timers);
-                let node = self.node;
-                let timing = self.cfg.timing;
-                let report = &report;
-                let chaos = self.chaos.clone();
-                scope.spawn(move || -> Result<(), EngineError> {
-                    // Inner closure so every exit path — including errors —
-                    // falls through to `exit_map` below (a node that leaves
-                    // this loop can never claim splits again, and the
-                    // coordinator must know that to detect stalls).
-                    let result = (|| -> Result<(), EngineError> {
-                    let mut seq = 0usize;
-                    loop {
-                        if let Some(cx) = &chaos {
-                            if cx.is_dead() || coordinator.is_dead(node) || coordinator.aborted()
-                            {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        let Some(split) = coordinator.next_for(node) else {
-                            if chaos.is_none() {
-                                break; // paper behaviour: the queue is drained once
-                            }
-                            // Supervised: a dead node's splits may requeue,
-                            // so stay in the loop until every split is
-                            // fully processed.
-                            if coordinator.map_complete() {
-                                break;
-                            }
-                            coordinator.scan_liveness();
-                            std::thread::sleep(Duration::from_millis(2));
-                            continue;
-                        };
-                        if let Some(cx) = &chaos {
-                            // Crash site Read: dies holding the fresh claim
-                            // (the survivors requeue it via liveness).
-                            if cx.plan.crash_fires(node.0, CrashSite::Read) {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        // Wait for a free input buffer (interlock). The
-                        // pool closes if a downstream stage failed.
-                        let Ok(token) = in_token_rx.recv() else { break };
-                        let t0 = Instant::now();
-                        let (block, sample) = store.read_split(&split, node)?;
-                        let records = parse_block(&block)?;
-                        let wall = t0.elapsed();
-                        let modeled = match timing {
-                            TimingMode::Wall => wall,
-                            TimingMode::Modeled => wall + sample.modeled,
-                        };
-                        timers.add(StageId::Input, seq, wall, modeled);
-                        {
-                            let mut r = report.lock();
-                            r.splits += 1;
-                            r.records_in += records.len();
-                            if split.is_local_to(node) {
-                                r.local_splits += 1;
-                            }
-                        }
-                        if input_tx
-                            .send(InputChunk {
-                                seq,
-                                block_idx: split.block,
-                                block,
-                                records,
-                                token,
-                            })
-                            .is_err()
-                        {
-                            break; // downstream stage gone
-                        }
-                        seq += 1;
-                    }
-                    Ok(())
-                    })();
-                    if result.is_err() {
-                        if let Some(cx) = &chaos {
-                            cx.kill();
-                        }
-                    }
-                    coordinator.exit_map(node);
-                    drop(input_tx);
-                    result
-                })
-            };
-
-            // ---------------- Stage 2: Stage (H2D) ----------------
-            let stage_handle = {
-                let device = Arc::clone(&self.device);
-                let timers = Arc::clone(&self.timers);
-                let timing = self.cfg.timing;
-                let node = self.node;
-                let chaos = self.chaos.clone();
-                scope.spawn(move || -> Result<(), EngineError> {
-                    let result = (|| -> Result<(), EngineError> {
-                    while let Ok(mut chunk) = input_rx.recv() {
-                        if let Some(cx) = &chaos {
-                            if cx.is_dead() {
-                                break;
-                            }
-                            if cx.plan.crash_fires(node.0, CrashSite::Stage) {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        if let Some(buf) = chunk.token.device_buf.as_mut() {
-                            let t0 = Instant::now();
-                            let stats = device.stage(&chunk.block, buf)?;
-                            let wall = t0.elapsed();
-                            let modeled = match timing {
-                                TimingMode::Wall => wall,
-                                TimingMode::Modeled => stats.modeled,
-                            };
-                            timers.add(StageId::Stage, chunk.seq, wall, modeled);
-                        }
-                        if staged_tx
-                            .send(StagedChunk {
-                                seq: chunk.seq,
-                                block_idx: chunk.block_idx,
-                                block: chunk.block,
-                                records: chunk.records,
-                                token: chunk.token,
-                            })
-                            .is_err()
-                        {
-                            break; // downstream stage gone
-                        }
-                    }
-                    Ok(())
-                    })();
-                    if result.is_err() {
-                        if let Some(cx) = &chaos {
-                            cx.kill();
-                        }
-                    }
-                    drop(staged_tx);
-                    result
-                })
-            };
-
-            // ---------------- Stage 3: Kernel ----------------
-            let kernel_handle = {
-                let device = Arc::clone(&self.device);
-                let app = Arc::clone(&self.app);
-                let timers = Arc::clone(&self.timers);
-                let cfg = self.cfg;
-                let node = self.node;
-                let chaos = self.chaos.clone();
-                let tasks_retried = &tasks_retried;
-                scope.spawn(move || -> Result<(), EngineError> {
-                    let result = (|| -> Result<(), EngineError> {
-                    while let Ok(chunk) = staged_rx.recv() {
-                        if let Some(cx) = &chaos {
-                            if cx.is_dead() {
-                                break;
-                            }
-                            if cx.plan.crash_fires(node.0, CrashSite::Kernel) {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        // Wait for a free output buffer (interlock).
-                        let Ok(mut collector) = out_pool_rx.recv() else {
-                            break;
-                        };
-                        let n_records = chunk.records.len();
-                        let bytes: &[u8] = match &chunk.token.device_buf {
-                            Some(buf) => buf.bytes(),
-                            None => &chunk.block,
-                        };
-                        let work_items = cfg.map_work_items.min(n_records.max(1));
-                        let range = NdRange::new(work_items, cfg.work_group.min(work_items))
-                            .map_err(EngineError::Device)?;
-                        // Task execution with §III-E re-execution: a failed
-                        // task's partial output is discarded (collector
-                        // reset) and the chunk is re-executed.
-                        let mut attempt = 0usize;
-                        let stats = loop {
-                            let records = &chunk.records;
-                            let emit_target: &dyn Collector = collector.as_ref();
-                            let app = &app;
-                            let kernel = KernelFn(move |ctx: &WorkItemCtx| {
-                                let emit = Emit::new(emit_target);
-                                let (lo, hi) = ctx.my_items(n_records);
-                                for r in &records[lo..hi] {
-                                    let key =
-                                        &bytes[r.koff as usize..(r.koff + r.klen) as usize];
-                                    let value =
-                                        &bytes[r.voff as usize..(r.voff + r.vlen) as usize];
-                                    app.map(key, value, &emit);
-                                }
-                            });
-                            let launched = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| device.launch(range, &kernel)),
-                            );
-                            match launched {
-                                Ok(stats) => break stats,
-                                Err(_) if attempt < cfg.max_task_retries => {
-                                    attempt += 1;
-                                    tasks_retried.fetch_add(1, Ordering::Relaxed);
-                                    collector.reset();
-                                }
-                                Err(_) => {
-                                    return Err(EngineError::TaskFailed(format!(
-                                        "map task for chunk {} failed after {} attempt(s)",
-                                        chunk.seq,
-                                        attempt + 1
-                                    )));
-                                }
-                            }
-                        };
-                        let modeled = match cfg.timing {
-                            TimingMode::Wall => stats.wall,
-                            TimingMode::Modeled => stats.modeled,
-                        };
-                        timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
-                        // Kernel is done with the input buffer: recycle it.
-                        let _ = in_token_tx.send(chunk.token);
-                        if kernel_tx
-                            .send(KernelOut {
-                                seq: chunk.seq,
-                                block_idx: chunk.block_idx,
-                                collector,
-                            })
-                            .is_err()
-                        {
-                            break; // downstream stage gone
-                        }
-                    }
-                    Ok(())
-                    })();
-                    if result.is_err() {
-                        if let Some(cx) = &chaos {
-                            cx.kill();
-                        }
-                    }
-                    drop(kernel_tx);
-                    result
-                })
-            };
-
-            // ---------------- Stage 4: Retrieve (D2H) ----------------
-            let retrieve_handle = {
-                let device = Arc::clone(&self.device);
-                let timers = Arc::clone(&self.timers);
-                let timing = self.cfg.timing;
-                let node = self.node;
-                let chaos = self.chaos.clone();
-                scope.spawn(move || -> Result<(), EngineError> {
-                    while let Ok(out) = kernel_rx.recv() {
-                        if let Some(cx) = &chaos {
-                            if cx.is_dead() {
-                                break;
-                            }
-                            if cx.plan.crash_fires(node.0, CrashSite::Retrieve) {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        if !device.unified_memory() {
-                            // Kernel output lives in host memory already (we
-                            // execute on host threads); charge the modeled
-                            // PCIe retrieval of the collector's bytes.
-                            let t0 = Instant::now();
-                            let bytes = out.collector.bytes();
-                            let wall = t0.elapsed();
-                            let modeled = match timing {
-                                TimingMode::Wall => wall,
-                                TimingMode::Modeled => {
-                                    device.profile().transfer_time(bytes, false)
-                                }
-                            };
-                            timers.add(StageId::Retrieve, out.seq, wall, modeled);
-                        }
-                        if retrieved_tx.send(out).is_err() {
-                            break; // downstream stage gone
-                        }
-                    }
-                    drop(retrieved_tx);
-                    Ok(())
-                })
-            };
-
-            // ---------------- Stage 5: Partition ----------------
-            let partition_handle = {
-                let app = Arc::clone(&self.app);
-                let endpoint = Arc::clone(&self.endpoint);
-                let intermediate = Arc::clone(&self.intermediate);
-                let coordinator = Arc::clone(&self.coordinator);
-                let timers = Arc::clone(&self.timers);
-                let cfg = self.cfg;
-                let node = self.node;
-                let nodes = self.nodes;
-                let pool = &partition_pool;
-                let run_pool = Arc::clone(&run_pool);
-                let records_out = &records_out;
-                let runs_remote = &runs_remote;
-                let runs_local = &runs_local;
-                let durability_dir = self.durability_dir.clone();
-                let chaos = self.chaos.clone();
-                scope.spawn(move || -> Result<(), EngineError> {
-                    let result = (|| -> Result<(), EngineError> {
-                    let n_lanes = cfg.partition_threads;
-                    let mut durability_seq = 0usize;
-                    while let Ok(mut out) = retrieved_rx.recv() {
-                        if let Some(cx) = &chaos {
-                            if cx.is_dead() {
-                                break;
-                            }
-                            if cx.plan.crash_fires(node.0, CrashSite::Shuffle) {
-                                cx.kill();
-                                break;
-                            }
-                        }
-                        let t0 = Instant::now();
-                        // Supervised mode collects every lane's runs here
-                        // and merges them per partition after the pool
-                        // drains, so each (block, partition) yields exactly
-                        // one deterministic run.
-                        let chunk_runs: Option<Mutexed<Vec<(u32, Run)>>> =
-                            chaos.as_ref().map(|_| Mutexed::new(Vec::new()));
-                        // Scope the kernel so its borrow of the collector
-                        // ends before the collector is reset and recycled.
-                        {
-                        let collector: &dyn Collector = out.collector.as_ref();
-                        let app = &app;
-                        let endpoint = &endpoint;
-                        let intermediate = &intermediate;
-                        let durability_dir = &durability_dir;
-                        let chunk_runs = &chunk_runs;
-                        let run_pool = &run_pool;
-                        let dseq = durability_seq;
-                        let kernel = KernelFn(move |ctx: &WorkItemCtx| {
-                            let lane = ctx.global_id();
-                            // Decode this lane's share and bucket by global
-                            // partition. Builders come from the recycling
-                            // pool: their arenas/indexes carry capacity from
-                            // previous chunks.
-                            let mut builders: Vec<_> =
-                                (0..total_partitions).map(|_| run_pool.builder()).collect();
-                            collector.for_each_part(lane, n_lanes, &mut |k, v| {
-                                let gp = app.partition(k, total_partitions);
-                                builders[gp as usize].push(k, v);
-                            });
-                            for (gp, builder) in builders.into_iter().enumerate() {
-                                if builder.is_empty() {
-                                    continue;
-                                }
-                                let run = builder.build();
-                                if let Some(chunk_runs) = chunk_runs {
-                                    // Supervised: hand the lane's run to the
-                                    // per-chunk merge below.
-                                    chunk_runs.lock().push((gp as u32, run));
-                                    continue;
-                                }
-                                records_out.fetch_add(run.records(), Ordering::Relaxed);
-                                // Durability copy (paper §III-E): map output
-                                // is stored persistently on local disk.
-                                if let Some(dir) = durability_dir {
-                                    let path = dir.join(format!(
-                                        "map-{node}-c{dseq}-l{lane}-p{gp}.gw"
-                                    ));
-                                    std::fs::write(path, run.bytes())
-                                        .expect("durability write failed");
-                                }
-                                let owner = partition_owner(gp as u32, nodes);
-                                if owner == node.0 {
-                                    runs_local.fetch_add(1, Ordering::Relaxed);
-                                    intermediate.add_run(gp as u32, run);
-                                } else {
-                                    runs_remote.fetch_add(1, Ordering::Relaxed);
-                                    let records = run.records();
-                                    // Zero-copy ship: the message frames the
-                                    // run's shared arena slice as-is.
-                                    let bytes = run.into_shared();
-                                    let msg = ShuffleMsg::Partition {
-                                        partition: gp as u32,
-                                        bytes,
-                                        records,
-                                        tag: None,
-                                    };
-                                    let wire = msg.wire_bytes();
-                                    endpoint.send(NodeId(owner), msg, wire);
-                                }
-                            }
-                        });
-                        pool.run(
-                            NdRange::new(n_lanes, 1).map_err(EngineError::Device)?,
-                            &kernel,
-                        );
-                        }
-                        if let (Some(cx), Some(chunk_runs)) = (&chaos, chunk_runs) {
-                            // Merge the chunk's lanes into one sorted run
-                            // per partition; record in the ledger *before*
-                            // delivering, so a receiver can never be owed a
-                            // run the ledger does not know about.
-                            let mut lane_runs = chunk_runs.into_inner();
-                            // A single lane run needs no grouping pass at
-                            // all; only re-order when lanes actually have to
-                            // be grouped by partition.
-                            if lane_runs.len() > 1 {
-                                lane_runs.sort_by_key(|(gp, _)| *gp);
-                            }
-                            let mut i = 0;
-                            while i < lane_runs.len() {
-                                let gp = lane_runs[i].0;
-                                let mut j = i + 1;
-                                while j < lane_runs.len() && lane_runs[j].0 == gp {
-                                    j += 1;
-                                }
-                                // Lane runs are sorted; a loser-tree merge
-                                // over them yields the same bytes as
-                                // re-sorting all records (the de-dup
-                                // determinism contract), without re-pushing
-                                // or re-encoding a single record. One lane
-                                // is returned by refcount, zero copies.
-                                let run = merge_runs(lane_runs[i..j].iter().map(|(_, r)| r));
-                                i = j;
-                                records_out.fetch_add(run.records(), Ordering::Relaxed);
-                                if let Some(dir) = &durability_dir {
-                                    let path = dir.join(format!(
-                                        "map-{node}-c{dseq}-l0-p{gp}.gw",
-                                        dseq = durability_seq
-                                    ));
-                                    std::fs::write(path, run.bytes())
-                                        .expect("durability write failed");
-                                }
-                                let key = RunKey {
-                                    partition: gp,
-                                    block: out.block_idx as u32,
-                                    lane: 0,
-                                };
-                                coordinator.record_run(key, node.0);
-                                let owner = coordinator.owner_of(gp, nodes);
-                                if owner == node.0 {
-                                    if cx.recovery.admit(key) {
-                                        runs_local.fetch_add(1, Ordering::Relaxed);
-                                        intermediate.add_run(gp, run);
-                                    }
-                                } else {
-                                    runs_remote.fetch_add(1, Ordering::Relaxed);
-                                    let records = run.records();
-                                    // `into_shared` + clone are refcount
-                                    // bumps: retention and the wire frame
-                                    // alias one arena slice.
-                                    let bytes = run.into_shared();
-                                    cx.recovery.retain(key, bytes.clone(), records);
-                                    let msg = ShuffleMsg::Partition {
-                                        partition: gp,
-                                        bytes,
-                                        records,
-                                        tag: Some(key.tag(node.0)),
-                                    };
-                                    let wire = msg.wire_bytes();
-                                    endpoint.send_data(NodeId(owner), msg, wire);
-                                }
-                            }
-                            // The split is now fully processed: every run is
-                            // in the ledger and delivered or retained.
-                            coordinator.complete_split(node, out.block_idx);
-                        }
-                        durability_seq += 1;
-                        let wall = t0.elapsed();
-                        timers.add(StageId::Partition, out.seq, wall, wall);
-                        out.collector.reset();
-                        let _ = out_pool_tx.send(out.collector);
-                    }
-                    Ok(())
-                    })();
-                    if result.is_err() {
-                        if let Some(cx) = &chaos {
-                            cx.kill();
-                        }
-                    }
-                    result
-                })
-            };
-
-            let results = [
-                input_handle.join().expect("input stage panicked"),
-                stage_handle.join().expect("stage stage panicked"),
-                kernel_handle.join().expect("kernel stage panicked"),
-                retrieve_handle.join().expect("retrieve stage panicked"),
-                partition_handle.join().expect("partition stage panicked"),
-            ];
-            results.into_iter().collect::<Result<(), EngineError>>()
-        });
+        let mut pipeline = PipelineBuilder::new(PipelineKind::Map, self.cfg.buffering)
+            .source(
+                StageId::Input,
+                MapInput {
+                    store: Arc::clone(&self.store),
+                    coordinator: Arc::clone(&self.coordinator),
+                    node: self.node,
+                    timing: self.cfg.timing,
+                    supervised: self.chaos.is_some(),
+                    buffers,
+                    report: &report,
+                },
+            )
+            .stage(
+                StageId::Stage,
+                MapStageH2D {
+                    device: Arc::clone(&self.device),
+                    timing: self.cfg.timing,
+                    unified,
+                },
+            )
+            .stage(
+                StageId::Kernel,
+                MapKernel {
+                    device: Arc::clone(&self.device),
+                    app: Arc::clone(&self.app),
+                    cfg: self.cfg,
+                    collectors,
+                    buffers_back,
+                    tasks_retried: &tasks_retried,
+                },
+            )
+            .stage(
+                StageId::Retrieve,
+                MapRetrieve {
+                    device: Arc::clone(&self.device),
+                    timing: self.cfg.timing,
+                    unified,
+                },
+            )
+            .stage(
+                StageId::Partition,
+                MapPartition {
+                    app: Arc::clone(&self.app),
+                    endpoint: Arc::clone(&self.endpoint),
+                    intermediate: Arc::clone(&self.intermediate),
+                    coordinator: Arc::clone(&self.coordinator),
+                    cfg: self.cfg,
+                    node: self.node,
+                    nodes: self.nodes,
+                    total_partitions,
+                    pool: &partition_pool,
+                    run_pool,
+                    records_out: &records_out,
+                    runs_remote: &runs_remote,
+                    runs_local: &runs_local,
+                    durability_dir: self.durability_dir.clone(),
+                    chaos: self.chaos.clone(),
+                    collectors_back,
+                    durability_seq: 0,
+                },
+            )
+            .interlock(StageId::Input, StageId::Kernel)
+            .interlock(StageId::Kernel, StageId::Partition)
+            .timers(Arc::clone(&self.timers), 0);
+        if let Some(chaos) = self.chaos.clone() {
+            pipeline = pipeline.probe(MapPipelineProbe::new(
+                chaos,
+                Arc::clone(&self.coordinator),
+                self.node,
+            ));
+        }
+        let stats = pipeline.run();
 
         let crashed = self.chaos.as_ref().is_some_and(|cx| cx.is_dead());
         if !crashed {
@@ -739,7 +707,7 @@ impl MapPhase<'_> {
                 }
             }
         }
-        scope_result?;
+        let stats = stats?;
         if crashed {
             return Err(EngineError::NodeLost(format!(
                 "node {} crashed during its map phase",
@@ -752,22 +720,24 @@ impl MapPhase<'_> {
         r.runs_remote = runs_remote.load(Ordering::Relaxed);
         r.runs_local = runs_local.load(Ordering::Relaxed);
         r.tasks_retried = tasks_retried.load(Ordering::Relaxed);
+        r.stage_threads = stats.stage_threads;
+        r.max_in_flight = stats.max_in_flight;
         r.elapsed = start.elapsed();
         Ok(r)
     }
 }
 
 /// Tiny Mutex wrapper so the closure-heavy code above reads cleanly.
-struct Mutexed<T>(parking_lot::Mutex<T>);
+pub(crate) struct Mutexed<T>(parking_lot::Mutex<T>);
 
 impl<T> Mutexed<T> {
-    fn new(v: T) -> Self {
+    pub(crate) fn new(v: T) -> Self {
         Mutexed(parking_lot::Mutex::new(v))
     }
-    fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
+    pub(crate) fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
         self.0.lock()
     }
-    fn into_inner(self) -> T {
+    pub(crate) fn into_inner(self) -> T {
         self.0.into_inner()
     }
 }

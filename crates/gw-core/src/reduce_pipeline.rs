@@ -1,4 +1,5 @@
-//! The 5-stage reduce pipeline (paper §III-C).
+//! The 5-stage reduce pipeline (paper §III-C), as thin stage definitions
+//! on the shared `gw-pipeline` executor.
 //!
 //! ```text
 //! MergeRead → Stage → Kernel → Retrieve → Output
@@ -8,7 +9,10 @@
 //! pipeline with a consistent view of the intermediate data": a k-way
 //! loser-tree merge (`gw_intermediate::MergeIter`, one comparison per
 //! tree level per record) over the partition's cached and spilled runs,
-//! grouped by key.
+//! grouped by key. As in the map pipeline, all channel wiring, the
+//! §III-D token interlock, fault probing, timers and unwinding live in
+//! [`gw_pipeline`]; the Stage and Retrieve stages fuse out of the graph
+//! on unified-memory devices.
 //!
 //! Reduce-side fine-grained parallelism, exactly as the paper describes:
 //!
@@ -30,20 +34,23 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
 use gw_device::{Device, KernelFn, NdRange, WorkItemCtx};
-use gw_intermediate::{GroupedMerge, IntermediateStore, MergeIter};
+use gw_intermediate::{GroupedMerge, IntermediateStore, MergeIter, Run};
+use gw_pipeline::{
+    run_task_with_retries, token_pool, PipelineBuilder, PipelineKind, PoolGet, PoolPut, Source,
+    Stage, StageCtx,
+};
 use gw_storage::split::{FileStore, RecordBlockBuilder};
 use gw_storage::NodeId;
 
 use crate::api::{Emit, GwApp};
 use crate::collect::{for_each_record, BufferPoolCollector, Collector};
 use crate::config::{JobConfig, TimingMode};
-use crate::coordinator::{Coordinator, NodeChaos};
+use crate::coordinator::{Coordinator, NodeChaos, ReduceTaskProbe};
 use crate::timers::{StageId, StageTimers};
 use crate::EngineError;
 
@@ -68,18 +75,13 @@ struct Assignment {
     parts: usize,
 }
 
-/// A batch of up to `reduce_concurrent_keys` groups.
+/// A batch of up to `reduce_concurrent_keys` groups travelling the graph,
+/// annotated with its kernel-output collector once past the Kernel stage.
 struct ReduceChunk<'r> {
-    seq: usize,
     groups: Vec<Group<'r>>,
     assignments: Vec<Assignment>,
     bytes: usize,
-}
-
-/// Kernel output en route to the writer.
-struct ReduceOut {
-    seq: usize,
-    collector: Box<dyn Collector>,
+    collector: Option<Box<dyn Collector>>,
 }
 
 /// Outcome of a node's reduce phase.
@@ -102,7 +104,469 @@ pub struct ReducePhaseReport {
     /// Output files written (paths).
     pub output_files: Vec<String>,
     /// Wall-clock duration of the phase.
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
+}
+
+/// A key mid-slicing: the merge cursor parks here while a long value list
+/// is cut into `reduce_max_values_per_chunk` slices.
+struct PendingKey<'r> {
+    key: &'r [u8],
+    values: Vec<&'r [u8]>,
+    idx: usize,
+}
+
+/// MergeRead stage: pull keys off the grouped loser-tree merge and batch
+/// them into chunks, slicing oversized value lists across chunks.
+struct ReduceMergeRead<'a, 'r> {
+    merge: GroupedMerge<'r>,
+    pending: Option<PendingKey<'r>>,
+    cfg: &'a JobConfig,
+    threads_per_key: usize,
+    keys_seen: &'a AtomicUsize,
+}
+
+impl<'r> Source<ReduceChunk<'r>, EngineError> for ReduceMergeRead<'_, 'r> {
+    fn next_chunk(
+        &mut self,
+        _ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+        let mut groups: Vec<Group<'r>> = Vec::new();
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let mut bytes = 0usize;
+        loop {
+            if self.pending.is_none() {
+                match self.merge.next() {
+                    Some((key, values)) => {
+                        self.keys_seen.fetch_add(1, Ordering::Relaxed);
+                        self.pending = Some(PendingKey {
+                            key,
+                            values,
+                            idx: 0,
+                        });
+                    }
+                    None => break,
+                }
+            }
+            let (key, slice, last) = {
+                let p = self.pending.as_mut().expect("pending key");
+                let end = (p.idx + self.cfg.reduce_max_values_per_chunk).min(p.values.len());
+                let slice = p.values[p.idx..end].to_vec();
+                let last = end == p.values.len();
+                p.idx = end;
+                (p.key, slice, last)
+            };
+            if last {
+                self.pending = None;
+            }
+            bytes += key.len() + slice.iter().map(|v| v.len()).sum::<usize>();
+            // Split large value chunks over cooperating work items when
+            // the app supports it.
+            let parts = if self.threads_per_key > 1 && slice.len() >= 2 * self.threads_per_key {
+                self.threads_per_key
+            } else {
+                1
+            };
+            let g = groups.len();
+            for part in 0..parts {
+                assignments.push(Assignment {
+                    group: g,
+                    part,
+                    parts,
+                });
+            }
+            groups.push(Group {
+                key,
+                values: slice,
+                last,
+            });
+            // A key's scratch state is only consistent across *launches*:
+            // a continued (non-final) slice must close this chunk so its
+            // successor lands in a later launch (otherwise two work items
+            // could race on the key's state). Also close when full.
+            if !last || groups.len() >= self.cfg.reduce_concurrent_keys {
+                break;
+            }
+        }
+        if groups.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(ReduceChunk {
+            groups,
+            assignments,
+            bytes,
+            collector: None,
+        }))
+    }
+}
+
+/// Stage (H2D): charge the modeled transfer of the chunk's key/value
+/// bytes to the device. Fused out of the graph on unified memory.
+struct ReduceStageH2D {
+    device: Arc<Device>,
+    timing: TimingMode,
+    unified: bool,
+}
+
+impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceStageH2D {
+    fn run_chunk(
+        &mut self,
+        chunk: ReduceChunk<'r>,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+        let t0 = Instant::now();
+        let wall = t0.elapsed();
+        let modeled = match self.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => self.device.profile().transfer_time(chunk.bytes, true),
+        };
+        ctx.add_time(wall, modeled);
+        Ok(Some(chunk))
+    }
+
+    fn passthrough(&self) -> bool {
+        self.unified
+    }
+}
+
+/// Kernel stage: reduce the chunk's groups as an NDRange over work-item
+/// assignments, with per-key scratch state across launches, cooperative
+/// parallel single-key reduction, and §III-E task re-execution.
+struct ReduceKernel<'a> {
+    device: Arc<Device>,
+    app: Arc<dyn GwApp>,
+    cfg: &'a JobConfig,
+    /// Per-key scratch state persisting across kernel invocations
+    /// (device-resident in real Glasswing; keyed map here). Keys within a
+    /// chunk are distinct and chunks flow FIFO through the single kernel
+    /// stage, so per-key access is serialized.
+    scratch: &'a Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+    collectors: PoolGet<Box<dyn Collector>>,
+    launches: &'a AtomicUsize,
+    parallel_splits: &'a AtomicUsize,
+    tasks_retried: &'a AtomicUsize,
+}
+
+impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceKernel<'_> {
+    fn run_chunk(
+        &mut self,
+        mut chunk: ReduceChunk<'r>,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+        let Some(mut collector) = self.collectors.take() else {
+            ctx.stop(); // pool closed: the output stage died
+            return Ok(None);
+        };
+        let retries = self.cfg.max_task_retries;
+        // Snapshot the scratch states this chunk can touch, so a failed
+        // attempt rolls back and re-executes (paper §III-E, extended to
+        // the reduce side).
+        let snapshot: Option<ScratchSnapshot> = if retries > 0 {
+            let s = self.scratch.lock();
+            Some(
+                chunk
+                    .groups
+                    .iter()
+                    .map(|g| (g.key.to_vec(), s.get(g.key).cloned()))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let coop_groups = chunk
+            .assignments
+            .iter()
+            .filter(|a| a.parts > 1 && a.part == 0)
+            .count();
+        let kpt = self.cfg.reduce_keys_per_thread;
+        let n_items = chunk.assignments.len().div_ceil(kpt);
+        let range = NdRange::new(n_items.max(1), self.cfg.work_group.min(n_items.max(1)))
+            .map_err(EngineError::Device)?;
+        let groups = &chunk.groups;
+        let assignments = &chunk.assignments;
+        let scratch = self.scratch;
+        let app = &self.app;
+        let device = &self.device;
+        let probe: &StageCtx<'_> = &*ctx;
+        // The whole attempt — injected-fault probe, kernel launch,
+        // cooperative-state merge and final emits — is one unwind scope,
+        // so a failure anywhere rolls back as a unit.
+        let attempt = run_task_with_retries(
+            retries,
+            &mut collector,
+            |collector| {
+                if probe.task_fault_fires() {
+                    panic!("injected reduce-site fault");
+                }
+                let emit_target: &dyn Collector = collector.as_ref();
+                // Per-(group, part) partial states for groups reduced
+                // cooperatively.
+                let partials: Vec<Mutex<Vec<Option<Vec<u8>>>>> =
+                    groups.iter().map(|_| Mutex::new(Vec::new())).collect();
+                for a in assignments {
+                    if a.parts > 1 {
+                        let mut slot = partials[a.group].lock();
+                        if slot.is_empty() {
+                            slot.resize(a.parts, None);
+                        }
+                    }
+                }
+                let partials = &partials;
+                let kernel = KernelFn(move |wctx: &WorkItemCtx| {
+                    let emit = Emit::new(emit_target);
+                    let lo = wctx.global_id() * kpt;
+                    let hi = (lo + kpt).min(assignments.len());
+                    for a in &assignments[lo..hi] {
+                        let group = &groups[a.group];
+                        if a.parts == 1 {
+                            // Fetch the key's scratch state (if any earlier
+                            // chunk left one).
+                            let mut state = scratch.lock().remove(group.key).unwrap_or_default();
+                            app.reduce(group.key, &group.values, &mut state, group.last, &emit);
+                            if !group.last {
+                                scratch.lock().insert(group.key.to_vec(), state);
+                            }
+                        } else {
+                            // Cooperative partial reduction over this
+                            // part's slice of the values; merging and the
+                            // final emit happen after the launch.
+                            let n = group.values.len();
+                            let lo_v = a.part * n / a.parts;
+                            let hi_v = (a.part + 1) * n / a.parts;
+                            let mut state = if a.part == 0 {
+                                scratch.lock().remove(group.key).unwrap_or_default()
+                            } else {
+                                Vec::new()
+                            };
+                            app.reduce(
+                                group.key,
+                                &group.values[lo_v..hi_v],
+                                &mut state,
+                                false,
+                                &emit,
+                            );
+                            partials[a.group].lock()[a.part] = Some(state);
+                        }
+                    }
+                });
+                let stats = device.launch(range, &kernel);
+                // Merge cooperative partial states and finish each
+                // parallel group with one last=true call.
+                let emit = Emit::new(emit_target);
+                for (g, slots) in partials.iter().enumerate() {
+                    let mut slots = slots.lock();
+                    if slots.is_empty() {
+                        continue;
+                    }
+                    let group = &groups[g];
+                    let mut acc = slots[0].take().expect("part 0 state");
+                    for slot in slots.iter_mut().skip(1) {
+                        let other = slot.take().expect("partial state");
+                        let merged = app.merge_states(&mut acc, &other);
+                        debug_assert!(merged, "merge support changed mid-job");
+                    }
+                    if group.last {
+                        app.reduce(group.key, &[], &mut acc, true, &emit);
+                    } else {
+                        scratch.lock().insert(group.key.to_vec(), acc);
+                    }
+                }
+                stats
+            },
+            |collector| {
+                // Discard the attempt's partial output, restore the
+                // scratch states it consumed, and re-execute (paper
+                // §III-E: "its partial output is discarded and its input
+                // is rescheduled for processing").
+                collector.reset();
+                let snap = snapshot.as_ref().expect("snapshot taken");
+                let mut s = scratch.lock();
+                for (key, state) in snap {
+                    match state {
+                        Some(state) => {
+                            s.insert(key.clone(), state.clone());
+                        }
+                        None => {
+                            s.remove(key.as_slice());
+                        }
+                    }
+                }
+            },
+        );
+        let stats = match attempt {
+            Ok((stats, retried)) => {
+                self.tasks_retried.fetch_add(retried, Ordering::Relaxed);
+                stats
+            }
+            Err(e) => {
+                self.tasks_retried
+                    .fetch_add(e.attempts - 1, Ordering::Relaxed);
+                return Err(EngineError::TaskFailed(format!(
+                    "reduce kernel for chunk {} failed after {} attempt(s)",
+                    ctx.seq(),
+                    e.attempts
+                )));
+            }
+        };
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.parallel_splits
+            .fetch_add(coop_groups, Ordering::Relaxed);
+        let modeled = match self.cfg.timing {
+            TimingMode::Wall => stats.wall,
+            TimingMode::Modeled => stats.modeled,
+        };
+        ctx.add_time(stats.wall, modeled);
+        chunk.collector = Some(collector);
+        Ok(Some(chunk))
+    }
+}
+
+/// Retrieve (D2H): charge the modeled retrieval of the collector's bytes.
+/// Fused out of the graph on unified memory.
+struct ReduceRetrieve {
+    device: Arc<Device>,
+    timing: TimingMode,
+    unified: bool,
+}
+
+impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceRetrieve {
+    fn run_chunk(
+        &mut self,
+        chunk: ReduceChunk<'r>,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+        let t0 = Instant::now();
+        let bytes = chunk
+            .collector
+            .as_ref()
+            .expect("kernel output collector")
+            .bytes();
+        let wall = t0.elapsed();
+        let modeled = match self.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => self.device.profile().transfer_time(bytes, false),
+        };
+        ctx.add_time(wall, modeled);
+        Ok(Some(chunk))
+    }
+
+    fn passthrough(&self) -> bool {
+        self.unified
+    }
+}
+
+/// Output stage (sink): append every emitted record to the partition's
+/// block builder, recycling collectors; the output file is written once,
+/// in [`Stage::finish`], after the last chunk.
+struct ReduceOutput<'a> {
+    builder: Option<RecordBlockBuilder>,
+    path: &'a str,
+    store: Arc<dyn FileStore>,
+    node: NodeId,
+    cfg: &'a JobConfig,
+    records_out: &'a AtomicUsize,
+    collectors_back: PoolPut<Box<dyn Collector>>,
+}
+
+impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceOutput<'_> {
+    fn run_chunk(
+        &mut self,
+        mut chunk: ReduceChunk<'r>,
+        _ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+        let mut collector = chunk.collector.take().expect("kernel output collector");
+        let records_out = self.records_out;
+        let builder = self.builder.as_mut().expect("builder lives until finish");
+        for_each_record(collector.as_ref(), &mut |k, v| {
+            builder.append(k, v);
+            records_out.fetch_add(1, Ordering::Relaxed);
+        });
+        collector.reset();
+        self.collectors_back.put(collector);
+        Ok(None)
+    }
+
+    fn finish(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), EngineError> {
+        // Final write of the partition's output file.
+        let builder = self.builder.take().expect("finish runs once");
+        let t0 = Instant::now();
+        let sample = self.store.write_blocks(
+            self.path,
+            self.node,
+            builder.finish(),
+            self.cfg.output_replication,
+        )?;
+        let wall = t0.elapsed();
+        let modeled = match self.cfg.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => wall + sample.modeled,
+        };
+        ctx.add_time(wall, modeled);
+        Ok(())
+    }
+}
+
+/// A shuffle-only partition travelling the 2-stage passthrough pipeline.
+struct PassChunk {
+    builder: RecordBlockBuilder,
+    records: usize,
+}
+
+/// Merge-read for shuffle-only jobs: one chunk carrying the fully merged,
+/// sorted stream (emitted even when the partition is empty, so the output
+/// file always exists).
+struct PassthroughMerge<'a, 'r> {
+    runs: &'r [Run],
+    cfg: &'a JobConfig,
+    done: bool,
+}
+
+impl Source<PassChunk, EngineError> for PassthroughMerge<'_, '_> {
+    fn next_chunk(&mut self, _ctx: &mut StageCtx<'_>) -> Result<Option<PassChunk>, EngineError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut builder = RecordBlockBuilder::new(self.cfg.output_block_size);
+        let mut records = 0usize;
+        for (k, v) in MergeIter::new(self.runs.iter()) {
+            builder.append(k, v);
+            records += 1;
+        }
+        Ok(Some(PassChunk { builder, records }))
+    }
+}
+
+/// Write side of the passthrough pipeline.
+struct PassthroughWrite<'a> {
+    path: &'a str,
+    store: Arc<dyn FileStore>,
+    node: NodeId,
+    cfg: &'a JobConfig,
+    records: &'a AtomicUsize,
+}
+
+impl Stage<PassChunk, EngineError> for PassthroughWrite<'_> {
+    fn run_chunk(
+        &mut self,
+        chunk: PassChunk,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<Option<PassChunk>, EngineError> {
+        let t0 = Instant::now();
+        let sample = self.store.write_blocks(
+            self.path,
+            self.node,
+            chunk.builder.finish(),
+            self.cfg.output_replication,
+        )?;
+        let wall = t0.elapsed();
+        let modeled = match self.cfg.timing {
+            TimingMode::Wall => wall,
+            TimingMode::Modeled => wall + sample.modeled,
+        };
+        ctx.add_time(wall, modeled);
+        self.records.fetch_add(chunk.records, Ordering::Relaxed);
+        Ok(None)
+    }
 }
 
 /// Everything a node needs to run its reduce phase.
@@ -158,45 +622,48 @@ impl ReducePhase<'_> {
         Ok(report)
     }
 
-    /// Shuffle-only job: write the merged sorted stream directly.
+    /// Shuffle-only job: write the merged sorted stream directly, as a
+    /// 2-stage (merge → write) pipeline.
     fn passthrough_partition(
         &self,
-        runs: &[gw_intermediate::Run],
+        runs: &[Run],
         path: &str,
         report: &mut ReducePhaseReport,
         chunk_seq: &mut usize,
     ) -> Result<(), EngineError> {
-        let t0 = Instant::now();
-        let mut builder = RecordBlockBuilder::new(self.cfg.output_block_size);
-        let mut records = 0usize;
-        for (k, v) in MergeIter::new(runs.iter()) {
-            builder.append(k, v);
-            records += 1;
-        }
-        let merge_wall = t0.elapsed();
-        self.timers
-            .add(StageId::Input, *chunk_seq, merge_wall, merge_wall);
-        let t1 = Instant::now();
-        let sample = self
-            .store
-            .write_blocks(path, self.node, builder.finish(), self.cfg.output_replication)?;
-        let write_wall = t1.elapsed();
-        let write_modeled = match self.cfg.timing {
-            TimingMode::Wall => write_wall,
-            TimingMode::Modeled => write_wall + sample.modeled,
-        };
-        self.timers
-            .add(StageId::Partition, *chunk_seq, write_wall, write_modeled);
+        let records = AtomicUsize::new(0);
+        PipelineBuilder::new(PipelineKind::Reduce, self.cfg.buffering)
+            .source(
+                StageId::Input,
+                PassthroughMerge {
+                    runs,
+                    cfg: self.cfg,
+                    done: false,
+                },
+            )
+            .stage(
+                StageId::Partition,
+                PassthroughWrite {
+                    path,
+                    store: Arc::clone(&self.store),
+                    node: self.node,
+                    cfg: self.cfg,
+                    records: &records,
+                },
+            )
+            .timers(Arc::clone(&self.timers), *chunk_seq)
+            .run()?;
         *chunk_seq += 1;
+        let records = records.load(Ordering::Relaxed);
         report.records_out += records;
         report.keys += records;
         Ok(())
     }
 
     /// Full 5-stage pipelined reduction of one partition.
-    fn reduce_partition<'r>(
+    fn reduce_partition(
         &self,
-        runs: &'r [gw_intermediate::Run],
+        runs: &[Run],
         path: &str,
         report: &mut ReducePhaseReport,
         chunk_seq: &mut usize,
@@ -204,460 +671,95 @@ impl ReducePhase<'_> {
         let cfg = self.cfg;
         let b = cfg.buffering.depth();
         let base_seq = *chunk_seq;
+        let unified = self.device.unified_memory();
         // Parallel single-key reduction is available only when the app
         // declares an associative state merge (probed with empty states,
         // which the contract requires to act as identities).
-        let threads_per_key = if cfg.reduce_threads_per_key > 1
-            && self.app.merge_states(&mut Vec::new(), &[])
-        {
-            cfg.reduce_threads_per_key
-        } else {
-            1
-        };
+        let threads_per_key =
+            if cfg.reduce_threads_per_key > 1 && self.app.merge_states(&mut Vec::new(), &[]) {
+                cfg.reduce_threads_per_key
+            } else {
+                1
+            };
 
-        // Interlocks: B chunk tokens (input group), B collectors (output).
-        let (in_token_tx, in_token_rx) = bounded::<()>(b);
-        for _ in 0..b {
-            in_token_tx.send(()).expect("prime reduce tokens");
-        }
-        let (out_pool_tx, out_pool_rx) = bounded::<Box<dyn Collector>>(b);
-        for _ in 0..b {
-            out_pool_tx
-                .send(Box::new(BufferPoolCollector::new(
-                    cfg.collector_capacity,
-                    cfg.partition_threads.max(8),
-                )))
-                .expect("prime reduce collectors");
-        }
+        // The §III-D output buffer sets: B collectors recycled through the
+        // pool (the input group circulates the chunks themselves, so the
+        // executor's tokens are its only currency there).
+        let (collectors, collectors_back) = token_pool((0..b).map(|_| {
+            Box::new(BufferPoolCollector::new(
+                cfg.collector_capacity,
+                cfg.partition_threads.max(8),
+            )) as Box<dyn Collector>
+        }));
 
-        let (chunk_tx, chunk_rx) = bounded::<ReduceChunk<'r>>(1);
-        let (staged_tx, staged_rx) = bounded::<ReduceChunk<'r>>(1);
-        let (kernel_tx, kernel_rx) = bounded::<ReduceOut>(1);
-        let (retrieved_tx, retrieved_rx) = bounded::<ReduceOut>(1);
-
-        // Per-key scratch state persisting across kernel invocations
-        // (device-resident in real Glasswing; keyed map here). Keys within
-        // a chunk are distinct and chunks flow FIFO through the single
-        // kernel stage, so per-key access is serialized.
         let scratch: Mutex<HashMap<Vec<u8>, Vec<u8>>> = Mutex::new(HashMap::new());
-
-        // Fault-injection context, probed once per kernel attempt.
-        let chaos = self.chaos.clone();
-
         let keys_seen = AtomicUsize::new(0);
         let launches = AtomicUsize::new(0);
         let records_out = AtomicUsize::new(0);
         let parallel_splits = AtomicUsize::new(0);
         let tasks_retried = AtomicUsize::new(0);
 
-        std::thread::scope(|scope| -> Result<(), EngineError> {
-            // ---------------- Stage 1: MergeRead ----------------
-            let merge_handle = {
-                let timers = Arc::clone(&self.timers);
-                let keys_seen = &keys_seen;
-                scope.spawn(move || -> Result<usize, EngineError> {
-                    let mut seq = base_seq;
-                    let mut groups: Vec<Group<'r>> = Vec::new();
-                    let mut assignments: Vec<Assignment> = Vec::new();
-                    let mut bytes = 0usize;
-                    let mut build_started = Instant::now();
-                    let flush =
-                        |groups: &mut Vec<Group<'r>>,
-                         assignments: &mut Vec<Assignment>,
-                         bytes: &mut usize,
-                         seq: &mut usize,
-                         build_started: &mut Instant|
-                         -> Result<(), EngineError> {
-                        if groups.is_empty() {
-                            return Ok(());
-                        }
-                        let wall = build_started.elapsed();
-                        timers.add(StageId::Input, *seq, wall, wall);
-                        if in_token_rx.recv().is_err() {
-                            return Err(EngineError::TaskFailed(
-                                "reduce pipeline stage failed".into(),
-                            ));
-                        }
-                        if chunk_tx
-                            .send(ReduceChunk {
-                                seq: *seq,
-                                groups: std::mem::take(groups),
-                                assignments: std::mem::take(assignments),
-                                bytes: std::mem::take(bytes),
-                            })
-                            .is_err()
-                        {
-                            // Downstream stage failed; surface its error.
-                            return Err(EngineError::TaskFailed(
-                                "reduce pipeline stage failed".into(),
-                            ));
-                        }
-                        *seq += 1;
-                        *build_started = Instant::now();
-                        Ok(())
-                    };
-                    for (key, values) in GroupedMerge::new(runs.iter()) {
-                        keys_seen.fetch_add(1, Ordering::Relaxed);
-                        let mut idx = 0usize;
-                        while idx < values.len() {
-                            let end = (idx + cfg.reduce_max_values_per_chunk).min(values.len());
-                            let slice = values[idx..end].to_vec();
-                            bytes += key.len() + slice.iter().map(|v| v.len()).sum::<usize>();
-                            // Split large value chunks over cooperating
-                            // work items when the app supports it.
-                            let parts = if threads_per_key > 1 && slice.len() >= 2 * threads_per_key
-                            {
-                                threads_per_key
-                            } else {
-                                1
-                            };
-                            let g = groups.len();
-                            for part in 0..parts {
-                                assignments.push(Assignment { group: g, part, parts });
-                            }
-                            let last = end == values.len();
-                            groups.push(Group {
-                                key,
-                                values: slice,
-                                last,
-                            });
-                            idx = end;
-                            // A key's scratch state is only consistent
-                            // across *launches*: a continued (non-final)
-                            // slice must close this chunk so its successor
-                            // lands in a later launch (otherwise two work
-                            // items could race on the key's state). Also
-                            // flush when the chunk is full.
-                            if !last || groups.len() >= cfg.reduce_concurrent_keys {
-                                flush(
-                                    &mut groups,
-                                    &mut assignments,
-                                    &mut bytes,
-                                    &mut seq,
-                                    &mut build_started,
-                                )?;
-                            }
-                        }
-                    }
-                    flush(
-                        &mut groups,
-                        &mut assignments,
-                        &mut bytes,
-                        &mut seq,
-                        &mut build_started,
-                    )?;
-                    // `chunk_tx` drops with this thread, closing the channel.
-                    Ok(seq)
-                })
-            };
-
-            // ---------------- Stage 2: Stage (H2D) ----------------
-            let stage_handle = {
-                let device = Arc::clone(&self.device);
-                let timers = Arc::clone(&self.timers);
-                let timing = cfg.timing;
-                scope.spawn(move || -> Result<(), EngineError> {
-                    while let Ok(chunk) = chunk_rx.recv() {
-                        if !device.unified_memory() {
-                            let t0 = Instant::now();
-                            let wall = t0.elapsed();
-                            let modeled = match timing {
-                                TimingMode::Wall => wall,
-                                TimingMode::Modeled => {
-                                    device.profile().transfer_time(chunk.bytes, true)
-                                }
-                            };
-                            timers.add(StageId::Stage, chunk.seq, wall, modeled);
-                        }
-                        if staged_tx.send(chunk).is_err() {
-                            break; // downstream stage gone
-                        }
-                    }
-                    drop(staged_tx);
-                    Ok(())
-                })
-            };
-
-            // ---------------- Stage 3: Kernel ----------------
-            let kernel_handle = {
-                let device = Arc::clone(&self.device);
-                let app = Arc::clone(&self.app);
-                let timers = Arc::clone(&self.timers);
-                let scratch = &scratch;
-                let chaos = &chaos;
-                let launches = &launches;
-                let parallel_splits = &parallel_splits;
-                let tasks_retried = &tasks_retried;
-                let node = self.node;
-                scope.spawn(move || -> Result<(), EngineError> {
-                    let retries = cfg.max_task_retries;
-                    while let Ok(chunk) = staged_rx.recv() {
-                        let Ok(mut collector) = out_pool_rx.recv() else { break };
-                        // Snapshot the scratch states this chunk can touch,
-                        // so a failed attempt rolls back and re-executes
-                        // (paper §III-E, extended to the reduce side).
-                        let snapshot: Option<ScratchSnapshot> = if retries > 0 {
-                            let s = scratch.lock();
-                            Some(
-                                chunk
-                                    .groups
-                                    .iter()
-                                    .map(|g| (g.key.to_vec(), s.get(g.key).cloned()))
-                                    .collect(),
-                            )
-                        } else {
-                            None
-                        };
-                        let coop_groups = chunk
-                            .assignments
-                            .iter()
-                            .filter(|a| a.parts > 1 && a.part == 0)
-                            .count();
-                        let mut attempt = 0usize;
-                        let stats = loop {
-                            let result = {
-                                let emit_target: &dyn Collector = collector.as_ref();
-                                let groups = &chunk.groups;
-                                let assignments = &chunk.assignments;
-                                let kpt = cfg.reduce_keys_per_thread;
-                                let n_items = assignments.len().div_ceil(kpt);
-                                let app = &app;
-                                // Per-(group, part) partial states for groups
-                                // reduced cooperatively.
-                                let partials: Vec<Mutex<Vec<Option<Vec<u8>>>>> = groups
-                                    .iter()
-                                    .map(|_| Mutex::new(Vec::new()))
-                                    .collect();
-                                for a in assignments {
-                                    if a.parts > 1 {
-                                        let mut slot = partials[a.group].lock();
-                                        if slot.is_empty() {
-                                            slot.resize(a.parts, None);
-                                        }
-                                    }
-                                }
-                                let partials = &partials;
-                                let kernel = KernelFn(move |ctx: &WorkItemCtx| {
-                                    let emit = Emit::new(emit_target);
-                                    let lo = ctx.global_id() * kpt;
-                                    let hi = (lo + kpt).min(assignments.len());
-                                    for a in &assignments[lo..hi] {
-                                        let group = &groups[a.group];
-                                        if a.parts == 1 {
-                                            // Fetch the key's scratch state (if
-                                            // any earlier chunk left one).
-                                            let mut state = scratch
-                                                .lock()
-                                                .remove(group.key)
-                                                .unwrap_or_default();
-                                            app.reduce(
-                                                group.key,
-                                                &group.values,
-                                                &mut state,
-                                                group.last,
-                                                &emit,
-                                            );
-                                            if !group.last {
-                                                scratch.lock().insert(group.key.to_vec(), state);
-                                            }
-                                        } else {
-                                            // Cooperative partial reduction over
-                                            // this part's slice of the values;
-                                            // merging and the final emit happen
-                                            // after the launch.
-                                            let n = group.values.len();
-                                            let lo_v = a.part * n / a.parts;
-                                            let hi_v = (a.part + 1) * n / a.parts;
-                                            let mut state = if a.part == 0 {
-                                                scratch
-                                                    .lock()
-                                                    .remove(group.key)
-                                                    .unwrap_or_default()
-                                            } else {
-                                                Vec::new()
-                                            };
-                                            app.reduce(
-                                                group.key,
-                                                &group.values[lo_v..hi_v],
-                                                &mut state,
-                                                false,
-                                                &emit,
-                                            );
-                                            partials[a.group].lock()[a.part] = Some(state);
-                                        }
-                                    }
-                                });
-                                let range = NdRange::new(
-                                    n_items.max(1),
-                                    cfg.work_group.min(n_items.max(1)),
-                                )
-                                .map_err(EngineError::Device)?;
-                                // The whole attempt — injected-fault probe,
-                                // kernel launch, cooperative-state merge and
-                                // final emits — is one unwind scope, so a
-                                // failure anywhere rolls back as a unit.
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    if let Some(cx) = chaos {
-                                        if cx.plan.reduce_fault_fires(node.0) {
-                                            panic!("injected reduce-site fault");
-                                        }
-                                    }
-                                    let stats = device.launch(range, &kernel);
-                                    // Merge cooperative partial states and
-                                    // finish each parallel group with one
-                                    // last=true call.
-                                    let emit = Emit::new(emit_target);
-                                    for (g, slots) in partials.iter().enumerate() {
-                                        let mut slots = slots.lock();
-                                        if slots.is_empty() {
-                                            continue;
-                                        }
-                                        let group = &groups[g];
-                                        let mut acc = slots[0].take().expect("part 0 state");
-                                        for slot in slots.iter_mut().skip(1) {
-                                            let other = slot.take().expect("partial state");
-                                            let merged = app.merge_states(&mut acc, &other);
-                                            debug_assert!(merged, "merge support changed mid-job");
-                                        }
-                                        if group.last {
-                                            app.reduce(group.key, &[], &mut acc, true, &emit);
-                                        } else {
-                                            scratch.lock().insert(group.key.to_vec(), acc);
-                                        }
-                                    }
-                                    stats
-                                }))
-                            };
-                            match result {
-                                Ok(stats) => {
-                                    launches.fetch_add(1, Ordering::Relaxed);
-                                    parallel_splits.fetch_add(coop_groups, Ordering::Relaxed);
-                                    break stats;
-                                }
-                                Err(_) if attempt < retries => {
-                                    // Discard the attempt's partial output,
-                                    // restore the scratch states it consumed,
-                                    // and re-execute (paper §III-E: "its
-                                    // partial output is discarded and its
-                                    // input is rescheduled for processing").
-                                    attempt += 1;
-                                    tasks_retried.fetch_add(1, Ordering::Relaxed);
-                                    collector.reset();
-                                    let snap = snapshot.as_ref().expect("snapshot taken");
-                                    let mut s = scratch.lock();
-                                    for (key, state) in snap {
-                                        match state {
-                                            Some(state) => {
-                                                s.insert(key.clone(), state.clone());
-                                            }
-                                            None => {
-                                                s.remove(key.as_slice());
-                                            }
-                                        }
-                                    }
-                                }
-                                Err(_) => {
-                                    return Err(EngineError::TaskFailed(format!(
-                                        "reduce kernel for chunk {} failed after {} attempt(s)",
-                                        chunk.seq,
-                                        attempt + 1
-                                    )));
-                                }
-                            }
-                        };
-                        let modeled = match cfg.timing {
-                            TimingMode::Wall => stats.wall,
-                            TimingMode::Modeled => stats.modeled,
-                        };
-                        timers.add(StageId::Kernel, chunk.seq, stats.wall, modeled);
-                        // Kernel done with the chunk: release its token.
-                        let _ = in_token_tx.send(());
-                        if kernel_tx
-                            .send(ReduceOut {
-                                seq: chunk.seq,
-                                collector,
-                            })
-                            .is_err()
-                        {
-                            break; // downstream stage gone
-                        }
-                    }
-                    drop(kernel_tx);
-                    Ok(())
-                })
-            };
-
-            // ---------------- Stage 4: Retrieve (D2H) ----------------
-            let retrieve_handle = {
-                let device = Arc::clone(&self.device);
-                let timers = Arc::clone(&self.timers);
-                let timing = cfg.timing;
-                scope.spawn(move || -> Result<(), EngineError> {
-                    while let Ok(out) = kernel_rx.recv() {
-                        if !device.unified_memory() {
-                            let t0 = Instant::now();
-                            let bytes = out.collector.bytes();
-                            let wall = t0.elapsed();
-                            let modeled = match timing {
-                                TimingMode::Wall => wall,
-                                TimingMode::Modeled => {
-                                    device.profile().transfer_time(bytes, false)
-                                }
-                            };
-                            timers.add(StageId::Retrieve, out.seq, wall, modeled);
-                        }
-                        if retrieved_tx.send(out).is_err() {
-                            break; // downstream stage gone
-                        }
-                    }
-                    drop(retrieved_tx);
-                    Ok(())
-                })
-            };
-
-            // ---------------- Stage 5: Output ----------------
-            let output_handle = {
-                let store = Arc::clone(&self.store);
-                let timers = Arc::clone(&self.timers);
-                let node = self.node;
-                let records_out = &records_out;
-                scope.spawn(move || -> Result<(), EngineError> {
-                    let mut builder = RecordBlockBuilder::new(cfg.output_block_size);
-                    let mut last_seq = base_seq;
-                    while let Ok(mut out) = retrieved_rx.recv() {
-                        let t0 = Instant::now();
-                        for_each_record(out.collector.as_ref(), &mut |k, v| {
-                            builder.append(k, v);
-                            records_out.fetch_add(1, Ordering::Relaxed);
-                        });
-                        let wall = t0.elapsed();
-                        timers.add(StageId::Partition, out.seq, wall, wall);
-                        last_seq = out.seq;
-                        out.collector.reset();
-                        let _ = out_pool_tx.send(out.collector);
-                    }
-                    // Final write of the partition's output file.
-                    let t1 = Instant::now();
-                    let sample =
-                        store.write_blocks(path, node, builder.finish(), cfg.output_replication)?;
-                    let wall = t1.elapsed();
-                    let modeled = match cfg.timing {
-                        TimingMode::Wall => wall,
-                        TimingMode::Modeled => wall + sample.modeled,
-                    };
-                    timers.add(StageId::Partition, last_seq, wall, modeled);
-                    Ok(())
-                })
-            };
-
-            let final_seq = merge_handle.join().expect("merge-read stage panicked")?;
-            stage_handle.join().expect("stage stage panicked")?;
-            kernel_handle.join().expect("kernel stage panicked")?;
-            retrieve_handle.join().expect("retrieve stage panicked")?;
-            output_handle.join().expect("output stage panicked")?;
-            *chunk_seq = final_seq.max(base_seq + 1);
-            Ok(())
-        })?;
+        let mut pipeline = PipelineBuilder::new(PipelineKind::Reduce, cfg.buffering)
+            .source(
+                StageId::Input,
+                ReduceMergeRead {
+                    merge: GroupedMerge::new(runs.iter()),
+                    pending: None,
+                    cfg,
+                    threads_per_key,
+                    keys_seen: &keys_seen,
+                },
+            )
+            .stage(
+                StageId::Stage,
+                ReduceStageH2D {
+                    device: Arc::clone(&self.device),
+                    timing: cfg.timing,
+                    unified,
+                },
+            )
+            .stage(
+                StageId::Kernel,
+                ReduceKernel {
+                    device: Arc::clone(&self.device),
+                    app: Arc::clone(&self.app),
+                    cfg,
+                    scratch: &scratch,
+                    collectors,
+                    launches: &launches,
+                    parallel_splits: &parallel_splits,
+                    tasks_retried: &tasks_retried,
+                },
+            )
+            .stage(
+                StageId::Retrieve,
+                ReduceRetrieve {
+                    device: Arc::clone(&self.device),
+                    timing: cfg.timing,
+                    unified,
+                },
+            )
+            .stage(
+                StageId::Partition,
+                ReduceOutput {
+                    builder: Some(RecordBlockBuilder::new(cfg.output_block_size)),
+                    path,
+                    store: Arc::clone(&self.store),
+                    node: self.node,
+                    cfg,
+                    records_out: &records_out,
+                    collectors_back,
+                },
+            )
+            .interlock(StageId::Input, StageId::Kernel)
+            .interlock(StageId::Kernel, StageId::Partition)
+            .timers(Arc::clone(&self.timers), base_seq);
+        if let Some(chaos) = self.chaos.clone() {
+            pipeline = pipeline.probe(ReduceTaskProbe::new(chaos, self.node));
+        }
+        let stats = pipeline.run()?;
+        // Empty partitions still advance the sequence (they wrote a file).
+        *chunk_seq = (base_seq + stats.chunks).max(base_seq + 1);
 
         debug_assert!(
             scratch.into_inner().is_empty(),

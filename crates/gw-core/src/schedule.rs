@@ -25,6 +25,7 @@
 use std::time::Duration;
 
 use crate::config::Buffering;
+use crate::timers::StageId;
 
 /// Per-chunk stage durations, in pipeline order
 /// `[input, stage, kernel, retrieve, partition]`.
@@ -43,7 +44,7 @@ impl Schedule {
     pub fn makespan(&self) -> Duration {
         self.end
             .last()
-            .map(|stages| stages[4])
+            .map(|stages| stages[StageId::Partition.index()])
             .unwrap_or(Duration::ZERO)
     }
 }
@@ -58,9 +59,18 @@ pub fn pipeline_schedule(chunks: &[ChunkTimes], buffering: Buffering) -> Schedul
         let t = &chunks[c];
         // Completion of my predecessor chunk in each stage (stage busy).
         let prev = if c > 0 { end[c - 1] } else { [zero; 5] };
-        // Buffer-release constraints.
-        let input_buffer_free = if c >= b { end[c - b][2] } else { zero };
-        let output_buffer_free = if c >= b { end[c - b][4] } else { zero };
+        // Buffer-release constraints: the input group ends at Kernel, the
+        // output group at Partition (the executor's interlock endpoints).
+        let input_buffer_free = if c >= b {
+            end[c - b][StageId::Kernel.index()]
+        } else {
+            zero
+        };
+        let output_buffer_free = if c >= b {
+            end[c - b][StageId::Partition.index()]
+        } else {
+            zero
+        };
 
         // Input: needs the input stage idle + a free input buffer.
         let start_input = prev[0].max(input_buffer_free);
@@ -182,7 +192,10 @@ mod tests {
         // overlapping groups is 15ms/chunk (kernel waits for the previous
         // partition, which overlaps the next input) ⇒ ≈455ms.
         assert!(makespan < ms(500), "groups failed to overlap: {makespan:?}");
-        assert!(makespan >= ms(440), "model changed unexpectedly: {makespan:?}");
+        assert!(
+            makespan >= ms(440),
+            "model changed unexpectedly: {makespan:?}"
+        );
     }
 
     #[test]

@@ -1,232 +1,7 @@
-//! Per-stage pipeline instrumentation.
+//! Per-stage pipeline instrumentation — re-exported from `gw-pipeline`.
 //!
-//! The paper's Tables II/III and Figs. 4/5 are produced by "instrumenting
-//! it with timers for each pipeline stage". [`StageTimers`] accumulates,
-//! per stage, both the measured *wall* time and the device/storage-model
-//! *modeled* time, plus per-chunk samples so the [`crate::schedule`] model
-//! can replay the pipeline under different device profiles.
+//! The timer types moved into the shared stage-graph executor crate (the
+//! executor owns all `add` calls now); this module keeps the historical
+//! `gw_core::timers::*` paths alive for existing consumers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-use parking_lot::Mutex;
-
-/// The five pipeline stages. Map and reduce pipelines share the enum; for
-/// reduce, `Input` is the merge-reader and `Partition` is the output writer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StageId {
-    /// Map: read input split / Reduce: final merge read.
-    Input,
-    /// Host→device staging (disabled on unified memory).
-    Stage,
-    /// Kernel execution.
-    Kernel,
-    /// Device→host retrieval (disabled on unified memory).
-    Retrieve,
-    /// Map: partition+sort+push / Reduce: output write.
-    Partition,
-}
-
-impl StageId {
-    /// All stages in pipeline order.
-    pub const ALL: [StageId; 5] = [
-        StageId::Input,
-        StageId::Stage,
-        StageId::Kernel,
-        StageId::Retrieve,
-        StageId::Partition,
-    ];
-
-    /// Stable index 0..5.
-    #[inline]
-    pub fn index(self) -> usize {
-        match self {
-            StageId::Input => 0,
-            StageId::Stage => 1,
-            StageId::Kernel => 2,
-            StageId::Retrieve => 3,
-            StageId::Partition => 4,
-        }
-    }
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            StageId::Input => "input",
-            StageId::Stage => "stage",
-            StageId::Kernel => "kernel",
-            StageId::Retrieve => "retrieve",
-            StageId::Partition => "partition",
-        }
-    }
-}
-
-#[derive(Debug, Default)]
-struct StageAccum {
-    wall_nanos: AtomicU64,
-    modeled_nanos: AtomicU64,
-    chunks: AtomicU64,
-}
-
-/// One stage's duration for one chunk (wall, modeled).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageSample {
-    /// Measured host time.
-    pub wall: Duration,
-    /// Model-transformed time.
-    pub modeled: Duration,
-}
-
-/// Accumulated per-stage timings for one pipeline instantiation.
-#[derive(Debug, Default)]
-pub struct StageTimers {
-    stages: [StageAccum; 5],
-    /// Per-chunk samples, stage-major, for schedule replay.
-    samples: Mutex<Vec<[StageSample; 5]>>,
-}
-
-impl StageTimers {
-    /// Fresh timers.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one chunk's pass through `stage`.
-    pub fn add(&self, stage: StageId, chunk: usize, wall: Duration, modeled: Duration) {
-        let acc = &self.stages[stage.index()];
-        acc.wall_nanos
-            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
-        acc.modeled_nanos
-            .fetch_add(modeled.as_nanos() as u64, Ordering::Relaxed);
-        acc.chunks.fetch_add(1, Ordering::Relaxed);
-        let mut samples = self.samples.lock();
-        if samples.len() <= chunk {
-            samples.resize(chunk + 1, [StageSample::default(); 5]);
-        }
-        samples[chunk][stage.index()] = StageSample { wall, modeled };
-    }
-
-    /// Total wall time spent in `stage`.
-    pub fn wall(&self, stage: StageId) -> Duration {
-        Duration::from_nanos(self.stages[stage.index()].wall_nanos.load(Ordering::Relaxed))
-    }
-
-    /// Total modeled time spent in `stage`.
-    pub fn modeled(&self, stage: StageId) -> Duration {
-        Duration::from_nanos(
-            self.stages[stage.index()]
-                .modeled_nanos
-                .load(Ordering::Relaxed),
-        )
-    }
-
-    /// Number of chunks that passed through `stage`.
-    pub fn chunks(&self, stage: StageId) -> u64 {
-        self.stages[stage.index()].chunks.load(Ordering::Relaxed)
-    }
-
-    /// Per-chunk samples (chunk-major), for schedule replay.
-    pub fn chunk_samples(&self) -> Vec<[StageSample; 5]> {
-        self.samples.lock().clone()
-    }
-
-    /// Condensed report.
-    pub fn report(&self) -> TimerReport {
-        let mut wall = [Duration::ZERO; 5];
-        let mut modeled = [Duration::ZERO; 5];
-        for s in StageId::ALL {
-            wall[s.index()] = self.wall(s);
-            modeled[s.index()] = self.modeled(s);
-        }
-        TimerReport { wall, modeled }
-    }
-}
-
-/// Snapshot of stage totals.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TimerReport {
-    /// Wall totals indexed by [`StageId::index`].
-    pub wall: [Duration; 5],
-    /// Modeled totals indexed by [`StageId::index`].
-    pub modeled: [Duration; 5],
-}
-
-impl TimerReport {
-    /// Wall total of a stage.
-    pub fn wall(&self, stage: StageId) -> Duration {
-        self.wall[stage.index()]
-    }
-
-    /// Modeled total of a stage.
-    pub fn modeled(&self, stage: StageId) -> Duration {
-        self.modeled[stage.index()]
-    }
-
-    /// Merge another report into this one (summing stage totals), used to
-    /// aggregate across nodes.
-    pub fn merge(&mut self, other: &TimerReport) {
-        for i in 0..5 {
-            self.wall[i] += other.wall[i];
-            self.modeled[i] += other.modeled[i];
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accumulates_per_stage() {
-        let t = StageTimers::new();
-        t.add(
-            StageId::Kernel,
-            0,
-            Duration::from_millis(10),
-            Duration::from_millis(1),
-        );
-        t.add(
-            StageId::Kernel,
-            1,
-            Duration::from_millis(5),
-            Duration::from_millis(2),
-        );
-        t.add(
-            StageId::Input,
-            0,
-            Duration::from_millis(3),
-            Duration::from_millis(3),
-        );
-        assert_eq!(t.wall(StageId::Kernel), Duration::from_millis(15));
-        assert_eq!(t.modeled(StageId::Kernel), Duration::from_millis(3));
-        assert_eq!(t.chunks(StageId::Kernel), 2);
-        assert_eq!(t.wall(StageId::Input), Duration::from_millis(3));
-        assert_eq!(t.wall(StageId::Stage), Duration::ZERO);
-    }
-
-    #[test]
-    fn chunk_samples_are_positional() {
-        let t = StageTimers::new();
-        t.add(
-            StageId::Partition,
-            2,
-            Duration::from_millis(7),
-            Duration::from_millis(7),
-        );
-        let samples = t.chunk_samples();
-        assert_eq!(samples.len(), 3);
-        assert_eq!(samples[2][StageId::Partition.index()].wall, Duration::from_millis(7));
-        assert_eq!(samples[0][StageId::Partition.index()].wall, Duration::ZERO);
-    }
-
-    #[test]
-    fn report_merges_across_nodes() {
-        let a = StageTimers::new();
-        a.add(StageId::Input, 0, Duration::from_secs(1), Duration::from_secs(1));
-        let b = StageTimers::new();
-        b.add(StageId::Input, 0, Duration::from_secs(2), Duration::from_secs(2));
-        let mut r = a.report();
-        r.merge(&b.report());
-        assert_eq!(r.wall(StageId::Input), Duration::from_secs(3));
-    }
-}
+pub use gw_pipeline::{PipelineKind, StageId, StageSample, StageTimers, TimerReport};

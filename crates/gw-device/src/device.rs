@@ -136,6 +136,25 @@ impl Device {
         }
     }
 
+    /// Allocate the §III-D buffer sets backing one pipeline token group:
+    /// `count` equally-sized staging buffers, all-or-nothing against the
+    /// modeled memory capacity.
+    pub fn alloc_pool(&self, count: usize, bytes: usize) -> Result<Vec<DeviceBuffer>, DeviceError> {
+        let mut pool = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.alloc(bytes) {
+                Ok(buf) => pool.push(buf),
+                Err(e) => {
+                    for buf in pool {
+                        self.free(buf);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(pool)
+    }
+
     /// Release a buffer's device memory accounting.
     pub fn free(&self, buf: DeviceBuffer) {
         self.allocated.fetch_sub(buf.capacity(), Ordering::Relaxed);
@@ -248,13 +267,28 @@ mod tests {
     }
 
     #[test]
+    fn alloc_pool_is_all_or_nothing() {
+        let dev = tiny_gpu();
+        let pool = dev.alloc_pool(2, 400).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(dev.allocated_bytes(), 800);
+        // A pool that doesn't fit releases what it partially grabbed.
+        let err = dev.alloc_pool(2, 200).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfDeviceMemory { .. }));
+        assert_eq!(dev.allocated_bytes(), 800);
+    }
+
+    #[test]
     fn stage_retrieve_roundtrip() {
         let dev = tiny_gpu();
         let mut buf = dev.alloc(128).unwrap();
         let payload: Vec<u8> = (0..100u8).collect();
         let s = dev.stage(&payload, &mut buf).unwrap();
         assert_eq!(s.bytes, 100);
-        assert!(s.modeled > Duration::ZERO, "discrete device models transfer time");
+        assert!(
+            s.modeled > Duration::ZERO,
+            "discrete device models transfer time"
+        );
         let mut back = Vec::new();
         let r = dev.retrieve(&buf, &mut back).unwrap();
         assert_eq!(r.bytes, 100);

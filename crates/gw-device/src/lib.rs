@@ -71,7 +71,10 @@ impl std::fmt::Display for DeviceError {
             ),
             DeviceError::InvalidNdRange(msg) => write!(f, "invalid NDRange: {msg}"),
             DeviceError::TransferSizeMismatch { src, dst } => {
-                write!(f, "transfer size mismatch: src {src} bytes, dst {dst} bytes")
+                write!(
+                    f,
+                    "transfer size mismatch: src {src} bytes, dst {dst} bytes"
+                )
             }
         }
     }

@@ -139,8 +139,9 @@ impl WorkerPool {
     pub fn run(&self, range: NdRange, kernel: &dyn Kernel) {
         // SAFETY: we block on `job.wait()` below before returning, so the
         // erased borrow cannot outlive the kernel.
-        let kernel_static: *const (dyn Kernel + 'static) =
-            unsafe { std::mem::transmute::<*const dyn Kernel, *const (dyn Kernel + 'static)>(kernel) };
+        let kernel_static: *const (dyn Kernel + 'static) = unsafe {
+            std::mem::transmute::<*const dyn Kernel, *const (dyn Kernel + 'static)>(kernel)
+        };
         let job = Arc::new(Job {
             kernel: KernelPtr(kernel_static),
             range,
@@ -262,8 +263,9 @@ mod tests {
     fn pool_survives_kernel_panic() {
         let pool = WorkerPool::new(2);
         let bad = KernelFn(|_: &WorkItemCtx| panic!("boom"));
-        let caught =
-            std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(NdRange::new(8, 2).unwrap(), &bad)));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(NdRange::new(8, 2).unwrap(), &bad)
+        }));
         assert!(caught.is_err());
         // The pool remains usable afterwards.
         let count = AtomicUsize::new(0);

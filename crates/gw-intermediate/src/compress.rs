@@ -115,8 +115,8 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
     // (spill files are framework-internal, so none is imposed here).
     let mut out = Vec::with_capacity(total.min(1 << 20));
     while out.len() < total {
-        let (lit_len, n) =
-            varint::read_len(&data[at..]).ok_or(CompressError::Corrupt("missing literal length"))?;
+        let (lit_len, n) = varint::read_len(&data[at..])
+            .ok_or(CompressError::Corrupt("missing literal length"))?;
         at += n;
         if lit_len > data.len() - at {
             return Err(CompressError::Corrupt("truncated literals"));

@@ -291,7 +291,10 @@ mod tests {
             (b"apple".as_slice(), b"1".as_slice()),
         ]);
         let keys: Vec<&[u8]> = run.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec![b"apple".as_slice(), b"apple", b"mango", b"zebra"]);
+        assert_eq!(
+            keys,
+            vec![b"apple".as_slice(), b"apple", b"mango", b"zebra"]
+        );
         // Duplicate keys sorted by value.
         let apples: Vec<&[u8]> = run
             .iter()

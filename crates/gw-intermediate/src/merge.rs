@@ -383,9 +383,15 @@ mod tests {
     #[test]
     fn loser_tree_matches_heap_with_duplicates_and_empties() {
         let built = runs_from(&[
-            vec![(b"a".to_vec(), b"1".to_vec()), (b"a".to_vec(), b"1".to_vec())],
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"a".to_vec(), b"1".to_vec()),
+            ],
             vec![],
-            vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+            vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+            ],
             vec![],
             vec![(b"a".to_vec(), b"0".to_vec())],
         ]);

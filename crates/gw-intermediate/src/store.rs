@@ -146,7 +146,9 @@ impl Inner {
         };
         std::fs::write(&path, &on_disk)?;
         self.metrics.flushes.fetch_add(1, Ordering::Relaxed);
-        self.metrics.spilled_raw.fetch_add(raw.len(), Ordering::Relaxed);
+        self.metrics
+            .spilled_raw
+            .fetch_add(raw.len(), Ordering::Relaxed);
         self.metrics
             .spilled_disk
             .fetch_add(on_disk.len(), Ordering::Relaxed);
@@ -160,9 +162,8 @@ impl Inner {
     fn read_spill(&self, spill: &SpillFile) -> std::io::Result<Run> {
         let on_disk = std::fs::read(&spill.path)?;
         let raw = if self.cfg.compress {
-            compress::decompress(&on_disk).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-            })?
+            compress::decompress(&on_disk)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
         } else {
             on_disk
         };
@@ -278,7 +279,10 @@ impl IntermediateStore {
         if run.is_empty() {
             return;
         }
-        self.inner.metrics.runs_added.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .runs_added
+            .fetch_add(1, Ordering::Relaxed);
         self.inner
             .metrics
             .records_added
@@ -306,8 +310,7 @@ impl IntermediateStore {
         let inner = &self.inner;
         {
             let mut st = inner.parts[p as usize].lock();
-            let needs_work =
-                !st.cache.is_empty() || st.spills.len() > inner.cfg.max_spill_files;
+            let needs_work = !st.cache.is_empty() || st.spills.len() > inner.cfg.max_spill_files;
             if st.busy || !needs_work {
                 return;
             }
@@ -454,7 +457,10 @@ mod tests {
         store.finish_map();
         let m = store.metrics();
         assert!(m.flushes >= 1, "expected at least one flush, got {m:?}");
-        assert!(m.spilled_disk < m.spilled_raw, "compression should shrink spills");
+        assert!(
+            m.spilled_disk < m.spilled_raw,
+            "compression should shrink spills"
+        );
         assert_eq!(store.partition_records(0), 800);
     }
 

@@ -267,12 +267,16 @@ mod tests {
         use std::collections::HashMap;
         let nodes = 4u32;
         let mut fabric: Fabric<(u32, u64)> = Fabric::new(nodes, NetProfile::unlimited());
-        let endpoints: Vec<_> = (0..nodes).map(|n| Arc::new(fabric.endpoint(NodeId(n)))).collect();
+        let endpoints: Vec<_> = (0..nodes)
+            .map(|n| Arc::new(fabric.endpoint(NodeId(n))))
+            .collect();
         let mut expected: HashMap<u32, Vec<u64>> = HashMap::new();
         // Deterministic pseudo-random pattern.
         let mut x = 0x12345678u64;
         for msg_id in 0..500u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let from = (x >> 33) as u32 % nodes;
             let to = (x >> 17) as u32 % nodes;
             endpoints[from as usize].send(NodeId(to), (to, msg_id), 16);
@@ -296,7 +300,9 @@ mod tests {
             want_s.sort_unstable();
             assert_eq!(got_s, want_s);
         }
-        let sent: usize = (0..nodes).map(|n| fabric.stats(NodeId(n)).messages_sent()).sum();
+        let sent: usize = (0..nodes)
+            .map(|n| fabric.stats(NodeId(n)).messages_sent())
+            .sum();
         assert_eq!(sent, 500);
         use std::sync::Arc;
     }

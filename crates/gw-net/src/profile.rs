@@ -64,9 +64,7 @@ mod tests {
     #[test]
     fn ipoib_is_faster_than_gbe() {
         let n = 100 << 20;
-        assert!(
-            NetProfile::ipoib_qdr().wire_time(n) < NetProfile::gigabit_ethernet().wire_time(n)
-        );
+        assert!(NetProfile::ipoib_qdr().wire_time(n) < NetProfile::gigabit_ethernet().wire_time(n));
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Throttle {
         let completes_at = {
             let mut st = self.state.lock();
             let now = Instant::now();
-            let start = if st.next_free > now { st.next_free } else { now };
+            let start = if st.next_free > now {
+                st.next_free
+            } else {
+                now
+            };
             let completes = start + wire;
             st.next_free = completes;
             completes

@@ -171,10 +171,7 @@ mod tests {
             .map(|n| {
                 let ep = fabric.endpoint(n);
                 std::thread::spawn(move || {
-                    let run = run_from_pairs([(
-                        format!("from-{n}").as_bytes(),
-                        b"1".as_slice(),
-                    )]);
+                    let run = run_from_pairs([(format!("from-{n}").as_bytes(), b"1".as_slice())]);
                     let records = run.records();
                     let bytes = run.into_shared();
                     let msg = ShuffleMsg::Partition {

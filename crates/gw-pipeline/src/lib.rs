@@ -1,0 +1,75 @@
+//! The Glasswing stage-graph executor.
+//!
+//! Both Glasswing pipelines — map (`Input → Stage → Kernel → Retrieve →
+//! Partition`, paper §III-A) and reduce (`MergeRead → Stage → Kernel →
+//! Retrieve → Output`, §III-C) — are instantiations of the same shape: a
+//! pulling source followed by a chain of bounded stages, overlapped by the
+//! buffering-level interlock of §III-D. This crate owns that shape once:
+//!
+//! * [`Source`] / [`Stage`] — the per-stage logic (one `next_chunk` /
+//!   `run_chunk` call per chunk plus lifecycle hooks), written without any
+//!   channel wiring, crash probing or timer bookkeeping;
+//! * [`PipelineBuilder`] — wires N stages with bounded channels, circulates
+//!   [`Buffering`]`::{Single,Double,Triple}` buffer tokens (`B` in-flight
+//!   chunks per token group, enforced by the executor rather than ad-hoc
+//!   channel capacities), and *fuses* pass-through stages out of the graph
+//!   at build time (on unified-memory devices "the input stager is
+//!   disabled" — the stage does not exist, rather than running as a no-op
+//!   thread with channel hops);
+//! * the four cross-cutting concerns previously copy-pasted per stage:
+//!   crash-site probing between chunks ([`PipelineProbe`]), dead/abort-flag
+//!   checking, [`StageTimers`] wall+modeled accounting, and error
+//!   unwinding that drains and closes the whole graph deterministically;
+//! * [`run_task_with_retries`] — the §III-E task re-execution loop
+//!   ("if a task fails, its partial output is discarded and its input is
+//!   rescheduled for processing") shared by both kernel stages.
+
+pub mod executor;
+pub mod timers;
+
+pub use executor::{
+    run_task_with_retries, token_pool, PipelineBuilder, PipelineProbe, PipelineStats, PoolGet,
+    PoolPut, RetryExhausted, Source, Stage, StageCtx,
+};
+pub use timers::{PipelineKind, StageId, StageSample, StageTimers, TimerReport};
+
+/// Pipeline buffering level (paper §III-D).
+///
+/// Each token group declared on a [`PipelineBuilder`] (the map pipeline's
+/// *input group* Input→Kernel and *output group* Kernel→Partition) admits
+/// this many chunks at a time. `Single` interlocks each group internally
+/// (the two groups still overlap each other); `Triple` lets all five
+/// stages run fully concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Buffering {
+    /// One buffer set per group.
+    Single,
+    /// Two buffer sets per group (the paper's default configuration).
+    Double,
+    /// Three buffer sets per group.
+    Triple,
+}
+
+impl Buffering {
+    /// Number of buffer sets per group.
+    #[inline]
+    pub fn depth(self) -> usize {
+        match self {
+            Buffering::Single => 1,
+            Buffering::Double => 2,
+            Buffering::Triple => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffering_depths() {
+        assert_eq!(Buffering::Single.depth(), 1);
+        assert_eq!(Buffering::Double.depth(), 2);
+        assert_eq!(Buffering::Triple.depth(), 3);
+    }
+}

@@ -67,9 +67,17 @@ pub fn chunk_demand(app: &AppParams, cluster: &ClusterParams, nodes: usize) -> C
     };
     ChunkDemand {
         input: chunk / cluster.read_bw(),
-        stage: if discrete { chunk / cluster.pcie_bw_mb } else { 0.0 },
+        stage: if discrete {
+            chunk / cluster.pcie_bw_mb
+        } else {
+            0.0
+        },
         kernel: chunk * app.map_sec_per_mb / scale,
-        retrieve: if discrete { inter / cluster.pcie_bw_mb } else { 0.0 },
+        retrieve: if discrete {
+            inter / cluster.pcie_bw_mb
+        } else {
+            0.0
+        },
         partition: inter * app.partition_sec_per_mb / cluster.partition_threads,
         durability: inter / cluster.write_bw_mb,
         send: inter * remote_fraction / cluster.net_bw_mb,
@@ -142,13 +150,21 @@ pub fn reduce_demand(app: &AppParams, cluster: &ClusterParams) -> ReduceDemand {
     let discrete = cluster.device.discrete();
     ReduceDemand {
         read: inter_chunk / cluster.merge_bw_mb,
-        stage: if discrete { inter_chunk / cluster.pcie_bw_mb } else { 0.0 },
+        stage: if discrete {
+            inter_chunk / cluster.pcie_bw_mb
+        } else {
+            0.0
+        },
         kernel: if app.has_reduce {
             inter_chunk * app.reduce_sec_per_mb / scale
         } else {
             0.0
         },
-        retrieve: if discrete { out_chunk / cluster.pcie_bw_mb } else { 0.0 },
+        retrieve: if discrete {
+            out_chunk / cluster.pcie_bw_mb
+        } else {
+            0.0
+        },
         write: out_chunk * app.output_replication / cluster.write_bw_mb,
     }
 }
@@ -311,52 +327,52 @@ pub fn simulate_glasswing(
                                         // Durability copy to the local
                                         // disk, then the push over the NIC.
                                         sim.use_resource(disk_r, demand.durability, move |sim| {
-                                        sim.use_resource(nic_r, demand.send, move |sim| {
-                                            sim.release(out_tok);
-                                            // Background merge at the
-                                            // destination node.
-                                            state.borrow_mut().merger_outstanding[dest] += 1;
-                                            let st = Rc::clone(&state);
-                                            let ids3 = Rc::clone(&ids2);
-                                            sim.use_resource(
-                                                merger_r,
-                                                demand.merge,
-                                                move |sim| {
+                                            sim.use_resource(nic_r, demand.send, move |sim| {
+                                                sim.release(out_tok);
+                                                // Background merge at the
+                                                // destination node.
+                                                state.borrow_mut().merger_outstanding[dest] += 1;
+                                                let st = Rc::clone(&state);
+                                                let ids3 = Rc::clone(&ids2);
+                                                sim.use_resource(
+                                                    merger_r,
+                                                    demand.merge,
+                                                    move |sim| {
+                                                        {
+                                                            let mut s = st.borrow_mut();
+                                                            s.merger_last[dest] =
+                                                                s.merger_last[dest].max(sim.now());
+                                                            s.merger_outstanding[dest] -= 1;
+                                                        }
+                                                        maybe_start_reduce(
+                                                            sim, &ids3, &st, dest, rdemand,
+                                                        );
+                                                    },
+                                                );
+                                                let all_done = {
+                                                    let mut s = state.borrow_mut();
+                                                    s.chunks_done[node] += 1;
+                                                    s.chunks_done_total += 1;
+                                                    if s.chunks_done[node]
+                                                        == s.chunks_assigned[node]
                                                     {
-                                                        let mut s = st.borrow_mut();
-                                                        s.merger_last[dest] =
-                                                            s.merger_last[dest].max(sim.now());
-                                                        s.merger_outstanding[dest] -= 1;
+                                                        s.map_end[node] = sim.now();
                                                     }
-                                                    maybe_start_reduce(
-                                                        sim, &ids3, &st, dest, rdemand,
-                                                    );
-                                                },
-                                            );
-                                            let all_done = {
-                                                let mut s = state.borrow_mut();
-                                                s.chunks_done[node] += 1;
-                                                s.chunks_done_total += 1;
-                                                if s.chunks_done[node]
-                                                    == s.chunks_assigned[node]
-                                                {
-                                                    s.map_end[node] = sim.now();
+                                                    if s.chunks_done_total == total_chunks {
+                                                        s.global_map_done = true;
+                                                        true
+                                                    } else {
+                                                        false
+                                                    }
+                                                };
+                                                if all_done {
+                                                    for n in 0..nodes {
+                                                        maybe_start_reduce(
+                                                            sim, &ids2, &state, n, rdemand,
+                                                        );
+                                                    }
                                                 }
-                                                if s.chunks_done_total == total_chunks {
-                                                    s.global_map_done = true;
-                                                    true
-                                                } else {
-                                                    false
-                                                }
-                                            };
-                                            if all_done {
-                                                for n in 0..nodes {
-                                                    maybe_start_reduce(
-                                                        sim, &ids2, &state, n, rdemand,
-                                                    );
-                                                }
-                                            }
-                                        });
+                                            });
                                         });
                                     });
                                 });

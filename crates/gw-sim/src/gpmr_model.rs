@@ -59,8 +59,8 @@ pub fn simulate_gpmr(
     let compute = input_per_node * app.map_sec_per_mb * kernel_penalty / scale + pcie;
     // Phase 3: exchange + sort (in-core).
     let remote_fraction = if nodes > 1 { (n - 1.0) / n } else { 0.0 };
-    let exchange = inter_per_node * remote_fraction / cluster.net_bw_mb
-        + inter_per_node / cluster.merge_bw_mb;
+    let exchange =
+        inter_per_node * remote_fraction / cluster.net_bw_mb + inter_per_node / cluster.merge_bw_mb;
     // Phase 4: reduce kernels.
     let reduce = if app.has_reduce {
         inter_per_node * app.reduce_sec_per_mb / scale
@@ -91,7 +91,11 @@ mod tests {
         let app = AppParams::km_few_centers();
         let cluster = ClusterParams::das4_gpu_local();
         let o = simulate_gpmr(&app, &cluster, 4, 1.0);
-        let sum = o.io_read + o.compute + o.exchange + o.reduce + o.io_write
+        let sum = o.io_read
+            + o.compute
+            + o.exchange
+            + o.reduce
+            + o.io_write
             + ClusterParams::das4_gpu_local().gpmr_job_fixed;
         assert!((o.total - sum).abs() < 1e-9);
     }

@@ -114,8 +114,14 @@ mod tests {
         let g1 = simulate_glasswing(&app, &cluster, 1).total;
         let g64 = simulate_glasswing(&app, &cluster, 64).total;
         // Glasswing wins at both ends...
-        assert!(g1 < h1, "single node: glasswing {g1:.0}s vs hadoop {h1:.0}s");
-        assert!(g64 < h64, "64 nodes: glasswing {g64:.0}s vs hadoop {h64:.0}s");
+        assert!(
+            g1 < h1,
+            "single node: glasswing {g1:.0}s vs hadoop {h1:.0}s"
+        );
+        assert!(
+            g64 < h64,
+            "64 nodes: glasswing {g64:.0}s vs hadoop {h64:.0}s"
+        );
         // ...and its parallel efficiency is better (paper: 61% vs 37% for
         // WC at 64 nodes) — so the ratio grows with scale.
         let ratio1 = h1 / g1;
@@ -131,7 +137,11 @@ mod tests {
         // Paper: single-node improvement factor of at least 1.2×, up to
         // ≈2.6× for WC.
         let cluster = ClusterParams::das4_cpu_hdfs();
-        for app in [AppParams::pvc(), AppParams::wc(), AppParams::km_many_centers()] {
+        for app in [
+            AppParams::pvc(),
+            AppParams::wc(),
+            AppParams::km_many_centers(),
+        ] {
             let h = simulate_hadoop(&app, &cluster, 1).total;
             let g = simulate_glasswing(&app, &cluster, 1).total;
             let ratio = h / g;

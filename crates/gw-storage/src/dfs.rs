@@ -220,9 +220,9 @@ impl FileStore for Dfs {
             .files
             .get(&split.path)
             .ok_or_else(|| StorageError::NotFound(split.path.clone()))?;
-        let block = blocks
-            .get(split.block)
-            .ok_or_else(|| StorageError::Corrupt(format!("no block {} in {}", split.block, split.path)))?;
+        let block = blocks.get(split.block).ok_or_else(|| {
+            StorageError::Corrupt(format!("no block {} in {}", split.block, split.path))
+        })?;
         // Choose the serving replica: the reader's own copy first, then the
         // placement order — skipping dead nodes and chaos-faulted reads.
         let hook = self.fault.read().clone();
@@ -310,7 +310,12 @@ mod tests {
 
     fn records(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
         (0..n)
-            .map(|i| (format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("k{i:04}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
             .collect()
     }
 
@@ -508,6 +513,9 @@ mod tests {
         let splits = dfs.splits("/in").unwrap();
         dfs.mark_node_dead(splits[0].locations[0]);
         let err = dfs.read_split(&splits[0], NodeId(1)).unwrap_err();
-        assert!(matches!(err, StorageError::AllReplicasLost(_)), "got: {err}");
+        assert!(
+            matches!(err, StorageError::AllReplicasLost(_)),
+            "got: {err}"
+        );
     }
 }

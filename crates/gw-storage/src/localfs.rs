@@ -162,9 +162,8 @@ mod tests {
     #[test]
     fn every_node_reads_locally() {
         let fs = LocalFs::new(4);
-        let recs: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
-            .map(|i| (vec![i as u8], vec![i as u8; 3]))
-            .collect();
+        let recs: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..50).map(|i| (vec![i as u8], vec![i as u8; 3])).collect();
         fs.write_records(
             "/data",
             NodeId(0),

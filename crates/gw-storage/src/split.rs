@@ -115,11 +115,7 @@ pub trait FileStoreExt: FileStore {
     }
 
     /// Read and decode every record of a file (tests / small files).
-    fn read_all_records(
-        &self,
-        path: &str,
-        reader: NodeId,
-    ) -> Result<crate::KvVec, StorageError> {
+    fn read_all_records(&self, path: &str, reader: NodeId) -> Result<crate::KvVec, StorageError> {
         let mut out = Vec::new();
         for split in self.splits(path)? {
             let (bytes, _) = self.read_split(&split, reader)?;
@@ -188,7 +184,10 @@ impl RecordBlockBuilder {
 }
 
 /// Cut an existing raw record stream into record-aligned blocks.
-pub fn split_blocks(bytes: &[u8], block_size: usize) -> Result<Vec<(Vec<u8>, usize)>, StorageError> {
+pub fn split_blocks(
+    bytes: &[u8],
+    block_size: usize,
+) -> Result<Vec<(Vec<u8>, usize)>, StorageError> {
     let mut builder = RecordBlockBuilder::new(block_size);
     let mut reader = crate::seqfile::SeqReader::open_raw(bytes);
     while let Some((k, v)) = reader.next()? {

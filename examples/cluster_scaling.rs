@@ -21,7 +21,10 @@ fn main() {
     let gw_speedup = speedups(&gw);
     let hd_speedup = speedups(&hd);
 
-    println!("{:>6} {:>14} {:>14} {:>8} {:>10} {:>10}", "nodes", "glasswing (s)", "hadoop (s)", "ratio", "gw spdup", "hd spdup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "nodes", "glasswing (s)", "hadoop (s)", "ratio", "gw spdup", "hd spdup"
+    );
     for i in 0..counts.len() {
         println!(
             "{:>6} {:>14.1} {:>14.1} {:>7.2}x {:>10.1} {:>10.1}",
@@ -47,7 +50,10 @@ fn main() {
     let gpu_counts = [1usize, 2, 4, 8, 16];
     let gw = sweep(FrameworkKind::Glasswing, &km, &gpu, &gpu_counts);
     let gpmr = sweep(FrameworkKind::GPMR, &km, &gpu, &gpu_counts);
-    println!("{:>6} {:>14} {:>16} {:>16} {:>8}", "nodes", "glasswing (s)", "gpmr compute (s)", "gpmr total (s)", "ratio");
+    println!(
+        "{:>6} {:>14} {:>16} {:>16} {:>8}",
+        "nodes", "glasswing (s)", "gpmr compute (s)", "gpmr total (s)", "ratio"
+    );
     for i in 0..gpu_counts.len() {
         println!(
             "{:>6} {:>14.2} {:>16.2} {:>16.2} {:>7.2}x",

@@ -30,7 +30,14 @@ impl GwApp for FlakyWordCount {
             emit.emit(word, &enc_u64(1));
         }
     }
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    ) {
         if state.is_empty() {
             state.extend_from_slice(&enc_u64(0));
         }

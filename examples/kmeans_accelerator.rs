@@ -69,7 +69,10 @@ fn main() {
         println!("  kernel (modeled): {:?}", timers.modeled(StageId::Kernel));
         if !device.unified_memory {
             println!("  stage (modeled):    {:?}", timers.modeled(StageId::Stage));
-            println!("  retrieve (modeled): {:?}", timers.modeled(StageId::Retrieve));
+            println!(
+                "  retrieve (modeled): {:?}",
+                timers.modeled(StageId::Retrieve)
+            );
         }
         println!("  centers updated: {}", out.len());
 

@@ -51,7 +51,10 @@ fn main() {
     // Validate the total order across partition files.
     let out = read_job_output(cluster.store(), &report).expect("read output");
     assert_eq!(out.len(), records.len());
-    assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "total order violated");
+    assert!(
+        out.windows(2).all(|w| w[0].0 <= w[1].0),
+        "total order violated"
+    );
 
     println!("output files (globally ordered):");
     for f in report.output_files() {
@@ -71,5 +74,8 @@ fn main() {
         );
     }
     println!("\nelapsed: {:?}", report.elapsed);
-    println!("total order across {} partitions: verified ✓", total_partitions);
+    println!(
+        "total order across {} partitions: verified ✓",
+        total_partitions
+    );
 }

@@ -85,13 +85,18 @@ fn main() {
     }
     println!("\ndistinct URLs: {}", top.len());
     println!("\nwall time:");
-    println!("  glasswing      {gw_time:?}  (map {:?}, merge delay {:?})",
+    println!(
+        "  glasswing      {gw_time:?}  (map {:?}, merge delay {:?})",
         report.nodes.iter().map(|n| n.map.elapsed).max().unwrap(),
-        report.merge_delay());
+        report.merge_delay()
+    );
     println!(
         "  hadoop-model   {hadoop_time:?}  (map {:?}, shuffle {:?}, reduce {:?})",
         h_report.map_phase, h_report.shuffle_phase, h_report.reduce_phase
     );
-    println!("  speedup        {:.2}x", hadoop_time.as_secs_f64() / gw_time.as_secs_f64());
+    println!(
+        "  speedup        {:.2}x",
+        hadoop_time.as_secs_f64() / gw_time.as_secs_f64()
+    );
     println!("\n(outputs verified identical)");
 }

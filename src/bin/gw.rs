@@ -46,7 +46,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: gw <wordcount|pageviews|terasort|kmeans|matmul|simulate> [--opt value]...
+const USAGE: &str =
+    "usage: gw <wordcount|pageviews|terasort|kmeans|matmul|simulate> [--opt value]...
 run `gw <command> --help` hints inline; see README.md for details";
 
 type Opts = HashMap<String, String>;
@@ -145,7 +146,9 @@ fn wordcount(opts: &Opts) -> Result<(), String> {
     } else {
         Arc::new(WordCount::new())
     };
-    let report = cluster.run(app, &base_cfg(opts)).map_err(|e| e.to_string())?;
+    let report = cluster
+        .run(app, &base_cfg(opts))
+        .map_err(|e| e.to_string())?;
     let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
         .map_err(|e| e.to_string())?
         .into_iter()
@@ -157,7 +160,11 @@ fn wordcount(opts: &Opts) -> Result<(), String> {
         "wordcount: {} lines, {nodes} nodes, {} distinct words — output {}",
         spec.lines,
         out.len(),
-        if out == expect { "VERIFIED" } else { "MISMATCH" }
+        if out == expect {
+            "VERIFIED"
+        } else {
+            "MISMATCH"
+        }
     );
     out.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     for (w, c) in out.iter().take(5) {
@@ -207,12 +214,10 @@ fn terasort(opts: &Opts) -> Result<(), String> {
     let report = cluster.run(app, &cfg).map_err(|e| e.to_string())?;
     let out = read_job_output(cluster.store(), &report).map_err(|e| e.to_string())?;
     // TeraValidate: total order + order-insensitive checksum vs the input.
-    let vout = glasswing::apps::terasort::validate(
-        out.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
-    );
-    let vin = glasswing::apps::terasort::validate(
-        recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
-    );
+    let vout =
+        glasswing::apps::terasort::validate(out.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
+    let vin =
+        glasswing::apps::terasort::validate(recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())));
     println!(
         "terasort: {n_records} records, {nodes} nodes — total order {}, checksum {}",
         if vout.ordered { "VERIFIED" } else { "MISMATCH" },
@@ -244,7 +249,12 @@ fn kmeans(opts: &Opts) -> Result<(), String> {
     let cluster = build_cluster(&pts, nodes, 256 << 10);
     let cfg = base_cfg(opts);
     let run = glasswing::apps::kmeans::run_iterations(
-        &cluster, &cfg, centers, spec.centers, spec.dims, iterations,
+        &cluster,
+        &cfg,
+        centers,
+        spec.centers,
+        spec.dims,
+        iterations,
     )
     .map_err(|e| e.to_string())?;
     for (i, m) in run.movements.iter().enumerate() {
@@ -263,7 +273,9 @@ fn matmul(opts: &Opts) -> Result<(), String> {
     let w = workloads::matmul_workload(&spec);
     let cluster = build_cluster(&w.records, nodes, 256 << 10);
     let app = Arc::new(MatMul::new(spec.tile));
-    let report = cluster.run(app, &base_cfg(opts)).map_err(|e| e.to_string())?;
+    let report = cluster
+        .run(app, &base_cfg(opts))
+        .map_err(|e| e.to_string())?;
     let out = read_job_output(cluster.store(), &report).map_err(|e| e.to_string())?;
     let got = reference::assemble_tiles(&out, spec.n, spec.tile);
     let expect = reference::matmul(&w.a, &w.b);
@@ -308,7 +320,10 @@ fn simulate(opts: &Opts) -> Result<(), String> {
         framework.name(),
         cluster.storage
     );
-    println!("{:>6} | {:>12} | {:>10} | {:>10} | {:>10}", "nodes", "total (s)", "map", "merge", "reduce");
+    println!(
+        "{:>6} | {:>12} | {:>10} | {:>10} | {:>10}",
+        "nodes", "total (s)", "map", "merge", "reduce"
+    );
     for &n in &nodes {
         let r = sim::sweep::simulate(framework, &app, &cluster, n);
         println!(

@@ -24,7 +24,12 @@ const NODES: u32 = 4;
 /// crashes mid-map always leaves claimed work behind to reschedule.
 fn write_input(dfs: &Dfs) {
     let lines: Vec<(Vec<u8>, Vec<u8>)> = (0..NUM_LINES)
-        .map(|i| (format!("line{i:03}").into_bytes(), CORPUS.as_bytes().to_vec()))
+        .map(|i| {
+            (
+                format!("line{i:03}").into_bytes(),
+                CORPUS.as_bytes().to_vec(),
+            )
+        })
         .collect();
     dfs.write_records(
         "/chaos/in",
@@ -59,7 +64,9 @@ fn chaos_cfg() -> JobConfig {
 /// The fault-free reference output (fresh cluster, unarmed, same input).
 fn reference_output(nodes: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
     let cluster = make_cluster(nodes);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
     read_job_output(cluster.store(), &report).unwrap()
 }
 
@@ -72,9 +79,14 @@ fn fault_plans_are_deterministic_per_seed() {
         assert_eq!(a.describe(), b.describe(), "seed {seed} not reproducible");
     }
     // Different seeds must not all collapse onto one schedule.
-    let schedules: std::collections::HashSet<String> =
-        (0..32u64).map(|s| FaultPlan::from_seed(s, NODES).describe()).collect();
-    assert!(schedules.len() > 8, "only {} distinct schedules", schedules.len());
+    let schedules: std::collections::HashSet<String> = (0..32u64)
+        .map(|s| FaultPlan::from_seed(s, NODES).describe())
+        .collect();
+    assert!(
+        schedules.len() > 8,
+        "only {} distinct schedules",
+        schedules.len()
+    );
 }
 
 #[test]
@@ -83,10 +95,15 @@ fn node_crash_mid_map_recovers_byte_identical_output() {
 
     let plan = FaultPlan::crash(2, CrashSite::Kernel, 0);
     let cluster = make_cluster(NODES).with_fault_plan(plan);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
 
     assert_eq!(report.nodes_lost, 1, "node 2 must be declared dead");
-    assert!(report.splits_rescheduled >= 1, "its claimed splits must be requeued");
+    assert!(
+        report.splits_rescheduled >= 1,
+        "its claimed splits must be requeued"
+    );
     assert_eq!(report.nodes.len(), (NODES - 1) as usize, "survivors report");
     // All 8 global partitions still written (adoption covered node 2's).
     assert_eq!(report.output_files().len(), (NODES * 2) as usize);
@@ -112,7 +129,12 @@ fn crashes_at_every_pipeline_stage_recover() {
             .unwrap_or_else(|e| panic!("crash at {} not recovered: {e}", site.name()));
         assert_eq!(report.nodes_lost, 1, "site {}", site.name());
         let out = read_job_output(cluster.store(), &report).unwrap();
-        assert_eq!(out, reference, "output differs after crash at {}", site.name());
+        assert_eq!(
+            out,
+            reference,
+            "output differs after crash at {}",
+            site.name()
+        );
     }
 }
 
@@ -137,13 +159,18 @@ fn seeded_sweep_is_correct_or_fails_cleanly() {
             Err(EngineError::JobTimeout(_)) => {
                 panic!("seed {seed} ({schedule}): recovery hung until the watchdog")
             }
-            Err(EngineError::NodeLost(_) | EngineError::TaskFailed(_) | EngineError::Storage(_)) => {
+            Err(
+                EngineError::NodeLost(_) | EngineError::TaskFailed(_) | EngineError::Storage(_),
+            ) => {
                 // A clean typed failure is acceptable; silence is not.
             }
             Err(other) => panic!("seed {seed} ({schedule}): unexpected error {other}"),
         }
     }
-    assert!(recovered >= 10, "only {recovered}/20 seeds recovered — plane too lossy");
+    assert!(
+        recovered >= 10,
+        "only {recovered}/20 seeds recovered — plane too lossy"
+    );
 }
 
 #[test]
@@ -195,7 +222,10 @@ fn same_seed_reproduces_the_same_outcome() {
     };
     let (sched_a, ok_a, lost_a, out_a) = run();
     let (sched_b, ok_b, lost_b, out_b) = run();
-    assert_eq!(sched_a, sched_b, "fault schedule must be seed-deterministic");
+    assert_eq!(
+        sched_a, sched_b,
+        "fault schedule must be seed-deterministic"
+    );
     assert_eq!(ok_a, ok_b);
     assert_eq!(lost_a, lost_b);
     assert_eq!(out_a, out_b);
@@ -206,7 +236,9 @@ fn storage_read_fault_fails_over_to_another_replica() {
     let reference = reference_output(NODES);
     let plan = FaultPlan::empty().with_read_fault(0);
     let cluster = make_cluster(NODES).with_fault_plan(plan);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
     assert!(
         report.blocks_read_remote_due_to_fault >= 1,
         "the injected read fault must be visible in the accounting"
@@ -221,10 +253,15 @@ fn dropped_shuffle_message_is_rerequested() {
     let reference = reference_output(NODES);
     let plan = FaultPlan::empty().with_net_drop(0, 1, 1);
     let cluster = make_cluster(NODES).with_fault_plan(plan);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
     assert_eq!(report.nodes_lost, 0);
     let out = read_job_output(cluster.store(), &report).unwrap();
-    assert_eq!(out, reference, "the dropped run must be re-served, exactly once");
+    assert_eq!(
+        out, reference,
+        "the dropped run must be re-served, exactly once"
+    );
 }
 
 #[test]
@@ -232,7 +269,9 @@ fn delayed_shuffle_message_is_tolerated() {
     let reference = reference_output(NODES);
     let plan = FaultPlan::empty().with_net_delay(0, 1, 1, Duration::from_millis(40));
     let cluster = make_cluster(NODES).with_fault_plan(plan);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
     assert_eq!(report.nodes_lost, 0);
     let out = read_job_output(cluster.store(), &report).unwrap();
     assert_eq!(out, reference);
@@ -244,11 +283,19 @@ fn reduce_site_fault_is_recovered_by_the_retry_budget() {
 
     // Budget 1: the injected reduce-kernel fault is re-executed.
     let plan = FaultPlan::crash(1, CrashSite::Reduce, 0);
-    assert!(!plan.schedules_node_crash(), "reduce site is a task fault, not a node death");
+    assert!(
+        !plan.schedules_node_crash(),
+        "reduce site is a task fault, not a node death"
+    );
     let cluster = make_cluster(NODES).with_fault_plan(plan);
-    let report = cluster.run(Arc::new(WordCount::new()), &chaos_cfg()).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
     let retried: usize = report.nodes.iter().map(|n| n.reduce.tasks_retried).sum();
-    assert!(retried >= 1, "the reduce fault must show up as a retried task");
+    assert!(
+        retried >= 1,
+        "the reduce fault must show up as a retried task"
+    );
     assert_eq!(report.nodes_lost, 0);
     let out = read_job_output(cluster.store(), &report).unwrap();
     assert_eq!(out, reference);

@@ -31,11 +31,7 @@ fn small_cfg() -> JobConfig {
     cfg
 }
 
-fn run_job(
-    cluster: &Cluster,
-    app: Arc<dyn GwApp>,
-    cfg: &JobConfig,
-) -> Vec<(Vec<u8>, Vec<u8>)> {
+fn run_job(cluster: &Cluster, app: Arc<dyn GwApp>, cfg: &JobConfig) -> Vec<(Vec<u8>, Vec<u8>)> {
     let report = cluster.run(app, cfg).unwrap();
     read_job_output(cluster.store(), &report).unwrap()
 }
@@ -164,7 +160,11 @@ fn check_kmeans(nodes: u32, combiner: bool) {
     let cluster = Cluster::new(dfs_with(&pts, nodes, 8 << 10), NetProfile::unlimited());
     let cfg = small_cfg();
     let app = KMeans::new(centers.clone(), spec.centers, spec.dims);
-    let app = if combiner { app } else { app.without_combiner() };
+    let app = if combiner {
+        app
+    } else {
+        app.without_combiner()
+    };
     let app = Arc::new(app);
     let reference_app = KMeans::new(centers, spec.centers, spec.dims);
     let expect = reference::kmeans_iteration(&pts, &reference_app);
@@ -208,10 +208,17 @@ fn check_matmul(nodes: u32, combiner: bool) {
         seed: 17,
     };
     let w = workloads::matmul_workload(&spec);
-    let cluster = Cluster::new(dfs_with(&w.records, nodes, 8 << 10), NetProfile::unlimited());
+    let cluster = Cluster::new(
+        dfs_with(&w.records, nodes, 8 << 10),
+        NetProfile::unlimited(),
+    );
     let cfg = small_cfg();
     let app = MatMul::new(spec.tile);
-    let app = if combiner { app } else { app.without_combiner() };
+    let app = if combiner {
+        app
+    } else {
+        app.without_combiner()
+    };
     let out = run_job(&cluster, Arc::new(app), &cfg);
     assert_eq!(
         out.len(),
@@ -247,10 +254,7 @@ fn throttled_network_does_not_change_results() {
     };
     let recs = workloads::text_corpus(&spec);
     // A slow (but not glacial) fabric: results must be identical.
-    let cluster = Cluster::new(
-        dfs_with(&recs, 2, 4096),
-        NetProfile::slow_test(20.0e6),
-    );
+    let cluster = Cluster::new(dfs_with(&recs, 2, 4096), NetProfile::slow_test(20.0e6));
     let mut out: Vec<(Vec<u8>, u64)> = run_job(&cluster, Arc::new(WordCount::new()), &small_cfg())
         .into_iter()
         .map(|(k, v)| (k, codec::dec_u64(&v)))

@@ -40,7 +40,10 @@ fn three_engines_agree_on_wordcount() {
         recs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
     )
     .unwrap();
-    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let gw = Cluster::new(
+        Arc::clone(&dfs) as Arc<dyn FileStore>,
+        NetProfile::unlimited(),
+    );
     let mut cfg = JobConfig::new("/in", "/gw-out");
     cfg.device_threads = 2;
     let report = gw.run(Arc::new(WordCount::new()), &cfg).unwrap();
@@ -94,7 +97,10 @@ fn glasswing_and_hadoop_agree_on_kmeans() {
     )
     .unwrap();
 
-    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let gw = Cluster::new(
+        Arc::clone(&dfs) as Arc<dyn FileStore>,
+        NetProfile::unlimited(),
+    );
     let mut cfg = JobConfig::new("/in", "/gw-out");
     cfg.device_threads = 2;
     let app = Arc::new(KMeans::new(centers.clone(), spec.centers, spec.dims));
@@ -134,7 +140,10 @@ fn hadoop_terasort_equals_glasswing_terasort() {
     .unwrap();
     let samples = workloads::sample_keys(&recs, 100, 2);
 
-    let gw = Cluster::new(Arc::clone(&dfs) as Arc<dyn FileStore>, NetProfile::unlimited());
+    let gw = Cluster::new(
+        Arc::clone(&dfs) as Arc<dyn FileStore>,
+        NetProfile::unlimited(),
+    );
     let mut cfg = JobConfig::new("/in", "/gw-out");
     cfg.device_threads = 2;
     cfg.output_replication = 1;

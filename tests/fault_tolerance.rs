@@ -54,7 +54,14 @@ impl GwApp for FlakyWordCount {
         }
     }
 
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    ) {
         if state.is_empty() {
             state.extend_from_slice(&enc_u64(0));
         }
@@ -106,7 +113,14 @@ impl GwApp for FlakyReduce {
             emit.emit(word, &enc_u64(1));
         }
     }
-    fn reduce(&self, key: &[u8], values: &[&[u8]], state: &mut Vec<u8>, last: bool, emit: &Emit<'_>) {
+    fn reduce(
+        &self,
+        key: &[u8],
+        values: &[&[u8]],
+        state: &mut Vec<u8>,
+        last: bool,
+        emit: &Emit<'_>,
+    ) {
         let left = self.remaining_failures.load(Ordering::SeqCst);
         if left > 0
             && self
@@ -170,18 +184,19 @@ fn transient_map_fault_is_reexecuted_and_output_is_correct() {
     let report = cluster.run(app, &cfg(3)).unwrap();
     let retried: usize = report.nodes.iter().map(|n| n.map.tasks_retried).sum();
     assert!(retried >= 1, "the fault must have triggered a re-execution");
-    let mut out: Vec<(Vec<u8>, u64)> = glasswing::core::cluster::read_job_output(
-        cluster.store(),
-        &report,
-    )
-    .unwrap()
-    .into_iter()
-    .map(|(k, v)| (k, dec_u64(&v)))
-    .collect();
+    let mut out: Vec<(Vec<u8>, u64)> =
+        glasswing::core::cluster::read_job_output(cluster.store(), &report)
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k, dec_u64(&v)))
+            .collect();
     out.sort();
     // Discard-and-reexecute must not duplicate the poisoned chunk's output.
     let beta = out.iter().find(|(k, _)| k == b"beta").unwrap().1;
-    assert_eq!(beta, 4, "partial output of failed attempts must be discarded");
+    assert_eq!(
+        beta, 4,
+        "partial output of failed attempts must be discarded"
+    );
     let alpha = out.iter().find(|(k, _)| k == b"alpha").unwrap().1;
     assert_eq!(alpha, 3);
     assert_eq!(out.iter().find(|(k, _)| k == b"POISON").unwrap().1, 1);
@@ -255,17 +270,19 @@ fn transient_reduce_fault_is_reexecuted_and_output_is_correct() {
     let report = cluster.run(app, &job_cfg).unwrap();
     let retried: usize = report.nodes.iter().map(|n| n.reduce.tasks_retried).sum();
     assert!(retried >= 1, "the fault must have triggered a re-execution");
-    let mut out: Vec<(Vec<u8>, u64)> = glasswing::core::cluster::read_job_output(
-        cluster.store(),
-        &report,
-    )
-    .unwrap()
-    .into_iter()
-    .map(|(k, v)| (k, dec_u64(&v)))
-    .collect();
+    let mut out: Vec<(Vec<u8>, u64)> =
+        glasswing::core::cluster::read_job_output(cluster.store(), &report)
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k, dec_u64(&v)))
+            .collect();
     out.sort();
     let count = |word: &[u8]| out.iter().find(|(k, _)| k == word).unwrap().1;
-    assert_eq!(count(b"alpha"), 3, "retried reduce must not lose or duplicate");
+    assert_eq!(
+        count(b"alpha"),
+        3,
+        "retried reduce must not lose or duplicate"
+    );
     assert_eq!(count(b"beta"), 4);
     assert_eq!(count(b"gamma"), 3);
     assert_eq!(count(b"delta"), 1);
@@ -278,7 +295,11 @@ fn retries_do_not_perturb_healthy_jobs() {
     let app = Arc::new(FlakyWordCount::new(0, b"POISON"));
     let report = cluster.run(app, &cfg(3)).unwrap();
     assert_eq!(
-        report.nodes.iter().map(|n| n.map.tasks_retried).sum::<usize>(),
+        report
+            .nodes
+            .iter()
+            .map(|n| n.map.tasks_retried)
+            .sum::<usize>(),
         0
     );
 }

@@ -54,7 +54,10 @@ fn parallel_single_key_reduction_matches_sequential() {
         .iter()
         .map(|n| n.reduce.parallel_key_splits)
         .sum();
-    assert!(splits > 0, "long value lists must trigger cooperative splits");
+    assert!(
+        splits > 0,
+        "long value lists must trigger cooperative splits"
+    );
     let mut out: Vec<(Vec<u8>, u64)> = read_job_output(cluster.store(), &report)
         .unwrap()
         .into_iter()
@@ -144,8 +147,7 @@ fn kmeans_parallel_reduction_matches_reference() {
         .sum();
     assert!(splits > 0);
     let out = read_job_output(cluster.store(), &report).unwrap();
-    let expect =
-        reference::kmeans_iteration(&pts, &KMeans::new(centers, spec.centers, spec.dims));
+    let expect = reference::kmeans_iteration(&pts, &KMeans::new(centers, spec.centers, spec.dims));
     assert_eq!(out.len(), expect.len());
     for (k, v) in out {
         let cidx = codec::dec_key_u32(&k);

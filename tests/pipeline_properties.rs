@@ -40,6 +40,68 @@ fn cfg() -> JobConfig {
     cfg
 }
 
+/// §III-D on the real engine: every buffering level yields byte-identical
+/// job output, and the executor's high-water mark of in-flight chunks per
+/// token group never exceeds the buffering depth `B` — observed by the
+/// interlock's own atomic gauge, not inferred from timing.
+#[test]
+fn buffering_levels_agree_byte_for_byte_and_respect_the_interlock() {
+    let mut reference: Option<Vec<(Vec<u8>, Vec<u8>)>> = None;
+    for (buffering, b) in [
+        (Buffering::Single, 1),
+        (Buffering::Double, 2),
+        (Buffering::Triple, 3),
+    ] {
+        let cluster = corpus_cluster(600, 2, 2048);
+        let mut c = cfg();
+        c.buffering = buffering;
+        // One device thread per node: concurrent work items emit into the
+        // sharded arena in race order, which is real nondeterminism but
+        // not the variable under test here.
+        c.device_threads = 1;
+        let report = cluster.run(Arc::new(WordCount::new()), &c).unwrap();
+        for n in &report.nodes {
+            assert!(
+                n.map.max_in_flight >= 1,
+                "{buffering:?}: gauge never engaged"
+            );
+            assert!(
+                n.map.max_in_flight <= b,
+                "{buffering:?}: {} chunks in flight, interlock allows {b}",
+                n.map.max_in_flight
+            );
+        }
+        let out = read_job_output(cluster.store(), &report).unwrap();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "{buffering:?} output diverged from Single"),
+        }
+    }
+}
+
+/// On a unified-memory device (the host CPU profile) the Stage and
+/// Retrieve stages fuse out of the pipeline graph at build time: the map
+/// pipeline runs on exactly 3 stage threads, not 5.
+#[test]
+fn unified_memory_fuses_stage_and_retrieve_out_of_the_graph() {
+    let cluster = corpus_cluster(300, 1, 2048);
+    let report = cluster.run(Arc::new(WordCount::new()), &cfg()).unwrap();
+    assert_eq!(
+        report.nodes[0].map.stage_threads, 3,
+        "host profile must fuse Stage and Retrieve"
+    );
+
+    // A discrete-memory profile keeps all five stages live.
+    let cluster = corpus_cluster(300, 1, 2048);
+    let mut c = cfg();
+    c.device = DeviceProfile::gtx480();
+    let report = cluster.run(Arc::new(WordCount::new()), &c).unwrap();
+    assert_eq!(
+        report.nodes[0].map.stage_threads, 5,
+        "discrete profile must keep Stage and Retrieve live"
+    );
+}
+
 /// The measured map-phase elapsed time must be consistent with replaying
 /// the measured per-chunk stage durations through the schedule model: the
 /// model's makespan is a lower bound (the real pipeline adds queueing and
@@ -59,11 +121,7 @@ fn schedule_model_replays_measured_chunks() {
     let chunks: Vec<ChunkTimes> = node
         .map_samples
         .iter()
-        .map(|s| {
-            [
-                s[0].wall, s[1].wall, s[2].wall, s[3].wall, s[4].wall,
-            ]
-        })
+        .map(|s| [s[0].wall, s[1].wall, s[2].wall, s[3].wall, s[4].wall])
         .collect();
     let modeled = pipeline_makespan(&chunks, Buffering::Double);
     let measured = node.map.elapsed;
@@ -111,10 +169,7 @@ fn collector_choice_shifts_stage_balance() {
         };
         let report = cluster.run(app, &c).unwrap();
         let n = &report.nodes[0];
-        (
-            n.map_timers.wall(StageId::Partition),
-            n.map.records_out,
-        )
+        (n.map_timers.wall(StageId::Partition), n.map.records_out)
     };
     let (_, records_combined) = run(CollectorKind::HashTable, true);
     let (_, records_simple) = run(CollectorKind::BufferPool, false);
@@ -135,7 +190,9 @@ fn intermediate_machinery_reports_metrics() {
     c.cache_threshold = 1 << 12; // force spills
     c.partitions_per_node = 2;
     c.merger_threads = 2;
-    let report = cluster.run(Arc::new(WordCount::without_combiner()), &c).unwrap();
+    let report = cluster
+        .run(Arc::new(WordCount::without_combiner()), &c)
+        .unwrap();
     let spills: usize = report.nodes.iter().map(|n| n.intermediate.flushes).sum();
     assert!(spills > 0, "tiny cache threshold must force flushes");
     for n in &report.nodes {
@@ -226,7 +283,9 @@ fn shuffle_volume_accounting_closes() {
     let cluster = Cluster::new(dfs, NetProfile::unlimited());
     let mut c = cfg();
     c.collector = CollectorKind::BufferPool; // no combining: volume is exact
-    let report = cluster.run(std::sync::Arc::new(WordCount::without_combiner()), &c).unwrap();
+    let report = cluster
+        .run(std::sync::Arc::new(WordCount::without_combiner()), &c)
+        .unwrap();
     let pushed_remote: usize = report.nodes.iter().map(|n| n.map.runs_remote).sum();
     let received: usize = report.nodes.iter().map(|n| n.shuffle_runs_received).sum();
     assert_eq!(pushed_remote, received, "run conservation");

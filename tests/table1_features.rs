@@ -56,7 +56,10 @@ fn cluster_support_column() {
     )
     .expect("GPMR supports clusters");
 
-    let gw = Cluster::new(load(Dfs::new(DfsConfig::new(3).free_io()), &recs), NetProfile::unlimited());
+    let gw = Cluster::new(
+        load(Dfs::new(DfsConfig::new(3).free_io()), &recs),
+        NetProfile::unlimited(),
+    );
     let mut cfg = JobConfig::new("/in", "/gw-out");
     cfg.device_threads = 1;
     gw.run(Arc::new(WordCount::new()), &cfg)
@@ -80,7 +83,10 @@ fn out_of_core_column() {
 
     // Same pressure on Glasswing: a tiny cache threshold just means
     // spilling; the job completes and the output is exact.
-    let gw = Cluster::new(load(Dfs::new(DfsConfig::new(1).free_io()), &recs), NetProfile::unlimited());
+    let gw = Cluster::new(
+        load(Dfs::new(DfsConfig::new(1).free_io()), &recs),
+        NetProfile::unlimited(),
+    );
     let mut cfg = JobConfig::new("/in", "/gw-out");
     cfg.device_threads = 1;
     cfg.cache_threshold = 4 << 10;

@@ -87,9 +87,7 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(v),
-        }
+        Bytes { data: Arc::from(v) }
     }
 }
 

@@ -59,7 +59,12 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn new_value(&self, rng: &mut TestRng) -> Self::Value {
         let span = (self.size.hi - self.size.lo) as u64;
-        let len = self.size.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
         (0..len).map(|_| self.element.new_value(rng)).collect()
     }
 }

@@ -108,7 +108,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             *left == *right,
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
-            stringify!($left), stringify!($right), left, right
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
         );
     }};
 }
@@ -121,7 +124,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), left
+            stringify!($left),
+            stringify!($right),
+            left
         );
     }};
 }
