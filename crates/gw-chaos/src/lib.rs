@@ -15,10 +15,14 @@
 //! same seed.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::RwLock;
 
 use gw_net::{NetFaultAction, NetFaultHook};
 use gw_storage::{NodeId, StorageFaultHook};
+use gw_trace::{LaneId, MarkId, Realm, Tracer};
 
 /// SplitMix64 — a tiny deterministic RNG. In-repo so the fault plane
 /// depends on no external crates and no global entropy.
@@ -150,6 +154,7 @@ pub struct FaultPlan {
     crash: Option<CrashFault>,
     read: Option<ReadFault>,
     net: Option<NetFault>,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl FaultPlan {
@@ -265,6 +270,49 @@ impl FaultPlan {
         self.seed
     }
 
+    /// Arm (`Some`) or disarm (`None`) the observability tracer. Arming
+    /// emits one `fault-armed` mark per scheduled fault on the chaos lane
+    /// of the fault's node, and later firings emit their marks there too.
+    pub fn arm_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        if let Some(t) = &tracer {
+            if let Some(c) = &self.crash {
+                t.lane(chaos_lane(c.node)).instant(MarkId::FaultArmed {
+                    kind: if c.site == CrashSite::Reduce {
+                        "task"
+                    } else {
+                        "crash"
+                    },
+                    detail: u64::from(c.after),
+                });
+            }
+            if let Some(r) = &self.read {
+                // A read fault is not pinned to a node; report it on the
+                // cluster-wide lane of node 0.
+                t.lane(chaos_lane(0)).instant(MarkId::FaultArmed {
+                    kind: "read",
+                    detail: r.block as u64,
+                });
+            }
+            if let Some(f) = &self.net {
+                t.lane(chaos_lane(f.from)).instant(MarkId::FaultArmed {
+                    kind: match f.kind {
+                        NetFaultKind::Drop => "net-drop",
+                        NetFaultKind::Delay(_) => "net-delay",
+                    },
+                    detail: u64::from(f.nth),
+                });
+            }
+        }
+        *self.tracer.write() = tracer;
+    }
+
+    /// Emit `mark` on `node`'s chaos lane if a tracer is armed.
+    fn trace_mark(&self, node: u32, mark: MarkId) {
+        if let Some(t) = self.tracer.read().as_ref() {
+            t.lane(chaos_lane(node)).instant(mark);
+        }
+    }
+
     /// Whether a whole-node crash is scheduled (at a map-side site).
     pub fn schedules_node_crash(&self) -> bool {
         self.crash
@@ -306,7 +354,17 @@ impl FaultPlan {
             return false;
         }
         let seen = c.seen.fetch_add(1, Ordering::Relaxed) + 1;
-        seen > c.after && !c.fired.swap(true, Ordering::Relaxed)
+        let fires = seen > c.after && !c.fired.swap(true, Ordering::Relaxed);
+        if fires {
+            self.trace_mark(
+                node,
+                MarkId::CrashFired {
+                    site: c.site.name(),
+                    after: u64::from(c.after),
+                },
+            );
+        }
+        fires
     }
 
     /// Probe the reduce fault for `node`. A [`CrashSite::Reduce`] schedule
@@ -317,14 +375,36 @@ impl FaultPlan {
     /// DESIGN.md §3.5).
     pub fn reduce_fault_fires(&self, node: u32) -> bool {
         let Some(c) = &self.crash else { return false };
-        c.site == CrashSite::Reduce && c.node == node && !c.fired.swap(true, Ordering::Relaxed)
+        let fires =
+            c.site == CrashSite::Reduce && c.node == node && !c.fired.swap(true, Ordering::Relaxed);
+        if fires {
+            self.trace_mark(node, MarkId::TaskFaultFired);
+        }
+        fires
+    }
+}
+
+/// Node `node`'s chaos lane.
+fn chaos_lane(node: u32) -> LaneId {
+    LaneId {
+        node,
+        realm: Realm::Chaos,
     }
 }
 
 impl StorageFaultHook for FaultPlan {
-    fn read_fault(&self, _path: &str, block: usize, _source: NodeId) -> bool {
+    fn read_fault(&self, _path: &str, block: usize, source: NodeId) -> bool {
         let Some(r) = &self.read else { return false };
-        r.block == block && !r.fired.swap(true, Ordering::Relaxed)
+        let fires = r.block == block && !r.fired.swap(true, Ordering::Relaxed);
+        if fires {
+            self.trace_mark(
+                source.0,
+                MarkId::ReadFaultFired {
+                    block: block as u64,
+                },
+            );
+        }
+        fires
     }
 }
 
@@ -339,8 +419,14 @@ impl NetFaultHook for FaultPlan {
         let seen = f.seen.fetch_add(1, Ordering::Relaxed) + 1;
         if seen > f.nth && !f.fired.swap(true, Ordering::Relaxed) {
             match f.kind {
-                NetFaultKind::Drop => NetFaultAction::Drop,
-                NetFaultKind::Delay(d) => NetFaultAction::Delay(d),
+                NetFaultKind::Drop => {
+                    self.trace_mark(from.0, MarkId::NetFaultFired { kind: "drop" });
+                    NetFaultAction::Drop
+                }
+                NetFaultKind::Delay(d) => {
+                    self.trace_mark(from.0, MarkId::NetFaultFired { kind: "delay" });
+                    NetFaultAction::Delay(d)
+                }
             }
         } else {
             NetFaultAction::Deliver
@@ -447,6 +533,48 @@ mod tests {
                 CrashSite::Shuffle,
             ]
         );
+    }
+
+    #[test]
+    fn armed_tracer_records_arming_and_firing() {
+        use gw_trace::LogicalKind;
+        let tracer = Arc::new(Tracer::new());
+        let p = FaultPlan::crash(2, CrashSite::Kernel, 1).with_read_fault(3);
+        p.arm_tracer(Some(Arc::clone(&tracer)));
+        assert!(!p.crash_fires(2, CrashSite::Kernel));
+        assert!(p.crash_fires(2, CrashSite::Kernel));
+        assert!(p.read_fault("/f", 3, NodeId(1)));
+        let marks: Vec<(u32, MarkId)> = tracer
+            .finish()
+            .logical_events()
+            .into_iter()
+            .filter_map(|(lane, kind)| match kind {
+                LogicalKind::Instant { mark } => Some((lane.node, mark)),
+                _ => None,
+            })
+            .collect();
+        assert!(marks.contains(&(
+            2,
+            MarkId::FaultArmed {
+                kind: "crash",
+                detail: 1
+            }
+        )));
+        assert!(marks.contains(&(
+            0,
+            MarkId::FaultArmed {
+                kind: "read",
+                detail: 3
+            }
+        )));
+        assert!(marks.contains(&(
+            2,
+            MarkId::CrashFired {
+                site: "kernel",
+                after: 1
+            }
+        )));
+        assert!(marks.contains(&(1, MarkId::ReadFaultFired { block: 3 })));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use gw_intermediate::{IntermediateConfig, IntermediateStore, Run, TempDir};
 use gw_net::{Fabric, NetProfile, ShuffleMsg, ShuffleReceiver, ShuffleSummary};
 use gw_storage::split::{FileStore, FileStoreExt};
 use gw_storage::NodeId;
+use gw_trace::{CounterId, LaneId, MetricsSummary, Realm, Trace, Tracer};
 
 use crate::api::GwApp;
 use crate::config::JobConfig;
@@ -94,6 +95,10 @@ pub struct JobReport {
     /// DFS block reads that failed over to another replica because of a
     /// dead node or an injected read fault.
     pub blocks_read_remote_due_to_fault: usize,
+    /// Per-node/per-stage counter rollup derived from the trace.
+    pub metrics: MetricsSummary,
+    /// The job's full event trace (export with [`Trace::chrome_json`]).
+    pub trace: Trace,
 }
 
 impl JobReport {
@@ -215,7 +220,18 @@ impl Cluster {
                 Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>
             ));
         }
-        let _disarm = DisarmOnDrop(&self.store);
+        // Arm the observability plane on every subsystem for the duration
+        // of the job; the guard disarms them all on every exit path.
+        let tracer = Arc::new(Tracer::new());
+        fabric.arm_tracer(Some(Arc::clone(&tracer)));
+        self.store.arm_tracer(Some(Arc::clone(&tracer)));
+        if let Some(plan) = &self.fault_plan {
+            plan.arm_tracer(Some(Arc::clone(&tracer)));
+        }
+        let _disarm = DisarmOnDrop {
+            store: &self.store,
+            plan: self.fault_plan.as_deref(),
+        };
         let failovers_before = self.store.fault_failovers();
 
         let start = Instant::now();
@@ -234,12 +250,23 @@ impl Cluster {
                 recovery: Arc::new(RecoveryState::new()),
                 dead: Arc::new(AtomicBool::new(false)),
             });
+            let tracer = Arc::clone(&tracer);
             let res_tx = res_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("gw-node-{n}"))
                 .spawn(move || {
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_node(node, nodes, app, store, coordinator, endpoint, &cfg, chaos)
+                        run_node(
+                            node,
+                            nodes,
+                            app,
+                            store,
+                            coordinator,
+                            endpoint,
+                            &cfg,
+                            chaos,
+                            tracer,
+                        )
                     }))
                     .unwrap_or_else(|_| {
                         Err(EngineError::TaskFailed("node runtime panicked".into()))
@@ -324,6 +351,7 @@ impl Cluster {
             }
         }
         reports.sort_by_key(|r| r.node.0);
+        let trace = tracer.finish();
         Ok(JobReport {
             elapsed,
             nodes: reports,
@@ -333,16 +361,26 @@ impl Cluster {
                 .store
                 .fault_failovers()
                 .saturating_sub(failovers_before),
+            metrics: trace.metrics(),
+            trace,
         })
     }
 }
 
-/// Disarms the store's chaos hook on every exit path of [`Cluster::run`].
-struct DisarmOnDrop<'a>(&'a Arc<dyn FileStore>);
+/// Disarms the store's chaos hook and every subsystem's tracer on every
+/// exit path of [`Cluster::run`].
+struct DisarmOnDrop<'a> {
+    store: &'a Arc<dyn FileStore>,
+    plan: Option<&'a FaultPlan>,
+}
 
 impl Drop for DisarmOnDrop<'_> {
     fn drop(&mut self) {
-        self.0.arm_fault_hook(None);
+        self.store.arm_fault_hook(None);
+        self.store.arm_tracer(None);
+        if let Some(plan) = self.plan {
+            plan.arm_tracer(None);
+        }
     }
 }
 
@@ -422,6 +460,7 @@ fn spawn_supervised_receiver(
     nodes: u32,
     node: NodeId,
     chaos: NodeChaos,
+    tracer: Arc<Tracer>,
 ) -> std::thread::JoinHandle<Result<ShuffleSummary, EngineError>> {
     std::thread::Builder::new()
         .name(format!("gw-shuffle-rx-{node}"))
@@ -481,6 +520,16 @@ fn spawn_supervised_receiver(
                                     // Control path: re-served runs are not
                                     // subject to further injected drops.
                                     endpoint.send(env.from, msg, wire);
+                                    // The retransmit counter lives on the
+                                    // rx lane: this thread is the node's
+                                    // receiver, so the lane stays
+                                    // single-writer.
+                                    tracer
+                                        .lane(LaneId {
+                                            node: node.0,
+                                            realm: Realm::NetRx,
+                                        })
+                                        .count(CounterId::ShuffleRetransmit, 1);
                                 }
                             }
                         }
@@ -571,6 +620,7 @@ fn run_node(
     endpoint: Arc<gw_net::Endpoint<ShuffleMsg>>,
     cfg: &JobConfig,
     chaos: Option<NodeChaos>,
+    tracer: Arc<Tracer>,
 ) -> Result<NodeReport, EngineError> {
     // Heartbeats span the node's whole lifetime (map through reduce).
     let _heartbeat = chaos
@@ -609,6 +659,7 @@ fn run_node(
             nodes,
             node,
             cx.clone(),
+            Arc::clone(&tracer),
         )),
         None => ShuffleRx::Plain(ShuffleReceiver::spawn(
             Arc::clone(&endpoint),
@@ -646,6 +697,7 @@ fn run_node(
         intermediate: Arc::clone(&intermediate),
         endpoint: Arc::clone(&endpoint),
         timers: Arc::clone(&map_timers),
+        tracer: Arc::clone(&tracer),
         durability_dir: durability.as_ref().map(|d| d.path().to_path_buf()),
         chaos: chaos.clone(),
     }
@@ -683,6 +735,7 @@ fn run_node(
         coordinator: Arc::clone(&coordinator),
         intermediate: Arc::clone(&intermediate),
         timers: Arc::clone(&reduce_timers),
+        tracer,
         chaos,
     }
     .run()?;

@@ -58,6 +58,10 @@ pub use timers::{PipelineKind, StageId, StageTimers, TimerReport};
 
 pub use gw_chaos::{CrashSite, FaultPlan};
 pub use gw_storage::NodeId;
+pub use gw_trace::{
+    validate_json, CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, MetricsSummary,
+    ReadClass, Realm, SpanId, Trace, Tracer,
+};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]

@@ -56,6 +56,7 @@ use gw_pipeline::{
 };
 use gw_storage::split::FileStore;
 use gw_storage::{seqfile::SeqReader, NodeId};
+use gw_trace::Tracer;
 
 use crate::api::{Emit, GwApp};
 use crate::collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
@@ -573,6 +574,9 @@ pub struct MapPhase<'a> {
     pub endpoint: Arc<Endpoint<ShuffleMsg>>,
     /// Stage timers to fill.
     pub timers: Arc<StageTimers>,
+    /// Job-wide event tracer; the executor emits chunk spans and
+    /// token-wait regions onto this node's pipeline lanes.
+    pub tracer: Arc<Tracer>,
     /// Directory for durability copies of map output (when enabled).
     pub durability_dir: Option<std::path::PathBuf>,
     /// Fault-injection and recovery handle (supervised mode only).
@@ -589,7 +593,7 @@ impl MapPhase<'_> {
     pub fn run(self) -> Result<MapPhaseReport, EngineError> {
         let start = Instant::now();
         let b = self.cfg.buffering.depth();
-        let unified = self.device.unified_memory();
+        let unified = self.device.unified_memory() && !self.cfg.disable_stage_fusion;
         let total_partitions = self.cfg.partitions_per_node * self.nodes;
 
         // Partitioning worker pool: N lanes (orchestrator participates).
@@ -685,7 +689,8 @@ impl MapPhase<'_> {
             )
             .interlock(StageId::Input, StageId::Kernel)
             .interlock(StageId::Kernel, StageId::Partition)
-            .timers(Arc::clone(&self.timers), 0);
+            .timers(Arc::clone(&self.timers), 0)
+            .tracer(Arc::clone(&self.tracer), self.node.0);
         if let Some(chaos) = self.chaos.clone() {
             pipeline = pipeline.probe(MapPipelineProbe::new(
                 chaos,

@@ -46,6 +46,7 @@ use gw_pipeline::{
 };
 use gw_storage::split::{FileStore, RecordBlockBuilder};
 use gw_storage::NodeId;
+use gw_trace::Tracer;
 
 use crate::api::{Emit, GwApp};
 use crate::collect::{for_each_record, BufferPoolCollector, Collector};
@@ -590,6 +591,9 @@ pub struct ReducePhase<'a> {
     pub coordinator: Arc<Coordinator>,
     /// Stage timers to fill.
     pub timers: Arc<StageTimers>,
+    /// Job-wide event tracer; the executor emits chunk spans and
+    /// token-wait regions onto this node's pipeline lanes.
+    pub tracer: Arc<Tracer>,
     /// Fault-injection context (supervised jobs only).
     pub chaos: Option<NodeChaos>,
 }
@@ -652,6 +656,7 @@ impl ReducePhase<'_> {
                 },
             )
             .timers(Arc::clone(&self.timers), *chunk_seq)
+            .tracer(Arc::clone(&self.tracer), self.node.0)
             .run()?;
         *chunk_seq += 1;
         let records = records.load(Ordering::Relaxed);
@@ -671,7 +676,7 @@ impl ReducePhase<'_> {
         let cfg = self.cfg;
         let b = cfg.buffering.depth();
         let base_seq = *chunk_seq;
-        let unified = self.device.unified_memory();
+        let unified = self.device.unified_memory() && !cfg.disable_stage_fusion;
         // Parallel single-key reduction is available only when the app
         // declares an associative state merge (probed with empty states,
         // which the contract requires to act as identities).
@@ -753,7 +758,8 @@ impl ReducePhase<'_> {
             )
             .interlock(StageId::Input, StageId::Kernel)
             .interlock(StageId::Kernel, StageId::Partition)
-            .timers(Arc::clone(&self.timers), base_seq);
+            .timers(Arc::clone(&self.timers), base_seq)
+            .tracer(Arc::clone(&self.tracer), self.node.0);
         if let Some(chaos) = self.chaos.clone() {
             pipeline = pipeline.probe(ReduceTaskProbe::new(chaos, self.node));
         }

@@ -4,10 +4,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
 
 use crate::profile::NetProfile;
 use crate::throttle::Throttle;
 use gw_storage::NodeId;
+use gw_trace::{CounterId, LaneId, Realm, Tracer};
 
 /// A message in flight.
 #[derive(Debug)]
@@ -69,6 +71,7 @@ struct Shared<T> {
     egress: Vec<Throttle>,
     stats: Vec<NetStats>,
     fault: Option<Arc<dyn NetFaultHook>>,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 /// A cluster fabric for `n` nodes carrying messages of type `T`.
@@ -105,6 +108,7 @@ impl<T: Send + 'static> Fabric<T> {
                 egress,
                 stats,
                 fault,
+                tracer: RwLock::new(None),
             }),
             receivers,
         }
@@ -135,6 +139,13 @@ impl<T: Send + 'static> Fabric<T> {
     pub fn stats(&self, n: NodeId) -> &NetStats {
         &self.shared.stats[n.index()]
     }
+
+    /// Arm (or disarm, with `None`) the observability tracer. While
+    /// armed, every endpoint emits shuffle send/recv counters on its
+    /// node's net lanes.
+    pub fn arm_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        *self.shared.tracer.write() = tracer;
+    }
 }
 
 /// One node's attachment to the fabric.
@@ -150,6 +161,29 @@ impl<T: Send + 'static> Endpoint<T> {
         self.node
     }
 
+    /// Count one departing message on this node's egress net lane.
+    fn trace_send(&self, wire_bytes: usize) {
+        if let Some(t) = self.shared.tracer.read().as_ref() {
+            let lane = t.lane(LaneId {
+                node: self.node.0,
+                realm: Realm::Net,
+            });
+            lane.count(CounterId::ShuffleSendMsgs, 1);
+            lane.count(CounterId::ShuffleSendBytes, wire_bytes as u64);
+        }
+    }
+
+    /// Count one arriving message on this node's ingress net lane.
+    fn trace_recv(&self) {
+        if let Some(t) = self.shared.tracer.read().as_ref() {
+            t.lane(LaneId {
+                node: self.node.0,
+                realm: Realm::NetRx,
+            })
+            .count(CounterId::ShuffleRecvMsgs, 1);
+        }
+    }
+
     /// Send `payload` (`wire_bytes` long on the wire) to node `to`,
     /// blocking for the modeled transmission time on this node's egress
     /// link. Returns the modeled wire duration.
@@ -161,6 +195,7 @@ impl<T: Send + 'static> Endpoint<T> {
         let stats = &self.shared.stats[self.node.index()];
         stats.bytes_sent.fetch_add(wire_bytes, Ordering::Relaxed);
         stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.trace_send(wire_bytes);
         self.shared.stats[to.index()]
             .bytes_received
             .fetch_add(wire_bytes, Ordering::Relaxed);
@@ -184,6 +219,7 @@ impl<T: Send + 'static> Endpoint<T> {
                     let stats = &self.shared.stats[self.node.index()];
                     stats.bytes_sent.fetch_add(wire_bytes, Ordering::Relaxed);
                     stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                    self.trace_send(wire_bytes);
                     return self.shared.egress[self.node.index()].acquire(wire_bytes);
                 }
                 NetFaultAction::Delay(d) => std::thread::sleep(d),
@@ -195,7 +231,11 @@ impl<T: Send + 'static> Endpoint<T> {
     /// Receive the next message, blocking until one arrives or all senders
     /// are gone (returns `None`).
     pub fn recv(&self) -> Option<Envelope<T>> {
-        self.rx.recv().ok()
+        let env = self.rx.recv().ok();
+        if env.is_some() {
+            self.trace_recv();
+        }
+        env
     }
 
     /// Receive with a timeout; `Ok(None)` means all senders are gone.
@@ -204,7 +244,10 @@ impl<T: Send + 'static> Endpoint<T> {
         timeout: std::time::Duration,
     ) -> Result<Option<Envelope<T>>, RecvTimeoutError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(env) => Ok(Some(env)),
+            Ok(env) => {
+                self.trace_recv();
+                Ok(Some(env))
+            }
             Err(RecvTimeoutError::Disconnected) => Ok(None),
             Err(e @ RecvTimeoutError::Timeout) => Err(e),
         }
@@ -212,7 +255,11 @@ impl<T: Send + 'static> Endpoint<T> {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope<T>> {
-        self.rx.try_recv().ok()
+        let env = self.rx.try_recv().ok();
+        if env.is_some() {
+            self.trace_recv();
+        }
+        env
     }
 }
 
@@ -338,6 +385,26 @@ mod tests {
         assert_eq!(b.recv().unwrap().payload, 4);
         // Dropped messages are still charged to the sender.
         assert_eq!(fabric.stats(NodeId(0)).messages_sent(), 4);
+    }
+
+    #[test]
+    fn armed_tracer_counts_shuffle_traffic() {
+        let mut fabric: Fabric<u8> = Fabric::new(2, NetProfile::unlimited());
+        let tracer = Arc::new(Tracer::new());
+        fabric.arm_tracer(Some(Arc::clone(&tracer)));
+        let a = fabric.endpoint(NodeId(0));
+        let b = fabric.endpoint(NodeId(1));
+        a.send(NodeId(1), 1, 100);
+        a.send(NodeId(1), 2, 50);
+        assert!(b.recv().is_some());
+        assert!(b.recv().is_some());
+        fabric.arm_tracer(None);
+        a.send(NodeId(1), 3, 10); // disarmed: charged to stats only
+        let m = tracer.finish().metrics();
+        assert_eq!(m.counter(0, CounterId::ShuffleSendMsgs), 2);
+        assert_eq!(m.counter(0, CounterId::ShuffleSendBytes), 150);
+        assert_eq!(m.counter(1, CounterId::ShuffleRecvMsgs), 2);
+        assert_eq!(fabric.stats(NodeId(0)).messages_sent(), 3);
     }
 
     #[test]

@@ -36,6 +36,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
+use gw_trace::{Event, EventKind, Lane, LaneId, MarkId, Realm, SpanId, Tracer};
+
 use crate::timers::{StageId, StageTimers};
 use crate::{Buffering, PipelineKind};
 
@@ -321,6 +323,125 @@ impl Acquirer {
     }
 }
 
+/// Per-stage event emitter: the executor constructs each event **once**
+/// and feeds the same value to both consumers — the tracer lane (when
+/// tracing is armed) and the [`StageTimers`] derived view. Neither
+/// consumer keeps bookkeeping of its own inside pipeline code; wall and
+/// modeled time flow from this one emission point.
+struct StageEvents<'t> {
+    stage: StageId,
+    lane: Option<Lane>,
+    timers: Option<&'t StageTimers>,
+}
+
+impl StageEvents<'_> {
+    fn emit(&self, kind: EventKind) {
+        let ev = match &self.lane {
+            Some(lane) => lane.record(kind),
+            // Untraced runs still drive the timers view; the timestamp is
+            // never read by it.
+            None => Event { at_ns: 0, kind },
+        };
+        if let Some(t) = self.timers {
+            t.on_event(self.stage, &ev);
+        }
+    }
+
+    /// §III-D token-acquire wait region (closed even when the acquire
+    /// fails because the pool closed).
+    fn token_wait_begin(&self, group: usize, seq: usize) {
+        self.emit(EventKind::Begin {
+            span: SpanId::TokenWait {
+                group: group as u32,
+                seq: seq as u64,
+            },
+        });
+    }
+
+    fn token_wait_end(&self, group: usize, seq: usize) {
+        self.emit(EventKind::End {
+            span: SpanId::TokenWait {
+                group: group as u32,
+                seq: seq as u64,
+            },
+            wall_ns: 0,
+            modeled_ns: 0,
+            accounted: false,
+        });
+    }
+
+    fn chunk_begin(&self, seq: usize) {
+        self.emit(EventKind::Begin {
+            span: SpanId::Chunk { seq: seq as u64 },
+        });
+    }
+
+    /// A chunk completed this stage: the accounted span end carries the
+    /// (wall, modeled) pair — the stage's [`StageCtx::add_time`] override
+    /// or the default whole-call window.
+    fn chunk_end(&self, seq: usize, default_wall: Duration, over: Option<(Duration, Duration)>) {
+        let (wall, modeled) = over.unwrap_or((default_wall, default_wall));
+        self.emit(EventKind::End {
+            span: SpanId::Chunk { seq: seq as u64 },
+            wall_ns: wall.as_nanos() as u64,
+            modeled_ns: modeled.as_nanos() as u64,
+            accounted: true,
+        });
+    }
+
+    /// A chunk span that must not count: source exhaustion, injected
+    /// crash, quiet unwind or stage error.
+    fn chunk_abort(&self, seq: usize) {
+        self.emit(EventKind::End {
+            span: SpanId::Chunk { seq: seq as u64 },
+            wall_ns: 0,
+            modeled_ns: 0,
+            accounted: false,
+        });
+    }
+
+    /// A chunk notionally passed a fused (pass-through) stage this thread
+    /// fronts for — zero cost, but the passage keeps fused and unfused
+    /// graphs reporting identical chunk counts and modeled totals.
+    fn fused_passage(&self, fused: StageId, seq: usize) {
+        self.emit(EventKind::Instant {
+            mark: MarkId::FusedPassage {
+                fused,
+                seq: seq as u64,
+            },
+        });
+    }
+
+    fn finish_begin(&self, seq: usize) {
+        self.emit(EventKind::Begin {
+            span: SpanId::Finish { seq: seq as u64 },
+        });
+    }
+
+    /// The finish hook returned: accounted (with its reported timing)
+    /// only if it called [`StageCtx::add_time`], mirroring the historical
+    /// timer behaviour of finish hooks.
+    fn finish_end(&self, seq: usize, elapsed: Duration, over: Option<(Duration, Duration)>) {
+        let accounted = over.is_some();
+        let (wall, modeled) = over.unwrap_or((elapsed, elapsed));
+        self.emit(EventKind::End {
+            span: SpanId::Finish { seq: seq as u64 },
+            wall_ns: wall.as_nanos() as u64,
+            modeled_ns: modeled.as_nanos() as u64,
+            accounted,
+        });
+    }
+
+    fn finish_abort(&self, seq: usize) {
+        self.emit(EventKind::End {
+            span: SpanId::Finish { seq: seq as u64 },
+            wall_ns: 0,
+            modeled_ns: 0,
+            accounted: false,
+        });
+    }
+}
+
 /// Both endpoints of one inter-stage handoff channel, taken (`Option`)
 /// by the adjacent stage threads as the graph is wired.
 type Link<T> = (Option<Sender<Envelope<T>>>, Option<Receiver<Envelope<T>>>);
@@ -343,6 +464,7 @@ pub struct PipelineBuilder<'a, T, E> {
     timers: Option<Arc<StageTimers>>,
     first_seq: usize,
     probe: Option<Box<dyn PipelineProbe + 'a>>,
+    tracer: Option<(Arc<Tracer>, u32)>,
 }
 
 impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
@@ -358,6 +480,7 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
             timers: None,
             first_seq: 0,
             probe: None,
+            tracer: None,
         }
     }
 
@@ -404,6 +527,14 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
     /// Arm the crash/abort probe (supervised runs only).
     pub fn probe(mut self, probe: impl PipelineProbe + 'a) -> Self {
         self.probe = Some(Box::new(probe));
+        self
+    }
+
+    /// Attach the observability plane: every stage of this pipeline
+    /// records span/instant events onto a `tracer` lane addressed as
+    /// `node` × pipeline kind × stage.
+    pub fn tracer(mut self, tracer: Arc<Tracer>, node: u32) -> Self {
+        self.tracer = Some((tracer, node));
         self
     }
 
@@ -475,16 +606,19 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
         let timers: Option<&StageTimers> = timers_arc.as_deref();
         let chunks_emitted = AtomicUsize::new(0);
 
-        let record = |stage: StageId,
-                      seq: usize,
-                      default_wall: Duration,
-                      over: Option<(Duration, Duration)>| {
-            if let Some(t) = timers {
-                let (wall, modeled) = over.unwrap_or((default_wall, default_wall));
-                t.add(stage, seq, wall, modeled);
-            }
+        let kind = self.kind;
+        let tracer = self.tracer.take();
+        let events_for = |id: StageId| StageEvents {
+            stage: id,
+            lane: tracer.as_ref().map(|(t, node)| {
+                t.lane(LaneId {
+                    node: *node,
+                    realm: Realm::Pipeline { kind, stage: id },
+                })
+            }),
+            timers,
         };
-        let record = &record;
+        let source_events = events_for(source_id);
 
         let mut acquire_iter = acquire_at.into_iter();
         let source_acquires = acquire_iter.next().expect("source position");
@@ -505,13 +639,17 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
             let chunks_emitted = &chunks_emitted;
             let source_handle = scope.spawn(move || -> Result<(), E> {
                 let tx = source_tx;
+                let events = source_events;
                 let result = (|| -> Result<(), E> {
                     let mut seq = first_seq;
                     'produce: loop {
                         let mut permits: Vec<Option<Permit>> =
                             (0..n_groups).map(|_| None).collect();
                         for acq in &source_acquires {
-                            match acq.acquire() {
+                            events.token_wait_begin(acq.group, seq);
+                            let got = acq.acquire();
+                            events.token_wait_end(acq.group, seq);
+                            match got {
                                 Some(p) => permits[acq.group] = Some(p),
                                 None => break 'produce,
                             }
@@ -520,23 +658,35 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                         if ctx.should_stop() {
                             break;
                         }
+                        events.chunk_begin(seq);
                         let t0 = Instant::now();
-                        let produced = source.next_chunk(&mut ctx)?;
+                        let produced = match source.next_chunk(&mut ctx) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                events.chunk_abort(seq);
+                                return Err(e);
+                            }
+                        };
                         let wall = t0.elapsed();
-                        let Some(chunk) = produced else { break };
+                        let Some(chunk) = produced else {
+                            events.chunk_abort(seq);
+                            break;
+                        };
                         // Probed after production: an injected Read crash
                         // dies holding the fresh claim (the survivors
                         // requeue it via liveness).
                         if let Some(p) = probe {
                             if source_crash_ids.iter().any(|&cid| p.crash_fires(cid)) {
                                 p.kill();
+                                events.chunk_abort(seq);
                                 break;
                             }
                         }
                         if ctx.stopped {
+                            events.chunk_abort(seq);
                             break;
                         }
-                        record(source_id, seq, wall, ctx.take_timing());
+                        events.chunk_end(seq, wall, ctx.take_timing());
                         chunks_emitted.fetch_add(1, Ordering::Relaxed);
                         for &g in &source_releases {
                             permits[g] = None;
@@ -577,7 +727,9 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                 let acquires = acquire_iter.next().expect("stage position");
                 let releases = release_at[pos].clone();
                 let crash_ids = crash_iter.next().expect("stage crash slot");
+                let stage_events = events_for(id);
                 handles.push(scope.spawn(move || -> Result<(), E> {
+                    let events = stage_events;
                     let mut last_seq = first_seq;
                     let result = (|| -> Result<(), E> {
                         'consume: while let Ok(env) = rx.recv() {
@@ -598,18 +750,36 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                                 }
                             }
                             for acq in &acquires {
-                                match acq.acquire() {
+                                events.token_wait_begin(acq.group, seq);
+                                let got = acq.acquire();
+                                events.token_wait_end(acq.group, seq);
+                                match got {
                                     Some(p) => permits[acq.group] = Some(p),
                                     None => break 'consume,
                                 }
                             }
+                            // The chunk survived every probe on this
+                            // thread, so it notionally passed the fused
+                            // stages this thread fronts for (all but the
+                            // last crash id, which is this stage's own).
+                            for &fid in &crash_ids[..crash_ids.len() - 1] {
+                                events.fused_passage(fid, seq);
+                            }
+                            events.chunk_begin(seq);
                             let t0 = Instant::now();
-                            let out = stage.run_chunk(chunk, &mut ctx)?;
+                            let out = match stage.run_chunk(chunk, &mut ctx) {
+                                Ok(o) => o,
+                                Err(e) => {
+                                    events.chunk_abort(seq);
+                                    return Err(e);
+                                }
+                            };
                             let wall = t0.elapsed();
                             if ctx.stopped {
+                                events.chunk_abort(seq);
                                 break; // quiet unwind requested mid-chunk
                             }
-                            record(id, seq, wall, ctx.take_timing());
+                            events.chunk_end(seq, wall, ctx.take_timing());
                             for &g in &releases {
                                 permits[g] = None;
                             }
@@ -632,12 +802,13 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                             }
                         }
                         let mut ctx = StageCtx::new(id, last_seq, probe);
-                        stage.finish(&mut ctx)?;
-                        if let Some((wall, modeled)) = ctx.take_timing() {
-                            if let Some(t) = timers {
-                                t.add(id, last_seq, wall, modeled);
-                            }
+                        events.finish_begin(last_seq);
+                        let t0 = Instant::now();
+                        if let Err(e) = stage.finish(&mut ctx) {
+                            events.finish_abort(last_seq);
+                            return Err(e);
                         }
+                        events.finish_end(last_seq, t0.elapsed(), ctx.take_timing());
                         Ok(())
                     })();
                     if result.is_err() {

@@ -4,85 +4,23 @@
 //! it with timers for each pipeline stage". [`StageTimers`] accumulates,
 //! per stage, both the measured *wall* time and the device/storage-model
 //! *modeled* time, plus per-chunk samples so a schedule model can replay
-//! the pipeline under different device profiles. The executor owns all
-//! `add` calls: a stage's whole `run_chunk` is timed by default, and a
-//! stage that needs a narrower window (read+parse only, device-reported
-//! kernel time) overrides it via [`crate::StageCtx::add_time`].
+//! the pipeline under different device profiles.
+//!
+//! Since the observability plane landed, the timers are a **derived
+//! view** over the executor's `gw-trace` event stream: the executor
+//! constructs each event once and feeds it both to the tracer lane and to
+//! [`StageTimers::on_event`], so wall and modeled time come from one
+//! source of truth. [`StageId`] and [`PipelineKind`] now live in
+//! `gw-trace` (trace events address stages); they are re-exported here so
+//! existing paths keep working.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
-/// Which of the two Glasswing pipelines a stage descriptor belongs to.
-/// Purely a display concern: both pipelines share the five [`StageId`]
-/// slots, but the first and last stages do different jobs on each side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PipelineKind {
-    /// Input → Stage → Kernel → Retrieve → Partition (paper §III-A).
-    Map,
-    /// MergeRead → Stage → Kernel → Retrieve → Output (paper §III-C).
-    Reduce,
-}
-
-/// The five pipeline stages. Map and reduce pipelines share the enum; use
-/// [`StageId::name_in`] to display a stage under the right pipeline
-/// vocabulary (reduce: `merge-read/stage/kernel/retrieve/output`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StageId {
-    /// Map: read input split / Reduce: final merge read.
-    Input,
-    /// Host→device staging (fused out of the graph on unified memory).
-    Stage,
-    /// Kernel execution.
-    Kernel,
-    /// Device→host retrieval (fused out of the graph on unified memory).
-    Retrieve,
-    /// Map: partition+sort+push / Reduce: output write.
-    Partition,
-}
-
-impl StageId {
-    /// All stages in pipeline order.
-    pub const ALL: [StageId; 5] = [
-        StageId::Input,
-        StageId::Stage,
-        StageId::Kernel,
-        StageId::Retrieve,
-        StageId::Partition,
-    ];
-
-    /// Stable index 0..5.
-    #[inline]
-    pub fn index(self) -> usize {
-        match self {
-            StageId::Input => 0,
-            StageId::Stage => 1,
-            StageId::Kernel => 2,
-            StageId::Retrieve => 3,
-            StageId::Partition => 4,
-        }
-    }
-
-    /// Display name under the map-pipeline vocabulary (the historical
-    /// default; reduce dumps should prefer [`StageId::name_in`]).
-    pub fn name(self) -> &'static str {
-        self.name_in(PipelineKind::Map)
-    }
-
-    /// Display name under `kind`'s vocabulary.
-    pub fn name_in(self, kind: PipelineKind) -> &'static str {
-        match (kind, self) {
-            (PipelineKind::Map, StageId::Input) => "input",
-            (PipelineKind::Map, StageId::Partition) => "partition",
-            (PipelineKind::Reduce, StageId::Input) => "merge-read",
-            (PipelineKind::Reduce, StageId::Partition) => "output",
-            (_, StageId::Stage) => "stage",
-            (_, StageId::Kernel) => "kernel",
-            (_, StageId::Retrieve) => "retrieve",
-        }
-    }
-}
+use gw_trace::{Event, EventKind, MarkId, SpanId};
+pub use gw_trace::{PipelineKind, StageId};
 
 #[derive(Debug, Default)]
 struct StageAccum {
@@ -112,6 +50,33 @@ impl StageTimers {
     /// Fresh timers.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fold one executor-emitted trace event into the aggregates. This is
+    /// the *only* write path the executor uses: accounted chunk/finish
+    /// span ends carry the (wall, modeled) pair, fused-passage instants
+    /// record the zero-cost sample a fused stage contributes (so fused
+    /// and unfused graphs report the same chunk counts and modeled
+    /// totals), and everything else — token waits, aborted chunks,
+    /// counters — is ignored.
+    pub fn on_event(&self, stage: StageId, ev: &Event) {
+        match ev.kind {
+            EventKind::End {
+                span: SpanId::Chunk { seq } | SpanId::Finish { seq },
+                wall_ns,
+                modeled_ns,
+                accounted: true,
+            } => self.add(
+                stage,
+                seq as usize,
+                Duration::from_nanos(wall_ns),
+                Duration::from_nanos(modeled_ns),
+            ),
+            EventKind::Instant {
+                mark: MarkId::FusedPassage { fused, seq },
+            } => self.add(fused, seq as usize, Duration::ZERO, Duration::ZERO),
+            _ => {}
+        }
     }
 
     /// Record one chunk's pass through `stage`.
@@ -271,16 +236,71 @@ mod tests {
     }
 
     #[test]
-    fn per_pipeline_display_names() {
-        assert_eq!(StageId::Input.name(), "input");
-        assert_eq!(StageId::Input.name_in(PipelineKind::Reduce), "merge-read");
-        assert_eq!(StageId::Partition.name_in(PipelineKind::Map), "partition");
-        assert_eq!(StageId::Partition.name_in(PipelineKind::Reduce), "output");
-        for mid in [StageId::Stage, StageId::Kernel, StageId::Retrieve] {
-            assert_eq!(
-                mid.name_in(PipelineKind::Map),
-                mid.name_in(PipelineKind::Reduce)
-            );
-        }
+    fn on_event_folds_accounted_spans_and_fused_passages_only() {
+        let t = StageTimers::new();
+        let end = |seq, wall_ns, accounted| Event {
+            at_ns: 0,
+            kind: EventKind::End {
+                span: SpanId::Chunk { seq },
+                wall_ns,
+                modeled_ns: wall_ns * 2,
+                accounted,
+            },
+        };
+        t.on_event(StageId::Kernel, &end(0, 1_000_000, true));
+        t.on_event(StageId::Kernel, &end(1, 5_000_000, true));
+        // Aborted chunk and token waits must not count.
+        t.on_event(StageId::Kernel, &end(2, 9_000_000, false));
+        t.on_event(
+            StageId::Kernel,
+            &Event {
+                at_ns: 0,
+                kind: EventKind::Begin {
+                    span: SpanId::TokenWait { group: 0, seq: 3 },
+                },
+            },
+        );
+        // A fused Stage passage observed by the Kernel thread lands as a
+        // zero-cost sample against the *fused* stage.
+        t.on_event(
+            StageId::Kernel,
+            &Event {
+                at_ns: 0,
+                kind: EventKind::Instant {
+                    mark: MarkId::FusedPassage {
+                        fused: StageId::Stage,
+                        seq: 0,
+                    },
+                },
+            },
+        );
+        assert_eq!(t.chunks(StageId::Kernel), 2);
+        assert_eq!(t.wall(StageId::Kernel), Duration::from_millis(6));
+        assert_eq!(t.modeled(StageId::Kernel), Duration::from_millis(12));
+        assert_eq!(t.chunks(StageId::Stage), 1);
+        assert_eq!(t.wall(StageId::Stage), Duration::ZERO);
+    }
+
+    #[test]
+    fn on_event_accounted_finish_adds_a_sample() {
+        let t = StageTimers::new();
+        t.on_event(
+            StageId::Partition,
+            &Event {
+                at_ns: 0,
+                kind: EventKind::End {
+                    span: SpanId::Finish { seq: 7 },
+                    wall_ns: 3_000_000,
+                    modeled_ns: 4_000_000,
+                    accounted: true,
+                },
+            },
+        );
+        assert_eq!(t.chunks(StageId::Partition), 1);
+        assert_eq!(t.wall(StageId::Partition), Duration::from_millis(3));
+        assert_eq!(
+            t.chunk_samples()[7][StageId::Partition.index()].modeled,
+            Duration::from_millis(4)
+        );
     }
 }

@@ -22,6 +22,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use gw_trace::{CounterId, LaneId, MarkId, ReadClass, Realm, Tracer};
+
 use crate::iomodel::{IoModel, IoSample, IoStats};
 use crate::split::{FileStore, InputSplit, StorageFaultHook};
 use crate::{NodeId, StorageError};
@@ -86,6 +88,7 @@ pub struct Dfs {
     fault: RwLock<Option<Arc<dyn StorageFaultHook>>>,
     dead: RwLock<HashSet<NodeId>>,
     failovers: AtomicUsize,
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl Dfs {
@@ -99,6 +102,7 @@ impl Dfs {
             fault: RwLock::new(None),
             dead: RwLock::new(HashSet::new()),
             failovers: AtomicUsize::new(0),
+            tracer: RwLock::new(None),
         }
     }
 
@@ -266,6 +270,32 @@ impl FileStore for Dfs {
             local,
         };
         self.stats.record(sample);
+        if let Some(t) = self.tracer.read().as_ref() {
+            let class = if local {
+                ReadClass::Local
+            } else if skipped > 0 {
+                ReadClass::RemoteFault
+            } else {
+                ReadClass::Remote
+            };
+            let lane = t.lane(LaneId {
+                node: reader.0,
+                realm: Realm::Storage,
+            });
+            lane.instant(MarkId::DfsRead {
+                block: split.block as u64,
+                class,
+            });
+            lane.count(
+                match class {
+                    ReadClass::Local => CounterId::DfsReadLocal,
+                    ReadClass::Remote => CounterId::DfsReadRemote,
+                    ReadClass::RemoteFault => CounterId::DfsReadRemoteFault,
+                },
+                1,
+            );
+            lane.count(CounterId::DfsReadBytes, sample.bytes as u64);
+        }
         let data = Arc::clone(&block.data);
         drop(ns); // do not hold the namespace lock while pacing
         if self.cfg.pace_io {
@@ -292,6 +322,10 @@ impl FileStore for Dfs {
 
     fn arm_fault_hook(&self, hook: Option<Arc<dyn StorageFaultHook>>) {
         *self.fault.write() = hook;
+    }
+
+    fn arm_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        *self.tracer.write() = tracer;
     }
 
     fn mark_node_dead(&self, node: NodeId) {
@@ -496,6 +530,35 @@ mod tests {
         // The fault was single-use: later reads are clean.
         dfs.read_split(&splits[0], reader).unwrap();
         assert_eq!(dfs.fault_failovers(), 1);
+    }
+
+    #[test]
+    fn armed_tracer_classifies_reads() {
+        let dfs = Dfs::new(DfsConfig::new(4));
+        write_file(&dfs, "/in", 100, 256);
+        let tracer = Arc::new(Tracer::new());
+        dfs.arm_tracer(Some(Arc::clone(&tracer)));
+        let splits = dfs.splits("/in").unwrap();
+        let split = &splits[0];
+        let local_reader = split.locations[0];
+        let remote_reader = (0..4)
+            .map(NodeId)
+            .find(|n| !split.locations.contains(n))
+            .unwrap();
+        dfs.read_split(split, local_reader).unwrap();
+        dfs.read_split(split, remote_reader).unwrap();
+        // Kill the primary: the same remote reader now records a
+        // remote-due-to-fault read.
+        dfs.mark_node_dead(split.locations[0]);
+        dfs.read_split(split, remote_reader).unwrap();
+        let m = tracer.finish().metrics();
+        assert_eq!(m.counter(local_reader.0, CounterId::DfsReadLocal), 1);
+        assert_eq!(m.counter(remote_reader.0, CounterId::DfsReadRemote), 1);
+        assert_eq!(m.counter(remote_reader.0, CounterId::DfsReadRemoteFault), 1);
+        assert_eq!(
+            m.counter(remote_reader.0, CounterId::DfsReadBytes),
+            2 * split.len as u64
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub trait FileStore: Send + Sync {
     /// without fault-injection support ignore this.
     fn arm_fault_hook(&self, _hook: Option<Arc<dyn StorageFaultHook>>) {}
 
+    /// Arm (`Some`) or disarm (`None`) the observability tracer. Stores
+    /// without instrumentation support ignore this.
+    fn arm_tracer(&self, _tracer: Option<Arc<gw_trace::Tracer>>) {}
+
     /// Mark a node dead: its replicas stop serving reads and other
     /// replicas take over. Stores without replica bookkeeping ignore this.
     fn mark_node_dead(&self, _node: NodeId) {}

@@ -1,0 +1,393 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Written by hand (the workspace vendors no JSON crate) with a **stable
+//! field order** — `name, ph, pid, tid, ts, s, args` — so the golden-file
+//! test can byte-compare output. One process per node, one thread per
+//! lane (pipeline stages first, then storage/net/chaos), `B`/`E` pairs
+//! for spans, `i` for instant marks, `C` for counters (cumulative value
+//! per lane). Load the result in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{CounterId, EventKind, LaneId, MarkId, SpanId};
+use crate::tracer::Trace;
+
+pub(crate) fn export(trace: &Trace) -> String {
+    let mut out = String::with_capacity(256 + trace.event_count() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Lane → (pid, tid): nodes become processes, lanes become threads
+    // numbered in canonical lane order within their node.
+    let mut tids: BTreeMap<LaneId, (u32, u32)> = BTreeMap::new();
+    let mut per_node: BTreeMap<u32, u32> = BTreeMap::new();
+    for (lane, _) in &trace.lanes {
+        let next = per_node.entry(lane.node).or_insert(0);
+        tids.insert(*lane, (lane.node, *next));
+        *next += 1;
+    }
+
+    for &node in per_node.keys() {
+        meta(
+            &mut out,
+            &mut first,
+            "process_name",
+            node,
+            0,
+            &node_name(node),
+        );
+    }
+    for (lane, &(pid, tid)) in &tids {
+        meta(
+            &mut out,
+            &mut first,
+            "thread_name",
+            pid,
+            tid,
+            &lane.realm.lane_name(),
+        );
+    }
+
+    for (lane, events) in &trace.lanes {
+        let (pid, tid) = tids[lane];
+        let mut totals: BTreeMap<CounterId, u64> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Begin { span } => {
+                    event_head(
+                        &mut out,
+                        &mut first,
+                        span_name(span),
+                        'B',
+                        pid,
+                        tid,
+                        ev.at_ns,
+                    );
+                    out.push_str(",\"args\":{");
+                    span_args(&mut out, span);
+                    out.push_str("}}");
+                }
+                EventKind::End {
+                    span,
+                    wall_ns,
+                    modeled_ns,
+                    accounted,
+                } => {
+                    event_head(
+                        &mut out,
+                        &mut first,
+                        span_name(span),
+                        'E',
+                        pid,
+                        tid,
+                        ev.at_ns,
+                    );
+                    out.push_str(",\"args\":{");
+                    span_args(&mut out, span);
+                    let _ = write!(
+                        out,
+                        ",\"wall_ns\":{wall_ns},\"modeled_ns\":{modeled_ns},\"accounted\":{accounted}"
+                    );
+                    out.push_str("}}");
+                }
+                EventKind::Instant { mark } => {
+                    event_head(
+                        &mut out,
+                        &mut first,
+                        mark_name(mark),
+                        'i',
+                        pid,
+                        tid,
+                        ev.at_ns,
+                    );
+                    out.push_str(",\"s\":\"t\",\"args\":{");
+                    mark_args(&mut out, mark);
+                    out.push_str("}}");
+                }
+                EventKind::Count { counter, delta } => {
+                    let total = totals.entry(counter).or_default();
+                    *total += delta;
+                    event_head(
+                        &mut out,
+                        &mut first,
+                        counter.name(),
+                        'C',
+                        pid,
+                        tid,
+                        ev.at_ns,
+                    );
+                    let _ = write!(out, ",\"args\":{{\"value\":{total}}}}}");
+                }
+            }
+        }
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn node_name(node: u32) -> String {
+    format!("node {node}")
+}
+
+/// Common prefix of one event object: `{"name":…,"ph":…,"pid":…,"tid":…,
+/// "ts":…` — the caller appends any extras and the closing brace. `ts` is
+/// microseconds with nanosecond fraction, as the format expects.
+fn event_head(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    pid: u32,
+    tid: u32,
+    at_ns: u64,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":\"");
+    escape_into(out, name);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}.{:03}",
+        at_ns / 1_000,
+        at_ns % 1_000
+    );
+}
+
+fn meta(out: &mut String, first: &mut bool, what: &str, pid: u32, tid: u32, name: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+    );
+    escape_into(out, name);
+    out.push_str("\"}}");
+}
+
+fn span_name(span: SpanId) -> &'static str {
+    match span {
+        SpanId::Chunk { .. } => "chunk",
+        SpanId::TokenWait { .. } => "token-wait",
+        SpanId::Finish { .. } => "finish",
+    }
+}
+
+fn span_args(out: &mut String, span: SpanId) {
+    match span {
+        SpanId::Chunk { seq } | SpanId::Finish { seq } => {
+            let _ = write!(out, "\"seq\":{seq}");
+        }
+        SpanId::TokenWait { group, seq } => {
+            let _ = write!(out, "\"group\":{group},\"seq\":{seq}");
+        }
+    }
+}
+
+fn mark_name(mark: MarkId) -> &'static str {
+    match mark {
+        MarkId::FusedPassage { .. } => "fused-passage",
+        MarkId::CrashFired { .. } => "crash-fired",
+        MarkId::FaultArmed { .. } => "fault-armed",
+        MarkId::ReadFaultFired { .. } => "read-fault",
+        MarkId::NetFaultFired { .. } => "net-fault",
+        MarkId::TaskFaultFired => "task-fault",
+        MarkId::DfsRead { .. } => "dfs-read",
+    }
+}
+
+fn mark_args(out: &mut String, mark: MarkId) {
+    match mark {
+        MarkId::FusedPassage { fused, seq } => {
+            let _ = write!(out, "\"stage\":\"{}\",\"seq\":{seq}", fused.name());
+        }
+        MarkId::CrashFired { site, after } => {
+            out.push_str("\"site\":\"");
+            escape_into(out, site);
+            let _ = write!(out, "\",\"after\":{after}");
+        }
+        MarkId::FaultArmed { kind, detail } => {
+            out.push_str("\"kind\":\"");
+            escape_into(out, kind);
+            let _ = write!(out, "\",\"detail\":{detail}");
+        }
+        MarkId::ReadFaultFired { block } => {
+            let _ = write!(out, "\"block\":{block}");
+        }
+        MarkId::NetFaultFired { kind } => {
+            out.push_str("\"kind\":\"");
+            escape_into(out, kind);
+            out.push('"');
+        }
+        MarkId::TaskFaultFired => {}
+        MarkId::DfsRead { block, class } => {
+            let _ = write!(out, "\"block\":{block},\"class\":\"{}\"", class.name());
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Realm};
+    use crate::jsonck::validate_json;
+    use crate::stage::{PipelineKind, StageId};
+    use std::time::Duration;
+
+    fn sample_trace() -> Trace {
+        let lane = LaneId {
+            node: 0,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Map,
+                stage: StageId::Kernel,
+            },
+        };
+        Trace {
+            lanes: vec![(
+                lane,
+                vec![
+                    Event {
+                        at_ns: 1_500,
+                        kind: EventKind::Begin {
+                            span: SpanId::Chunk { seq: 0 },
+                        },
+                    },
+                    Event {
+                        at_ns: 4_000,
+                        kind: EventKind::End {
+                            span: SpanId::Chunk { seq: 0 },
+                            wall_ns: 2_500,
+                            modeled_ns: 3_000,
+                            accounted: true,
+                        },
+                    },
+                    Event {
+                        at_ns: 4_200,
+                        kind: EventKind::Count {
+                            counter: CounterId::ShuffleSendBytes,
+                            delta: 64,
+                        },
+                    },
+                ],
+            )],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_stable_field_order() {
+        let json = sample_trace().chrome_json();
+        validate_json(&json).expect("exporter must emit valid JSON");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        // The head field order is pinned; a reorder breaks golden files.
+        assert!(json.contains(
+            "{\"name\":\"chunk\",\"ph\":\"B\",\"pid\":0,\"tid\":0,\"ts\":1.500,\"args\":{\"seq\":0}}"
+        ));
+        assert!(json.contains("\"wall_ns\":2500,\"modeled_ns\":3000,\"accounted\":true"));
+        assert!(json.contains(
+            "{\"name\":\"shuffle.send.bytes\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":4.200,\"args\":{\"value\":64}}"
+        ));
+    }
+
+    #[test]
+    fn metadata_names_processes_and_threads() {
+        let json = sample_trace().chrome_json();
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"node 0\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"map/kernel\"}}"
+        ));
+    }
+
+    #[test]
+    fn counters_are_cumulative_per_lane() {
+        let lane = LaneId {
+            node: 1,
+            realm: Realm::Net,
+        };
+        let mk = |at_ns, delta| Event {
+            at_ns,
+            kind: EventKind::Count {
+                counter: CounterId::ShuffleSendMsgs,
+                delta,
+            },
+        };
+        let trace = Trace {
+            lanes: vec![(lane, vec![mk(10, 1), mk(20, 1), mk(30, 3)])],
+        };
+        let json = trace.chrome_json();
+        assert!(json.contains("\"args\":{\"value\":1}"));
+        assert!(json.contains("\"args\":{\"value\":2}"));
+        assert!(json.contains("\"args\":{\"value\":5}"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let json = Trace::default().chrome_json();
+        validate_json(&json).expect("empty export must be valid JSON");
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn marks_carry_their_payloads() {
+        let lane = LaneId {
+            node: 0,
+            realm: Realm::Chaos,
+        };
+        let trace = Trace {
+            lanes: vec![(
+                lane,
+                vec![Event {
+                    at_ns: 0,
+                    kind: EventKind::Instant {
+                        mark: MarkId::CrashFired {
+                            site: "kernel",
+                            after: 3,
+                        },
+                    },
+                }],
+            )],
+        };
+        let json = trace.chrome_json();
+        validate_json(&json).unwrap();
+        assert!(json
+            .contains("\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"s\":\"t\",\"args\":{\"site\":\"kernel\",\"after\":3}"));
+    }
+
+    /// `Duration`-driven ts formatting: 1.5 µs must print as `1.500`.
+    #[test]
+    fn timestamps_are_microseconds_with_nanosecond_fraction() {
+        let ns = Duration::from_nanos(1_500).as_nanos() as u64;
+        let mut out = String::new();
+        let mut first = true;
+        event_head(&mut out, &mut first, "x", 'B', 0, 0, ns);
+        assert!(out.ends_with("\"ts\":1.500"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The typed event vocabulary of the observability plane.
+//!
+//! Every event the engine emits is one of four shapes — span begin, span
+//! end, instant mark, counter bump — addressed to one **lane** (a
+//! node × realm pair: one lane per pipeline stage thread, plus per-node
+//! storage/net/chaos lanes). The *identity* parts of an event (span ids,
+//! marks, counter deltas) are functions of the seed and the job
+//! configuration alone; the *timing* parts (`at_ns`, wall/modeled
+//! durations) are not. [`LogicalKind`] is the projection that strips the
+//! timing parts, and it is what the determinism tests compare.
+
+use crate::stage::{PipelineKind, StageId};
+
+/// One recorded event: nanoseconds since the owning tracer's epoch plus
+/// the typed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Wall-clock timestamp, nanoseconds since the tracer's epoch.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened on this lane.
+    Begin {
+        /// Which span.
+        span: SpanId,
+    },
+    /// A span closed on this lane. `accounted: false` marks a structural
+    /// span (an aborted chunk, a token wait, a finish hook that reported
+    /// no explicit timing): views over the stream must not fold its
+    /// durations into per-stage totals.
+    End {
+        /// Which span.
+        span: SpanId,
+        /// Measured host time attributed to the span.
+        wall_ns: u64,
+        /// Model-transformed time attributed to the span.
+        modeled_ns: u64,
+        /// Whether the durations count toward stage totals.
+        accounted: bool,
+    },
+    /// A point event on this lane.
+    Instant {
+        /// Which mark.
+        mark: MarkId,
+    },
+    /// A monotonic counter bump on this lane.
+    Count {
+        /// Which counter.
+        counter: CounterId,
+        /// Increment (counters only ever grow).
+        delta: u64,
+    },
+}
+
+/// Span identity. Spans on one lane obey stack discipline: a `Begin` is
+/// always closed by the next `End` carrying the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanId {
+    /// One chunk's pass through the lane's stage (the chunk sequence
+    /// number is the logical timestamp).
+    Chunk {
+        /// Chunk sequence number.
+        seq: u64,
+    },
+    /// Waiting to acquire a §III-D buffer token.
+    TokenWait {
+        /// Interlock group index within the pipeline.
+        group: u32,
+        /// Chunk sequence number the acquire is on behalf of.
+        seq: u64,
+    },
+    /// A stage's `finish` hook (e.g. the reduce output's final write).
+    Finish {
+        /// Last chunk sequence number the stage saw.
+        seq: u64,
+    },
+}
+
+/// Instant-mark identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkId {
+    /// A chunk passed a stage that was fused out of the graph at build
+    /// time (unified-memory pass-through). Zero cost by construction;
+    /// timer views fold it in as an empty sample so fused and unfused
+    /// graphs report the same chunk counts and modeled totals.
+    FusedPassage {
+        /// The fused stage slot the chunk notionally passed.
+        fused: StageId,
+        /// Chunk sequence number.
+        seq: u64,
+    },
+    /// A chaos-injected node crash fired.
+    CrashFired {
+        /// Crash-site name (e.g. "kernel").
+        site: &'static str,
+        /// The passage count the site was armed at.
+        after: u64,
+    },
+    /// A chaos fault was armed when the plan was installed.
+    FaultArmed {
+        /// Fault family ("crash", "read", "net-drop", "net-delay", ...).
+        kind: &'static str,
+        /// Family-specific detail (site index, block, nth message, ...).
+        detail: u64,
+    },
+    /// A chaos storage read fault fired (one replica refused a read).
+    ReadFaultFired {
+        /// Block index the fault hit.
+        block: u64,
+    },
+    /// A chaos network fault fired (message dropped or delayed).
+    NetFaultFired {
+        /// Fault kind name ("drop" / "delay").
+        kind: &'static str,
+    },
+    /// A chaos task-level fault fired (recovered by the §III-E budget).
+    TaskFaultFired,
+    /// A DFS split read completed.
+    DfsRead {
+        /// Block index read.
+        block: u64,
+        /// Where the read was served from.
+        class: ReadClass,
+    },
+}
+
+/// Where a DFS read was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadClass {
+    /// Served by the reader's own replica.
+    Local,
+    /// Served by a remote replica (no replica on the reader).
+    Remote,
+    /// Served remotely because a closer replica was dead or faulted.
+    RemoteFault,
+}
+
+impl ReadClass {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadClass::Local => "local",
+            ReadClass::Remote => "remote",
+            ReadClass::RemoteFault => "remote-fault",
+        }
+    }
+}
+
+/// Counter identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterId {
+    /// DFS split reads served locally.
+    DfsReadLocal,
+    /// DFS split reads served by a remote replica.
+    DfsReadRemote,
+    /// DFS split reads served remotely because of a dead/faulted replica.
+    DfsReadRemoteFault,
+    /// Bytes read from the DFS.
+    DfsReadBytes,
+    /// Shuffle messages sent by this node.
+    ShuffleSendMsgs,
+    /// Shuffle wire bytes sent by this node.
+    ShuffleSendBytes,
+    /// Shuffle messages received by this node.
+    ShuffleRecvMsgs,
+    /// Shuffle runs retransmitted to a recovering peer.
+    ShuffleRetransmit,
+}
+
+impl CounterId {
+    /// Stable dotted name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::DfsReadLocal => "dfs.read.local",
+            CounterId::DfsReadRemote => "dfs.read.remote",
+            CounterId::DfsReadRemoteFault => "dfs.read.remote-fault",
+            CounterId::DfsReadBytes => "dfs.read.bytes",
+            CounterId::ShuffleSendMsgs => "shuffle.send.msgs",
+            CounterId::ShuffleSendBytes => "shuffle.send.bytes",
+            CounterId::ShuffleRecvMsgs => "shuffle.recv.msgs",
+            CounterId::ShuffleRetransmit => "shuffle.retransmit",
+        }
+    }
+}
+
+/// One event lane: a node × realm pair. The `Ord` impl defines the
+/// canonical lane order of a [`crate::Trace`] (node-major, then realm in
+/// declaration order: pipeline stages first, then storage/net/chaos/job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId {
+    /// Cluster node index.
+    pub node: u32,
+    /// Which subsystem of the node the lane belongs to.
+    pub realm: Realm,
+}
+
+/// The subsystem a lane belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Realm {
+    /// One pipeline stage thread.
+    Pipeline {
+        /// Map or reduce pipeline.
+        kind: PipelineKind,
+        /// Stage slot.
+        stage: StageId,
+    },
+    /// DFS reads.
+    Storage,
+    /// Shuffle fabric endpoint, egress side (send calls).
+    Net,
+    /// Shuffle fabric endpoint, ingress side. A separate lane because
+    /// receives happen on a different thread than sends; one shared lane
+    /// would make per-lane emission order racy.
+    NetRx,
+    /// Chaos plane (faults armed and fired).
+    Chaos,
+    /// Job-level events.
+    Job,
+}
+
+impl Realm {
+    /// Display name of the lane within its node.
+    pub fn lane_name(self) -> String {
+        match self {
+            Realm::Pipeline { kind, stage } => {
+                format!("{}/{}", kind.name(), stage.name_in(kind))
+            }
+            Realm::Storage => "storage".to_string(),
+            Realm::Net => "net-tx".to_string(),
+            Realm::NetRx => "net-rx".to_string(),
+            Realm::Chaos => "chaos".to_string(),
+            Realm::Job => "job".to_string(),
+        }
+    }
+}
+
+/// The seed-deterministic projection of an [`EventKind`]: identity parts
+/// only, wall timestamps and measured durations stripped. For a fixed
+/// `(seed, JobConfig)` the per-lane sequence of logical events is
+/// byte-reproducible across runs and across buffering levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalKind {
+    /// Span opened.
+    Begin {
+        /// Which span.
+        span: SpanId,
+    },
+    /// Span closed.
+    End {
+        /// Which span.
+        span: SpanId,
+        /// Whether the span counted toward stage totals.
+        accounted: bool,
+    },
+    /// Point event.
+    Instant {
+        /// Which mark.
+        mark: MarkId,
+    },
+    /// Counter bump.
+    Count {
+        /// Which counter.
+        counter: CounterId,
+        /// Increment.
+        delta: u64,
+    },
+}
+
+impl EventKind {
+    /// Project away the nondeterministic timing parts.
+    pub fn logical(self) -> LogicalKind {
+        match self {
+            EventKind::Begin { span } => LogicalKind::Begin { span },
+            EventKind::End {
+                span, accounted, ..
+            } => LogicalKind::End { span, accounted },
+            EventKind::Instant { mark } => LogicalKind::Instant { mark },
+            EventKind::Count { counter, delta } => LogicalKind::Count { counter, delta },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_projection_strips_durations_but_keeps_identity() {
+        let a = EventKind::End {
+            span: SpanId::Chunk { seq: 3 },
+            wall_ns: 1_000,
+            modeled_ns: 2_000,
+            accounted: true,
+        };
+        let b = EventKind::End {
+            span: SpanId::Chunk { seq: 3 },
+            wall_ns: 999_999,
+            modeled_ns: 1,
+            accounted: true,
+        };
+        assert_eq!(a.logical(), b.logical());
+        let c = EventKind::End {
+            span: SpanId::Chunk { seq: 4 },
+            wall_ns: 1_000,
+            modeled_ns: 2_000,
+            accounted: true,
+        };
+        assert_ne!(a.logical(), c.logical());
+    }
+
+    #[test]
+    fn lane_order_is_node_major_then_pipeline_first() {
+        let map_input = LaneId {
+            node: 0,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Map,
+                stage: StageId::Input,
+            },
+        };
+        let reduce_output = LaneId {
+            node: 0,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Reduce,
+                stage: StageId::Partition,
+            },
+        };
+        let storage = LaneId {
+            node: 0,
+            realm: Realm::Storage,
+        };
+        let other_node = LaneId {
+            node: 1,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Map,
+                stage: StageId::Input,
+            },
+        };
+        assert!(map_input < reduce_output);
+        assert!(reduce_output < storage);
+        assert!(storage < other_node);
+    }
+}

@@ -1,0 +1,262 @@
+//! The event collector: lanes, the tracer, and the finished trace.
+//!
+//! Recording is lock-cheap: each lane owns its own mutex-guarded vector
+//! and is written by (at most) one thread — the stage thread, the storage
+//! reader, the fabric endpoint — so `record` is an uncontended lock plus
+//! a push. The tracer-level map lock is only taken on lane creation and
+//! at [`Tracer::finish`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::event::{CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, SpanId};
+use crate::metrics::MetricsSummary;
+
+/// Collects events for one job run. Cheap to share (`Arc`); hand lanes to
+/// subsystems with [`Tracer::lane`] and snapshot the result with
+/// [`Tracer::finish`].
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    lanes: Mutex<BTreeMap<LaneId, Arc<LaneBuf>>>,
+}
+
+#[derive(Debug, Default)]
+struct LaneBuf {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Tracer {
+    /// A fresh tracer; its epoch (the zero of every `at_ns`) is now.
+    pub fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            lanes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Get or create the lane `id`, returning a cheap writer handle.
+    pub fn lane(&self, id: LaneId) -> Lane {
+        let buf = Arc::clone(self.lanes.lock().entry(id).or_default());
+        Lane {
+            epoch: self.epoch,
+            buf,
+        }
+    }
+
+    /// Snapshot everything recorded so far into a [`Trace`], lanes in
+    /// canonical ([`LaneId`]) order.
+    pub fn finish(&self) -> Trace {
+        let lanes = self
+            .lanes
+            .lock()
+            .iter()
+            .map(|(id, buf)| (*id, buf.events.lock().clone()))
+            .collect();
+        Trace { lanes }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// Writer handle for one lane. Clones share the lane.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    epoch: Instant,
+    buf: Arc<LaneBuf>,
+}
+
+impl Lane {
+    /// Record `kind` at the current wall clock; returns the stored event
+    /// so callers can feed the same value to derived views.
+    pub fn record(&self, kind: EventKind) -> Event {
+        let ev = Event {
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            kind,
+        };
+        self.buf.events.lock().push(ev);
+        ev
+    }
+
+    /// Open a span.
+    pub fn begin(&self, span: SpanId) {
+        self.record(EventKind::Begin { span });
+    }
+
+    /// Close a span with accounted durations (they count toward stage
+    /// totals in derived views).
+    pub fn end(&self, span: SpanId, wall: Duration, modeled: Duration) {
+        self.record(EventKind::End {
+            span,
+            wall_ns: wall.as_nanos() as u64,
+            modeled_ns: modeled.as_nanos() as u64,
+            accounted: true,
+        });
+    }
+
+    /// Close a structural span (aborted chunk, token wait, untimed finish)
+    /// whose durations must not be folded into stage totals.
+    pub fn end_unaccounted(&self, span: SpanId) {
+        self.record(EventKind::End {
+            span,
+            wall_ns: 0,
+            modeled_ns: 0,
+            accounted: false,
+        });
+    }
+
+    /// Record a point event.
+    pub fn instant(&self, mark: MarkId) {
+        self.record(EventKind::Instant { mark });
+    }
+
+    /// Bump a counter.
+    pub fn count(&self, counter: CounterId, delta: u64) {
+        self.record(EventKind::Count { counter, delta });
+    }
+}
+
+/// A finished, immutable event stream: one vector of events per lane,
+/// lanes in canonical order, events within a lane in emission order. That
+/// per-lane order is the determinism contract — it sidesteps cross-thread
+/// interleaving, which no fixed seed can pin.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// `(lane, events)` pairs sorted by [`LaneId`].
+    pub lanes: Vec<(LaneId, Vec<Event>)>,
+}
+
+impl Trace {
+    /// The seed-deterministic projection: every event's identity, in
+    /// canonical lane order, wall timestamps and durations stripped.
+    pub fn logical_events(&self) -> Vec<(LaneId, LogicalKind)> {
+        self.lanes
+            .iter()
+            .flat_map(|(id, events)| events.iter().map(move |ev| (*id, ev.kind.logical())))
+            .collect()
+    }
+
+    /// Total number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.lanes.iter().map(|(_, evs)| evs.len()).sum()
+    }
+
+    /// Roll the stream up into per-node/per-stage/per-job aggregates.
+    pub fn metrics(&self) -> MetricsSummary {
+        MetricsSummary::from_trace(self)
+    }
+
+    /// Export as Chrome `trace_event` JSON (load in `chrome://tracing` or
+    /// Perfetto): one process per node, one thread per lane, `B`/`E`
+    /// pairs for spans, `i` for marks, `C` for counters.
+    pub fn chrome_json(&self) -> String {
+        crate::chrome::export(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Realm;
+    use crate::stage::{PipelineKind, StageId};
+
+    fn lane_id(node: u32, stage: StageId) -> LaneId {
+        LaneId {
+            node,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Map,
+                stage,
+            },
+        }
+    }
+
+    #[test]
+    fn lanes_come_back_in_canonical_order_regardless_of_creation_order() {
+        let tracer = Tracer::new();
+        tracer
+            .lane(LaneId {
+                node: 1,
+                realm: Realm::Storage,
+            })
+            .count(CounterId::DfsReadBytes, 10);
+        tracer
+            .lane(lane_id(0, StageId::Kernel))
+            .begin(SpanId::Chunk { seq: 0 });
+        tracer
+            .lane(lane_id(0, StageId::Input))
+            .begin(SpanId::Chunk { seq: 0 });
+        let trace = tracer.finish();
+        let ids: Vec<LaneId> = trace.lanes.iter().map(|(id, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        assert_eq!(trace.event_count(), 3);
+    }
+
+    #[test]
+    fn events_within_a_lane_keep_emission_order_and_timestamps_grow() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane(lane_id(0, StageId::Input));
+        lane.begin(SpanId::Chunk { seq: 0 });
+        lane.end(
+            SpanId::Chunk { seq: 0 },
+            Duration::from_micros(5),
+            Duration::from_micros(7),
+        );
+        lane.instant(MarkId::TaskFaultFired);
+        let trace = tracer.finish();
+        let events = &trace.lanes[0].1;
+        assert_eq!(events.len(), 3);
+        assert!(events[0].at_ns <= events[1].at_ns);
+        assert!(events[1].at_ns <= events[2].at_ns);
+        assert_eq!(
+            events[1].kind,
+            EventKind::End {
+                span: SpanId::Chunk { seq: 0 },
+                wall_ns: 5_000,
+                modeled_ns: 7_000,
+                accounted: true,
+            }
+        );
+    }
+
+    #[test]
+    fn logical_events_are_identical_across_differently_timed_runs() {
+        let run = |sleep: bool| {
+            let tracer = Tracer::new();
+            let lane = tracer.lane(lane_id(2, StageId::Kernel));
+            for seq in 0..3u64 {
+                lane.begin(SpanId::Chunk { seq });
+                if sleep {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                lane.end(
+                    SpanId::Chunk { seq },
+                    Duration::from_nanos(seq * 17),
+                    Duration::from_nanos(seq * 19),
+                );
+            }
+            lane.end_unaccounted(SpanId::Finish { seq: 2 });
+            tracer.finish().logical_events()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn clones_of_a_lane_share_the_buffer() {
+        let tracer = Tracer::new();
+        let a = tracer.lane(lane_id(0, StageId::Partition));
+        let b = a.clone();
+        a.count(CounterId::ShuffleSendMsgs, 1);
+        b.count(CounterId::ShuffleSendMsgs, 2);
+        let trace = tracer.finish();
+        assert_eq!(trace.lanes[0].1.len(), 2);
+    }
+}

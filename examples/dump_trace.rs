@@ -1,0 +1,74 @@
+//! Dump a job's event trace as Chrome `trace_event` JSON.
+//!
+//! Runs word count on a 2-node in-process cluster, prints the
+//! trace-derived metrics rollup, and writes the timeline to `trace.json`
+//! (or the path given as the first argument). Open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev>: nodes render as
+//! processes, lanes (pipeline stages, storage, net-tx/net-rx) as threads.
+//!
+//! ```sh
+//! cargo run --release --example dump_trace [out.json]
+//! ```
+
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{text_corpus, CorpusSpec};
+use glasswing::core::{CounterId, StageId};
+use glasswing::prelude::*;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or("trace.json".to_string());
+
+    let spec = CorpusSpec {
+        lines: 1500,
+        words_per_line: 10,
+        vocabulary: 1000,
+        zipf_s: 1.05,
+        seed: 11,
+    };
+    let corpus = text_corpus(&spec);
+    let nodes = 2;
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes)));
+    dfs.write_records(
+        "/trace/in",
+        NodeId(0),
+        16 << 10,
+        3,
+        corpus.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .expect("write input corpus");
+
+    let cluster = Cluster::new(dfs, NetProfile::gigabit_ethernet());
+    let cfg = JobConfig::new("/trace/in", "/trace/out");
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &cfg)
+        .expect("word count job");
+
+    let m = &report.metrics;
+    println!("job finished in {:?}", report.elapsed);
+    println!(
+        "map kernel chunks:   {}",
+        m.chunks_total(glasswing::core::PipelineKind::Map, StageId::Kernel)
+    );
+    println!("token-wait total:    {:?}", m.token_wait_total());
+    println!(
+        "dfs reads:           {} local / {} remote ({} B)",
+        m.counter_total(CounterId::DfsReadLocal),
+        m.counter_total(CounterId::DfsReadRemote),
+        m.counter_total(CounterId::DfsReadBytes),
+    );
+    println!(
+        "shuffle:             {} msgs / {} B sent, {} received",
+        m.counter_total(CounterId::ShuffleSendMsgs),
+        m.counter_total(CounterId::ShuffleSendBytes),
+        m.counter_total(CounterId::ShuffleRecvMsgs),
+    );
+
+    let json = report.trace.chrome_json();
+    std::fs::write(&out, &json).expect("write trace file");
+    println!(
+        "wrote {out} ({} events, {} bytes) — open in chrome://tracing or ui.perfetto.dev",
+        report.trace.event_count(),
+        json.len()
+    );
+}

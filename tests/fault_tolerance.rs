@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use glasswing::apps::codec::{dec_u64, enc_u64};
-use glasswing::core::EngineError;
+use glasswing::core::{EngineError, PipelineKind, StageId};
 use glasswing::prelude::*;
 
 /// Word count whose map panics the first `failures` times it sees the
@@ -287,6 +287,65 @@ fn transient_reduce_fault_is_reexecuted_and_output_is_correct() {
     assert_eq!(count(b"gamma"), 3);
     assert_eq!(count(b"delta"), 1);
     assert_eq!(count(b"POISON"), 1);
+}
+
+#[test]
+fn exhausted_budget_surfaces_task_failure_before_any_deadline() {
+    // A deterministic fault burns the whole re-execution budget on a
+    // multi-node cluster. The job must surface `TaskFailed` on its own —
+    // the watchdog deadline is armed purely as a hang detector and must
+    // never be the thing that fires.
+    let cluster = cluster_with_lines(2, LINES);
+    let app = Arc::new(FlakyWordCount::new(100, b"POISON"));
+    let mut job_cfg = cfg(2);
+    job_cfg.job_deadline = Some(std::time::Duration::from_secs(30));
+    let start = std::time::Instant::now();
+    let err = cluster.run(app, &job_cfg).unwrap_err();
+    match err {
+        EngineError::TaskFailed(msg) => {
+            assert!(
+                msg.contains("attempt"),
+                "the error must account for the exhausted budget, got: {msg}"
+            );
+        }
+        EngineError::JobTimeout(_) => {
+            panic!("retry exhaustion hung until the watchdog killed the job")
+        }
+        other => panic!("expected TaskFailed, got: {other}"),
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "exhaustion must fail fast, not crawl toward the deadline"
+    );
+}
+
+#[test]
+fn retried_tasks_keep_job_report_fault_accounting_consistent() {
+    // A job that survives transient faults must report them — and only
+    // them: the discarded attempts may not inflate the trace-derived
+    // chunk accounting, since a retried chunk completes its stage once.
+    let cluster = cluster_with_lines(2, LINES);
+    let app = Arc::new(FlakyWordCount::new(2, b"POISON"));
+    let report = cluster.run(app, &cfg(3)).unwrap();
+    let retried: usize = report.nodes.iter().map(|n| n.map.tasks_retried).sum();
+    assert!(retried >= 1, "the fault must be visible in the report");
+    let splits: usize = report.nodes.iter().map(|n| n.map.splits).sum();
+    assert_eq!(
+        report
+            .metrics
+            .chunks_total(PipelineKind::Map, StageId::Kernel),
+        splits as u64,
+        "each split's chunk must be accounted exactly once despite retries"
+    );
+    assert_eq!(
+        report
+            .metrics
+            .chunks_total(PipelineKind::Map, StageId::Stage),
+        report
+            .metrics
+            .chunks_total(PipelineKind::Map, StageId::Kernel),
+        "fused-stage accounting must survive the retry path"
+    );
 }
 
 #[test]
