@@ -34,7 +34,7 @@ use std::sync::Arc;
 use gw_apps::WordCount;
 use gw_bench::flatjson::{self, Val};
 use gw_bench::{bench_cfg, corpus_cluster_paced};
-use gw_core::{Buffering, JobConfig};
+use gw_core::{Buffering, JobConfig, PerfAnalysis, PipelineKind};
 use gw_device::DeviceProfile;
 
 struct Sizes {
@@ -140,12 +140,35 @@ fn measure(sizes: &Sizes) -> Metrics {
     }
 }
 
+/// One paced, default-buffered job folded through the trace analysis.
+/// The map pipeline's efficiency score must beat the serialized lower
+/// bound (busy-sum == busy-union ⇒ exactly 1.0): under paced reads the
+/// §III-D overlap machinery has real Input time to hide, so a score at
+/// the bound means the pipeline has silently stopped overlapping.
+fn analyze(sizes: &Sizes) -> PerfAnalysis {
+    let cluster = corpus_cluster_paced(sizes.lines, 30_000, 1, sizes.block);
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &bench_cfg())
+        .expect("job failed");
+    let map = report
+        .analysis
+        .pipeline(0, PipelineKind::Map)
+        .expect("map pipeline traced");
+    assert!(
+        map.efficiency() > 1.0,
+        "map pipeline efficiency {:.3} fell to the serialized bound",
+        map.efficiency()
+    );
+    report.analysis
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let check = argv.iter().any(|a| a == "--check");
 
     let m = measure(if quick { &QUICK } else { &FULL });
+    let analysis = analyze(if quick { &QUICK } else { &FULL });
     let quick_ref = if quick { None } else { Some(measure(&QUICK)) };
 
     let mut fields = vec![
@@ -177,6 +200,9 @@ fn main() {
             Val::Str(s) => println!("  {k:24} {s}"),
             Val::Num(n) => println!("  {k:24} {n:.3}"),
         }
+    }
+    if let Some(map) = analysis.pipeline(0, PipelineKind::Map) {
+        println!("  {:24} {:.3}", "map_efficiency", map.efficiency());
     }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
@@ -226,5 +252,14 @@ fn main() {
     } else {
         std::fs::write(path, flatjson::write(&fields)).expect("write BENCH_pipeline.json");
         println!("wrote {path}");
+        // The full per-stage analysis of the same workload rides along,
+        // so a bench regression can be attributed without a rerun.
+        let analysis_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_pipeline_analysis.json"
+        );
+        std::fs::write(analysis_path, analysis.to_json())
+            .expect("write BENCH_pipeline_analysis.json");
+        println!("wrote {analysis_path}");
     }
 }

@@ -40,7 +40,7 @@ use gw_intermediate::{IntermediateConfig, IntermediateStore, Run, TempDir};
 use gw_net::{Fabric, NetProfile, ShuffleMsg, ShuffleReceiver, ShuffleSummary};
 use gw_storage::split::{FileStore, FileStoreExt};
 use gw_storage::NodeId;
-use gw_trace::{CounterId, LaneId, MetricsSummary, Realm, Trace, Tracer};
+use gw_trace::{CounterId, LaneId, MetricsSummary, PerfAnalysis, Realm, Trace, Tracer};
 
 use crate::api::GwApp;
 use crate::config::JobConfig;
@@ -97,6 +97,10 @@ pub struct JobReport {
     pub blocks_read_remote_due_to_fault: usize,
     /// Per-node/per-stage counter rollup derived from the trace.
     pub metrics: MetricsSummary,
+    /// Post-hoc performance analysis derived from the trace: overlap
+    /// accounting, critical path, stragglers and the bottleneck advisor
+    /// (render with [`PerfAnalysis::to_report`]).
+    pub analysis: PerfAnalysis,
     /// The job's full event trace (export with [`Trace::chrome_json`]).
     pub trace: Trace,
 }
@@ -362,6 +366,7 @@ impl Cluster {
                 .fault_failovers()
                 .saturating_sub(failovers_before),
             metrics: trace.metrics(),
+            analysis: PerfAnalysis::from_trace(&trace),
             trace,
         })
     }

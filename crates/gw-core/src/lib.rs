@@ -59,8 +59,9 @@ pub use timers::{PipelineKind, StageId, StageTimers, TimerReport};
 pub use gw_chaos::{CrashSite, FaultPlan};
 pub use gw_storage::NodeId;
 pub use gw_trace::{
-    validate_json, CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, MetricsSummary,
-    ReadClass, Realm, SpanId, Trace, Tracer,
+    validate_json, Advice, Anomalies, CounterId, CriticalPath, Event, EventKind, LaneId,
+    LogicalKind, MarkId, MetricsSummary, NodePerf, OverlapMatrix, PerfAnalysis, PipelinePerf,
+    ReadClass, Realm, ServiceStats, SpanId, StagePerf, Straggler, Trace, Tracer,
 };
 
 /// Errors surfaced by the engine.

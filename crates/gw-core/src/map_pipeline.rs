@@ -56,7 +56,7 @@ use gw_pipeline::{
 };
 use gw_storage::split::FileStore;
 use gw_storage::{seqfile::SeqReader, NodeId};
-use gw_trace::Tracer;
+use gw_trace::{CounterId, Lane, LaneId, Realm, Tracer};
 
 use crate::api::{Emit, GwApp};
 use crate::collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
@@ -393,6 +393,10 @@ struct MapPartition<'a> {
     chaos: Option<NodeChaos>,
     collectors_back: PoolPut<Box<dyn Collector>>,
     durability_seq: usize,
+    /// This stage's own trace lane (same lane the executor writes this
+    /// thread's chunk spans to, so single-writer order is preserved);
+    /// carries the supervised merge fan-in counter.
+    lane: Lane,
 }
 
 impl Stage<MapChunk, EngineError> for MapPartition<'_> {
@@ -503,6 +507,11 @@ impl Stage<MapChunk, EngineError> for MapPartition<'_> {
                 // re-encoding a single record. One lane is returned by
                 // refcount, zero copies.
                 let run = merge_runs(lane_runs[i..j].iter().map(|(_, r)| r));
+                // Fan-in pressure for the advisor: how many lane runs this
+                // partition's merge consumed. Per-partition fan-in is a
+                // function of the split alone, so the delta stays
+                // deterministic even though lane completion order races.
+                self.lane.count(CounterId::MergeFanIn, (j - i) as u64);
                 i = j;
                 self.records_out.fetch_add(run.records(), Ordering::Relaxed);
                 if let Some(dir) = &self.durability_dir {
@@ -677,7 +686,7 @@ impl MapPhase<'_> {
                     nodes: self.nodes,
                     total_partitions,
                     pool: &partition_pool,
-                    run_pool,
+                    run_pool: Arc::clone(&run_pool),
                     records_out: &records_out,
                     runs_remote: &runs_remote,
                     runs_local: &runs_local,
@@ -685,6 +694,13 @@ impl MapPhase<'_> {
                     chaos: self.chaos.clone(),
                     collectors_back,
                     durability_seq: 0,
+                    lane: self.tracer.lane(LaneId {
+                        node: self.node.0,
+                        realm: Realm::Pipeline {
+                            kind: PipelineKind::Map,
+                            stage: StageId::Partition,
+                        },
+                    }),
                 },
             )
             .interlock(StageId::Input, StageId::Kernel)
@@ -699,6 +715,20 @@ impl MapPhase<'_> {
             ));
         }
         let stats = pipeline.run();
+
+        // Arena-reuse pressure for the advisor, as aggregate counters on
+        // the job lane: per-acquire events would be interleaving-sensitive,
+        // but the totals are a function of `(seed, JobConfig)` alone (the
+        // partition stage builds and recycles builders on one thread in
+        // chunk order, at every buffering level).
+        let job_lane = self.tracer.lane(LaneId {
+            node: self.node.0,
+            realm: Realm::Job,
+        });
+        let acquired = run_pool.acquired() as u64;
+        let reused = run_pool.reused() as u64;
+        job_lane.count(CounterId::RunPoolHit, reused);
+        job_lane.count(CounterId::RunPoolMiss, acquired.saturating_sub(reused));
 
         let crashed = self.chaos.as_ref().is_some_and(|cx| cx.is_dead());
         if !crashed {

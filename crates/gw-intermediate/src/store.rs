@@ -87,6 +87,8 @@ struct Metrics {
     runs_added: AtomicUsize,
     records_added: AtomicUsize,
     merge_delay_nanos: AtomicU64,
+    merges: AtomicUsize,
+    merge_fanin: AtomicUsize,
 }
 
 /// Snapshot of store metrics.
@@ -106,6 +108,15 @@ pub struct StoreMetrics {
     pub records_added: usize,
     /// Measured merge delay (zero until [`IntermediateStore::finish_map`]).
     pub merge_delay: Duration,
+    /// Background `merge_runs` calls (cache flushes + compactions).
+    ///
+    /// Kept as store metrics rather than trace counters on purpose: these
+    /// merges run on merger threads whose scheduling is timing-dependent,
+    /// so emitting them as events would break the logical-stream
+    /// determinism contract.
+    pub merges: usize,
+    /// Total runs consumed across those merges (fan-in pressure).
+    pub merge_fanin: usize,
 }
 
 struct Inner {
@@ -183,6 +194,10 @@ impl Inner {
             std::mem::take(&mut st.cache)
         };
         if !runs.is_empty() {
+            self.metrics.merges.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .merge_fanin
+                .fetch_add(runs.len(), Ordering::Relaxed);
             let merged = merge_runs(&runs);
             drop(runs);
             if !merged.is_empty() {
@@ -204,6 +219,10 @@ impl Inner {
                 .iter()
                 .map(|s| self.read_spill(s).expect("spill read failed"))
                 .collect();
+            self.metrics.merges.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .merge_fanin
+                .fetch_add(runs.len(), Ordering::Relaxed);
             let merged = merge_runs(&runs);
             drop(runs);
             for s in &spills {
@@ -403,6 +422,8 @@ impl IntermediateStore {
             runs_added: m.runs_added.load(Ordering::Relaxed),
             records_added: m.records_added.load(Ordering::Relaxed),
             merge_delay: Duration::from_nanos(m.merge_delay_nanos.load(Ordering::Relaxed)),
+            merges: m.merges.load(Ordering::Relaxed),
+            merge_fanin: m.merge_fanin.load(Ordering::Relaxed),
         }
     }
 }

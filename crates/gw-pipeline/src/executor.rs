@@ -555,6 +555,9 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
         let mut acquire_at: Vec<Vec<Acquirer>> = (0..n_live).map(|_| Vec::new()).collect();
         let mut release_at: Vec<Vec<usize>> = (0..n_live).map(|_| Vec::new()).collect();
         let mut gauges: Vec<Arc<InFlightGauge>> = Vec::new();
+        // (acquire position, resolved first, resolved last) per group, for
+        // the §III-D topology marks below.
+        let mut topology: Vec<(usize, StageId, StageId)> = Vec::new();
         for &(first, last) in &self.interlocks {
             let Some(a) = ids.iter().position(|id| id.index() >= first.index()) else {
                 continue;
@@ -579,6 +582,7 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
             });
             release_at[r].push(group);
             gauges.push(gauge);
+            topology.push((a, ids[a], ids[r]));
         }
         let n_groups = gauges.len();
 
@@ -619,6 +623,21 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
             timers,
         };
         let source_events = events_for(source_id);
+
+        // §III-D topology marks: one per token group, on the acquiring
+        // stage's lane, emitted before any stage thread spawns so the mark
+        // leads that lane and per-lane order stays deterministic. Post-hoc
+        // analysis replays the buffer-token schedule from these instead of
+        // guessing the group endpoints.
+        for (group, &(pos, first, last)) in topology.iter().enumerate() {
+            events_for(ids[pos]).emit(EventKind::Instant {
+                mark: MarkId::TokenGroup {
+                    group: group as u32,
+                    first,
+                    last,
+                },
+            });
+        }
 
         let mut acquire_iter = acquire_at.into_iter();
         let source_acquires = acquire_iter.next().expect("source position");

@@ -199,6 +199,7 @@ fn mark_name(mark: MarkId) -> &'static str {
         MarkId::NetFaultFired { .. } => "net-fault",
         MarkId::TaskFaultFired => "task-fault",
         MarkId::DfsRead { .. } => "dfs-read",
+        MarkId::TokenGroup { .. } => "token-group",
     }
 }
 
@@ -228,6 +229,14 @@ fn mark_args(out: &mut String, mark: MarkId) {
         MarkId::TaskFaultFired => {}
         MarkId::DfsRead { block, class } => {
             let _ = write!(out, "\"block\":{block},\"class\":\"{}\"", class.name());
+        }
+        MarkId::TokenGroup { group, first, last } => {
+            let _ = write!(
+                out,
+                "\"group\":{group},\"first\":\"{}\",\"last\":\"{}\"",
+                first.name(),
+                last.name()
+            );
         }
     }
 }

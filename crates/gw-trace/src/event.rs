@@ -127,6 +127,18 @@ pub enum MarkId {
         /// Where the read was served from.
         class: ReadClass,
     },
+    /// §III-D interlock topology: emitted once per pipeline
+    /// instantiation on the acquiring stage's lane, before any chunk
+    /// flows, so post-hoc analysis can replay the buffer-token schedule
+    /// without guessing which stages bound each circulating-token group.
+    TokenGroup {
+        /// Interlock group index within the pipeline.
+        group: u32,
+        /// Stage that acquires the group's token.
+        first: StageId,
+        /// Stage that releases it.
+        last: StageId,
+    },
 }
 
 /// Where a DFS read was served from.
@@ -170,6 +182,13 @@ pub enum CounterId {
     ShuffleRecvMsgs,
     /// Shuffle runs retransmitted to a recovering peer.
     ShuffleRetransmit,
+    /// `RunPool` builder acquisitions served from the recycle pool.
+    RunPoolHit,
+    /// `RunPool` builder acquisitions that had to allocate fresh arenas.
+    RunPoolMiss,
+    /// Runs consumed across supervised map-side `merge_runs` calls
+    /// (fan-in; one bump per merge, delta = runs merged).
+    MergeFanIn,
 }
 
 impl CounterId {
@@ -184,6 +203,9 @@ impl CounterId {
             CounterId::ShuffleSendBytes => "shuffle.send.bytes",
             CounterId::ShuffleRecvMsgs => "shuffle.recv.msgs",
             CounterId::ShuffleRetransmit => "shuffle.retransmit",
+            CounterId::RunPoolHit => "runpool.reuse.hit",
+            CounterId::RunPoolMiss => "runpool.reuse.miss",
+            CounterId::MergeFanIn => "merge.fanin",
         }
     }
 }

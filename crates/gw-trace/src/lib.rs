@@ -25,13 +25,19 @@
 //!    registry, the Chrome exporter) fold over emitted events; none of
 //!    them keeps its own instrumentation state inside pipeline code.
 
+mod analysis;
 mod chrome;
 mod event;
 mod jsonck;
 mod metrics;
+mod report;
 mod stage;
 mod tracer;
 
+pub use analysis::{
+    Advice, Anomalies, CriticalPath, NodePerf, OverlapMatrix, PerfAnalysis, PipelinePerf,
+    ServiceStats, StagePerf, Straggler,
+};
 pub use event::{
     CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, ReadClass, Realm, SpanId,
 };

@@ -1,0 +1,70 @@
+//! Run a job and print its trace-driven performance analysis.
+//!
+//! Word count on a 2-node in-process cluster with *paced* local-FS-style
+//! reads (so the Input stage carries real time and the §III-D pipeline
+//! has something to overlap), then the full post-hoc analysis: per-stage
+//! breakdown with the overlap matrix and efficiency score (the paper's
+//! Table II/III shape), critical-path attribution, straggler ranking and
+//! the bottleneck advisor.
+//!
+//! ```sh
+//! cargo run --release --example analyze_job [report.txt [report.json]]
+//! ```
+//!
+//! The plain-text report goes to stdout and to the first path; the JSON
+//! form (`gw-perf-analysis-v1`) to the second. EXPERIMENTS.md's
+//! per-stage breakdown block is regenerated from this output.
+
+use std::sync::Arc;
+
+use glasswing::apps::workloads::{text_corpus, CorpusSpec};
+use glasswing::prelude::*;
+use glasswing::storage::IoModel;
+
+fn main() {
+    let txt_out = std::env::args().nth(1).unwrap_or("report.txt".to_string());
+    let json_out = std::env::args().nth(2).unwrap_or("report.json".to_string());
+
+    let spec = CorpusSpec {
+        lines: 4000,
+        words_per_line: 12,
+        vocabulary: 2000,
+        zipf_s: 1.05,
+        seed: 17,
+    };
+    let corpus = text_corpus(&spec);
+    let nodes = 2;
+    // Paced reads: the scaled local-FS model from the bench harness, so
+    // Input time is the same order as kernel time (the paper's local-FS
+    // runs) and double buffering has real work to overlap.
+    let model = IoModel {
+        per_call_overhead: std::time::Duration::from_micros(100),
+        local_bandwidth: 60.0e6,
+        remote_bandwidth: 200.0e6,
+        copy_amplification: 1.0,
+    };
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).paced_io(model)));
+    dfs.write_records(
+        "/analyze/in",
+        NodeId(0),
+        16 << 10,
+        2,
+        corpus.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+    )
+    .expect("write input corpus");
+
+    let cluster = Cluster::new(dfs, NetProfile::gigabit_ethernet());
+    let cfg = JobConfig::new("/analyze/in", "/analyze/out");
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &cfg)
+        .expect("word count job");
+
+    let analysis = &report.analysis;
+    let text = analysis.to_report();
+    print!("{text}");
+    println!("\njob finished in {:?}", report.elapsed);
+
+    std::fs::write(&txt_out, &text).expect("write text report");
+    std::fs::write(&json_out, analysis.to_json()).expect("write JSON report");
+    println!("wrote {txt_out} and {json_out}");
+}
