@@ -8,11 +8,26 @@
 //! crash-site probes in the pipelines — everything is pull-based, so an
 //! unarmed engine pays nothing.
 //!
+//! Beyond the crash-style faults, a plan can schedule **gray failures**:
+//! degradations that leave every node alive but slow. Three families,
+//! drawn from the same seed ([`FaultPlan::gray_from_seed`]):
+//!
+//! * **slowdown** — a persistent per-node multiplier; every stage passage
+//!   on the victim is throttled by `(factor − 1) × wall`
+//!   ([`FaultPlan::gray_delay`], probed by the pipeline executor);
+//! * **stall** — a one-shot transient hang of a chosen site passage;
+//! * **flaky link** — a per-message probabilistic drop/delay profile on
+//!   one directed link, decided deterministically from
+//!   `(seed, link, message index)`.
+//!
 //! Determinism contract: two plans built from the same seed and node
 //! count schedule identical faults ([`FaultPlan::describe`] is equal), and
-//! each fault fires **at most once per plan instance**. A plan is
-//! therefore single-use; to replay a schedule, build a fresh plan from the
-//! same seed.
+//! each *discrete* fault (crash, read, net, stall) fires **at most once
+//! per plan instance** — a plan is single-use; to replay a schedule,
+//! build a fresh plan from the same seed. Slowdowns and flaky links are
+//! *profiles*, not events: they apply for the plan's whole lifetime, and
+//! a flaky link's per-message decisions replay identically for the same
+//! message indices.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -22,7 +37,7 @@ use parking_lot::RwLock;
 
 use gw_net::{NetFaultAction, NetFaultHook};
 use gw_storage::{NodeId, StorageFaultHook};
-use gw_trace::{LaneId, MarkId, Realm, Tracer};
+use gw_trace::{CounterId, LaneId, MarkId, Realm, Tracer};
 
 /// SplitMix64 — a tiny deterministic RNG. In-repo so the fault plane
 /// depends on no external crates and no global entropy.
@@ -147,6 +162,44 @@ struct NetFault {
     fired: AtomicBool,
 }
 
+/// Persistent per-node slowdown: every stage passage on the victim is
+/// stretched by `(factor_x100 − 100)%` of its measured wall time.
+#[derive(Debug)]
+struct SlowFault {
+    node: u32,
+    /// Slowdown factor × 100 (400 = the node runs 4× slower).
+    factor_x100: u32,
+}
+
+/// One-shot transient stall of a site passage on one node.
+#[derive(Debug)]
+struct StallFault {
+    node: u32,
+    site: CrashSite,
+    /// Passages of the site survived before the stall fires.
+    after: u32,
+    /// Stall length, milliseconds.
+    ms: u64,
+    seen: AtomicU32,
+    fired: AtomicBool,
+}
+
+/// Probabilistic drop/delay profile on one directed link. Unlike
+/// [`NetFault`] this is not one-shot: every data message on the link
+/// rolls against the profile, with the outcome a pure function of
+/// `(plan seed, link, message index)`.
+#[derive(Debug)]
+struct FlakyLink {
+    from: u32,
+    to: u32,
+    /// Percent of messages dropped.
+    drop_pct: u32,
+    /// Percent of messages delayed (on top of `drop_pct`).
+    delay_pct: u32,
+    delay: Duration,
+    seen: AtomicU32,
+}
+
 /// A deterministic, single-use schedule of injected faults.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
@@ -154,6 +207,9 @@ pub struct FaultPlan {
     crash: Option<CrashFault>,
     read: Option<ReadFault>,
     net: Option<NetFault>,
+    slow: Option<SlowFault>,
+    stall: Option<StallFault>,
+    flaky: Option<FlakyLink>,
     tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
@@ -204,6 +260,56 @@ impl FaultPlan {
             plan.read = Some(ReadFault {
                 block: rng.gen_range(8) as usize,
                 fired: AtomicBool::new(false),
+            });
+        }
+        plan
+    }
+
+    /// Derive a **gray-failure** schedule from `seed`: slowdowns, stalls
+    /// and flaky links only — every node stays alive, so (unlike
+    /// [`FaultPlan::from_seed`] schedules) every gray plan is recoverable
+    /// and must reproduce byte-identical output. Every plan schedules at
+    /// least one gray fault.
+    pub fn gray_from_seed(seed: u64, nodes: u32) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_C3C3_3C3C);
+        let mut plan = FaultPlan {
+            seed,
+            ..Default::default()
+        };
+        // ~55% slowdown, ~45% stall, ~45% flaky link: most seeds mix
+        // degradation families.
+        if rng.chance(55) {
+            plan.slow = Some(SlowFault {
+                node: rng.gen_range(nodes.max(1) as u64) as u32,
+                factor_x100: 150 + 50 * rng.gen_range(8) as u32, // 1.5×..5×
+            });
+        }
+        if rng.chance(45) {
+            plan.stall = Some(StallFault {
+                node: rng.gen_range(nodes.max(1) as u64) as u32,
+                site: CrashSite::from_index(rng.next_u64()),
+                after: rng.gen_range(3) as u32,
+                ms: 10 + rng.gen_range(90),
+                seen: AtomicU32::new(0),
+                fired: AtomicBool::new(false),
+            });
+        }
+        if rng.chance(45) && nodes > 1 {
+            let from = rng.gen_range(nodes as u64) as u32;
+            let to = (from + 1 + rng.gen_range(nodes as u64 - 1) as u32) % nodes;
+            plan.flaky = Some(FlakyLink {
+                from,
+                to,
+                drop_pct: 10 + rng.gen_range(30) as u32,
+                delay_pct: 10 + rng.gen_range(30) as u32,
+                delay: Duration::from_millis(1 + rng.gen_range(15)),
+                seen: AtomicU32::new(0),
+            });
+        }
+        if plan.slow.is_none() && plan.stall.is_none() && plan.flaky.is_none() {
+            plan.slow = Some(SlowFault {
+                node: rng.gen_range(nodes.max(1) as u64) as u32,
+                factor_x100: 300,
             });
         }
         plan
@@ -265,6 +371,49 @@ impl FaultPlan {
         self
     }
 
+    /// Slow `node` down persistently: every stage passage is stretched to
+    /// `factor_x100 / 100` of its wall time (400 = the node runs 4× slower).
+    pub fn with_slowdown(mut self, node: u32, factor_x100: u32) -> Self {
+        self.slow = Some(SlowFault { node, factor_x100 });
+        self
+    }
+
+    /// Stall `node` for `ms` milliseconds, once, on its `after+1`-th
+    /// passage of `site`.
+    pub fn with_stall(mut self, node: u32, site: CrashSite, after: u32, ms: u64) -> Self {
+        self.stall = Some(StallFault {
+            node,
+            site,
+            after,
+            ms,
+            seen: AtomicU32::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Make the `from → to` link flaky: each data message independently
+    /// drops with probability `drop_pct`% or is delayed by `delay` with
+    /// probability `delay_pct`%, decided deterministically per message.
+    pub fn with_flaky_link(
+        mut self,
+        from: u32,
+        to: u32,
+        drop_pct: u32,
+        delay_pct: u32,
+        delay: Duration,
+    ) -> Self {
+        self.flaky = Some(FlakyLink {
+            from,
+            to,
+            drop_pct,
+            delay_pct,
+            delay,
+            seen: AtomicU32::new(0),
+        });
+        self
+    }
+
     /// The seed the plan was derived from (0 for explicit plans).
     pub fn seed(&self) -> u64 {
         self.seed
@@ -300,6 +449,24 @@ impl FaultPlan {
                         NetFaultKind::Delay(_) => "net-delay",
                     },
                     detail: u64::from(f.nth),
+                });
+            }
+            if let Some(s) = &self.slow {
+                t.lane(chaos_lane(s.node)).instant(MarkId::FaultArmed {
+                    kind: "slow",
+                    detail: u64::from(s.factor_x100),
+                });
+            }
+            if let Some(st) = &self.stall {
+                t.lane(chaos_lane(st.node)).instant(MarkId::FaultArmed {
+                    kind: "stall",
+                    detail: st.ms,
+                });
+            }
+            if let Some(f) = &self.flaky {
+                t.lane(chaos_lane(f.from)).instant(MarkId::FaultArmed {
+                    kind: "flaky",
+                    detail: u64::from(f.drop_pct),
                 });
             }
         }
@@ -342,7 +509,35 @@ impl FaultPlan {
             };
             parts.push(format!("net({} {}->{},nth={})", kind, n.from, n.to, n.nth));
         }
+        if let Some(s) = &self.slow {
+            parts.push(format!("slow(node={},x{})", s.node, s.factor_x100));
+        }
+        if let Some(st) = &self.stall {
+            parts.push(format!(
+                "stall(node={},site={},after={},ms={})",
+                st.node,
+                st.site.name(),
+                st.after,
+                st.ms
+            ));
+        }
+        if let Some(f) = &self.flaky {
+            parts.push(format!(
+                "flaky({}->{},drop={}%,delay={}%/{}ms)",
+                f.from,
+                f.to,
+                f.drop_pct,
+                f.delay_pct,
+                f.delay.as_millis()
+            ));
+        }
         parts.join(" ")
+    }
+
+    /// Whether the plan schedules any gray fault (slowdown, stall or
+    /// flaky link).
+    pub fn schedules_gray_fault(&self) -> bool {
+        self.slow.is_some() || self.stall.is_some() || self.flaky.is_some()
     }
 
     /// Probe a map-pipeline crash site. Returns `true` exactly once — on
@@ -382,6 +577,48 @@ impl FaultPlan {
         }
         fires
     }
+
+    /// Probe the gray-failure plane after `node` passed `site` in `wall`
+    /// time. Returns the extra time the caller must sleep to realise the
+    /// scheduled degradation, or `None` when no gray fault applies (the
+    /// common case — unarmed paths pay one branch per passage).
+    ///
+    /// Combines the one-shot stall (fires at most once per plan, emitting
+    /// a `stall-fired` mark) with the persistent slowdown, which stretches
+    /// every passage by `(factor − 1) × wall` and counts a
+    /// [`CounterId::GraySlowdowns`] tick per throttled passage when a
+    /// tracer is armed.
+    pub fn gray_delay(&self, node: u32, site: CrashSite, wall: Duration) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        if let Some(st) = &self.stall {
+            if st.node == node && st.site == site && !st.fired.load(Ordering::Relaxed) {
+                let seen = st.seen.fetch_add(1, Ordering::Relaxed) + 1;
+                if seen > st.after && !st.fired.swap(true, Ordering::Relaxed) {
+                    total += Duration::from_millis(st.ms);
+                    self.trace_mark(
+                        node,
+                        MarkId::StallFired {
+                            site: site.name(),
+                            ms: st.ms,
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(s) = &self.slow {
+            if s.node == node && s.factor_x100 > 100 {
+                total += wall * (s.factor_x100 - 100) / 100;
+                if let Some(t) = self.tracer.read().as_ref() {
+                    t.lane(chaos_lane(node)).count(CounterId::GraySlowdowns, 1);
+                }
+            }
+        }
+        if total.is_zero() {
+            None
+        } else {
+            Some(total)
+        }
+    }
 }
 
 /// Node `node`'s chaos lane.
@@ -410,6 +647,26 @@ impl StorageFaultHook for FaultPlan {
 
 impl NetFaultHook for FaultPlan {
     fn on_data_message(&self, from: NodeId, to: NodeId) -> NetFaultAction {
+        if let Some(f) = &self.flaky {
+            if f.from == from.0 && f.to == to.0 {
+                let n = f.seen.fetch_add(1, Ordering::Relaxed);
+                // The outcome is a pure function of (seed, link, message
+                // index): re-running the same schedule rolls identically.
+                let link = (u64::from(f.from) << 32) | u64::from(f.to);
+                let mut rng = SplitMix64::new(
+                    self.seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(n),
+                );
+                let roll = rng.gen_range(100) as u32;
+                if roll < f.drop_pct {
+                    self.trace_mark(from.0, MarkId::NetFaultFired { kind: "drop" });
+                    return NetFaultAction::Drop;
+                }
+                if roll < f.drop_pct + f.delay_pct {
+                    self.trace_mark(from.0, MarkId::NetFaultFired { kind: "delay" });
+                    return NetFaultAction::Delay(f.delay);
+                }
+            }
+        }
         let Some(f) = &self.net else {
             return NetFaultAction::Deliver;
         };
@@ -575,6 +832,125 @@ mod tests {
             }
         )));
         assert!(marks.contains(&(1, MarkId::ReadFaultFired { block: 3 })));
+    }
+
+    #[test]
+    fn gray_seed_is_deterministic_and_always_schedules() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::gray_from_seed(seed, 4);
+            let b = FaultPlan::gray_from_seed(seed, 4);
+            assert_eq!(a.describe(), b.describe(), "seed {seed}");
+            assert!(a.schedules_gray_fault(), "seed {seed} scheduled nothing");
+            assert!(
+                a.crash.is_none() && a.read.is_none() && a.net.is_none(),
+                "seed {seed} scheduled a non-gray fault"
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_stretches_every_passage_proportionally() {
+        let p = FaultPlan::empty().with_slowdown(1, 400);
+        // 4× slower: a 10ms passage owes 30ms of extra sleep, every time.
+        let wall = Duration::from_millis(10);
+        assert_eq!(
+            p.gray_delay(1, CrashSite::Kernel, wall),
+            Some(Duration::from_millis(30))
+        );
+        assert_eq!(
+            p.gray_delay(1, CrashSite::Read, wall),
+            Some(Duration::from_millis(30))
+        );
+        // Other nodes run at full speed.
+        assert_eq!(p.gray_delay(0, CrashSite::Kernel, wall), None);
+    }
+
+    #[test]
+    fn stall_fires_once_at_the_right_passage() {
+        let p = FaultPlan::empty().with_stall(2, CrashSite::Stage, 1, 25);
+        let wall = Duration::from_millis(1);
+        // Wrong node / site never stalls and never consumes passages.
+        assert_eq!(p.gray_delay(1, CrashSite::Stage, wall), None);
+        assert_eq!(p.gray_delay(2, CrashSite::Kernel, wall), None);
+        // Victim survives `after` passages, stalls on the next, only once.
+        assert_eq!(p.gray_delay(2, CrashSite::Stage, wall), None);
+        assert_eq!(
+            p.gray_delay(2, CrashSite::Stage, wall),
+            Some(Duration::from_millis(25))
+        );
+        assert_eq!(p.gray_delay(2, CrashSite::Stage, wall), None);
+    }
+
+    #[test]
+    fn flaky_link_rolls_per_message_deterministically() {
+        let delay = Duration::from_millis(4);
+        let mk = || FaultPlan::empty().with_flaky_link(1, 0, 30, 30, delay);
+        let a = mk();
+        let b = mk();
+        let rolls_a: Vec<NetFaultAction> = (0..64)
+            .map(|_| a.on_data_message(NodeId(1), NodeId(0)))
+            .collect();
+        let rolls_b: Vec<NetFaultAction> = (0..64)
+            .map(|_| b.on_data_message(NodeId(1), NodeId(0)))
+            .collect();
+        assert_eq!(rolls_a, rolls_b, "same message index, same outcome");
+        // With 30%/30% over 64 messages all three outcomes should appear.
+        assert!(rolls_a.contains(&NetFaultAction::Drop));
+        assert!(rolls_a.contains(&NetFaultAction::Delay(delay)));
+        assert!(rolls_a.contains(&NetFaultAction::Deliver));
+        // Other links are untouched.
+        assert_eq!(
+            a.on_data_message(NodeId(0), NodeId(1)),
+            NetFaultAction::Deliver
+        );
+    }
+
+    #[test]
+    fn gray_firings_reach_an_armed_tracer() {
+        use gw_trace::LogicalKind;
+        let tracer = Arc::new(Tracer::new());
+        let p = FaultPlan::empty()
+            .with_slowdown(1, 300)
+            .with_stall(1, CrashSite::Kernel, 0, 15);
+        p.arm_tracer(Some(Arc::clone(&tracer)));
+        assert!(p
+            .gray_delay(1, CrashSite::Kernel, Duration::from_millis(2))
+            .is_some());
+        let trace = tracer.finish();
+        let marks: Vec<MarkId> = trace
+            .logical_events()
+            .into_iter()
+            .filter_map(|(_, kind)| match kind {
+                LogicalKind::Instant { mark } => Some(mark),
+                _ => None,
+            })
+            .collect();
+        assert!(marks.contains(&MarkId::FaultArmed {
+            kind: "slow",
+            detail: 300
+        }));
+        assert!(marks.contains(&MarkId::FaultArmed {
+            kind: "stall",
+            detail: 15
+        }));
+        assert!(marks.contains(&MarkId::StallFired {
+            site: "kernel",
+            ms: 15
+        }));
+        assert_eq!(trace.metrics().counter_total(CounterId::GraySlowdowns), 1);
+    }
+
+    #[test]
+    fn unarmed_gray_probe_is_silent() {
+        let p = FaultPlan::empty();
+        assert_eq!(
+            p.gray_delay(0, CrashSite::Kernel, Duration::from_millis(5)),
+            None
+        );
+        assert_eq!(
+            p.on_data_message(NodeId(0), NodeId(1)),
+            NetFaultAction::Deliver
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ use gw_trace::{CounterId, LaneId, MetricsSummary, PerfAnalysis, Realm, Trace, Tr
 
 use crate::api::GwApp;
 use crate::config::JobConfig;
-use crate::coordinator::{Coordinator, NodeChaos, RecoveryState, RunKey};
+use crate::coordinator::{Coordinator, NodeChaos, RecoveryState, RunKey, SpeculationReport};
 use crate::map_pipeline::{MapPhase, MapPhaseReport};
 use crate::reduce_pipeline::{ReducePhase, ReducePhaseReport};
 use crate::timers::{StageTimers, TimerReport};
@@ -95,6 +95,10 @@ pub struct JobReport {
     /// DFS block reads that failed over to another replica because of a
     /// dead node or an injected read fault.
     pub blocks_read_remote_due_to_fault: usize,
+    /// Speculative re-execution accounting (all zero unless
+    /// `cfg.speculation.enabled`); `launched == won + cancelled + failed`
+    /// at job end.
+    pub speculation: SpeculationReport,
     /// Per-node/per-stage counter rollup derived from the trace.
     pub metrics: MetricsSummary,
     /// Post-hoc performance analysis derived from the trace: overlap
@@ -202,13 +206,17 @@ impl Cluster {
         let splits = self.store.splits(&cfg.input)?;
 
         let mut coordinator = Coordinator::new(splits);
-        if self.fault_plan.is_some() {
+        // Speculation rides on the supervision machinery (run ledger,
+        // heartbeats, receiver de-dup), so enabling it supervises the job
+        // even without a fault plan.
+        if self.fault_plan.is_some() || cfg.speculation.enabled {
             coordinator.enable_supervision(
                 nodes,
                 total_partitions,
                 cfg.node_timeout,
                 Some(Arc::clone(&self.store)),
             );
+            coordinator.enable_speculation(cfg.speculation.clone());
         }
         let coordinator = Arc::new(coordinator);
 
@@ -232,6 +240,7 @@ impl Cluster {
         if let Some(plan) = &self.fault_plan {
             plan.arm_tracer(Some(Arc::clone(&tracer)));
         }
+        coordinator.arm_spec_tracer(Some(Arc::clone(&tracer)));
         let _disarm = DisarmOnDrop {
             store: &self.store,
             plan: self.fault_plan.as_deref(),
@@ -239,6 +248,10 @@ impl Cluster {
         let failovers_before = self.store.fault_failovers();
 
         let start = Instant::now();
+        // Speculation without a fault plan still needs the supervised node
+        // machinery (recovery state, probes); an empty plan injects nothing.
+        let spec_only_plan = (self.fault_plan.is_none() && cfg.speculation.enabled)
+            .then(|| Arc::new(FaultPlan::empty()));
         let (res_tx, res_rx) =
             crossbeam::channel::unbounded::<(u32, Result<NodeReport, EngineError>)>();
         let mut handles = Vec::with_capacity(nodes as usize);
@@ -249,11 +262,15 @@ impl Cluster {
             let store = Arc::clone(&self.store);
             let coordinator = Arc::clone(&coordinator);
             let cfg = cfg.clone();
-            let chaos = self.fault_plan.as_ref().map(|plan| NodeChaos {
-                plan: Arc::clone(plan),
-                recovery: Arc::new(RecoveryState::new()),
-                dead: Arc::new(AtomicBool::new(false)),
-            });
+            let chaos = self
+                .fault_plan
+                .as_ref()
+                .or(spec_only_plan.as_ref())
+                .map(|plan| NodeChaos {
+                    plan: Arc::clone(plan),
+                    recovery: Arc::new(RecoveryState::new()),
+                    dead: Arc::new(AtomicBool::new(false)),
+                });
             let tracer = Arc::clone(&tracer);
             let res_tx = res_tx.clone();
             let handle = std::thread::Builder::new()
@@ -324,7 +341,7 @@ impl Cluster {
         let elapsed = start.elapsed();
         results.sort_by_key(|(n, _)| *n);
 
-        let supervised = self.fault_plan.is_some();
+        let supervised = coordinator.supervised();
         let mut reports = Vec::with_capacity(results.len());
         let mut lost_nodes_seen = 0usize;
         let mut first_err: Option<EngineError> = None;
@@ -365,6 +382,7 @@ impl Cluster {
                 .store
                 .fault_failovers()
                 .saturating_sub(failovers_before),
+            speculation: coordinator.speculation_report(),
             metrics: trace.metrics(),
             analysis: PerfAnalysis::from_trace(&trace),
             trace,

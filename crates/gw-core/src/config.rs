@@ -106,6 +106,44 @@ pub struct JobConfig {
     /// A node whose last heartbeat is older than this is declared dead and
     /// its work rescheduled. Must exceed `heartbeat_interval`.
     pub node_timeout: std::time::Duration,
+    /// Speculative re-execution of straggler map tasks (DESIGN.md §3.8).
+    pub speculation: SpeculationConfig,
+}
+
+/// Policy for speculative re-execution of straggler tasks.
+///
+/// Idle nodes clone a task whose claim has been outstanding longer than
+/// `threshold_pct`% of the median completed-task duration (and at least
+/// `min_runtime`). Clones race their primaries first-finisher-wins; the
+/// tagged-run ledger plus receiver-side de-dup guarantee output bytes are
+/// identical with or without speculation.
+#[derive(Debug, Clone)]
+pub struct SpeculationConfig {
+    /// Master switch. Off by default: speculation costs duplicate work.
+    pub enabled: bool,
+    /// A task is a straggler once its claim age exceeds this percent of
+    /// the median completed-task duration (150 = 1.5× the median). Must be
+    /// ≥ 100 when enabled.
+    pub threshold_pct: u32,
+    /// Claim-age floor below which a task is never speculated, so short
+    /// tasks don't trip the percentile on timer noise.
+    pub min_runtime: std::time::Duration,
+    /// Maximum speculative launches per job. Must be ≥ 1 when enabled.
+    pub budget: usize,
+    /// Minimum pause between consecutive speculative launches.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            enabled: false,
+            threshold_pct: 150,
+            min_runtime: std::time::Duration::from_millis(20),
+            budget: 4,
+            backoff: std::time::Duration::from_millis(25),
+        }
+    }
 }
 
 impl JobConfig {
@@ -143,6 +181,7 @@ impl JobConfig {
             job_deadline: None,
             heartbeat_interval: std::time::Duration::from_millis(25),
             node_timeout: std::time::Duration::from_millis(1000),
+            speculation: SpeculationConfig::default(),
         }
     }
 
@@ -181,6 +220,14 @@ impl JobConfig {
         }
         if self.job_deadline == Some(std::time::Duration::ZERO) {
             return Err("job_deadline must be nonzero when set".into());
+        }
+        if self.speculation.enabled {
+            if self.speculation.threshold_pct < 100 {
+                return Err("speculation threshold must be ≥ 100% of the median".into());
+            }
+            if self.speculation.budget == 0 {
+                return Err("speculation budget must be ≥ 1 when enabled".into());
+            }
         }
         Ok(())
     }
@@ -233,6 +280,24 @@ mod tests {
 
         let mut c = JobConfig::new("/in", "/out");
         c.job_deadline = Some(std::time::Duration::from_secs(60));
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn speculation_policy_is_validated() {
+        let mut c = JobConfig::new("/in", "/out");
+        c.speculation.enabled = true;
+        assert_eq!(c.validate(), Ok(()));
+
+        c.speculation.threshold_pct = 99;
+        assert!(c.validate().is_err());
+
+        c.speculation.threshold_pct = 150;
+        c.speculation.budget = 0;
+        assert!(c.validate().is_err());
+
+        // Disabled plans skip the policy checks entirely.
+        c.speculation.enabled = false;
         assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -33,13 +33,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use gw_chaos::FaultPlan;
 use gw_net::RunTag;
 use gw_storage::split::FileStore;
 use gw_storage::{InputSplit, NodeId};
+use gw_trace::{LaneId, MarkId, Realm, Tracer};
 
+use crate::config::SpeculationConfig;
 use crate::hash::partition_owner;
 
 /// Identity of one sorted run, independent of which node produced it (a
@@ -187,6 +189,12 @@ impl gw_pipeline::PipelineProbe for MapPipelineProbe {
     fn kill(&self) {
         self.chaos.kill();
     }
+
+    fn gray_delay(&self, stage: gw_pipeline::StageId, wall: Duration) -> Option<Duration> {
+        self.chaos
+            .plan
+            .gray_delay(self.node.0, gw_chaos::CrashSite::for_map_stage(stage), wall)
+    }
 }
 
 /// The reduce pipeline's hook into the fault plane. Reduce-site faults
@@ -219,6 +227,13 @@ impl gw_pipeline::PipelineProbe for ReduceTaskProbe {
     fn task_fault_fires(&self) -> bool {
         self.chaos.plan.reduce_fault_fires(self.node.0)
     }
+
+    fn gray_delay(&self, _stage: gw_pipeline::StageId, wall: Duration) -> Option<Duration> {
+        // Gray faults on the reduce side all map to the Reduce site.
+        self.chaos
+            .plan
+            .gray_delay(self.node.0, gw_chaos::CrashSite::Reduce, wall)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,6 +247,50 @@ enum SlotState {
 struct Slot {
     split: InputSplit,
     state: SlotState,
+    /// Node running a speculative clone of this split, racing the claimant.
+    spec: Option<u32>,
+    /// When the current claim was handed out (drives the straggler
+    /// threshold).
+    claimed_at: Option<Instant>,
+}
+
+/// Live state of the speculation controller (DESIGN.md §3.8): an idle node
+/// that finds no pending split may instead clone the oldest outstanding
+/// claim once it looks like a straggler. Clones race their primaries
+/// first-finisher-wins; the run ledger and receiver de-dup make either
+/// winner produce byte-identical output.
+struct Speculation {
+    cfg: SpeculationConfig,
+    /// Completed-claim durations; the straggler threshold is a percentile
+    /// of their median.
+    durations: Mutex<Vec<Duration>>,
+    last_launch: Mutex<Option<Instant>>,
+    launched: AtomicUsize,
+    won: AtomicUsize,
+    cancelled: AtomicUsize,
+    failed: AtomicUsize,
+    tracer: RwLock<Option<Arc<Tracer>>>,
+}
+
+/// Final speculation accounting for the job report. Invariant at job end:
+/// `launched == won + cancelled + failed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationReport {
+    /// Speculative clones launched.
+    pub launched: usize,
+    /// Clones that finished before (or outlived) their primary.
+    pub won: usize,
+    /// Clones cancelled because the primary finished first.
+    pub cancelled: usize,
+    /// Clones lost because the speculating node died.
+    pub failed: usize,
+}
+
+impl SpeculationReport {
+    /// Whether every launched clone is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.launched == self.won + self.cancelled + self.failed
+    }
 }
 
 struct Liveness {
@@ -265,6 +324,7 @@ pub struct Coordinator {
     slots: Mutex<Vec<Slot>>,
     total: usize,
     supervision: Option<Supervision>,
+    speculation: Option<Speculation>,
     has_overrides: AtomicBool,
     aborted: AtomicBool,
     nodes_lost: AtomicUsize,
@@ -282,11 +342,14 @@ impl Coordinator {
                     .map(|split| Slot {
                         split,
                         state: SlotState::Pending,
+                        spec: None,
+                        claimed_at: None,
                     })
                     .collect(),
             ),
             total,
             supervision: None,
+            speculation: None,
             has_overrides: AtomicBool::new(false),
             aborted: AtomicBool::new(false),
             nodes_lost: AtomicUsize::new(0),
@@ -327,6 +390,34 @@ impl Coordinator {
         self.supervision.is_some()
     }
 
+    /// Arm the speculation controller (no-op when `cfg.enabled` is false).
+    /// Requires supervision: speculation reuses the run ledger and
+    /// receiver de-dup to keep clone output byte-identical.
+    pub fn enable_speculation(&mut self, cfg: SpeculationConfig) {
+        if !cfg.enabled {
+            return;
+        }
+        self.speculation = Some(Speculation {
+            cfg,
+            durations: Mutex::new(Vec::new()),
+            last_launch: Mutex::new(None),
+            launched: AtomicUsize::new(0),
+            won: AtomicUsize::new(0),
+            cancelled: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            tracer: RwLock::new(None),
+        });
+    }
+
+    /// Arm (or disarm) the tracer the speculation controller emits
+    /// `spec-launched` / `spec-resolved` marks to, on the speculating
+    /// node's coordinator lane.
+    pub fn arm_spec_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        if let Some(spec) = &self.speculation {
+            *spec.tracer.write() = tracer;
+        }
+    }
+
     /// Total splits in the job.
     pub fn total(&self) -> usize {
         self.total
@@ -341,29 +432,165 @@ impl Coordinator {
             .count()
     }
 
-    /// Claim the next split for `node`: local-first, then any.
+    /// Claim the next split for `node`: local-first, then any. With
+    /// speculation armed and no pending work left, a node may instead be
+    /// handed a clone of a straggling claim (see
+    /// [`Coordinator::enable_speculation`]).
     pub fn next_for(&self, node: NodeId) -> Option<InputSplit> {
+        {
+            let mut slots = self.slots.lock();
+            let pending = |s: &Slot| s.state == SlotState::Pending;
+            let idx = slots
+                .iter()
+                .position(|s| pending(s) && s.split.is_local_to(node))
+                .or_else(|| slots.iter().position(pending));
+            if let Some(idx) = idx {
+                slots[idx].state = SlotState::Claimed(node.0);
+                slots[idx].claimed_at = Some(Instant::now());
+                slots[idx].spec = None;
+                return Some(slots[idx].split.clone());
+            }
+            self.speculation.as_ref()?;
+        }
+        // Dead set gathered outside the slots lock (lock order: `live`
+        // before `slots`); candidates re-checked under the lock.
+        let dead = self.dead_nodes();
         let mut slots = self.slots.lock();
-        let pending = |s: &Slot| s.state == SlotState::Pending;
+        self.speculate_locked(&mut slots, node, &dead)
+    }
+
+    /// Pick the oldest outstanding claim that crossed the straggler
+    /// threshold and clone it for `node`. Caller holds the slots lock.
+    fn speculate_locked(
+        &self,
+        slots: &mut [Slot],
+        node: NodeId,
+        dead: &HashSet<u32>,
+    ) -> Option<InputSplit> {
+        let spec = self.speculation.as_ref()?;
+        if dead.contains(&node.0) || spec.launched.load(Ordering::Relaxed) >= spec.cfg.budget {
+            return None;
+        }
+        if let Some(at) = *spec.last_launch.lock() {
+            if at.elapsed() < spec.cfg.backoff {
+                return None;
+            }
+        }
+        // The threshold is a percentile of the median completed-claim
+        // duration; with fewer than 3 completions there is no meaningful
+        // baseline yet.
+        let threshold = {
+            let durs = spec.durations.lock();
+            if durs.len() < 3 {
+                return None;
+            }
+            let mut sorted = durs.clone();
+            sorted.sort();
+            (sorted[sorted.len() / 2] * spec.cfg.threshold_pct / 100).max(spec.cfg.min_runtime)
+        };
         let idx = slots
             .iter()
-            .position(|s| pending(s) && s.split.is_local_to(node))
-            .or_else(|| slots.iter().position(pending))?;
-        slots[idx].state = SlotState::Claimed(node.0);
-        Some(slots[idx].split.clone())
+            .enumerate()
+            .filter(|(_, s)| match s.state {
+                SlotState::Claimed(c) => {
+                    c != node.0
+                        && s.spec.is_none()
+                        && !dead.contains(&c)
+                        && s.claimed_at.is_some_and(|t| t.elapsed() > threshold)
+                }
+                _ => false,
+            })
+            .max_by_key(|(_, s)| s.claimed_at.map(|t| t.elapsed()))
+            .map(|(i, _)| i)?;
+        let slot = &mut slots[idx];
+        slot.spec = Some(node.0);
+        spec.launched.fetch_add(1, Ordering::Relaxed);
+        *spec.last_launch.lock() = Some(Instant::now());
+        if let Some(t) = spec.tracer.read().as_ref() {
+            t.lane(spec_lane(node.0)).instant(MarkId::SpecLaunched {
+                block: slot.split.block as u64,
+            });
+        }
+        Some(slot.split.clone())
+    }
+
+    /// Count a speculation outcome and emit its `spec-resolved` mark on
+    /// `node`'s coordinator lane.
+    fn resolve_spec(&self, node: u32, block: usize, outcome: &'static str) {
+        let Some(spec) = &self.speculation else {
+            return;
+        };
+        match outcome {
+            "won" => spec.won.fetch_add(1, Ordering::Relaxed),
+            "cancelled" => spec.cancelled.fetch_add(1, Ordering::Relaxed),
+            _ => spec.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Some(t) = spec.tracer.read().as_ref() {
+            t.lane(spec_lane(node)).instant(MarkId::SpecResolved {
+                block: block as u64,
+                outcome,
+            });
+        }
     }
 
     /// Record that `node` fully processed the split for `block`: all its
-    /// runs are recorded in the ledger and delivered or retained. No-op if
-    /// the claim was revoked in the meantime (the claimant was declared
-    /// dead and the split requeued).
+    /// runs are recorded in the ledger and delivered or retained. Resolves
+    /// a speculation race first-finisher-wins. No-op if the claim was
+    /// revoked in the meantime (the claimant was declared dead and the
+    /// split requeued) or another attempt already completed the split.
     pub fn complete_split(&self, node: NodeId, block: usize) {
         let mut slots = self.slots.lock();
-        if let Some(slot) = slots
-            .iter_mut()
-            .find(|s| s.split.block == block && s.state == SlotState::Claimed(node.0))
-        {
-            slot.state = SlotState::Complete(node.0);
+        let Some(slot) = slots.iter_mut().find(|s| {
+            s.split.block == block
+                && match s.state {
+                    SlotState::Claimed(c) => c == node.0 || s.spec == Some(node.0),
+                    _ => false,
+                }
+        }) else {
+            return;
+        };
+        let age = slot.claimed_at.map(|t| t.elapsed());
+        match slot.state {
+            SlotState::Claimed(c) if c == node.0 => {
+                // The primary finished first: cancel any outstanding clone.
+                if let Some(s) = slot.spec.take() {
+                    self.resolve_spec(s, block, "cancelled");
+                }
+            }
+            _ => {
+                // The clone beat a still-live primary.
+                slot.spec = None;
+                self.resolve_spec(node.0, block, "won");
+            }
+        }
+        slot.state = SlotState::Complete(node.0);
+        if let (Some(spec), Some(age)) = (&self.speculation, age) {
+            spec.durations.lock().push(age);
+        }
+    }
+
+    /// Whether another attempt already completed the split for `block`:
+    /// `node`'s in-flight work on it is waste and its kernel launch can be
+    /// skipped (the run ledger and de-dup discard its output anyway).
+    pub fn is_superseded(&self, node: NodeId, block: usize) -> bool {
+        if self.speculation.is_none() {
+            return false;
+        }
+        self.slots.lock().iter().any(|s| {
+            s.split.block == block && matches!(s.state, SlotState::Complete(x) if x != node.0)
+        })
+    }
+
+    /// Final speculation accounting for the job report.
+    pub fn speculation_report(&self) -> SpeculationReport {
+        match &self.speculation {
+            Some(s) => SpeculationReport {
+                launched: s.launched.load(Ordering::Relaxed),
+                won: s.won.load(Ordering::Relaxed),
+                cancelled: s.cancelled.load(Ordering::Relaxed),
+                failed: s.failed.load(Ordering::Relaxed),
+            },
+            None => SpeculationReport::default(),
         }
     }
 
@@ -415,9 +642,33 @@ impl Coordinator {
             let mut n = 0;
             for slot in slots.iter_mut() {
                 match slot.state {
-                    SlotState::Claimed(x) | SlotState::Complete(x) if x == node => {
+                    SlotState::Claimed(x) if x == node => {
+                        if let Some(s) = slot.spec.take() {
+                            if !live.dead.contains(&s) {
+                                // A live clone is mid-flight: promote it to
+                                // primary instead of requeueing — it won
+                                // the race against its dead primary.
+                                slot.state = SlotState::Claimed(s);
+                                slot.claimed_at = Some(Instant::now());
+                                self.resolve_spec(s, slot.split.block, "won");
+                                continue;
+                            }
+                        }
                         slot.state = SlotState::Pending;
+                        slot.claimed_at = None;
                         n += 1;
+                    }
+                    SlotState::Complete(x) if x == node => {
+                        slot.state = SlotState::Pending;
+                        slot.spec = None;
+                        slot.claimed_at = None;
+                        n += 1;
+                    }
+                    SlotState::Claimed(_) if slot.spec == Some(node) => {
+                        // The speculating node died; the primary races on
+                        // alone.
+                        slot.spec = None;
+                        self.resolve_spec(node, slot.split.block, "failed");
                     }
                     _ => {}
                 }
@@ -592,6 +843,14 @@ impl Coordinator {
     /// Splits requeued because their node died (claimed and completed).
     pub fn splits_rescheduled(&self) -> usize {
         self.splits_rescheduled.load(Ordering::Relaxed)
+    }
+}
+
+/// Node `node`'s coordinator lane (speculation marks land here).
+fn spec_lane(node: u32) -> LaneId {
+    LaneId {
+        node,
+        realm: Realm::Coordinator,
     }
 }
 
@@ -822,6 +1081,135 @@ mod tests {
         c.heartbeat(NodeId(0));
         c.scan_liveness();
         assert!(c.map_stalled());
+    }
+
+    fn speculative(nodes: u32, splits: Vec<InputSplit>, budget: usize) -> Coordinator {
+        let mut c = Coordinator::new(splits);
+        c.enable_supervision(nodes, nodes, Duration::from_millis(5), None);
+        c.enable_speculation(SpeculationConfig {
+            enabled: true,
+            threshold_pct: 100,
+            min_runtime: Duration::ZERO,
+            budget,
+            backoff: Duration::ZERO,
+        });
+        c
+    }
+
+    /// Node 0 completes three splits fast (establishing the median), node
+    /// 1 sits on one claim long enough to cross the threshold.
+    fn straggler_setup(budget: usize) -> (Coordinator, usize) {
+        let c = speculative(2, (0..4).map(|i| split(i, vec![0])).collect(), budget);
+        let straggling = c.next_for(NodeId(1)).unwrap().block;
+        for _ in 0..3 {
+            let s = c.next_for(NodeId(0)).unwrap();
+            c.complete_split(NodeId(0), s.block);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        (c, straggling)
+    }
+
+    #[test]
+    fn idle_node_speculates_on_a_straggler() {
+        let (c, straggling) = straggler_setup(4);
+        let clone = c.next_for(NodeId(0)).unwrap();
+        assert_eq!(clone.block, straggling);
+        assert_eq!(c.speculation_report().launched, 1);
+        // The same straggler is not cloned twice.
+        assert!(c.next_for(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn primary_finishing_first_cancels_the_clone() {
+        let (c, straggling) = straggler_setup(4);
+        let _clone = c.next_for(NodeId(0)).unwrap();
+        c.complete_split(NodeId(1), straggling);
+        // The clone's late completion is a stale no-op.
+        c.complete_split(NodeId(0), straggling);
+        let r = c.speculation_report();
+        assert_eq!((r.launched, r.won, r.cancelled, r.failed), (1, 0, 1, 0));
+        assert!(r.balanced());
+        assert!(c.map_complete());
+        assert!(c.is_superseded(NodeId(0), straggling));
+        assert!(!c.is_superseded(NodeId(1), straggling));
+    }
+
+    #[test]
+    fn clone_finishing_first_wins_the_race() {
+        let (c, straggling) = straggler_setup(4);
+        let _clone = c.next_for(NodeId(0)).unwrap();
+        c.complete_split(NodeId(0), straggling);
+        // The straggling primary's late completion is a stale no-op.
+        c.complete_split(NodeId(1), straggling);
+        let r = c.speculation_report();
+        assert_eq!((r.launched, r.won, r.cancelled, r.failed), (1, 1, 0, 0));
+        assert!(r.balanced());
+        assert!(c.map_complete());
+        assert!(c.is_superseded(NodeId(1), straggling));
+    }
+
+    #[test]
+    fn clone_is_promoted_when_the_primary_dies() {
+        let (c, straggling) = straggler_setup(4);
+        let _clone = c.next_for(NodeId(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(0));
+        c.scan_liveness();
+        assert!(c.is_dead(NodeId(1)));
+        // The straggler is NOT requeued — the clone carries it.
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(c.splits_rescheduled(), 0);
+        c.complete_split(NodeId(0), straggling);
+        let r = c.speculation_report();
+        assert_eq!((r.launched, r.won, r.cancelled, r.failed), (1, 1, 0, 0));
+        assert!(r.balanced());
+        assert!(c.map_complete());
+    }
+
+    #[test]
+    fn dead_speculator_counts_as_failed() {
+        let (c, straggling) = straggler_setup(4);
+        let _clone = c.next_for(NodeId(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        c.heartbeat(NodeId(1));
+        c.scan_liveness();
+        assert!(c.is_dead(NodeId(0)));
+        // Node 0's own completed splits requeue; the straggler claim (node
+        // 1's) survives with its clone gone.
+        let r = c.speculation_report();
+        assert_eq!((r.launched, r.won, r.cancelled, r.failed), (1, 0, 0, 1));
+        assert!(r.balanced());
+        c.complete_split(NodeId(1), straggling);
+        assert!(!c.is_superseded(NodeId(1), straggling));
+    }
+
+    #[test]
+    fn speculation_budget_is_enforced() {
+        let c = speculative(3, (0..5).map(|i| split(i, vec![0])).collect(), 1);
+        let a = c.next_for(NodeId(1)).unwrap().block;
+        let b = c.next_for(NodeId(2)).unwrap().block;
+        assert_ne!(a, b);
+        for _ in 0..3 {
+            let s = c.next_for(NodeId(0)).unwrap();
+            c.complete_split(NodeId(0), s.block);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.next_for(NodeId(0)).is_some(), "first clone within budget");
+        assert!(c.next_for(NodeId(0)).is_none(), "budget of 1 exhausted");
+        assert_eq!(c.speculation_report().launched, 1);
+    }
+
+    #[test]
+    fn no_speculation_without_a_median_baseline() {
+        let c = speculative(2, (0..2).map(|i| split(i, vec![0])).collect(), 4);
+        let s = c.next_for(NodeId(1)).unwrap();
+        let _ = s;
+        let t = c.next_for(NodeId(0)).unwrap();
+        c.complete_split(NodeId(0), t.block);
+        std::thread::sleep(Duration::from_millis(2));
+        // Only one completion recorded — below the 3-sample floor.
+        assert!(c.next_for(NodeId(0)).is_none());
+        assert_eq!(c.speculation_report().launched, 0);
     }
 
     #[test]

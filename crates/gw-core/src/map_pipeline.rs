@@ -260,9 +260,13 @@ struct MapKernel<'a> {
     device: Arc<Device>,
     app: Arc<dyn GwApp>,
     cfg: &'a JobConfig,
+    coordinator: Arc<Coordinator>,
+    node: NodeId,
     collectors: PoolGet<Box<dyn Collector>>,
     buffers_back: Option<PoolPut<DeviceBuffer>>,
     tasks_retried: &'a AtomicUsize,
+    /// This stage's trace lane; carries the superseded-skip counter.
+    lane: Lane,
 }
 
 impl Stage<MapChunk, EngineError> for MapKernel<'_> {
@@ -275,6 +279,19 @@ impl Stage<MapChunk, EngineError> for MapKernel<'_> {
             ctx.stop(); // pool closed: the partition stage died
             return Ok(None);
         };
+        if self.coordinator.is_superseded(self.node, chunk.block_idx) {
+            // Another attempt already completed this split (it was queued
+            // here when a speculation race resolved): skip the launch. The
+            // empty collector yields no runs downstream and the stale
+            // `complete_split` is a no-op, so the skip cannot change
+            // output bytes — it only saves the wasted kernel time.
+            self.lane.count(CounterId::SpecSuperseded, 1);
+            if let (Some(buf), Some(put)) = (chunk.buffer.take(), &self.buffers_back) {
+                put.put(buf);
+            }
+            chunk.collector = Some(collector);
+            return Ok(Some(chunk));
+        }
         let n_records = chunk.records.len();
         let bytes: &[u8] = match &chunk.buffer {
             Some(buf) => buf.bytes(),
@@ -661,9 +678,18 @@ impl MapPhase<'_> {
                     device: Arc::clone(&self.device),
                     app: Arc::clone(&self.app),
                     cfg: self.cfg,
+                    coordinator: Arc::clone(&self.coordinator),
+                    node: self.node,
                     collectors,
                     buffers_back,
                     tasks_retried: &tasks_retried,
+                    lane: self.tracer.lane(LaneId {
+                        node: self.node.0,
+                        realm: Realm::Pipeline {
+                            kind: PipelineKind::Map,
+                            stage: StageId::Kernel,
+                        },
+                    }),
                 },
             )
             .stage(

@@ -138,6 +138,15 @@ pub trait PipelineProbe: Send + Sync {
     fn task_fault_fires(&self) -> bool {
         false
     }
+
+    /// Gray-failure probe, called after `stage` processed a chunk in
+    /// `wall` time: `Some(extra)` = this passage must be stretched by
+    /// sleeping `extra` (a slowdown or transient stall is scheduled).
+    /// The default keeps unarmed pipelines zero-cost.
+    fn gray_delay(&self, stage: StageId, wall: Duration) -> Option<Duration> {
+        let _ = (stage, wall);
+        None
+    }
 }
 
 /// Head of a pipeline: pulls work into the graph.
@@ -686,11 +695,15 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                                 return Err(e);
                             }
                         };
-                        let wall = t0.elapsed();
+                        let mut wall = t0.elapsed();
                         let Some(chunk) = produced else {
                             events.chunk_abort(seq);
                             break;
                         };
+                        if let Some(extra) = probe.and_then(|p| p.gray_delay(source_id, wall)) {
+                            std::thread::sleep(extra);
+                            wall += extra;
+                        }
                         // Probed after production: an injected Read crash
                         // dies holding the fresh claim (the survivors
                         // requeue it via liveness).
@@ -793,7 +806,11 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                                     return Err(e);
                                 }
                             };
-                            let wall = t0.elapsed();
+                            let mut wall = t0.elapsed();
+                            if let Some(extra) = probe.and_then(|p| p.gray_delay(id, wall)) {
+                                std::thread::sleep(extra);
+                                wall += extra;
+                            }
                             if ctx.stopped {
                                 events.chunk_abort(seq);
                                 break; // quiet unwind requested mid-chunk

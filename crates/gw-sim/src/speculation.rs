@@ -1,0 +1,371 @@
+//! DES model of speculative re-execution under a gray slowdown.
+//!
+//! Mirrors the real engine's speculation controller (gw-core
+//! `coordinator.rs`, DESIGN.md §3.8) closely enough that the simulated and
+//! measured speedup have the same *shape*:
+//!
+//! * nodes pull splits from a shared queue and hold up to `depth` claims
+//!   in flight (the pipeline's buffering level) — claims queued behind the
+//!   running task are exactly the ones a winning clone lets the straggler
+//!   **skip**;
+//! * an idle node clones the oldest outstanding claim once its age exceeds
+//!   `max(min_runtime, median × threshold_pct / 100)`, subject to a launch
+//!   budget and backoff;
+//! * races resolve first-finisher-wins; a running attempt can *not* be
+//!   cancelled mid-task (kernels are uninterruptible), so the loser drains
+//!   before its node moves on — which is why the makespan gain comes from
+//!   skipped queued tasks, not from aborting the straggler.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::engine::{Sim, SimTime};
+
+/// Scenario parameters for the speculation model.
+#[derive(Debug, Clone)]
+pub struct SpecParams {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Total input splits.
+    pub splits: usize,
+    /// Service time of one split on a healthy node, seconds.
+    pub task_time: SimTime,
+    /// Claims a node holds in flight (the pipeline buffering depth).
+    pub depth: usize,
+    /// Node degraded by `slow_factor` (`None` = healthy cluster).
+    pub slow_node: Option<usize>,
+    /// Slowdown multiplier for the degraded node (4.0 = 4× slower).
+    pub slow_factor: f64,
+    /// Speculation controller switch.
+    pub speculation: bool,
+    /// Straggler threshold as a percent of the median completed-claim
+    /// duration (150 = 1.5× the median).
+    pub threshold_pct: u32,
+    /// Claim-age floor below which no clone is launched, seconds.
+    pub min_runtime: SimTime,
+    /// Maximum clones launched per job.
+    pub budget: usize,
+    /// Minimum pause between clone launches, seconds.
+    pub backoff: SimTime,
+}
+
+impl SpecParams {
+    /// A 4-node scenario with the controller's default-shaped policy.
+    pub fn new(nodes: usize, splits: usize, task_time: SimTime) -> Self {
+        SpecParams {
+            nodes,
+            splits,
+            task_time,
+            depth: 2,
+            slow_node: None,
+            slow_factor: 1.0,
+            speculation: false,
+            threshold_pct: 150,
+            min_runtime: task_time / 10.0,
+            budget: 8,
+            backoff: task_time / 20.0,
+        }
+    }
+}
+
+/// Outcome of one simulated job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecOutcome {
+    /// Time the last attempt drained (the job makespan).
+    pub makespan: SimTime,
+    /// Clones launched.
+    pub launched: usize,
+    /// Clones that finished before their primary.
+    pub won: usize,
+    /// Clones cancelled because the primary finished first.
+    pub cancelled: usize,
+    /// Queued tasks skipped because another attempt had already completed
+    /// their split.
+    pub superseded: usize,
+}
+
+impl SpecOutcome {
+    /// Whether every launched clone is accounted for (no node deaths in
+    /// this model, so `failed` is always zero).
+    pub fn balanced(&self) -> bool {
+        self.launched == self.won + self.cancelled
+    }
+}
+
+struct State {
+    p: SpecParams,
+    next_split: usize,
+    completed: usize,
+    complete: Vec<bool>,
+    claimed_at: Vec<SimTime>,
+    claimant: Vec<usize>,
+    spec: Vec<Option<usize>>,
+    queues: Vec<VecDeque<usize>>,
+    busy: Vec<bool>,
+    durations: Vec<SimTime>,
+    last_launch: Option<SimTime>,
+    launched: usize,
+    won: usize,
+    cancelled: usize,
+    superseded: usize,
+    drained_at: SimTime,
+}
+
+impl State {
+    fn service(&self, node: usize) -> SimTime {
+        if self.p.slow_node == Some(node) {
+            self.p.task_time * self.p.slow_factor
+        } else {
+            self.p.task_time
+        }
+    }
+
+    /// `max(min_runtime, median × threshold_pct / 100)`, or `None` while
+    /// fewer than 3 claims have completed (no baseline yet) — the same
+    /// rule as the real controller.
+    fn threshold(&self) -> Option<SimTime> {
+        if self.durations.len() < 3 {
+            return None;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        Some((median * f64::from(self.p.threshold_pct) / 100.0).max(self.p.min_runtime))
+    }
+}
+
+enum Action {
+    Skip,
+    Run { split: usize, primary: bool },
+    Poll,
+    Done,
+}
+
+fn node_tick(sim: &mut Sim, st: &Rc<RefCell<State>>, node: usize) {
+    loop {
+        let action = {
+            let mut s = st.borrow_mut();
+            // Refill the claim queue up to the buffering depth.
+            while s.queues[node].len() < s.p.depth && s.next_split < s.p.splits {
+                let split = s.next_split;
+                s.next_split += 1;
+                s.claimed_at[split] = sim.now();
+                s.claimant[split] = node;
+                s.queues[node].push_back(split);
+            }
+            if s.busy[node] {
+                return;
+            }
+            if let Some(split) = s.queues[node].pop_front() {
+                if s.complete[split] {
+                    // A clone won this queued task while it waited: skip
+                    // its kernel entirely (the engine's superseded skip).
+                    s.superseded += 1;
+                    Action::Skip
+                } else {
+                    s.busy[node] = true;
+                    Action::Run {
+                        split,
+                        primary: true,
+                    }
+                }
+            } else if s.completed == s.p.splits {
+                Action::Done
+            } else if s.p.speculation
+                && s.launched < s.p.budget
+                && s.last_launch.is_none_or(|at| sim.now() - at >= s.p.backoff)
+            {
+                match s.threshold() {
+                    Some(threshold) => {
+                        let candidate = (0..s.next_split)
+                            .filter(|&sp| {
+                                !s.complete[sp]
+                                    && s.claimant[sp] != node
+                                    && s.spec[sp].is_none()
+                                    && sim.now() - s.claimed_at[sp] > threshold
+                            })
+                            .max_by(|&a, &b| {
+                                s.claimed_at[b].partial_cmp(&s.claimed_at[a]).unwrap()
+                            });
+                        match candidate {
+                            Some(split) => {
+                                s.spec[split] = Some(node);
+                                s.launched += 1;
+                                s.last_launch = Some(sim.now());
+                                s.busy[node] = true;
+                                Action::Run {
+                                    split,
+                                    primary: false,
+                                }
+                            }
+                            None => Action::Poll,
+                        }
+                    }
+                    None => Action::Poll,
+                }
+            } else {
+                Action::Poll
+            }
+        };
+        match action {
+            Action::Skip => continue,
+            Action::Run { split, primary } => {
+                let service = st.borrow().service(node);
+                let st = Rc::clone(st);
+                sim.schedule(service, move |sim| on_done(sim, &st, node, split, primary));
+                return;
+            }
+            Action::Poll => {
+                let poll = st.borrow().p.task_time / 8.0;
+                let st = Rc::clone(st);
+                sim.schedule(poll, move |sim| node_tick(sim, &st, node));
+                return;
+            }
+            Action::Done => return,
+        }
+    }
+}
+
+fn on_done(sim: &mut Sim, st: &Rc<RefCell<State>>, node: usize, split: usize, primary: bool) {
+    {
+        let mut s = st.borrow_mut();
+        s.busy[node] = false;
+        // Even a losing attempt occupies its node until here: kernels
+        // cannot be cancelled mid-task.
+        s.drained_at = sim.now();
+        if !s.complete[split] {
+            s.complete[split] = true;
+            s.completed += 1;
+            let dur = sim.now() - s.claimed_at[split];
+            s.durations.push(dur);
+            if primary {
+                if s.spec[split].take().is_some() {
+                    s.cancelled += 1;
+                }
+            } else {
+                s.won += 1;
+            }
+        }
+    }
+    node_tick(sim, st, node);
+}
+
+/// Simulate one job under `p` and return its makespan and speculation
+/// accounting. Fully deterministic: equal parameters give equal outcomes.
+pub fn simulate_speculation(p: &SpecParams) -> SpecOutcome {
+    assert!(p.nodes > 0 && p.splits > 0 && p.depth > 0);
+    let mut sim = Sim::new();
+    let st = Rc::new(RefCell::new(State {
+        next_split: 0,
+        completed: 0,
+        complete: vec![false; p.splits],
+        claimed_at: vec![0.0; p.splits],
+        claimant: vec![usize::MAX; p.splits],
+        spec: vec![None; p.splits],
+        queues: vec![VecDeque::new(); p.nodes],
+        busy: vec![false; p.nodes],
+        durations: Vec::new(),
+        last_launch: None,
+        launched: 0,
+        won: 0,
+        cancelled: 0,
+        superseded: 0,
+        drained_at: 0.0,
+        p: p.clone(),
+    }));
+    for node in 0..p.nodes {
+        let st = Rc::clone(&st);
+        sim.schedule(0.0, move |sim| node_tick(sim, &st, node));
+    }
+    sim.run();
+    let s = st.borrow();
+    SpecOutcome {
+        makespan: s.drained_at,
+        launched: s.launched,
+        won: s.won,
+        cancelled: s.cancelled,
+        superseded: s.superseded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 10 splits over 4 nodes: the healthy nodes drain their share early
+    // enough to go idle while the straggler still holds a queued split —
+    // the window where speculation pays. The threshold is set to the
+    // median itself: recorded durations are claim ages (queue wait
+    // included, like the real controller), so 150% of the median would
+    // delay the clone past the straggler's own dequeue of its queued
+    // split.
+    fn degraded(speculation: bool, slow_factor: f64) -> SpecParams {
+        let mut p = SpecParams::new(4, 10, 1.0);
+        p.slow_node = Some(0);
+        p.slow_factor = slow_factor;
+        p.speculation = speculation;
+        p.threshold_pct = 100;
+        p
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let p = degraded(true, 4.0);
+        assert_eq!(simulate_speculation(&p), simulate_speculation(&p));
+    }
+
+    #[test]
+    fn speculation_beats_baseline_under_4x_slowdown() {
+        let off = simulate_speculation(&degraded(false, 4.0));
+        let on = simulate_speculation(&degraded(true, 4.0));
+        assert!(
+            on.makespan < off.makespan,
+            "speculation {on:?} must beat baseline {off:?}"
+        );
+        assert!(on.launched >= 1);
+        assert!(on.won >= 1, "the straggler's queued work must be won");
+        assert!(on.balanced(), "{on:?}");
+        assert_eq!(off.launched, 0);
+    }
+
+    #[test]
+    fn speedup_grows_with_the_slowdown() {
+        let gain = |factor: f64| {
+            let off = simulate_speculation(&degraded(false, factor));
+            let on = simulate_speculation(&degraded(true, factor));
+            off.makespan - on.makespan
+        };
+        assert!(
+            gain(4.0) >= gain(2.0),
+            "a harsher slowdown must gain at least as much"
+        );
+    }
+
+    #[test]
+    fn healthy_cluster_is_not_hurt() {
+        let mut off = SpecParams::new(4, 16, 1.0);
+        off.speculation = false;
+        let mut on = off.clone();
+        on.speculation = true;
+        let off = simulate_speculation(&off);
+        let on = simulate_speculation(&on);
+        // Clones may launch near the tail, but first-finisher-wins keeps
+        // them harmless: the makespan never regresses by more than one
+        // task's drain.
+        assert!(
+            on.makespan <= off.makespan + 1.0 + 1e-9,
+            "{on:?} vs {off:?}"
+        );
+        assert!(on.balanced());
+    }
+
+    #[test]
+    fn budget_bounds_launches() {
+        let mut p = degraded(true, 8.0);
+        p.budget = 1;
+        let out = simulate_speculation(&p);
+        assert!(out.launched <= 1, "{out:?}");
+        assert!(out.balanced());
+    }
+}

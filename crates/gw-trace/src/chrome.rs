@@ -198,6 +198,9 @@ fn mark_name(mark: MarkId) -> &'static str {
         MarkId::ReadFaultFired { .. } => "read-fault",
         MarkId::NetFaultFired { .. } => "net-fault",
         MarkId::TaskFaultFired => "task-fault",
+        MarkId::StallFired { .. } => "stall-fired",
+        MarkId::SpecLaunched { .. } => "spec-launched",
+        MarkId::SpecResolved { .. } => "spec-resolved",
         MarkId::DfsRead { .. } => "dfs-read",
         MarkId::TokenGroup { .. } => "token-group",
     }
@@ -227,6 +230,19 @@ fn mark_args(out: &mut String, mark: MarkId) {
             out.push('"');
         }
         MarkId::TaskFaultFired => {}
+        MarkId::StallFired { site, ms } => {
+            out.push_str("\"site\":\"");
+            escape_into(out, site);
+            let _ = write!(out, "\",\"ms\":{ms}");
+        }
+        MarkId::SpecLaunched { block } => {
+            let _ = write!(out, "\"block\":{block}");
+        }
+        MarkId::SpecResolved { block, outcome } => {
+            let _ = write!(out, "\"block\":{block},\"outcome\":\"");
+            escape_into(out, outcome);
+            out.push('"');
+        }
         MarkId::DfsRead { block, class } => {
             let _ = write!(out, "\"block\":{block},\"class\":\"{}\"", class.name());
         }

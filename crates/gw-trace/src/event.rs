@@ -120,6 +120,28 @@ pub enum MarkId {
     },
     /// A chaos task-level fault fired (recovered by the §III-E budget).
     TaskFaultFired,
+    /// A chaos gray-failure transient stall fired: the stage passage was
+    /// held for `ms` milliseconds, then continued normally.
+    StallFired {
+        /// Stalled site name (e.g. "kernel").
+        site: &'static str,
+        /// Injected stall length, milliseconds.
+        ms: u64,
+    },
+    /// The speculation controller launched a duplicate attempt for a
+    /// straggling split.
+    SpecLaunched {
+        /// Input block of the speculated split.
+        block: u64,
+    },
+    /// A speculation race resolved: the duplicate attempt won, was
+    /// cancelled (primary finished first), or failed (its node died).
+    SpecResolved {
+        /// Input block of the speculated split.
+        block: u64,
+        /// Outcome name ("won" / "cancelled" / "failed").
+        outcome: &'static str,
+    },
     /// A DFS split read completed.
     DfsRead {
         /// Block index read.
@@ -189,6 +211,13 @@ pub enum CounterId {
     /// Runs consumed across supervised map-side `merge_runs` calls
     /// (fan-in; one bump per merge, delta = runs merged).
     MergeFanIn,
+    /// Stage passages throttled by an armed gray-failure slowdown (one
+    /// bump per throttled passage; the passage count is a function of the
+    /// seed and job configuration, unlike the injected wall time).
+    GraySlowdowns,
+    /// Map kernel launches skipped because the chunk's split was already
+    /// completed by another attempt (speculation superseded the work).
+    SpecSuperseded,
 }
 
 impl CounterId {
@@ -206,6 +235,8 @@ impl CounterId {
             CounterId::RunPoolHit => "runpool.reuse.hit",
             CounterId::RunPoolMiss => "runpool.reuse.miss",
             CounterId::MergeFanIn => "merge.fanin",
+            CounterId::GraySlowdowns => "chaos.gray.slowdowns",
+            CounterId::SpecSuperseded => "spec.superseded",
         }
     }
 }
@@ -243,6 +274,10 @@ pub enum Realm {
     Chaos,
     /// Job-level events.
     Job,
+    /// Split coordinator decisions affecting this node (speculation
+    /// launches and race resolutions). Declared after [`Realm::Job`] so
+    /// the canonical lane order of existing traces is unchanged.
+    Coordinator,
 }
 
 impl Realm {
@@ -257,6 +292,7 @@ impl Realm {
             Realm::NetRx => "net-rx".to_string(),
             Realm::Chaos => "chaos".to_string(),
             Realm::Job => "job".to_string(),
+            Realm::Coordinator => "coordinator".to_string(),
         }
     }
 }

@@ -63,7 +63,8 @@ pub mod prelude {
     pub use gw_core::cluster::read_job_output;
     pub use gw_core::{
         Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport,
-        MetricsSummary, NodeId, PerfAnalysis, TimingMode, Trace, Tracer,
+        MetricsSummary, NodeId, PerfAnalysis, SpeculationConfig, SpeculationReport, TimingMode,
+        Trace, Tracer,
     };
     pub use gw_device::DeviceProfile;
     pub use gw_net::NetProfile;

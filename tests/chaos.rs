@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use glasswing::core::EngineError;
+use glasswing::core::{CounterId, EngineError, LogicalKind, MarkId};
 use glasswing::prelude::*;
 
 const CORPUS: &str = "the quick brown fox jumps over the lazy dog \
@@ -307,6 +307,92 @@ fn reduce_site_fault_is_recovered_by_the_retry_budget() {
     cfg.max_task_retries = 0;
     let err = cluster.run(Arc::new(WordCount::new()), &cfg).unwrap_err();
     assert!(matches!(err, EngineError::TaskFailed(_)), "got: {err}");
+}
+
+#[test]
+fn gray_fault_sweep_recovers_byte_identical() {
+    // The gray-failure sweep: 20 seeded schedules of slowdowns, transient
+    // stalls and flaky links. Gray faults degrade nodes but never kill
+    // them, and every dropped message is a recoverable data message (the
+    // control path is reliable) — so unlike the crash sweep, *every* seed
+    // must finish with zero nodes lost and byte-identical output.
+    let reference = reference_output(NODES);
+    for seed in 0..20u64 {
+        let plan = FaultPlan::gray_from_seed(seed, NODES);
+        let schedule = plan.describe();
+        assert!(plan.schedules_gray_fault(), "seed {seed}: {schedule}");
+        assert!(
+            !plan.schedules_node_crash(),
+            "gray plans must not kill nodes: seed {seed}: {schedule}"
+        );
+        let cluster = make_cluster(NODES).with_fault_plan(plan);
+        let report = cluster
+            .run(Arc::new(WordCount::new()), &chaos_cfg())
+            .unwrap_or_else(|e| panic!("seed {seed} ({schedule}): gray run failed: {e}"));
+        assert_eq!(report.nodes_lost, 0, "seed {seed} ({schedule})");
+        let out = read_job_output(cluster.store(), &report).unwrap();
+        assert_eq!(out, reference, "seed {seed} ({schedule}): output diverged");
+    }
+}
+
+#[test]
+fn slow_but_alive_node_is_not_declared_lost() {
+    // Heartbeat watchdog audit: a 500ms kernel stall is 2.5× the 200ms
+    // node timeout, but the heartbeat thread beats independently of the
+    // stalled pipeline, re-arming the liveness deadline on every beat.
+    // The slow-but-alive node must neither be declared NodeLost nor have
+    // its claimed work rescheduled out from under it.
+    let reference = reference_output(NODES);
+    let plan = FaultPlan::empty().with_stall(2, CrashSite::Kernel, 0, 500);
+    let cluster = make_cluster(NODES).with_fault_plan(plan);
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
+    assert_eq!(
+        report.nodes_lost, 0,
+        "a stalled (slow-but-alive) node was declared dead"
+    );
+    assert_eq!(report.splits_rescheduled, 0);
+    // The stall itself must be visible in the trace exactly once.
+    let stalls = report
+        .trace
+        .logical_events()
+        .iter()
+        .filter(|(_, k)| {
+            matches!(
+                k,
+                LogicalKind::Instant {
+                    mark: MarkId::StallFired { .. }
+                }
+            )
+        })
+        .count();
+    assert_eq!(stalls, 1, "one-shot stall must fire exactly once");
+    let out = read_job_output(cluster.store(), &report).unwrap();
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn persistent_slowdown_degrades_but_never_kills() {
+    // A 4× single-node slowdown is the canonical gray failure: the node
+    // stays correct and alive, only slow. The run must complete with the
+    // reference bytes, no liveness action, and the throttles accounted.
+    let reference = reference_output(NODES);
+    let plan = FaultPlan::empty().with_slowdown(1, 400);
+    let cluster = make_cluster(NODES).with_fault_plan(plan);
+    let report = cluster
+        .run(Arc::new(WordCount::new()), &chaos_cfg())
+        .unwrap();
+    assert_eq!(report.nodes_lost, 0);
+    assert!(
+        report.metrics.counter(1, CounterId::GraySlowdowns) > 0,
+        "throttled passages must be counted on the slow node"
+    );
+    assert_eq!(report.metrics.counter_total(CounterId::GraySlowdowns), {
+        report.metrics.counter(1, CounterId::GraySlowdowns)
+    });
+    let out = read_job_output(cluster.store(), &report).unwrap();
+    assert_eq!(out, reference);
 }
 
 #[test]
