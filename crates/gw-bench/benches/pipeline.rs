@@ -15,6 +15,14 @@
 //!   live (5 stage threads, DRAM-speed copies through a staging buffer).
 //!   `fused_over_unfused` is the headline delta: the paper's "the input
 //!   stager is disabled" optimisation as a measured ratio.
+//! * `lanes{1,2,4}_mrecs` — the lane-scaling sweep (DESIGN.md §3.9): the
+//!   advisor-named bottleneck stage (`lane_stage`) widened to 1, 2 and 4
+//!   lanes via `JobConfig::lane_plan`, everything else default. The
+//!   paced Input stage is latency-bound, so extra lanes overlap its
+//!   waits even on one core. `predicted_lanes2_speedup` records what the
+//!   advisor's N-lane schedule replay promised for 2 lanes; a full run
+//!   asserts the measured `lanes2_over_lanes1` realises at least half of
+//!   that promise (the PR's acceptance floor).
 //!
 //! Every run also asserts the executor's structural invariants: observed
 //! in-flight chunks never exceed the buffering depth, and the fused graph
@@ -30,11 +38,12 @@
 //!   committed one for the same mode.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use gw_apps::WordCount;
 use gw_bench::flatjson::{self, Val};
-use gw_bench::{bench_cfg, corpus_cluster_paced};
-use gw_core::{Buffering, JobConfig, PerfAnalysis, PipelineKind};
+use gw_bench::{bench_cfg, corpus_cluster_paced, corpus_cluster_paced_io};
+use gw_core::{Buffering, Cluster, JobConfig, LanePlan, PerfAnalysis, PipelineKind, StageId};
 use gw_device::DeviceProfile;
 
 struct Sizes {
@@ -74,12 +83,24 @@ fn unfused_host() -> DeviceProfile {
 /// Best-of-`iters` map throughput (Mrec/s) for one configuration, with
 /// the executor's structural invariants asserted on every run.
 fn measure_map(sizes: &Sizes, mutate: impl Fn(&mut JobConfig)) -> (f64, usize) {
+    // Paced local-FS reads give the Input stage a real duration, so
+    // buffering has something to overlap (the paper's local-FS runs).
+    measure_map_on(
+        || corpus_cluster_paced(sizes.lines, 30_000, 1, sizes.block),
+        sizes.iters,
+        mutate,
+    )
+}
+
+fn measure_map_on(
+    cluster: impl Fn() -> Cluster,
+    iters: usize,
+    mutate: impl Fn(&mut JobConfig),
+) -> (f64, usize) {
     let mut best = f64::INFINITY;
     let mut stage_threads = 0;
-    for _ in 0..sizes.iters {
-        // Paced local-FS reads give the Input stage a real duration, so
-        // buffering has something to overlap (the paper's local-FS runs).
-        let cluster = corpus_cluster_paced(sizes.lines, 30_000, 1, sizes.block);
+    for _ in 0..iters {
+        let cluster = cluster();
         let mut cfg = bench_cfg();
         mutate(&mut cfg);
         let report = cluster
@@ -140,6 +161,85 @@ fn measure(sizes: &Sizes) -> Metrics {
     }
 }
 
+struct LaneSweep {
+    /// The stage the lanes were spent on (advisor-named bottleneck).
+    stage: StageId,
+    /// The advisor's modelled speedup for doubling that stage's lanes.
+    predicted2: f64,
+    lanes1: f64,
+    lanes2: f64,
+    lanes4: f64,
+}
+
+impl LaneSweep {
+    fn lanes2_over_lanes1(&self) -> f64 {
+        self.lanes2 / self.lanes1
+    }
+    fn lanes4_over_lanes1(&self) -> f64 {
+        self.lanes4 / self.lanes1
+    }
+}
+
+/// The lane sweep's I/O regime: reads paced slow enough that the Input
+/// stage dominates the map pipeline outright — the vertical-scaling
+/// limit of the paper's local-FS runs. Extra input lanes then overlap
+/// real wait, which is what lane planning is for. (Under the default
+/// bench pacing the §III-D buffering already hides the smaller input
+/// time behind the kernel, and on this host a second lane could only
+/// measure scheduler noise.)
+fn lane_cluster(sizes: &Sizes) -> Cluster {
+    let model = gw_storage::IoModel {
+        per_call_overhead: Duration::from_micros(300),
+        local_bandwidth: 15.0e6,
+        remote_bandwidth: 200.0e6,
+        copy_amplification: 1.0,
+    };
+    corpus_cluster_paced_io(sizes.lines, 30_000, 1, sizes.block, model)
+}
+
+/// Widen the advisor-named bottleneck (same pick as
+/// [`LanePlan::from_advice`]: the named stage if widenable, else the best
+/// widenable `lane_scaling` entry) to 1, 2 and 4 lanes and measure.
+fn lane_sweep(sizes: &Sizes) -> LaneSweep {
+    // One probe run tells the advisor where the bottleneck sits and what
+    // a second lane there should buy on exactly this workload.
+    let report = lane_cluster(sizes)
+        .run(Arc::new(WordCount::new()), &bench_cfg())
+        .expect("job failed");
+    let advice = &report.analysis.advice;
+    let stage = advice
+        .bottleneck
+        .filter(|s| LanePlan::widenable(*s))
+        .or_else(|| {
+            advice
+                .lane_scaling
+                .iter()
+                .filter(|(s, _)| LanePlan::widenable(*s))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(s, _)| *s)
+        })
+        .expect("no widenable stage in the advisor output");
+    let run_lanes = |lanes: usize| {
+        let (mrecs, threads) = measure_map_on(
+            || lane_cluster(sizes),
+            sizes.iters,
+            |cfg| {
+                cfg.lane_plan = LanePlan::single().with_stage(stage, lanes);
+            },
+        );
+        // Fused host graph (3 threads) plus one thread per extra lane.
+        assert_eq!(threads, 3 + (lanes - 1), "lane threads not spawned");
+        mrecs
+    };
+    LaneSweep {
+        stage,
+        predicted2: advice.doubling_speedup(stage),
+        lanes1: run_lanes(1),
+        lanes2: run_lanes(2),
+        lanes4: run_lanes(4),
+    }
+}
+
 /// One paced, default-buffered job folded through the trace analysis.
 /// The map pipeline's efficiency score must beat the serialized lower
 /// bound (busy-sum == busy-union ⇒ exactly 1.0): under paced reads the
@@ -167,9 +267,15 @@ fn main() {
     let quick = argv.iter().any(|a| a == "--quick");
     let check = argv.iter().any(|a| a == "--check");
 
-    let m = measure(if quick { &QUICK } else { &FULL });
-    let analysis = analyze(if quick { &QUICK } else { &FULL });
-    let quick_ref = if quick { None } else { Some(measure(&QUICK)) };
+    let sizes = if quick { &QUICK } else { &FULL };
+    let m = measure(sizes);
+    let analysis = analyze(sizes);
+    let lanes = lane_sweep(sizes);
+    let quick_ref = if quick {
+        None
+    } else {
+        Some((measure(&QUICK), lane_sweep(&QUICK)))
+    };
 
     let mut fields = vec![
         ("schema", Val::Str("gw-pipeline-bench-v1".into())),
@@ -185,12 +291,27 @@ fn main() {
         ("double_over_single", Val::Num(m.double_over_single())),
         ("triple_over_single", Val::Num(m.triple_over_single())),
         ("fused_over_unfused", Val::Num(m.fused_over_unfused())),
+        ("lane_stage", Val::Str(lanes.stage.name().into())),
+        ("lanes1_mrecs", Val::Num(lanes.lanes1)),
+        ("lanes2_mrecs", Val::Num(lanes.lanes2)),
+        ("lanes4_mrecs", Val::Num(lanes.lanes4)),
+        ("lanes2_over_lanes1", Val::Num(lanes.lanes2_over_lanes1())),
+        ("lanes4_over_lanes1", Val::Num(lanes.lanes4_over_lanes1())),
+        ("predicted_lanes2_speedup", Val::Num(lanes.predicted2)),
     ];
-    if let Some(q) = &quick_ref {
+    if let Some((q, ql)) = &quick_ref {
         fields.extend([
             ("quick_double_over_single", Val::Num(q.double_over_single())),
             ("quick_triple_over_single", Val::Num(q.triple_over_single())),
             ("quick_fused_over_unfused", Val::Num(q.fused_over_unfused())),
+            (
+                "quick_lanes2_over_lanes1",
+                Val::Num(ql.lanes2_over_lanes1()),
+            ),
+            (
+                "quick_lanes4_over_lanes1",
+                Val::Num(ql.lanes4_over_lanes1()),
+            ),
         ]);
     }
 
@@ -227,6 +348,8 @@ fn main() {
             ("double_over_single", m.double_over_single()),
             ("triple_over_single", m.triple_over_single()),
             ("fused_over_unfused", m.fused_over_unfused()),
+            ("lanes2_over_lanes1", lanes.lanes2_over_lanes1()),
+            ("lanes4_over_lanes1", lanes.lanes4_over_lanes1()),
         ] {
             let floor = 0.75 * committed_num(&format!("{prefix}{key}"));
             let ok = measured >= floor;
@@ -241,6 +364,10 @@ fn main() {
             "double_mrecs",
             "triple_mrecs",
             "unfused_mrecs",
+            "lanes1_mrecs",
+            "lanes2_mrecs",
+            "lanes4_mrecs",
+            "predicted_lanes2_speedup",
         ] {
             committed_num(key);
         }
@@ -250,6 +377,22 @@ fn main() {
         }
         println!("pipeline bench check passed");
     } else {
+        // Acceptance: lanes on the advisor-named bottleneck must realise
+        // at least half the speedup the advisor's replay predicted.
+        let acceptance_floor = 1.0 + 0.5 * (lanes.predicted2 - 1.0);
+        let measured2 = lanes.lanes2_over_lanes1();
+        println!(
+            "  lanes=2 on {}: measured {measured2:.3}x vs predicted {:.3}x (floor {acceptance_floor:.3}x)",
+            lanes.stage.name(),
+            lanes.predicted2
+        );
+        assert!(
+            measured2 >= acceptance_floor,
+            "lanes=2 on {} gave {measured2:.3}x, below half the advisor's \
+             predicted {:.3}x",
+            lanes.stage.name(),
+            lanes.predicted2
+        );
         std::fs::write(path, flatjson::write(&fields)).expect("write BENCH_pipeline.json");
         println!("wrote {path}");
         // The full per-stage analysis of the same workload rides along,

@@ -68,6 +68,25 @@ pub fn corpus_cluster_paced(lines: usize, vocabulary: usize, nodes: u32, block: 
     )
 }
 
+/// Like [`corpus_cluster_paced`] with a caller-supplied I/O model, for
+/// benches that need a specific input-time regime (e.g. the lane-scaling
+/// sweep's input-bound pacing).
+pub fn corpus_cluster_paced_io(
+    lines: usize,
+    vocabulary: usize,
+    nodes: u32,
+    block: usize,
+    model: gw_storage::IoModel,
+) -> Cluster {
+    corpus_cluster_with(
+        lines,
+        vocabulary,
+        nodes,
+        block,
+        DfsConfig::new(nodes).paced_io(model),
+    )
+}
+
 fn corpus_cluster_with(
     lines: usize,
     vocabulary: usize,

@@ -135,6 +135,10 @@ struct CrashFault {
     site: CrashSite,
     /// Passages of the site survived before the crash fires.
     after: u32,
+    /// Lane filter: `Some(l)` counts and fires only on lane `l` of the
+    /// site's stage (a widened stage runs several lanes); `None` (every
+    /// seeded plan) targets the whole stage.
+    lane: Option<u32>,
     seen: AtomicU32,
     fired: AtomicBool,
 }
@@ -169,6 +173,9 @@ struct SlowFault {
     node: u32,
     /// Slowdown factor × 100 (400 = the node runs 4× slower).
     factor_x100: u32,
+    /// Lane filter: `Some(l)` throttles only lane `l`'s passages, leaving
+    /// sibling lanes of a widened stage at full speed.
+    lane: Option<u32>,
 }
 
 /// One-shot transient stall of a site passage on one node.
@@ -180,6 +187,8 @@ struct StallFault {
     after: u32,
     /// Stall length, milliseconds.
     ms: u64,
+    /// Lane filter, as on [`CrashFault::lane`].
+    lane: Option<u32>,
     seen: AtomicU32,
     fired: AtomicBool,
 }
@@ -229,6 +238,7 @@ impl FaultPlan {
                 node: rng.gen_range(nodes.max(1) as u64) as u32,
                 site: CrashSite::from_index(rng.next_u64()),
                 after: rng.gen_range(3) as u32,
+                lane: None,
                 seen: AtomicU32::new(0),
                 fired: AtomicBool::new(false),
             });
@@ -282,6 +292,7 @@ impl FaultPlan {
             plan.slow = Some(SlowFault {
                 node: rng.gen_range(nodes.max(1) as u64) as u32,
                 factor_x100: 150 + 50 * rng.gen_range(8) as u32, // 1.5×..5×
+                lane: None,
             });
         }
         if rng.chance(45) {
@@ -290,6 +301,7 @@ impl FaultPlan {
                 site: CrashSite::from_index(rng.next_u64()),
                 after: rng.gen_range(3) as u32,
                 ms: 10 + rng.gen_range(90),
+                lane: None,
                 seen: AtomicU32::new(0),
                 fired: AtomicBool::new(false),
             });
@@ -310,6 +322,7 @@ impl FaultPlan {
             plan.slow = Some(SlowFault {
                 node: rng.gen_range(nodes.max(1) as u64) as u32,
                 factor_x100: 300,
+                lane: None,
             });
         }
         plan
@@ -324,6 +337,7 @@ impl FaultPlan {
                 node,
                 site,
                 after: after_chunks,
+                lane: None,
                 seen: AtomicU32::new(0),
                 fired: AtomicBool::new(false),
             }),
@@ -374,7 +388,11 @@ impl FaultPlan {
     /// Slow `node` down persistently: every stage passage is stretched to
     /// `factor_x100 / 100` of its wall time (400 = the node runs 4× slower).
     pub fn with_slowdown(mut self, node: u32, factor_x100: u32) -> Self {
-        self.slow = Some(SlowFault { node, factor_x100 });
+        self.slow = Some(SlowFault {
+            node,
+            factor_x100,
+            lane: None,
+        });
         self
     }
 
@@ -386,9 +404,41 @@ impl FaultPlan {
             site,
             after,
             ms,
+            lane: None,
             seen: AtomicU32::new(0),
             fired: AtomicBool::new(false),
         });
+        self
+    }
+
+    /// Pin the scheduled crash to one lane of its (widened) stage: only
+    /// that lane's passages count toward `after`, and only that lane
+    /// dies. Panics if no crash is scheduled yet.
+    pub fn with_crash_lane(mut self, lane: u32) -> Self {
+        self.crash
+            .as_mut()
+            .expect("with_crash_lane requires a scheduled crash")
+            .lane = Some(lane);
+        self
+    }
+
+    /// Pin the scheduled slowdown to one lane of every widened stage on
+    /// the victim node. Panics if no slowdown is scheduled yet.
+    pub fn with_slow_lane(mut self, lane: u32) -> Self {
+        self.slow
+            .as_mut()
+            .expect("with_slow_lane requires a scheduled slowdown")
+            .lane = Some(lane);
+        self
+    }
+
+    /// Pin the scheduled stall to one lane of its stage. Panics if no
+    /// stall is scheduled yet.
+    pub fn with_stall_lane(mut self, lane: u32) -> Self {
+        self.stall
+            .as_mut()
+            .expect("with_stall_lane requires a scheduled stall")
+            .lane = Some(lane);
         self
     }
 
@@ -493,10 +543,11 @@ impl FaultPlan {
         let mut parts = vec![format!("seed={:#x}", self.seed)];
         if let Some(c) = &self.crash {
             parts.push(format!(
-                "crash(node={},site={},after={})",
+                "crash(node={},site={},after={}{})",
                 c.node,
                 c.site.name(),
-                c.after
+                c.after,
+                lane_suffix(c.lane)
             ));
         }
         if let Some(r) = &self.read {
@@ -510,15 +561,21 @@ impl FaultPlan {
             parts.push(format!("net({} {}->{},nth={})", kind, n.from, n.to, n.nth));
         }
         if let Some(s) = &self.slow {
-            parts.push(format!("slow(node={},x{})", s.node, s.factor_x100));
+            parts.push(format!(
+                "slow(node={},x{}{})",
+                s.node,
+                s.factor_x100,
+                lane_suffix(s.lane)
+            ));
         }
         if let Some(st) = &self.stall {
             parts.push(format!(
-                "stall(node={},site={},after={},ms={})",
+                "stall(node={},site={},after={},ms={}{})",
                 st.node,
                 st.site.name(),
                 st.after,
-                st.ms
+                st.ms,
+                lane_suffix(st.lane)
             ));
         }
         if let Some(f) = &self.flaky {
@@ -542,10 +599,24 @@ impl FaultPlan {
 
     /// Probe a map-pipeline crash site. Returns `true` exactly once — on
     /// the victim node's `after+1`-th passage of the scheduled site — after
-    /// which the caller must treat the node as crashed.
+    /// which the caller must treat the node as crashed. Equivalent to
+    /// [`FaultPlan::crash_fires_lane`] on lane 0 of a single-lane stage
+    /// (a lane-pinned fault still fires here when pinned to lane 0).
     pub fn crash_fires(&self, node: u32, site: CrashSite) -> bool {
+        self.crash_fires_lane(node, site, 0)
+    }
+
+    /// Probe a map-pipeline crash site from lane `lane` of a (possibly
+    /// widened) stage. A lane-pinned fault only counts and fires on its
+    /// pinned lane — sibling lanes pass untouched and consume no
+    /// passages; an unpinned fault counts passages across all lanes.
+    pub fn crash_fires_lane(&self, node: u32, site: CrashSite, lane: u32) -> bool {
         let Some(c) = &self.crash else { return false };
-        if c.site == CrashSite::Reduce || c.node != node || c.site != site {
+        if c.site == CrashSite::Reduce
+            || c.node != node
+            || c.site != site
+            || c.lane.is_some_and(|l| l != lane)
+        {
             return false;
         }
         let seen = c.seen.fetch_add(1, Ordering::Relaxed) + 1;
@@ -589,9 +660,26 @@ impl FaultPlan {
     /// [`CounterId::GraySlowdowns`] tick per throttled passage when a
     /// tracer is armed.
     pub fn gray_delay(&self, node: u32, site: CrashSite, wall: Duration) -> Option<Duration> {
+        self.gray_delay_lane(node, site, 0, wall)
+    }
+
+    /// As [`FaultPlan::gray_delay`], probed from lane `lane` of a widened
+    /// stage: lane-pinned stalls and slowdowns only touch their pinned
+    /// lane (and consume no passages elsewhere).
+    pub fn gray_delay_lane(
+        &self,
+        node: u32,
+        site: CrashSite,
+        lane: u32,
+        wall: Duration,
+    ) -> Option<Duration> {
         let mut total = Duration::ZERO;
         if let Some(st) = &self.stall {
-            if st.node == node && st.site == site && !st.fired.load(Ordering::Relaxed) {
+            if st.node == node
+                && st.site == site
+                && st.lane.is_none_or(|l| l == lane)
+                && !st.fired.load(Ordering::Relaxed)
+            {
                 let seen = st.seen.fetch_add(1, Ordering::Relaxed) + 1;
                 if seen > st.after && !st.fired.swap(true, Ordering::Relaxed) {
                     total += Duration::from_millis(st.ms);
@@ -606,7 +694,7 @@ impl FaultPlan {
             }
         }
         if let Some(s) = &self.slow {
-            if s.node == node && s.factor_x100 > 100 {
+            if s.node == node && s.factor_x100 > 100 && s.lane.is_none_or(|l| l == lane) {
                 total += wall * (s.factor_x100 - 100) / 100;
                 if let Some(t) = self.tracer.read().as_ref() {
                     t.lane(chaos_lane(node)).count(CounterId::GraySlowdowns, 1);
@@ -619,6 +707,12 @@ impl FaultPlan {
             Some(total)
         }
     }
+}
+
+/// `describe()` suffix for a lane-pinned fault (empty when unpinned, so
+/// historical descriptions are unchanged).
+fn lane_suffix(lane: Option<u32>) -> String {
+    lane.map(|l| format!(",lane={l}")).unwrap_or_default()
 }
 
 /// Node `node`'s chaos lane.
@@ -951,6 +1045,51 @@ mod tests {
             p.on_data_message(NodeId(0), NodeId(1)),
             NetFaultAction::Deliver
         );
+    }
+
+    #[test]
+    fn lane_pinned_crash_spares_sibling_lanes() {
+        let p = FaultPlan::crash(2, CrashSite::Kernel, 1).with_crash_lane(1);
+        assert!(p.describe().contains("lane=1"));
+        // Sibling lanes never fire and never consume passages.
+        assert!(!p.crash_fires_lane(2, CrashSite::Kernel, 0));
+        assert!(!p.crash_fires_lane(2, CrashSite::Kernel, 0));
+        assert!(!p.crash_fires_lane(2, CrashSite::Kernel, 2));
+        // The pinned lane survives `after` of *its own* passages first.
+        assert!(!p.crash_fires_lane(2, CrashSite::Kernel, 1));
+        assert!(p.crash_fires_lane(2, CrashSite::Kernel, 1));
+        assert!(!p.crash_fires_lane(2, CrashSite::Kernel, 1));
+        // The single-lane probe is lane 0, so a lane-1 pin never fires it.
+        let q = FaultPlan::crash(2, CrashSite::Kernel, 0).with_crash_lane(1);
+        assert!(!q.crash_fires(2, CrashSite::Kernel));
+        assert!(q.crash_fires_lane(2, CrashSite::Kernel, 1));
+    }
+
+    #[test]
+    fn lane_pinned_gray_faults_only_touch_their_lane() {
+        let wall = Duration::from_millis(10);
+        let p = FaultPlan::empty().with_slowdown(1, 300).with_slow_lane(2);
+        assert_eq!(p.gray_delay_lane(1, CrashSite::Kernel, 0, wall), None);
+        assert_eq!(
+            p.gray_delay_lane(1, CrashSite::Kernel, 2, wall),
+            Some(Duration::from_millis(20))
+        );
+        // Legacy single-lane probe = lane 0: untouched by a lane-2 pin.
+        assert_eq!(p.gray_delay(1, CrashSite::Kernel, wall), None);
+
+        let st = FaultPlan::empty()
+            .with_stall(2, CrashSite::Stage, 1, 25)
+            .with_stall_lane(0);
+        // Lane-1 passages consume nothing.
+        assert_eq!(st.gray_delay_lane(2, CrashSite::Stage, 1, wall), None);
+        assert_eq!(st.gray_delay_lane(2, CrashSite::Stage, 1, wall), None);
+        // Lane 0 survives `after` of its own passages, stalls once.
+        assert_eq!(st.gray_delay_lane(2, CrashSite::Stage, 0, wall), None);
+        assert_eq!(
+            st.gray_delay_lane(2, CrashSite::Stage, 0, wall),
+            Some(Duration::from_millis(25))
+        );
+        assert_eq!(st.gray_delay_lane(2, CrashSite::Stage, 0, wall), None);
     }
 
     #[test]

@@ -110,6 +110,14 @@ pub struct JobReport {
 }
 
 impl JobReport {
+    /// Close the advisor loop: lane counts for a follow-up run, chosen
+    /// from this run's advisor output (auto-lanes mode — start the next
+    /// job with `cfg.with_auto_lanes(&report.analysis.advice)` or assign
+    /// this plan to `cfg.lane_plan` directly).
+    pub fn plan_lanes(&self) -> crate::config::LanePlan {
+        crate::config::LanePlan::from_advice(&self.analysis.advice)
+    }
+
     /// All output files across nodes, sorted by global partition.
     pub fn output_files(&self) -> Vec<String> {
         let mut files: Vec<String> = self

@@ -3,6 +3,8 @@
 //! and configure the pipeline buffering levels."
 
 use gw_device::DeviceProfile;
+use gw_pipeline::StageId;
+use gw_trace::Advice;
 
 use crate::collect::CollectorKind;
 
@@ -108,6 +110,132 @@ pub struct JobConfig {
     pub node_timeout: std::time::Duration,
     /// Speculative re-execution of straggler map tasks (DESIGN.md §3.8).
     pub speculation: SpeculationConfig,
+    /// Worker-lane counts for the map pipeline's widenable stages
+    /// (DESIGN.md §3.9). The default single-lane plan reproduces the
+    /// historical pipeline exactly.
+    pub lane_plan: LanePlan,
+}
+
+/// Worker-lane counts per map-pipeline stage slot: the vertical-scaling
+/// knob (DESIGN.md §3.9). A widened slot runs `lanes` copies of the
+/// stage, distributes chunks round-robin by sequence number and
+/// reassembles them in sequence order at the slot's exit, so job output
+/// bytes are identical at every lane count.
+///
+/// Only Input, Kernel and Partition widen. Stage (H2D) and Retrieve
+/// (D2H) stay single-lane: they are fused out of the graph on unified
+/// memory, and on discrete memory they serialize on the one transfer
+/// link anyway. Reduce-side stages also stay single-lane — the reduce
+/// kernel carries per-key scratch state across value chunks, which
+/// requires chunks of one key to arrive FIFO at a single stage instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanePlan {
+    /// Lanes for the Input stage (claiming is serialized in sequence
+    /// order; split read+parse overlaps across lanes).
+    pub input: usize,
+    /// Lanes for the map Kernel stage.
+    pub kernel: usize,
+    /// Lanes for the Partition stage.
+    pub partition: usize,
+}
+
+impl Default for LanePlan {
+    fn default() -> Self {
+        LanePlan {
+            input: 1,
+            kernel: 1,
+            partition: 1,
+        }
+    }
+}
+
+impl LanePlan {
+    /// Upper bound on any stage's lane count (sanity cap, not a tuning
+    /// recommendation).
+    pub const MAX_LANES: usize = 16;
+
+    /// The historical single-lane pipeline.
+    pub fn single() -> Self {
+        LanePlan::default()
+    }
+
+    /// `true` when every stage runs one lane (the executor spawns the
+    /// exact historical thread set).
+    pub fn is_single(&self) -> bool {
+        self.input == 1 && self.kernel == 1 && self.partition == 1
+    }
+
+    /// Lane count for a map stage slot. Non-widenable slots report 1.
+    pub fn lanes_for(&self, stage: StageId) -> usize {
+        match stage {
+            StageId::Input => self.input,
+            StageId::Kernel => self.kernel,
+            StageId::Partition => self.partition,
+            StageId::Stage | StageId::Retrieve => 1,
+        }
+    }
+
+    /// Set one stage's lane count (non-widenable slots are left at 1).
+    pub fn with_stage(mut self, stage: StageId, lanes: usize) -> Self {
+        match stage {
+            StageId::Input => self.input = lanes,
+            StageId::Kernel => self.kernel = lanes,
+            StageId::Partition => self.partition = lanes,
+            StageId::Stage | StageId::Retrieve => {}
+        }
+        self
+    }
+
+    /// Whether a map stage slot can be widened at all.
+    pub fn widenable(stage: StageId) -> bool {
+        matches!(stage, StageId::Input | StageId::Kernel | StageId::Partition)
+    }
+
+    /// Close the advisor loop (auto-lanes): choose lane counts from a
+    /// prior run's [`Advice`]. Doubles the lanes of the advisor-named
+    /// bottleneck stage when it is widenable and its predicted doubling
+    /// speedup clears 2%; otherwise falls back to the best widenable
+    /// entry in `lane_scaling`; stays single-lane when no stage clears
+    /// the bar (adding lanes costs threads and reorder pressure, so a
+    /// sub-2% prediction is not worth acting on).
+    pub fn from_advice(advice: &Advice) -> Self {
+        const MIN_GAIN: f64 = 1.02;
+        let pick = advice
+            .bottleneck
+            .filter(|s| Self::widenable(*s) && advice.doubling_speedup(*s) >= MIN_GAIN)
+            .or_else(|| {
+                advice
+                    .lane_scaling
+                    .iter()
+                    .filter(|(s, x)| Self::widenable(*s) && *x >= MIN_GAIN)
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(s, _)| *s)
+            });
+        match pick {
+            Some(stage) => LanePlan::single().with_stage(stage, 2),
+            None => LanePlan::single(),
+        }
+    }
+
+    /// Validate lane counts; returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, lanes) in [
+            ("input", self.input),
+            ("kernel", self.kernel),
+            ("partition", self.partition),
+        ] {
+            if lanes == 0 {
+                return Err(format!("lane_plan.{name} must be ≥ 1"));
+            }
+            if lanes > Self::MAX_LANES {
+                return Err(format!(
+                    "lane_plan.{name} exceeds the {} lane cap",
+                    Self::MAX_LANES
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Policy for speculative re-execution of straggler tasks.
@@ -182,7 +310,15 @@ impl JobConfig {
             heartbeat_interval: std::time::Duration::from_millis(25),
             node_timeout: std::time::Duration::from_millis(1000),
             speculation: SpeculationConfig::default(),
+            lane_plan: LanePlan::default(),
         }
+    }
+
+    /// Auto-lanes mode: adopt lane counts chosen from a prior run's
+    /// advisor output (see [`LanePlan::from_advice`]).
+    pub fn with_auto_lanes(mut self, advice: &Advice) -> Self {
+        self.lane_plan = LanePlan::from_advice(advice);
+        self
     }
 
     /// Validate invariants; returns a description of the first violation.
@@ -229,6 +365,7 @@ impl JobConfig {
                 return Err("speculation budget must be ≥ 1 when enabled".into());
             }
         }
+        self.lane_plan.validate()?;
         Ok(())
     }
 }
@@ -281,6 +418,71 @@ mod tests {
         let mut c = JobConfig::new("/in", "/out");
         c.job_deadline = Some(std::time::Duration::from_secs(60));
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn lane_plan_is_validated() {
+        let mut c = JobConfig::new("/in", "/out");
+        assert!(c.lane_plan.is_single());
+        c.lane_plan.kernel = 0;
+        assert!(c.validate().is_err());
+        c.lane_plan.kernel = LanePlan::MAX_LANES + 1;
+        assert!(c.validate().is_err());
+        c.lane_plan.kernel = 4;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn lane_plan_only_widens_widenable_stages() {
+        let p = LanePlan::single()
+            .with_stage(StageId::Stage, 4)
+            .with_stage(StageId::Retrieve, 4)
+            .with_stage(StageId::Input, 3);
+        assert_eq!(p.lanes_for(StageId::Stage), 1);
+        assert_eq!(p.lanes_for(StageId::Retrieve), 1);
+        assert_eq!(p.lanes_for(StageId::Input), 3);
+        assert_eq!(p.lanes_for(StageId::Kernel), 1);
+        assert!(!p.is_single());
+    }
+
+    #[test]
+    fn auto_lanes_follow_the_advisor() {
+        // Bottleneck named and widenable: double exactly that stage.
+        let advice = Advice {
+            bottleneck: Some(StageId::Input),
+            lane_scaling: vec![
+                (StageId::Input, 1.28),
+                (StageId::Kernel, 1.05),
+                (StageId::Partition, 1.01),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(
+            LanePlan::from_advice(&advice),
+            LanePlan {
+                input: 2,
+                kernel: 1,
+                partition: 1
+            }
+        );
+        // Bottleneck not widenable: fall back to the best widenable gain.
+        let advice = Advice {
+            bottleneck: Some(StageId::Retrieve),
+            lane_scaling: vec![(StageId::Retrieve, 1.30), (StageId::Kernel, 1.10)],
+            ..Default::default()
+        };
+        assert_eq!(LanePlan::from_advice(&advice).kernel, 2);
+        // Nothing clears the 2% bar: stay single-lane.
+        let advice = Advice {
+            bottleneck: Some(StageId::Kernel),
+            lane_scaling: vec![(StageId::Kernel, 1.01)],
+            ..Default::default()
+        };
+        assert!(LanePlan::from_advice(&advice).is_single());
+        assert!(JobConfig::new("/in", "/out")
+            .with_auto_lanes(&advice)
+            .lane_plan
+            .is_single());
     }
 
     #[test]

@@ -195,6 +195,32 @@ impl gw_pipeline::PipelineProbe for MapPipelineProbe {
             .plan
             .gray_delay(self.node.0, gw_chaos::CrashSite::for_map_stage(stage), wall)
     }
+
+    // The executor probes per (stage, lane); lane-pinned faults in the
+    // plan target an individual lane of a widened stage, unpinned faults
+    // behave exactly as before.
+
+    fn crash_fires_on(&self, stage: gw_pipeline::StageId, lane: u32) -> bool {
+        self.chaos.plan.crash_fires_lane(
+            self.node.0,
+            gw_chaos::CrashSite::for_map_stage(stage),
+            lane,
+        )
+    }
+
+    fn gray_delay_on(
+        &self,
+        stage: gw_pipeline::StageId,
+        lane: u32,
+        wall: Duration,
+    ) -> Option<Duration> {
+        self.chaos.plan.gray_delay_lane(
+            self.node.0,
+            gw_chaos::CrashSite::for_map_stage(stage),
+            lane,
+            wall,
+        )
+    }
 }
 
 /// The reduce pipeline's hook into the fault plane. Reduce-site faults

@@ -51,7 +51,7 @@ pub mod timers;
 pub use api::{Combiner, Emit, GwApp};
 pub use cluster::{Cluster, JobReport, NodeReport};
 pub use collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
-pub use config::{Buffering, JobConfig, SpeculationConfig, TimingMode};
+pub use config::{Buffering, JobConfig, LanePlan, SpeculationConfig, TimingMode};
 pub use coordinator::{Coordinator, SpeculationReport};
 pub use schedule::{pipeline_makespan, ChunkTimes};
 pub use timers::{PipelineKind, StageId, StageTimers, TimerReport};

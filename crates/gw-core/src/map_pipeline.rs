@@ -51,11 +51,11 @@ use gw_device::{Device, DeviceBuffer, KernelFn, NdRange, WorkItemCtx, WorkerPool
 use gw_intermediate::{merge_runs, IntermediateStore, Run, RunPool};
 use gw_net::{Endpoint, ShuffleMsg};
 use gw_pipeline::{
-    run_task_with_retries, token_pool, PipelineBuilder, PipelineKind, PoolGet, PoolPut, Source,
+    run_task_with_retries, token_pool, LaneSource, PipelineBuilder, PipelineKind, PoolGet, PoolPut,
     Stage, StageCtx,
 };
 use gw_storage::split::FileStore;
-use gw_storage::{seqfile::SeqReader, NodeId};
+use gw_storage::{seqfile::SeqReader, InputSplit, NodeId};
 use gw_trace::{CounterId, Lane, LaneId, Realm, Tracer};
 
 use crate::api::{Emit, GwApp};
@@ -104,7 +104,8 @@ pub struct MapPhaseReport {
     /// Map tasks that were discarded and re-executed (paper §III-E).
     pub tasks_retried: usize,
     /// Stage threads the executor spawned: 3 with Stage/Retrieve fused on
-    /// unified memory, 5 on discrete-memory devices.
+    /// unified memory, 5 on discrete-memory devices, plus one per extra
+    /// lane of every widened slot (`JobConfig::lane_plan`).
     pub stage_threads: usize,
     /// High-water mark of in-flight chunks across the §III-D token
     /// groups; never exceeds the buffering depth.
@@ -145,6 +146,16 @@ fn parse_block(block: &[u8]) -> Result<Vec<RecordRef>, EngineError> {
 /// Input stage: claim a split from the coordinator and read+parse it into
 /// a chunk, pulling a staging buffer from the recycling pool on
 /// discrete-memory devices.
+///
+/// Runs as a [`LaneSource`]: the *claim* (asking the coordinator for the
+/// next split, plus taking a staging buffer, so production stays
+/// interlocked behind the §III-D tokens) is serialized across lanes in
+/// global sequence order — chunk seq `s` always carries the `s`-th split
+/// the coordinator hands out, at every lane count. The expensive
+/// *produce* (reading and parsing the split) overlaps across lanes,
+/// which is exactly the vertical-scaling win when split reads gate the
+/// pipeline. One instance per lane; instances share the coordinator,
+/// store, buffer pool and report.
 struct MapInput<'a> {
     store: Arc<dyn FileStore>,
     coordinator: Arc<Coordinator>,
@@ -156,19 +167,22 @@ struct MapInput<'a> {
     supervised: bool,
     buffers: Option<PoolGet<DeviceBuffer>>,
     report: &'a Mutexed<MapPhaseReport>,
+    /// The split (and staging buffer) claimed for this lane's next
+    /// [`LaneSource::produce`].
+    pending: Option<(InputSplit, Option<DeviceBuffer>)>,
 }
 
-impl Source<MapChunk, EngineError> for MapInput<'_> {
-    fn next_chunk(&mut self, ctx: &mut StageCtx<'_>) -> Result<Option<MapChunk>, EngineError> {
+impl LaneSource<MapChunk, EngineError> for MapInput<'_> {
+    fn claim(&mut self, ctx: &mut StageCtx<'_>) -> Result<bool, EngineError> {
         let split = loop {
             if ctx.should_stop() {
-                return Ok(None);
+                return Ok(false);
             }
             match self.coordinator.next_for(self.node) {
                 Some(split) => break split,
                 None => {
                     if !self.supervised || self.coordinator.map_complete() {
-                        return Ok(None);
+                        return Ok(false);
                     }
                     self.coordinator.scan_liveness();
                     std::thread::sleep(Duration::from_millis(2));
@@ -180,11 +194,17 @@ impl Source<MapChunk, EngineError> for MapInput<'_> {
                 Some(buf) => Some(buf),
                 None => {
                     ctx.stop(); // pool closed: a downstream stage died
-                    return Ok(None);
+                    return Ok(false);
                 }
             },
             None => None,
         };
+        self.pending = Some((split, buffer));
+        Ok(true)
+    }
+
+    fn produce(&mut self, ctx: &mut StageCtx<'_>) -> Result<MapChunk, EngineError> {
+        let (split, buffer) = self.pending.take().expect("claim() stashed a split");
         let t0 = Instant::now();
         let (block, sample) = self.store.read_split(&split, self.node)?;
         let records = parse_block(&block)?;
@@ -202,19 +222,20 @@ impl Source<MapChunk, EngineError> for MapInput<'_> {
                 r.local_splits += 1;
             }
         }
-        Ok(Some(MapChunk {
+        Ok(MapChunk {
             block_idx: split.block,
             block,
             records,
             buffer,
             collector: None,
-        }))
+        })
     }
 
     fn close(&mut self) {
         // On every exit path — a node that leaves the pipeline can never
         // claim splits again, and the coordinator must know that to
-        // detect stalls.
+        // detect stalls. `exit_map` is idempotent, so every lane calling
+        // it is safe.
         self.coordinator.exit_map(self.node);
     }
 }
@@ -409,7 +430,6 @@ struct MapPartition<'a> {
     /// *probing* goes through the executor's probe.
     chaos: Option<NodeChaos>,
     collectors_back: PoolPut<Box<dyn Collector>>,
-    durability_seq: usize,
     /// This stage's own trace lane (same lane the executor writes this
     /// thread's chunk spans to, so single-writer order is preserved);
     /// carries the supervised merge fan-in counter.
@@ -420,7 +440,7 @@ impl Stage<MapChunk, EngineError> for MapPartition<'_> {
     fn run_chunk(
         &mut self,
         mut chunk: MapChunk,
-        _ctx: &mut StageCtx<'_>,
+        ctx: &mut StageCtx<'_>,
     ) -> Result<Option<MapChunk>, EngineError> {
         let n_lanes = self.cfg.partition_threads;
         let node = self.node;
@@ -445,7 +465,11 @@ impl Stage<MapChunk, EngineError> for MapPartition<'_> {
             let records_out = self.records_out;
             let runs_remote = self.runs_remote;
             let runs_local = self.runs_local;
-            let dseq = self.durability_seq;
+            // Durability copies are named by the chunk's pipeline sequence
+            // number, which equals arrival order on a single-lane stage
+            // (the historical per-instance counter) and stays collision-free
+            // when the partition slot runs several lanes.
+            let dseq = ctx.seq();
             let kernel = KernelFn(move |ctx: &WorkItemCtx| {
                 let lane = ctx.global_id();
                 // Decode this lane's share and bucket by global partition.
@@ -532,10 +556,8 @@ impl Stage<MapChunk, EngineError> for MapPartition<'_> {
                 i = j;
                 self.records_out.fetch_add(run.records(), Ordering::Relaxed);
                 if let Some(dir) = &self.durability_dir {
-                    let path = dir.join(format!(
-                        "map-{node}-c{dseq}-l0-p{gp}.gw",
-                        dseq = self.durability_seq
-                    ));
+                    let path =
+                        dir.join(format!("map-{node}-c{dseq}-l0-p{gp}.gw", dseq = ctx.seq()));
                     std::fs::write(path, run.bytes()).expect("durability write failed");
                 }
                 let key = RunKey {
@@ -571,7 +593,6 @@ impl Stage<MapChunk, EngineError> for MapPartition<'_> {
             // ledger and delivered or retained.
             self.coordinator.complete_split(node, chunk.block_idx);
         }
-        self.durability_seq += 1;
         collector.reset();
         self.collectors_back.put(collector);
         Ok(None)
@@ -651,58 +672,50 @@ impl MapPhase<'_> {
         let runs_local = AtomicUsize::new(0);
         let tasks_retried = AtomicUsize::new(0);
 
-        let mut pipeline = PipelineBuilder::new(PipelineKind::Map, self.cfg.buffering)
-            .source(
-                StageId::Input,
-                MapInput {
+        // Widened stage slots (DESIGN.md §3.9): one stage instance per
+        // lane. Instances share pools, the coordinator and the report;
+        // each gets its own trace sub-lane so the single-writer invariant
+        // holds per executor thread.
+        let plan = self.cfg.lane_plan;
+        let input_lanes: Vec<Box<dyn LaneSource<MapChunk, EngineError> + '_>> = (0..plan.input)
+            .map(|_| {
+                Box::new(MapInput {
                     store: Arc::clone(&self.store),
                     coordinator: Arc::clone(&self.coordinator),
                     node: self.node,
                     timing: self.cfg.timing,
                     supervised: self.chaos.is_some(),
-                    buffers,
+                    buffers: buffers.clone(),
                     report: &report,
-                },
-            )
-            .stage(
-                StageId::Stage,
-                MapStageH2D {
-                    device: Arc::clone(&self.device),
-                    timing: self.cfg.timing,
-                    unified,
-                },
-            )
-            .stage(
-                StageId::Kernel,
-                MapKernel {
+                    pending: None,
+                }) as Box<dyn LaneSource<MapChunk, EngineError> + '_>
+            })
+            .collect();
+        let kernel_lanes: Vec<Box<dyn Stage<MapChunk, EngineError> + '_>> = (0..plan.kernel)
+            .map(|lane| {
+                Box::new(MapKernel {
                     device: Arc::clone(&self.device),
                     app: Arc::clone(&self.app),
                     cfg: self.cfg,
                     coordinator: Arc::clone(&self.coordinator),
                     node: self.node,
-                    collectors,
-                    buffers_back,
+                    collectors: collectors.clone(),
+                    buffers_back: buffers_back.clone(),
                     tasks_retried: &tasks_retried,
                     lane: self.tracer.lane(LaneId {
                         node: self.node.0,
                         realm: Realm::Pipeline {
                             kind: PipelineKind::Map,
                             stage: StageId::Kernel,
+                            lane: lane as u32,
                         },
                     }),
-                },
-            )
-            .stage(
-                StageId::Retrieve,
-                MapRetrieve {
-                    device: Arc::clone(&self.device),
-                    timing: self.cfg.timing,
-                    unified,
-                },
-            )
-            .stage(
-                StageId::Partition,
-                MapPartition {
+                }) as Box<dyn Stage<MapChunk, EngineError> + '_>
+            })
+            .collect();
+        let partition_lanes: Vec<Box<dyn Stage<MapChunk, EngineError> + '_>> = (0..plan.partition)
+            .map(|lane| {
+                Box::new(MapPartition {
                     app: Arc::clone(&self.app),
                     endpoint: Arc::clone(&self.endpoint),
                     intermediate: Arc::clone(&self.intermediate),
@@ -718,17 +731,47 @@ impl MapPhase<'_> {
                     runs_local: &runs_local,
                     durability_dir: self.durability_dir.clone(),
                     chaos: self.chaos.clone(),
-                    collectors_back,
-                    durability_seq: 0,
+                    collectors_back: collectors_back.clone(),
                     lane: self.tracer.lane(LaneId {
                         node: self.node.0,
                         realm: Realm::Pipeline {
                             kind: PipelineKind::Map,
                             stage: StageId::Partition,
+                            lane: lane as u32,
                         },
                     }),
+                }) as Box<dyn Stage<MapChunk, EngineError> + '_>
+            })
+            .collect();
+        // The lane instances hold the only live pool handles from here on:
+        // a pool must close the moment its last holder dies, so a stage
+        // blocked in `take()` wakes up and unwinds when its peer stage is
+        // gone. Keeping the originals alive would mask that signal.
+        drop(buffers);
+        drop(buffers_back);
+        drop(collectors);
+        drop(collectors_back);
+
+        let mut pipeline = PipelineBuilder::new(PipelineKind::Map, self.cfg.buffering)
+            .source_lanes(StageId::Input, input_lanes)
+            .stage(
+                StageId::Stage,
+                MapStageH2D {
+                    device: Arc::clone(&self.device),
+                    timing: self.cfg.timing,
+                    unified,
                 },
             )
+            .stage_lanes(StageId::Kernel, kernel_lanes)
+            .stage(
+                StageId::Retrieve,
+                MapRetrieve {
+                    device: Arc::clone(&self.device),
+                    timing: self.cfg.timing,
+                    unified,
+                },
+            )
+            .stage_lanes(StageId::Partition, partition_lanes)
             .interlock(StageId::Input, StageId::Kernel)
             .interlock(StageId::Kernel, StageId::Partition)
             .timers(Arc::clone(&self.timers), 0)

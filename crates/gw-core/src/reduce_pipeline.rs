@@ -30,6 +30,14 @@
 //! Jobs without a reduce function (TeraSort) bypass the kernel: the merged,
 //! sorted intermediate stream is written directly — "its output is fully
 //! processed by the end of the intermediate data shuffle".
+//!
+//! Every reduce stage runs **single-lane**, deliberately: the reduce
+//! kernel carries per-key scratch state across the value chunks of one
+//! key, so a key's chunks must arrive FIFO at a single kernel instance —
+//! widened lanes would interleave a key's chunk sequence across
+//! instances and tear that state. `JobConfig::lane_plan` therefore only
+//! addresses the map pipeline (see DESIGN.md §3.9); reduce-side
+//! parallelism comes from the per-key/per-chunk knobs above instead.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

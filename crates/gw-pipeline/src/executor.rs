@@ -1,10 +1,10 @@
 //! The bounded-stage executor.
 //!
 //! A pipeline is a pulling [`Source`] followed by a chain of [`Stage`]s.
-//! The executor spawns one scoped thread per *live* stage (pass-through
-//! stages are fused out at build time), links them with bounded handoff
-//! channels, and owns every cross-cutting concern the stages themselves
-//! used to copy-paste:
+//! The executor spawns one scoped thread per *lane* of each live stage
+//! (pass-through stages are fused out at build time), links them with
+//! bounded handoff channels, and owns every cross-cutting concern the
+//! stages themselves used to copy-paste:
 //!
 //! * **§III-D buffer tokens** — each [`PipelineBuilder::interlock`] group
 //!   (e.g. the map pipeline's input group Input→Kernel and output group
@@ -15,19 +15,37 @@
 //!   flight inside the group — enforced here, not by ad-hoc channel
 //!   capacities. A high-water gauge per group backs the property test
 //!   pinning that invariant.
+//! * **Lanes** — a slot may run several worker lanes
+//!   ([`PipelineBuilder::stage_lanes`], [`PipelineBuilder::source_lanes`]).
+//!   Chunks are dealt round-robin by sequence number (chunk `s` runs on
+//!   lane `s mod N` of an N-lane slot), the handoff between adjacent slots
+//!   is an N×M matrix of bounded channels, and every consumer pulls its
+//!   expected sequence numbers in order from the producer lane that owns
+//!   each one — so a single-lane consumer (and the final stage) sees
+//!   chunks in exactly the global sequence order, byte-identical for
+//!   every lane count, with no separate reorder-buffer thread. A chunk
+//!   consumed mid-graph leaves a [`Payload::Skip`] hole that keeps
+//!   sequence numbers dense. Input claims and token-permit acquisition
+//!   stay in global sequence order (per-slot turn-taking), which is what
+//!   keeps the B-bounded interlocks deadlock-free at any lane count: a
+//!   permit can only ever be held by a seq whose predecessors already
+//!   acquired theirs.
 //! * **Crash probing and dead/abort flags** — between chunks the executor
 //!   consults the [`PipelineProbe`]: `should_abort` unwinds the stage
-//!   quietly (marking the node dead), `crash_fires` injects a node death
-//!   at this stage's crash site. The source is probed *after* it produces
-//!   a chunk, so an injected Read crash dies holding the fresh claim.
+//!   quietly (marking the node dead), `crash_fires_on` injects a node
+//!   death at this stage's crash site (addressable per lane). The source
+//!   is probed *after* it produces a chunk, so an injected Read crash
+//!   dies holding the fresh claim.
 //! * **Timing** — every chunk's pass through a stage is recorded into
 //!   [`StageTimers`]; the default window is the whole `run_chunk` call,
 //!   and a stage needing a narrower one calls [`StageCtx::add_time`].
+//!   Lanes of one slot fold into the same per-stage aggregate.
 //! * **Unwinding** — a stage error kills the probe, drops the stage's
 //!   channel endpoints and lets the graph drain deterministically:
 //!   upstream sends fail, downstream receives drain, queued chunks drop
 //!   (returning their permits), and the first error in stage order is
-//!   surfaced. Stage panics propagate after every thread has been joined.
+//!   surfaced. Stage panics propagate after every thread has been joined;
+//!   turn-taking slots release their siblings on every exit path.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +53,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
 
 use gw_trace::{Event, EventKind, Lane, LaneId, MarkId, Realm, SpanId, Tracer};
 
@@ -45,16 +64,18 @@ use crate::{Buffering, PipelineKind};
 pub struct StageCtx<'p> {
     stage: StageId,
     seq: usize,
+    lane: u32,
     probe: Option<&'p dyn PipelineProbe>,
     timing: Option<(Duration, Duration)>,
     stopped: bool,
 }
 
 impl<'p> StageCtx<'p> {
-    fn new(stage: StageId, seq: usize, probe: Option<&'p dyn PipelineProbe>) -> Self {
+    fn new(stage: StageId, seq: usize, lane: u32, probe: Option<&'p dyn PipelineProbe>) -> Self {
         StageCtx {
             stage,
             seq,
+            lane,
             probe,
             timing: None,
             stopped: false,
@@ -70,6 +91,14 @@ impl<'p> StageCtx<'p> {
     /// The stage slot this context belongs to.
     pub fn stage(&self) -> StageId {
         self.stage
+    }
+
+    /// Lane index within the stage slot (0 for single-lane slots). A
+    /// widened stage handles chunk `seq` on lane `seq mod N`, so this is
+    /// fully determined by [`StageCtx::seq`] — exposed for stages that
+    /// name per-lane resources (durability files, scratch buffers).
+    pub fn lane(&self) -> u32 {
+        self.lane
     }
 
     /// Override the default whole-call timing window for this chunk with
@@ -147,6 +176,21 @@ pub trait PipelineProbe: Send + Sync {
         let _ = (stage, wall);
         None
     }
+
+    /// Lane-addressed crash probe — what the executor actually calls.
+    /// Defaults to the slot-level [`PipelineProbe::crash_fires`], so
+    /// existing probes see every lane's passages; lane-aware fault plans
+    /// override this to pin a fault to one lane of a widened stage.
+    fn crash_fires_on(&self, stage: StageId, lane: u32) -> bool {
+        let _ = lane;
+        self.crash_fires(stage)
+    }
+
+    /// Lane-addressed gray probe, as [`PipelineProbe::gray_delay`].
+    fn gray_delay_on(&self, stage: StageId, lane: u32, wall: Duration) -> Option<Duration> {
+        let _ = lane;
+        self.gray_delay(stage, wall)
+    }
 }
 
 /// Head of a pipeline: pulls work into the graph.
@@ -162,6 +206,55 @@ pub trait Source<T, E>: Send {
     /// error or injected crash — before the source's output closes. The
     /// map source deregisters from the coordinator here.
     fn close(&mut self) {}
+}
+
+/// Head of a pipeline when the source slot runs several lanes. The cheap,
+/// order-sensitive *claim* (e.g. asking the coordinator for the next
+/// split) is serialized across lanes in global sequence order under the
+/// slot's claim turn, while the expensive *produce* (reading and parsing
+/// the split) runs outside the turn, overlapped across lanes.
+///
+/// One instance is constructed per lane; instances share whatever state
+/// they need (coordinator handles, buffer pools) behind their own
+/// synchronization.
+pub trait LaneSource<T, E>: Send {
+    /// Claim the next unit of input for this lane. Called in global
+    /// sequence order across all lanes of the slot (never concurrently
+    /// with a sibling's claim). `Ok(false)` ends the whole slot: the
+    /// input is exhausted or the source was asked to stop.
+    fn claim(&mut self, ctx: &mut StageCtx<'_>) -> Result<bool, E>;
+
+    /// Materialize the chunk for this lane's last successful
+    /// [`LaneSource::claim`]. Runs outside the claim turn, concurrently
+    /// with sibling lanes.
+    fn produce(&mut self, ctx: &mut StageCtx<'_>) -> Result<T, E>;
+
+    /// As [`Source::close`]: runs on every exit path, once per lane.
+    fn close(&mut self) {}
+}
+
+/// Adapter running a classic [`Source`] as the only lane of its slot:
+/// the whole production happens at claim time (there is no sibling to
+/// overlap with), keeping the single-lane event stream identical to the
+/// historical one.
+struct LegacySource<'a, T, E> {
+    inner: Box<dyn Source<T, E> + 'a>,
+    pending: Option<T>,
+}
+
+impl<'a, T: Send, E> LaneSource<T, E> for LegacySource<'a, T, E> {
+    fn claim(&mut self, ctx: &mut StageCtx<'_>) -> Result<bool, E> {
+        self.pending = self.inner.next_chunk(ctx)?;
+        Ok(self.pending.is_some())
+    }
+
+    fn produce(&mut self, _ctx: &mut StageCtx<'_>) -> Result<T, E> {
+        Ok(self.pending.take().expect("claim() admitted a chunk"))
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
 }
 
 /// One stage of a pipeline.
@@ -192,11 +285,24 @@ pub trait Stage<T, E>: Send {
 
 /// Borrow half of a recycling payload pool: blocks for the next free
 /// payload, `None` once every [`PoolPut`] is gone (the returning stage
-/// died and the pool can never refill).
+/// died and the pool can never refill). Cloneable so the lanes of a
+/// widened stage can share one pool.
 pub struct PoolGet<P>(Receiver<P>);
 
 /// Return half of a recycling payload pool.
 pub struct PoolPut<P>(Sender<P>);
+
+impl<P> Clone for PoolGet<P> {
+    fn clone(&self) -> Self {
+        PoolGet(self.0.clone())
+    }
+}
+
+impl<P> Clone for PoolPut<P> {
+    fn clone(&self) -> Self {
+        PoolPut(self.0.clone())
+    }
+}
 
 impl<P> PoolGet<P> {
     /// Next free payload; `None` when the pool closed.
@@ -263,16 +369,18 @@ pub fn run_task_with_retries<C, R>(
 /// Outcome of a completed pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineStats {
-    /// Threads the graph actually spawned (source + live stages). Fused
-    /// stages spawn nothing: a unified-memory map pipeline runs on 3
-    /// threads, not 5.
+    /// Threads the graph actually spawned (every lane of the source and
+    /// each live stage). Fused stages spawn nothing: a unified-memory
+    /// single-lane map pipeline runs on 3 threads, not 5.
     pub stage_threads: usize,
     /// Stages fused out of the graph at build time.
     pub fused: Vec<StageId>,
+    /// Lane count per live slot, in pipeline order.
+    pub lanes: Vec<(StageId, usize)>,
     /// Chunks emitted by the source.
     pub chunks: usize,
     /// High-water mark of in-flight chunks across the token groups; never
-    /// exceeds the buffering depth `B`.
+    /// exceeds the buffering depth `B`, regardless of lane counts.
     pub max_in_flight: usize,
 }
 
@@ -312,8 +420,10 @@ impl Drop for Permit {
     }
 }
 
-/// The acquire side of one token group, owned by the thread of the
-/// group's first stage.
+/// The acquire side of one token group, cloned to every lane of the
+/// group's first stage (clones share the permit channel and gauge, so
+/// `B` bounds the group across all lanes together).
+#[derive(Clone)]
 struct Acquirer {
     group: usize,
     rx: Receiver<()>,
@@ -332,11 +442,108 @@ impl Acquirer {
     }
 }
 
+/// Seq-ordered turn-taking across the lanes of one slot. Multi-lane
+/// sources claim under it (so split→seq assignment is deterministic and
+/// permit acquisition happens in seq order); multi-lane acquiring stages
+/// admit chunks into their token groups under it (out-of-order
+/// acquisition would trap a permit inside a queued envelope and deadlock
+/// whenever `B <` lane count).
+struct Turn {
+    state: Mutex<TurnState>,
+    cv: Condvar,
+}
+
+struct TurnState {
+    next: usize,
+    done: bool,
+}
+
+impl Turn {
+    fn new(first: usize) -> Self {
+        Turn {
+            state: Mutex::new(TurnState {
+                next: first,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until `seq`'s turn comes up; `false` once the slot finished
+    /// (a sibling lane stopped advancing) and the turn can never arrive.
+    fn wait_for(&self, seq: usize) -> bool {
+        let mut s = self.state.lock();
+        loop {
+            if s.done {
+                return false;
+            }
+            if s.next >= seq {
+                return true;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    fn advance(&self, next: usize) {
+        let mut s = self.state.lock();
+        if next > s.next {
+            s.next = next;
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn finish(&self) {
+        self.state.lock().done = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Arms a [`Turn::finish`] on every abnormal lane exit (including a lane
+/// panic, via `Drop`), so sibling lanes blocked on the turn never wait on
+/// a lane that will no longer advance it. Disarmed only on the one exit
+/// where siblings may still hold live work: normal end-of-stream.
+struct TurnFinishGuard {
+    turn: Option<Arc<Turn>>,
+    armed: bool,
+}
+
+impl TurnFinishGuard {
+    fn new(turn: Option<Arc<Turn>>) -> Self {
+        TurnFinishGuard { turn, armed: true }
+    }
+
+    fn turn(&self) -> Option<&Turn> {
+        self.turn.as_deref()
+    }
+
+    fn fire(&mut self) {
+        if self.armed {
+            self.armed = false;
+            if let Some(t) = &self.turn {
+                t.finish();
+            }
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TurnFinishGuard {
+    fn drop(&mut self) {
+        self.fire();
+    }
+}
+
 /// Per-stage event emitter: the executor constructs each event **once**
 /// and feeds the same value to both consumers — the tracer lane (when
 /// tracing is armed) and the [`StageTimers`] derived view. Neither
 /// consumer keeps bookkeeping of its own inside pipeline code; wall and
-/// modeled time flow from this one emission point.
+/// modeled time flow from this one emission point. Each lane of a
+/// widened slot gets its own emitter on its own trace sub-lane, keeping
+/// the tracer's single-writer invariant.
 struct StageEvents<'t> {
     stage: StageId,
     lane: Option<Lane>,
@@ -451,23 +658,37 @@ impl StageEvents<'_> {
     }
 }
 
-/// Both endpoints of one inter-stage handoff channel, taken (`Option`)
-/// by the adjacent stage threads as the graph is wired.
-type Link<T> = (Option<Sender<Envelope<T>>>, Option<Receiver<Envelope<T>>>);
+/// Envelope payload: a live chunk, or the hole left by a chunk consumed
+/// upstream. `Skip` keeps sequence numbers dense so every downstream
+/// lane's expected-seq arithmetic — and thus deterministic reassembly —
+/// survives mid-graph consumption; it carries no permits, emits no
+/// events and probes no crash sites (a consumed chunk never reached
+/// these stages before lanes existed either).
+enum Payload<T> {
+    Chunk(T),
+    Skip,
+}
 
 /// A chunk travelling the graph with the permits it holds.
 struct Envelope<T> {
     seq: usize,
-    chunk: T,
+    payload: Payload<T>,
     permits: Vec<Option<Permit>>,
 }
+
+/// One slot's worth of source lanes.
+type SourceLanes<'a, T, E> = Vec<Box<dyn LaneSource<T, E> + 'a>>;
+/// One slot's worth of stage lanes.
+type StageLaneVec<'a, T, E> = Vec<Box<dyn Stage<T, E> + 'a>>;
+/// One slot gap's channel matrix, rows/columns taken lane by lane.
+type LaneMatrix<H> = Vec<Vec<Option<Vec<H>>>>;
 
 /// Declarative wiring for one pipeline instantiation.
 pub struct PipelineBuilder<'a, T, E> {
     kind: PipelineKind,
     depth: usize,
-    source: Option<(StageId, Box<dyn Source<T, E> + 'a>)>,
-    stages: Vec<(StageId, Box<dyn Stage<T, E> + 'a>)>,
+    source: Option<(StageId, SourceLanes<'a, T, E>)>,
+    stages: Vec<(StageId, StageLaneVec<'a, T, E>)>,
     fused: Vec<StageId>,
     interlocks: Vec<(StageId, StageId)>,
     timers: Option<Arc<StageTimers>>,
@@ -498,9 +719,22 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
         self.kind
     }
 
-    /// Install the source under stage slot `id`.
+    /// Install the source under stage slot `id` (one lane).
     pub fn source(mut self, id: StageId, source: impl Source<T, E> + 'a) -> Self {
-        self.source = Some((id, Box::new(source)));
+        let lane: Box<dyn LaneSource<T, E> + 'a> = Box::new(LegacySource {
+            inner: Box::new(source),
+            pending: None,
+        });
+        self.source = Some((id, vec![lane]));
+        self
+    }
+
+    /// Install `lanes.len()` source lanes under slot `id`. Claims run in
+    /// global sequence order across lanes (the coordinator interaction
+    /// stays deterministic); production overlaps.
+    pub fn source_lanes(mut self, id: StageId, lanes: Vec<Box<dyn LaneSource<T, E> + 'a>>) -> Self {
+        assert!(!lanes.is_empty(), "source_lanes needs at least one lane");
+        self.source = Some((id, lanes));
         self
     }
 
@@ -511,8 +745,20 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
         if stage.passthrough() {
             self.fused.push(id);
         } else {
-            self.stages.push((id, Box::new(stage)));
+            let lane: Box<dyn Stage<T, E> + 'a> = Box::new(stage);
+            self.stages.push((id, vec![lane]));
         }
+        self
+    }
+
+    /// Append `lanes.len()` worker lanes under slot `id`: chunk `seq`
+    /// runs on lane `seq mod N`, and the slot's exit re-presents chunks
+    /// to the next slot in sequence order. A widened slot is never fused
+    /// (a pass-through copy has no work worth parallelizing; ask for one
+    /// lane via [`PipelineBuilder::stage`] to keep fusion).
+    pub fn stage_lanes(mut self, id: StageId, lanes: Vec<Box<dyn Stage<T, E> + 'a>>) -> Self {
+        assert!(!lanes.is_empty(), "stage_lanes needs at least one lane");
+        self.stages.push((id, lanes));
         self
     }
 
@@ -541,7 +787,7 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
 
     /// Attach the observability plane: every stage of this pipeline
     /// records span/instant events onto a `tracer` lane addressed as
-    /// `node` × pipeline kind × stage.
+    /// `node` × pipeline kind × stage × lane.
     pub fn tracer(mut self, tracer: Arc<Tracer>, node: u32) -> Self {
         self.tracer = Some((tracer, node));
         self
@@ -553,13 +799,17 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
     pub fn run(mut self) -> Result<PipelineStats, E> {
         let depth = self.depth;
         let first_seq = self.first_seq;
-        let (source_id, mut source) = self.source.take().expect("pipeline needs a source");
+        let (source_id, sources) = self.source.take().expect("pipeline needs a source");
+        let n_src = sources.len();
         let mut stages = std::mem::take(&mut self.stages);
         let n_live = 1 + stages.len();
 
         // Resolve token groups onto live stage positions (0 = source).
         let ids: Vec<StageId> = std::iter::once(source_id)
             .chain(stages.iter().map(|(id, _)| *id))
+            .collect();
+        let lane_counts: Vec<usize> = std::iter::once(n_src)
+            .chain(stages.iter().map(|(_, lanes)| lanes.len()))
             .collect();
         let mut acquire_at: Vec<Vec<Acquirer>> = (0..n_live).map(|_| Vec::new()).collect();
         let mut release_at: Vec<Vec<usize>> = (0..n_live).map(|_| Vec::new()).collect();
@@ -621,31 +871,47 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
 
         let kind = self.kind;
         let tracer = self.tracer.take();
-        let events_for = |id: StageId| StageEvents {
+        let events_for = |id: StageId, lane_idx: u32| StageEvents {
             stage: id,
             lane: tracer.as_ref().map(|(t, node)| {
                 t.lane(LaneId {
                     node: *node,
-                    realm: Realm::Pipeline { kind, stage: id },
+                    realm: Realm::Pipeline {
+                        kind,
+                        stage: id,
+                        lane: lane_idx,
+                    },
                 })
             }),
             timers,
         };
-        let source_events = events_for(source_id);
 
         // §III-D topology marks: one per token group, on the acquiring
-        // stage's lane, emitted before any stage thread spawns so the mark
-        // leads that lane and per-lane order stays deterministic. Post-hoc
-        // analysis replays the buffer-token schedule from these instead of
-        // guessing the group endpoints.
+        // stage's lane-0 sub-lane, emitted before any stage thread spawns
+        // so the mark leads that lane and per-lane order stays
+        // deterministic. Post-hoc analysis replays the buffer-token
+        // schedule from these instead of guessing the group endpoints.
         for (group, &(pos, first, last)) in topology.iter().enumerate() {
-            events_for(ids[pos]).emit(EventKind::Instant {
+            events_for(ids[pos], 0).emit(EventKind::Instant {
                 mark: MarkId::TokenGroup {
                     group: group as u32,
                     first,
                     last,
                 },
             });
+        }
+        // Lane-plan marks: one per widened slot, also pre-spawn on the
+        // slot's lane-0 sub-lane, so analysis learns the lane count even
+        // when some lanes never record a chunk.
+        for (pos, &n) in lane_counts.iter().enumerate() {
+            if n > 1 {
+                events_for(ids[pos], 0).emit(EventKind::Instant {
+                    mark: MarkId::StageLanes {
+                        stage: ids[pos],
+                        lanes: n as u32,
+                    },
+                });
+            }
         }
 
         let mut acquire_iter = acquire_at.into_iter();
@@ -655,196 +921,144 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
         let source_crash_ids = crash_iter.next().expect("source crash slot");
 
         let result = std::thread::scope(|scope| -> Result<(), E> {
-            let mut links: Vec<Link<T>> = (0..n_live.saturating_sub(1))
-                .map(|_| {
-                    let (tx, rx) = bounded(1);
-                    (Some(tx), Some(rx))
-                })
-                .collect();
-
-            // ---- Source thread ----
-            let source_tx = links.first_mut().and_then(|l| l.0.take());
-            let chunks_emitted = &chunks_emitted;
-            let source_handle = scope.spawn(move || -> Result<(), E> {
-                let tx = source_tx;
-                let events = source_events;
-                let result = (|| -> Result<(), E> {
-                    let mut seq = first_seq;
-                    'produce: loop {
-                        let mut permits: Vec<Option<Permit>> =
-                            (0..n_groups).map(|_| None).collect();
-                        for acq in &source_acquires {
-                            events.token_wait_begin(acq.group, seq);
-                            let got = acq.acquire();
-                            events.token_wait_end(acq.group, seq);
-                            match got {
-                                Some(p) => permits[acq.group] = Some(p),
-                                None => break 'produce,
-                            }
-                        }
-                        let mut ctx = StageCtx::new(source_id, seq, probe);
-                        if ctx.should_stop() {
-                            break;
-                        }
-                        events.chunk_begin(seq);
-                        let t0 = Instant::now();
-                        let produced = match source.next_chunk(&mut ctx) {
-                            Ok(p) => p,
-                            Err(e) => {
-                                events.chunk_abort(seq);
-                                return Err(e);
-                            }
-                        };
-                        let mut wall = t0.elapsed();
-                        let Some(chunk) = produced else {
-                            events.chunk_abort(seq);
-                            break;
-                        };
-                        if let Some(extra) = probe.and_then(|p| p.gray_delay(source_id, wall)) {
-                            std::thread::sleep(extra);
-                            wall += extra;
-                        }
-                        // Probed after production: an injected Read crash
-                        // dies holding the fresh claim (the survivors
-                        // requeue it via liveness).
-                        if let Some(p) = probe {
-                            if source_crash_ids.iter().any(|&cid| p.crash_fires(cid)) {
-                                p.kill();
-                                events.chunk_abort(seq);
-                                break;
-                            }
-                        }
-                        if ctx.stopped {
-                            events.chunk_abort(seq);
-                            break;
-                        }
-                        events.chunk_end(seq, wall, ctx.take_timing());
-                        chunks_emitted.fetch_add(1, Ordering::Relaxed);
-                        for &g in &source_releases {
-                            permits[g] = None;
-                        }
-                        match &tx {
-                            Some(tx) => {
-                                if tx
-                                    .send(Envelope {
-                                        seq,
-                                        chunk,
-                                        permits,
-                                    })
-                                    .is_err()
-                                {
-                                    break; // downstream stage gone
-                                }
-                            }
-                            None => drop(chunk), // single-stage graph
-                        }
-                        seq += 1;
-                    }
-                    Ok(())
-                })();
-                if result.is_err() {
-                    if let Some(p) = probe {
-                        p.kill();
+            // The handoff between adjacent slots is a K×L matrix of
+            // bounded(1) channels: producer lane `a` owns row `a` (one
+            // sender per consumer lane), consumer lane `b` owns column
+            // `b` (one receiver per producer lane). Chunk `seq` travels
+            // channel `[seq mod K][seq mod L]`; each consumer pulls its
+            // expected seqs in order, which *is* the reorder buffer.
+            let n_gaps = n_live.saturating_sub(1);
+            let mut tx_rows: LaneMatrix<Sender<Envelope<T>>> = Vec::with_capacity(n_gaps);
+            let mut rx_cols: LaneMatrix<Receiver<Envelope<T>>> = Vec::with_capacity(n_gaps);
+            for g in 0..n_gaps {
+                let k = lane_counts[g];
+                let l = lane_counts[g + 1];
+                let mut rows: Vec<Vec<Sender<Envelope<T>>>> =
+                    (0..k).map(|_| Vec::with_capacity(l)).collect();
+                let mut cols: Vec<Vec<Receiver<Envelope<T>>>> =
+                    (0..l).map(|_| Vec::with_capacity(k)).collect();
+                for row in rows.iter_mut() {
+                    for col in cols.iter_mut() {
+                        let (tx, rx) = bounded(1);
+                        row.push(tx);
+                        col.push(rx);
                     }
                 }
-                source.close();
-                result
-            });
+                tx_rows.push(rows.into_iter().map(Some).collect());
+                rx_cols.push(cols.into_iter().map(Some).collect());
+            }
 
-            // ---- Stage threads ----
-            let mut handles = Vec::with_capacity(stages.len());
-            for (pos, (id, mut stage)) in stages.drain(..).enumerate().map(|(i, s)| (i + 1, s)) {
-                let rx = links[pos - 1].1.take().expect("stage input link");
-                let tx = links.get_mut(pos).and_then(|l| l.0.take());
-                let acquires = acquire_iter.next().expect("stage position");
-                let releases = release_at[pos].clone();
-                let crash_ids = crash_iter.next().expect("stage crash slot");
-                let stage_events = events_for(id);
-                handles.push(scope.spawn(move || -> Result<(), E> {
-                    let events = stage_events;
-                    let mut last_seq = first_seq;
+            // ---- Source lanes ----
+            let chunks_emitted = &chunks_emitted;
+            let src_turn: Option<Arc<Turn>> = (n_src > 1).then(|| Arc::new(Turn::new(first_seq)));
+            let mut source_handles = Vec::with_capacity(n_src);
+            for (lane_idx, mut src) in sources.into_iter().enumerate() {
+                let txs: Option<Vec<Sender<Envelope<T>>>> = tx_rows
+                    .first_mut()
+                    .map(|rows| rows[lane_idx].take().expect("source tx row"));
+                let acquires = source_acquires.clone();
+                let releases = source_releases.clone();
+                let crash_ids = source_crash_ids.clone();
+                let events = events_for(source_id, lane_idx as u32);
+                let turn = src_turn.clone();
+                source_handles.push(scope.spawn(move || -> Result<(), E> {
+                    let lane = lane_idx as u32;
+                    let mut guard = TurnFinishGuard::new(turn);
                     let result = (|| -> Result<(), E> {
-                        'consume: while let Ok(env) = rx.recv() {
-                            let Envelope {
-                                seq,
-                                chunk,
-                                mut permits,
-                            } = env;
-                            last_seq = seq;
-                            let mut ctx = StageCtx::new(id, seq, probe);
-                            if ctx.should_stop() {
-                                break;
-                            }
-                            if let Some(p) = probe {
-                                if crash_ids.iter().any(|&cid| p.crash_fires(cid)) {
-                                    p.kill();
+                        let mut iter = 0usize;
+                        'produce: loop {
+                            let seq = first_seq + lane_idx + iter * n_src;
+                            iter += 1;
+                            // Claim turns keep multi-lane claims *and*
+                            // permit acquisition in global seq order
+                            // (turn-before-permit: the reverse deadlocks
+                            // at B=1); the expensive produce runs after
+                            // the turn advances, overlapped across lanes.
+                            if let Some(t) = guard.turn() {
+                                if !t.wait_for(seq) {
                                     break;
                                 }
                             }
+                            let mut permits: Vec<Option<Permit>> =
+                                (0..n_groups).map(|_| None).collect();
                             for acq in &acquires {
                                 events.token_wait_begin(acq.group, seq);
                                 let got = acq.acquire();
                                 events.token_wait_end(acq.group, seq);
                                 match got {
                                     Some(p) => permits[acq.group] = Some(p),
-                                    None => break 'consume,
+                                    None => break 'produce,
                                 }
                             }
-                            // The chunk survived every probe on this
-                            // thread, so it notionally passed the fused
-                            // stages this thread fronts for (all but the
-                            // last crash id, which is this stage's own).
-                            for &fid in &crash_ids[..crash_ids.len() - 1] {
-                                events.fused_passage(fid, seq);
+                            let mut ctx = StageCtx::new(source_id, seq, lane, probe);
+                            if ctx.should_stop() {
+                                break;
                             }
                             events.chunk_begin(seq);
                             let t0 = Instant::now();
-                            let out = match stage.run_chunk(chunk, &mut ctx) {
-                                Ok(o) => o,
+                            let claimed = match src.claim(&mut ctx) {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    events.chunk_abort(seq);
+                                    return Err(e);
+                                }
+                            };
+                            if !claimed {
+                                events.chunk_abort(seq);
+                                break;
+                            }
+                            if let Some(t) = guard.turn() {
+                                t.advance(seq + 1);
+                            }
+                            let chunk = match src.produce(&mut ctx) {
+                                Ok(c) => c,
                                 Err(e) => {
                                     events.chunk_abort(seq);
                                     return Err(e);
                                 }
                             };
                             let mut wall = t0.elapsed();
-                            if let Some(extra) = probe.and_then(|p| p.gray_delay(id, wall)) {
+                            if let Some(extra) =
+                                probe.and_then(|p| p.gray_delay_on(source_id, lane, wall))
+                            {
                                 std::thread::sleep(extra);
                                 wall += extra;
                             }
+                            // Probed after production: an injected Read
+                            // crash dies holding the fresh claim (the
+                            // survivors requeue it via liveness).
+                            if let Some(p) = probe {
+                                if crash_ids.iter().any(|&cid| p.crash_fires_on(cid, lane)) {
+                                    p.kill();
+                                    events.chunk_abort(seq);
+                                    break;
+                                }
+                            }
                             if ctx.stopped {
                                 events.chunk_abort(seq);
-                                break; // quiet unwind requested mid-chunk
+                                break;
                             }
                             events.chunk_end(seq, wall, ctx.take_timing());
+                            chunks_emitted.fetch_add(1, Ordering::Relaxed);
                             for &g in &releases {
                                 permits[g] = None;
                             }
-                            if let Some(chunk) = out {
-                                match &tx {
-                                    Some(tx) => {
-                                        if tx
-                                            .send(Envelope {
-                                                seq,
-                                                chunk,
-                                                permits,
-                                            })
-                                            .is_err()
-                                        {
-                                            break; // downstream stage gone
-                                        }
+                            match &txs {
+                                Some(txs) => {
+                                    if txs[(seq - first_seq) % txs.len()]
+                                        .send(Envelope {
+                                            seq,
+                                            payload: Payload::Chunk(chunk),
+                                            permits,
+                                        })
+                                        .is_err()
+                                    {
+                                        break; // downstream stage gone
                                     }
-                                    None => drop(chunk), // last stage
                                 }
+                                None => drop(chunk), // single-stage graph
                             }
                         }
-                        let mut ctx = StageCtx::new(id, last_seq, probe);
-                        events.finish_begin(last_seq);
-                        let t0 = Instant::now();
-                        if let Err(e) = stage.finish(&mut ctx) {
-                            events.finish_abort(last_seq);
-                            return Err(e);
-                        }
-                        events.finish_end(last_seq, t0.elapsed(), ctx.take_timing());
                         Ok(())
                     })();
                     if result.is_err() {
@@ -852,15 +1066,216 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
                             p.kill();
                         }
                     }
+                    // Every source exit ends the slot: exhaustion, stop,
+                    // error and downstream death all mean no later seq
+                    // will ever be claimed.
+                    guard.fire();
+                    src.close();
                     result
                 }));
             }
 
-            // Join in pipeline order; surface the first error, re-raise
-            // panics only after every thread is accounted for.
+            // ---- Stage lanes ----
+            let mut handles = Vec::new();
+            for (pos, (id, lanes_vec)) in stages.drain(..).enumerate().map(|(i, s)| (i + 1, s)) {
+                let l_here = lanes_vec.len();
+                let k_up = lane_counts[pos - 1];
+                let acquires_proto = acquire_iter.next().expect("stage position");
+                let releases_proto = release_at[pos].clone();
+                let crash_ids_proto = crash_iter.next().expect("stage crash slot");
+                // Seq-ordered admission into the token groups this slot
+                // acquires; single-lane or non-acquiring slots need none.
+                let slot_turn: Option<Arc<Turn>> = (l_here > 1 && !acquires_proto.is_empty())
+                    .then(|| Arc::new(Turn::new(first_seq)));
+                for (lane_idx, mut stage) in lanes_vec.into_iter().enumerate() {
+                    let rxs: Vec<Receiver<Envelope<T>>> = rx_cols[pos - 1][lane_idx]
+                        .take()
+                        .expect("stage input column");
+                    let txs: Option<Vec<Sender<Envelope<T>>>> = tx_rows
+                        .get_mut(pos)
+                        .map(|rows| rows[lane_idx].take().expect("stage tx row"));
+                    let acquires = acquires_proto.clone();
+                    let releases = releases_proto.clone();
+                    let crash_ids = crash_ids_proto.clone();
+                    let events = events_for(id, lane_idx as u32);
+                    let turn = slot_turn.clone();
+                    handles.push(scope.spawn(move || -> Result<(), E> {
+                        let lane = lane_idx as u32;
+                        let mut guard = TurnFinishGuard::new(turn);
+                        let mut last_seq = first_seq;
+                        let result = (|| -> Result<(), E> {
+                            let mut eos = false;
+                            let mut iter = 0usize;
+                            'consume: loop {
+                                let expect = first_seq + lane_idx + iter * l_here;
+                                iter += 1;
+                                let Ok(env) = rxs[(expect - first_seq) % k_up].recv() else {
+                                    eos = true;
+                                    break;
+                                };
+                                let Envelope {
+                                    seq,
+                                    payload,
+                                    mut permits,
+                                } = env;
+                                debug_assert_eq!(seq, expect, "lane transport out of order");
+                                last_seq = seq;
+                                let chunk = match payload {
+                                    Payload::Skip => {
+                                        // A hole left by a chunk consumed
+                                        // upstream: advance the admission
+                                        // turn (later seqs may be waiting
+                                        // on it) and pass the hole on.
+                                        if let Some(t) = guard.turn() {
+                                            if !t.wait_for(seq) {
+                                                break;
+                                            }
+                                            t.advance(seq + 1);
+                                        }
+                                        drop(permits);
+                                        if let Some(txs) = &txs {
+                                            if txs[(seq - first_seq) % txs.len()]
+                                                .send(Envelope {
+                                                    seq,
+                                                    payload: Payload::Skip,
+                                                    permits: Vec::new(),
+                                                })
+                                                .is_err()
+                                            {
+                                                break;
+                                            }
+                                        }
+                                        continue;
+                                    }
+                                    Payload::Chunk(c) => c,
+                                };
+                                let mut ctx = StageCtx::new(id, seq, lane, probe);
+                                if ctx.should_stop() {
+                                    break;
+                                }
+                                if let Some(p) = probe {
+                                    if crash_ids.iter().any(|&cid| p.crash_fires_on(cid, lane)) {
+                                        p.kill();
+                                        break;
+                                    }
+                                }
+                                if let Some(t) = guard.turn() {
+                                    if !t.wait_for(seq) {
+                                        break;
+                                    }
+                                }
+                                for acq in &acquires {
+                                    events.token_wait_begin(acq.group, seq);
+                                    let got = acq.acquire();
+                                    events.token_wait_end(acq.group, seq);
+                                    match got {
+                                        Some(p) => permits[acq.group] = Some(p),
+                                        None => break 'consume,
+                                    }
+                                }
+                                if let Some(t) = guard.turn() {
+                                    t.advance(seq + 1);
+                                }
+                                // The chunk survived every probe on this
+                                // thread, so it notionally passed the fused
+                                // stages this thread fronts for (all but the
+                                // last crash id, which is this stage's own).
+                                for &fid in &crash_ids[..crash_ids.len() - 1] {
+                                    events.fused_passage(fid, seq);
+                                }
+                                events.chunk_begin(seq);
+                                let t0 = Instant::now();
+                                let out = match stage.run_chunk(chunk, &mut ctx) {
+                                    Ok(o) => o,
+                                    Err(e) => {
+                                        events.chunk_abort(seq);
+                                        return Err(e);
+                                    }
+                                };
+                                let mut wall = t0.elapsed();
+                                if let Some(extra) =
+                                    probe.and_then(|p| p.gray_delay_on(id, lane, wall))
+                                {
+                                    std::thread::sleep(extra);
+                                    wall += extra;
+                                }
+                                if ctx.stopped {
+                                    events.chunk_abort(seq);
+                                    break; // quiet unwind requested mid-chunk
+                                }
+                                events.chunk_end(seq, wall, ctx.take_timing());
+                                for &g in &releases {
+                                    permits[g] = None;
+                                }
+                                match (out, &txs) {
+                                    (Some(chunk), Some(txs)) => {
+                                        if txs[(seq - first_seq) % txs.len()]
+                                            .send(Envelope {
+                                                seq,
+                                                payload: Payload::Chunk(chunk),
+                                                permits,
+                                            })
+                                            .is_err()
+                                        {
+                                            break; // downstream stage gone
+                                        }
+                                    }
+                                    (Some(chunk), None) => drop(chunk), // last stage
+                                    (None, Some(txs)) => {
+                                        // Consumed mid-graph: drop the
+                                        // permits here, forward the hole.
+                                        drop(permits);
+                                        if txs[(seq - first_seq) % txs.len()]
+                                            .send(Envelope {
+                                                seq,
+                                                payload: Payload::Skip,
+                                                permits: Vec::new(),
+                                            })
+                                            .is_err()
+                                        {
+                                            break;
+                                        }
+                                    }
+                                    (None, None) => {}
+                                }
+                            }
+                            // Resolve the turn before the finish hook so
+                            // sibling lanes never wait on a lane that is
+                            // done consuming. End-of-stream must *not*
+                            // finish the turn: siblings may still hold
+                            // live seqs behind it.
+                            if eos {
+                                guard.disarm();
+                            } else {
+                                guard.fire();
+                            }
+                            let mut ctx = StageCtx::new(id, last_seq, lane, probe);
+                            events.finish_begin(last_seq);
+                            let t0 = Instant::now();
+                            if let Err(e) = stage.finish(&mut ctx) {
+                                events.finish_abort(last_seq);
+                                return Err(e);
+                            }
+                            events.finish_end(last_seq, t0.elapsed(), ctx.take_timing());
+                            Ok(())
+                        })();
+                        if result.is_err() {
+                            if let Some(p) = probe {
+                                p.kill();
+                            }
+                        }
+                        guard.fire();
+                        result
+                    }));
+                }
+            }
+
+            // Join in pipeline order (lanes of a slot in lane order);
+            // surface the first error, re-raise panics only after every
+            // thread is accounted for.
             let mut first_err: Option<E> = None;
             let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-            for handle in std::iter::once(source_handle).chain(handles) {
+            for handle in source_handles.into_iter().chain(handles) {
                 match handle.join() {
                     Ok(Ok(())) => {}
                     Ok(Err(e)) => {
@@ -886,8 +1301,13 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
 
         result?;
         Ok(PipelineStats {
-            stage_threads: n_live,
+            stage_threads: lane_counts.iter().sum(),
             fused: std::mem::take(&mut self.fused),
+            lanes: ids
+                .iter()
+                .copied()
+                .zip(lane_counts.iter().copied())
+                .collect(),
             chunks: chunks_emitted.load(Ordering::Relaxed),
             max_in_flight: gauges.iter().map(|g| g.high_water()).max().unwrap_or(0),
         })
@@ -956,6 +1376,41 @@ mod tests {
             self.0.fetch_add(c, Ordering::SeqCst);
             Ok(None)
         }
+    }
+
+    /// Passes chunks through after a parity-dependent delay, so two lanes
+    /// finish out of order unless the slot exit reassembles by seq.
+    struct Jitter;
+    impl Stage<usize, String> for Jitter {
+        fn run_chunk(
+            &mut self,
+            c: usize,
+            _ctx: &mut StageCtx<'_>,
+        ) -> Result<Option<usize>, String> {
+            if c % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(Some(c))
+        }
+    }
+
+    /// Records arrival order at the pipeline exit.
+    struct SinkOrder<'a>(&'a Mutex<Vec<usize>>);
+    impl Stage<usize, String> for SinkOrder<'_> {
+        fn run_chunk(
+            &mut self,
+            c: usize,
+            _ctx: &mut StageCtx<'_>,
+        ) -> Result<Option<usize>, String> {
+            self.0.lock().push(c);
+            Ok(None)
+        }
+    }
+
+    fn jitter_lanes(n: usize) -> Vec<Box<dyn Stage<usize, String>>> {
+        (0..n)
+            .map(|_| Box::new(Jitter) as Box<dyn Stage<usize, String>>)
+            .collect()
     }
 
     #[test]
@@ -1214,5 +1669,204 @@ mod tests {
         // sink may quietly drop work already queued when the kill landed.
         assert!(sum.load(Ordering::SeqCst) <= 1 + 2);
         assert!(probe_dead.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn multi_lane_stage_reassembles_in_seq_order_downstream() {
+        let order = Mutex::new(Vec::new());
+        let stats = PipelineBuilder::new(PipelineKind::Map, Buffering::Triple)
+            .source(
+                StageId::Input,
+                Counter {
+                    next: 0,
+                    n: 24,
+                    closed: Arc::new(AtomicBool::new(false)),
+                },
+            )
+            .stage_lanes(StageId::Kernel, jitter_lanes(2))
+            .stage(StageId::Partition, SinkOrder(&order))
+            .run()
+            .expect("pipeline run");
+        assert_eq!(stats.stage_threads, 4);
+        assert_eq!(
+            stats.lanes,
+            vec![
+                (StageId::Input, 1),
+                (StageId::Kernel, 2),
+                (StageId::Partition, 1)
+            ]
+        );
+        assert_eq!(stats.chunks, 24);
+        // Even chunks are slower on lane 0 than odd chunks on lane 1, yet
+        // the single-lane sink sees global sequence order.
+        assert_eq!(*order.lock(), (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_lane_acquiring_stage_respects_single_buffering_without_deadlock() {
+        let sum = AtomicUsize::new(0);
+        let stats = PipelineBuilder::new(PipelineKind::Map, Buffering::Single)
+            .source(
+                StageId::Input,
+                Counter {
+                    next: 0,
+                    n: 32,
+                    closed: Arc::new(AtomicBool::new(false)),
+                },
+            )
+            .stage_lanes(StageId::Kernel, jitter_lanes(2))
+            .stage(StageId::Partition, SinkSum(&sum))
+            .interlock(StageId::Input, StageId::Kernel)
+            .interlock(StageId::Kernel, StageId::Partition)
+            .run()
+            .expect("pipeline run");
+        // Two kernel lanes contend for B=1 output-group permits: the
+        // seq-ordered admission turn keeps that deadlock-free and the
+        // interlock bound intact.
+        assert_eq!(stats.chunks, 32);
+        assert!(stats.max_in_flight <= 1);
+        assert_eq!(sum.load(Ordering::SeqCst), (0..32).sum::<usize>());
+    }
+
+    #[test]
+    fn consumed_chunks_leave_skips_that_keep_lanes_aligned() {
+        struct DropOdd;
+        impl Stage<usize, String> for DropOdd {
+            fn run_chunk(
+                &mut self,
+                c: usize,
+                _ctx: &mut StageCtx<'_>,
+            ) -> Result<Option<usize>, String> {
+                if c % 2 == 1 {
+                    Ok(None)
+                } else {
+                    Ok(Some(c))
+                }
+            }
+        }
+        let order = Mutex::new(Vec::new());
+        let stats = PipelineBuilder::new(PipelineKind::Map, Buffering::Triple)
+            .source(
+                StageId::Input,
+                Counter {
+                    next: 0,
+                    n: 20,
+                    closed: Arc::new(AtomicBool::new(false)),
+                },
+            )
+            .stage_lanes(
+                StageId::Kernel,
+                (0..2)
+                    .map(|_| Box::new(DropOdd) as Box<dyn Stage<usize, String>>)
+                    .collect(),
+            )
+            .stage_lanes(StageId::Retrieve, jitter_lanes(2))
+            .stage(StageId::Partition, SinkOrder(&order))
+            .run()
+            .expect("pipeline run");
+        // Kernel lane 1 consumes every odd seq; the Skip holes keep the
+        // retrieve lanes' expected-seq arithmetic aligned, so the sink
+        // still sees the survivors in global order.
+        assert_eq!(stats.chunks, 20);
+        assert_eq!(*order.lock(), (0..20).step_by(2).collect::<Vec<_>>());
+    }
+
+    /// Two lanes drawing from one shared counter: the claim turn must
+    /// serialize claims in seq order, so value == seq and the sink sees
+    /// 0..n in order even though production is jittered.
+    struct SharedCounter {
+        next: Arc<AtomicUsize>,
+        n: usize,
+        pending: Option<usize>,
+    }
+
+    impl LaneSource<usize, String> for SharedCounter {
+        fn claim(&mut self, _ctx: &mut StageCtx<'_>) -> Result<bool, String> {
+            let v = self.next.fetch_add(1, Ordering::SeqCst);
+            if v >= self.n {
+                return Ok(false);
+            }
+            self.pending = Some(v);
+            Ok(true)
+        }
+
+        fn produce(&mut self, _ctx: &mut StageCtx<'_>) -> Result<usize, String> {
+            let v = self.pending.take().expect("claimed");
+            if v % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(v)
+        }
+    }
+
+    #[test]
+    fn multi_lane_source_claims_in_global_seq_order() {
+        let order = Mutex::new(Vec::new());
+        let next = Arc::new(AtomicUsize::new(0));
+        let lanes: Vec<Box<dyn LaneSource<usize, String>>> = (0..2)
+            .map(|_| {
+                Box::new(SharedCounter {
+                    next: Arc::clone(&next),
+                    n: 16,
+                    pending: None,
+                }) as Box<dyn LaneSource<usize, String>>
+            })
+            .collect();
+        let stats = PipelineBuilder::new(PipelineKind::Map, Buffering::Double)
+            .source_lanes(StageId::Input, lanes)
+            .stage(StageId::Partition, SinkOrder(&order))
+            .interlock(StageId::Input, StageId::Partition)
+            .run()
+            .expect("pipeline run");
+        assert_eq!(stats.chunks, 16);
+        assert_eq!(stats.lanes[0], (StageId::Input, 2));
+        assert_eq!(*order.lock(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_addressed_crash_fires_only_on_its_lane() {
+        struct CrashLaneOne {
+            dead: Arc<AtomicBool>,
+            fired: AtomicUsize,
+        }
+        impl PipelineProbe for CrashLaneOne {
+            fn should_abort(&self, _stage: StageId) -> bool {
+                self.dead.load(Ordering::SeqCst)
+            }
+            fn crash_fires(&self, _stage: StageId) -> bool {
+                false
+            }
+            fn crash_fires_on(&self, stage: StageId, lane: u32) -> bool {
+                stage == StageId::Kernel
+                    && lane == 1
+                    && self.fired.fetch_add(1, Ordering::SeqCst) == 0
+            }
+            fn kill(&self) {
+                self.dead.store(true, Ordering::SeqCst);
+            }
+        }
+        let dead = Arc::new(AtomicBool::new(false));
+        let sum = AtomicUsize::new(0);
+        PipelineBuilder::new(PipelineKind::Map, Buffering::Double)
+            .source(
+                StageId::Input,
+                Counter {
+                    next: 0,
+                    n: 40,
+                    closed: Arc::new(AtomicBool::new(false)),
+                },
+            )
+            .stage_lanes(StageId::Kernel, jitter_lanes(2))
+            .stage(StageId::Partition, SinkSum(&sum))
+            .probe(CrashLaneOne {
+                dead: Arc::clone(&dead),
+                fired: AtomicUsize::new(0),
+            })
+            .run()
+            .expect("lane-pinned crash drains quietly");
+        assert!(
+            dead.load(Ordering::SeqCst),
+            "kernel lane 1's first passage must fire the pinned crash"
+        );
     }
 }

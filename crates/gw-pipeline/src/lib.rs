@@ -28,8 +28,8 @@ pub mod executor;
 pub mod timers;
 
 pub use executor::{
-    run_task_with_retries, token_pool, PipelineBuilder, PipelineProbe, PipelineStats, PoolGet,
-    PoolPut, RetryExhausted, Source, Stage, StageCtx,
+    run_task_with_retries, token_pool, LaneSource, PipelineBuilder, PipelineProbe, PipelineStats,
+    PoolGet, PoolPut, RetryExhausted, Source, Stage, StageCtx,
 };
 pub use timers::{PipelineKind, StageId, StageSample, StageTimers, TimerReport};
 

@@ -308,6 +308,10 @@ struct LaneFold {
     fused_chunks: BTreeMap<StageId, u64>,
     /// Token-group topology marks seen on this lane.
     groups: Vec<(u32, StageId, StageId)>,
+    /// Worker lanes the stage ran with: the max of the `StageLanes` mark
+    /// and the highest sub-lane index observed (0 = no pipeline events;
+    /// treated as 1 by the schedule replay).
+    lanes: usize,
     last_at: u64,
 }
 
@@ -326,10 +330,20 @@ impl PerfAnalysis {
                     Some((lo, hi)) => (lo.min(ev.at_ns), hi.max(ev.at_ns)),
                 });
             }
-            let Realm::Pipeline { kind, stage } = lane.realm else {
+            // Sub-lanes of a widened stage fold into one per-stage entry;
+            // span pairing below stays per trace lane (each sub-lane is a
+            // single writer), so multi-lane begin/end streams never
+            // interleave inside one pairing scan.
+            let Realm::Pipeline {
+                kind,
+                stage,
+                lane: sub_lane,
+            } = lane.realm
+            else {
                 continue;
             };
             let fold = folds.entry((lane.node, kind, stage)).or_default();
+            fold.lanes = fold.lanes.max(sub_lane as usize + 1);
             let mut open: Vec<(SpanId, u64)> = Vec::new();
             for ev in events {
                 fold.last_at = fold.last_at.max(ev.at_ns);
@@ -377,6 +391,9 @@ impl PerfAnalysis {
                     EventKind::Instant {
                         mark: MarkId::TokenGroup { group, first, last },
                     } => fold.groups.push((group, first, last)),
+                    EventKind::Instant {
+                        mark: MarkId::StageLanes { lanes, .. },
+                    } => fold.lanes = fold.lanes.max(lanes as usize),
                     _ => {}
                 }
             }
@@ -707,10 +724,15 @@ fn build_stragglers(folds: &BTreeMap<(u32, PipelineKind, StageId), LaneFold>) ->
 
 /// Bounded-buffer pipeline schedule replay (the advisor's prediction
 /// model): chunk `c` starts stage `s` after finishing stage `s-1`, after
-/// chunk `c-1` leaves stage `s`, and — per §III-D token group — after
-/// chunk `c-B` exits the group. Durations are the measured per-chunk
-/// wall times, optionally scaled per stage.
-fn simulate(durs: &[Vec<u64>; 5], groups: &[(usize, usize)], b: usize, scale: [f64; 5]) -> u64 {
+/// its own lane frees up, and — per §III-D token group — after chunk
+/// `c-B` exits the group. Durations are the measured per-chunk wall
+/// times. `lanes[s]` models the stage's worker-lane count: chunks are
+/// dispatched round-robin (chunk `c` runs on lane `c % N`), so the
+/// stage-serial constraint is `end[c - N][s]`, not `end[c - 1][s]` — an
+/// N-lane stage services N chunks concurrently at unchanged per-chunk
+/// cost, which is exactly what the executor's deterministic round-robin
+/// front does.
+fn simulate(durs: &[Vec<u64>; 5], groups: &[(usize, usize)], b: usize, lanes: [usize; 5]) -> u64 {
     let n = durs[0].len();
     if n == 0 {
         return 0;
@@ -720,16 +742,16 @@ fn simulate(durs: &[Vec<u64>; 5], groups: &[(usize, usize)], b: usize, scale: [f
         let mut prev = 0u64;
         for s in 0..5 {
             let mut start = prev;
-            if c > 0 {
-                start = start.max(end[c - 1][s]);
+            let l = lanes[s].max(1);
+            if c >= l {
+                start = start.max(end[c - l][s]);
             }
             for &(first, last) in groups {
                 if first == s && c >= b {
                     start = start.max(end[c - b][last]);
                 }
             }
-            let d = (durs[s][c] as f64 * scale[s]) as u64;
-            let e = start + d;
+            let e = start + durs[s][c];
             end[c][s] = e;
             prev = e;
         }
@@ -747,6 +769,9 @@ fn build_advice(
         durs: [Vec<u64>; 5],
         groups: Vec<(usize, usize)>,
         busy: [u64; 5],
+        /// Lane counts the run actually used (from `StageLanes` marks and
+        /// observed sub-lane indices; 1 where nothing says otherwise).
+        lanes: [usize; 5],
     }
     let mut models: Vec<NodeModel> = Vec::new();
     let map_nodes: BTreeSet<u32> = folds
@@ -775,6 +800,7 @@ fn build_advice(
         let seqs: Vec<u64> = seqs.into_iter().collect();
         let mut durs: [Vec<u64>; 5] = Default::default();
         let mut busy = [0u64; 5];
+        let mut lanes = [1usize; 5];
         for stage in StageId::ALL {
             let fold = folds.get(&(node, PipelineKind::Map, stage));
             durs[stage.index()] = seqs
@@ -785,6 +811,7 @@ fn build_advice(
                 })
                 .collect();
             busy[stage.index()] = fold.map(|f| total_len(&f.busy)).unwrap_or(0);
+            lanes[stage.index()] = fold.map(|f| f.lanes.max(1)).unwrap_or(1);
         }
         if !seqs.is_empty() {
             models.push(NodeModel {
@@ -792,6 +819,7 @@ fn build_advice(
                 durs,
                 groups,
                 busy,
+                lanes,
             });
         }
     }
@@ -801,31 +829,40 @@ fn build_advice(
         return advice;
     }
 
-    // Predicted job makespan = slowest node's predicted makespan.
-    let job_makespan = |b: usize, scale: [f64; 5]| -> u64 {
+    // Predicted job makespan = slowest node's predicted makespan. Each
+    // node replays at the lane counts its run actually used.
+    let job_makespan = |b: usize, lanes_of: &dyn Fn(&NodeModel) -> [usize; 5]| -> u64 {
         models
             .iter()
-            .map(|m| simulate(&m.durs, &m.groups, b, scale))
+            .map(|m| simulate(&m.durs, &m.groups, b, lanes_of(m)))
             .max()
             .unwrap_or(0)
     };
+    let base_lanes = |m: &NodeModel| m.lanes;
     for (i, b) in ADVISED_B.iter().enumerate() {
-        advice.buffering_makespan_ns[i] = job_makespan(*b, [1.0; 5]);
+        advice.buffering_makespan_ns[i] = job_makespan(*b, &base_lanes);
     }
 
-    // Doubling a stage's lanes ≈ halving its per-chunk service time.
-    let base = job_makespan(2, [1.0; 5]).max(1);
+    // Doubling a stage's lanes: replay the same per-chunk service times
+    // through the recurrence with the stage's lane count doubled (N
+    // chunks in service concurrently, per-chunk cost unchanged) — the
+    // same model the multi-lane executor implements, so the prediction
+    // is directly falsifiable by a real lane_plan run.
+    let base = job_makespan(2, &base_lanes).max(1);
     let live: Vec<StageId> = StageId::ALL
         .into_iter()
         .filter(|s| models.iter().any(|m| m.busy[s.index()] > 0))
         .collect();
     for stage in &live {
-        let mut scale = [1.0; 5];
-        scale[stage.index()] = 0.5;
-        let halved = job_makespan(2, scale).max(1);
+        let doubled = |m: &NodeModel| {
+            let mut lanes = m.lanes;
+            lanes[stage.index()] *= 2;
+            lanes
+        };
+        let faster = job_makespan(2, &doubled).max(1);
         advice
             .lane_scaling
-            .push((*stage, base as f64 / halved as f64));
+            .push((*stage, base as f64 / faster as f64));
     }
     let pick = |scaling: &[(StageId, f64)], busy: &dyn Fn(StageId) -> u64| -> Option<StageId> {
         scaling
@@ -843,12 +880,12 @@ fn build_advice(
 
     for m in &models {
         let mut scaling: Vec<(StageId, f64)> = Vec::new();
-        let base = simulate(&m.durs, &m.groups, 2, [1.0; 5]).max(1);
+        let base = simulate(&m.durs, &m.groups, 2, m.lanes).max(1);
         for stage in &live {
-            let mut scale = [1.0; 5];
-            scale[stage.index()] = 0.5;
-            let halved = simulate(&m.durs, &m.groups, 2, scale).max(1);
-            scaling.push((*stage, base as f64 / halved as f64));
+            let mut lanes = m.lanes;
+            lanes[stage.index()] *= 2;
+            let faster = simulate(&m.durs, &m.groups, 2, lanes).max(1);
+            scaling.push((*stage, base as f64 / faster as f64));
         }
         let node_busy = |s: StageId| -> u64 { m.busy[s.index()] };
         if let Some(stage) = pick(&scaling, &node_busy) {
@@ -899,7 +936,11 @@ mod tests {
     fn lane(node: u32, kind: PipelineKind, stage: StageId) -> LaneId {
         LaneId {
             node,
-            realm: Realm::Pipeline { kind, stage },
+            realm: Realm::Pipeline {
+                kind,
+                stage,
+                lane: 0,
+            },
         }
     }
 
@@ -1150,11 +1191,11 @@ mod tests {
         // stages. B=1 serializes chunks end-to-end; B=2 overlaps them.
         let durs: [Vec<u64>; 5] = [vec![10; 4], vec![0; 4], vec![10; 4], vec![0; 4], vec![0; 4]];
         let groups = [(0usize, 2usize)];
-        let b1 = simulate(&durs, &groups, 1, [1.0; 5]);
-        let b2 = simulate(&durs, &groups, 2, [1.0; 5]);
+        let b1 = simulate(&durs, &groups, 1, [1usize; 5]);
+        let b2 = simulate(&durs, &groups, 2, [1usize; 5]);
         assert_eq!(b1, 80); // 4 chunks x (10+10), fully serialized
         assert_eq!(b2, 50); // steady-state pipelining: 10*(4+1)
-        assert!(simulate(&durs, &groups, 3, [1.0; 5]) <= b2);
+        assert!(simulate(&durs, &groups, 3, [1usize; 5]) <= b2);
     }
 
     #[test]

@@ -202,6 +202,7 @@ fn mark_name(mark: MarkId) -> &'static str {
         MarkId::SpecLaunched { .. } => "spec-launched",
         MarkId::SpecResolved { .. } => "spec-resolved",
         MarkId::DfsRead { .. } => "dfs-read",
+        MarkId::StageLanes { .. } => "stage-lanes",
         MarkId::TokenGroup { .. } => "token-group",
     }
 }
@@ -246,6 +247,9 @@ fn mark_args(out: &mut String, mark: MarkId) {
         MarkId::DfsRead { block, class } => {
             let _ = write!(out, "\"block\":{block},\"class\":\"{}\"", class.name());
         }
+        MarkId::StageLanes { stage, lanes } => {
+            let _ = write!(out, "\"stage\":\"{}\",\"lanes\":{lanes}", stage.name());
+        }
         MarkId::TokenGroup { group, first, last } => {
             let _ = write!(
                 out,
@@ -284,6 +288,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage: StageId::Kernel,
+                lane: 0,
             },
         };
         Trace {

@@ -149,6 +149,18 @@ pub enum MarkId {
         /// Where the read was served from.
         class: ReadClass,
     },
+    /// A stage was widened to multiple worker lanes. Emitted once per
+    /// pipeline instantiation on the stage's lane-0 sub-lane before any
+    /// chunk flows, and **only** when `lanes > 1`, so single-lane runs
+    /// keep their exact pre-multi-lane logical streams. Post-hoc analysis
+    /// reads it to seed the N-lane schedule recurrence with the lane
+    /// counts the run actually used.
+    StageLanes {
+        /// The widened stage slot.
+        stage: StageId,
+        /// Number of worker lanes the stage ran with.
+        lanes: u32,
+    },
     /// §III-D interlock topology: emitted once per pipeline
     /// instantiation on the acquiring stage's lane, before any chunk
     /// flows, so post-hoc analysis can replay the buffer-token schedule
@@ -255,12 +267,18 @@ pub struct LaneId {
 /// The subsystem a lane belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Realm {
-    /// One pipeline stage thread.
+    /// One pipeline stage worker lane (one thread). Single-lane stages
+    /// use `lane: 0`; a stage widened to N lanes owns N sub-lanes, each
+    /// with exactly one writer thread. `lane` sorts after `stage`, so
+    /// sub-lanes of a stage stay adjacent in canonical trace order and
+    /// all-lane-0 traces keep their pre-multi-lane order.
     Pipeline {
         /// Map or reduce pipeline.
         kind: PipelineKind,
         /// Stage slot.
         stage: StageId,
+        /// Worker lane within the stage (0 for single-lane stages).
+        lane: u32,
     },
     /// DFS reads.
     Storage,
@@ -284,8 +302,12 @@ impl Realm {
     /// Display name of the lane within its node.
     pub fn lane_name(self) -> String {
         match self {
-            Realm::Pipeline { kind, stage } => {
-                format!("{}/{}", kind.name(), stage.name_in(kind))
+            Realm::Pipeline { kind, stage, lane } => {
+                if lane == 0 {
+                    format!("{}/{}", kind.name(), stage.name_in(kind))
+                } else {
+                    format!("{}/{}#{}", kind.name(), stage.name_in(kind), lane)
+                }
             }
             Realm::Storage => "storage".to_string(),
             Realm::Net => "net-tx".to_string(),
@@ -378,6 +400,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage: StageId::Input,
+                lane: 0,
             },
         };
         let reduce_output = LaneId {
@@ -385,6 +408,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Reduce,
                 stage: StageId::Partition,
+                lane: 0,
             },
         };
         let storage = LaneId {
@@ -396,10 +420,34 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage: StageId::Input,
+                lane: 0,
             },
         };
         assert!(map_input < reduce_output);
         assert!(reduce_output < storage);
         assert!(storage < other_node);
+    }
+
+    #[test]
+    fn sub_lanes_of_a_stage_sort_adjacent_and_after_lane_zero() {
+        let pipe = |stage, lane| LaneId {
+            node: 0,
+            realm: Realm::Pipeline {
+                kind: PipelineKind::Map,
+                stage,
+                lane,
+            },
+        };
+        // input#0 < input#1 < kernel#0: lanes nest inside the stage order.
+        assert!(pipe(StageId::Input, 0) < pipe(StageId::Input, 1));
+        assert!(pipe(StageId::Input, 1) < pipe(StageId::Kernel, 0));
+        assert_eq!(
+            pipe(StageId::Input, 1).realm.lane_name(),
+            "map/input#1".to_string()
+        );
+        assert_eq!(
+            pipe(StageId::Input, 0).realm.lane_name(),
+            "map/input".to_string()
+        );
     }
 }

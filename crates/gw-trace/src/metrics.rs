@@ -35,7 +35,9 @@ impl MetricsSummary {
                 if let EventKind::Count { counter, delta } = ev.kind {
                     *m.counters.entry((lane.node, counter)).or_default() += delta;
                 }
-                let Realm::Pipeline { kind, stage } = lane.realm else {
+                // Sub-lanes of a widened stage (`lane > 0`) fold into the
+                // same per-stage aggregate: metrics stay per-stage.
+                let Realm::Pipeline { kind, stage, .. } = lane.realm else {
                     continue;
                 };
                 match ev.kind {
@@ -119,6 +121,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage,
+                lane: 0,
             },
         }
     }

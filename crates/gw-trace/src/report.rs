@@ -360,6 +360,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage,
+                lane: 0,
             },
         };
         let chunk = |at_ns, kind| Event { at_ns, kind };

@@ -173,6 +173,7 @@ mod tests {
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
                 stage,
+                lane: 0,
             },
         }
     }

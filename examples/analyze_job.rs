@@ -43,17 +43,20 @@ fn main() {
         remote_bandwidth: 200.0e6,
         copy_amplification: 1.0,
     };
-    let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).paced_io(model)));
-    dfs.write_records(
-        "/analyze/in",
-        NodeId(0),
-        16 << 10,
-        2,
-        corpus.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
-    )
-    .expect("write input corpus");
+    let make_cluster = || {
+        let dfs = Arc::new(Dfs::new(DfsConfig::new(nodes).paced_io(model.clone())));
+        dfs.write_records(
+            "/analyze/in",
+            NodeId(0),
+            16 << 10,
+            2,
+            corpus.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .expect("write input corpus");
+        Cluster::new(dfs, NetProfile::gigabit_ethernet())
+    };
 
-    let cluster = Cluster::new(dfs, NetProfile::gigabit_ethernet());
+    let cluster = make_cluster();
     let cfg = JobConfig::new("/analyze/in", "/analyze/out");
     let report = cluster
         .run(Arc::new(WordCount::new()), &cfg)
@@ -67,4 +70,36 @@ fn main() {
     std::fs::write(&txt_out, &text).expect("write text report");
     std::fs::write(&json_out, analysis.to_json()).expect("write JSON report");
     println!("wrote {txt_out} and {json_out}");
+
+    // Close the advisor loop (DESIGN.md §3.9): rerun the same job with
+    // the lane plan the advice implies and put the prediction next to
+    // the measurement. Map makespan is the quantity the lane-scaling
+    // model predicts, so that is what gets compared.
+    let plan = report.plan_lanes();
+    if plan.is_single() {
+        println!("\nadvisor proposes no lane widening; plan stays single-lane");
+        return;
+    }
+    let map_makespan = |r: &JobReport| {
+        r.nodes
+            .iter()
+            .map(|n| n.map.elapsed)
+            .max()
+            .expect("no node reports")
+    };
+    let widened = glasswing::core::StageId::ALL
+        .into_iter()
+        .find(|s| plan.lanes_for(*s) > 1)
+        .expect("non-single plan names a stage");
+    let predicted = analysis.advice.doubling_speedup(widened);
+    let lanes_cfg = JobConfig::new("/analyze/in", "/analyze/out").with_auto_lanes(&analysis.advice);
+    let lanes_report = make_cluster()
+        .run(Arc::new(WordCount::new()), &lanes_cfg)
+        .expect("word count job with lane plan");
+    let measured = map_makespan(&report).as_secs_f64() / map_makespan(&lanes_report).as_secs_f64();
+    println!(
+        "\nauto lane plan: {} lanes on {} — map speedup predicted {predicted:.3}x, measured {measured:.3}x",
+        plan.lanes_for(widened),
+        widened.name(),
+    );
 }

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use gw_chaos::{CrashSite, FaultPlan};
     pub use gw_core::cluster::read_job_output;
     pub use gw_core::{
-        Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport,
+        Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport, LanePlan,
         MetricsSummary, NodeId, PerfAnalysis, SpeculationConfig, SpeculationReport, TimingMode,
         Trace, Tracer,
     };

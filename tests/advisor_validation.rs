@@ -1,13 +1,18 @@
-//! Bottleneck-advisor validation (ISSUE 5 acceptance): on a job built to
-//! be kernel-bound, the advisor must *name* the Kernel stage at every
-//! buffering level, and the prediction must agree with measurement —
-//! physically doubling the named stage's service rate (halving the
-//! kernel's per-record burn, which is what the advisor's 0.5× replay
-//! models) speeds the job up more than accelerating a non-bottleneck
-//! stage does. Service *rate*, not thread lanes: on this single-core
-//! host extra lanes cannot add real parallelism (EXPERIMENTS.md §
-//! methodology note), so lane-doubling wall times would only measure
-//! scheduler noise. Ordering comparison only — no absolute thresholds.
+//! Bottleneck-advisor validation: on a job built to be kernel-bound, the
+//! advisor must *name* the Kernel stage at every buffering level, and
+//! the prediction must agree with measurement, in two regimes:
+//!
+//! * **Compute-bound** (integer burn): on this single-core host extra
+//!   lanes cannot add real parallelism (EXPERIMENTS.md § methodology
+//!   note), so the measured counterpart of the advisor's 0.5× service
+//!   replay is physically doubling the service *rate* — halving the
+//!   per-record burn. Ordering comparison only, no absolute thresholds.
+//! * **Latency-bound** (per-record sleep, the shape of paced I/O): lanes
+//!   overlap service waits even on one core, so here we close the loop
+//!   the way `JobConfig::lane_plan` does in production — add one lane to
+//!   exactly the stage the advisor named and check the measured speedup
+//!   lands inside a tolerance band around the predicted `lane_scaling`,
+//!   while a lane on a stage the advisor did *not* name buys less.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,10 +21,13 @@ use glasswing::core::{PipelineKind, StageId};
 use glasswing::prelude::*;
 
 /// A map-heavy app: every record burns a fixed budget of integer mixing
-/// in the kernel and emits one tiny pair, so with free I/O the Kernel
-/// stage dominates the map pipeline by orders of magnitude.
+/// and/or sleeps a fixed latency in the kernel and emits one tiny pair,
+/// so with free I/O the Kernel stage dominates the map pipeline by
+/// orders of magnitude. Burn models a compute-bound kernel; sleep models
+/// a latency-bound one (service that lanes can overlap on one core).
 struct BurnMap {
     rounds: u64,
+    sleep: Duration,
 }
 
 impl GwApp for BurnMap {
@@ -35,6 +43,9 @@ impl GwApp for BurnMap {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
+        }
+        if !self.sleep.is_zero() {
+            std::thread::sleep(self.sleep);
         }
         // Emit the digest so the burn can't be optimised away.
         emit.emit(&key[..2.min(key.len())], &x.to_le_bytes());
@@ -76,7 +87,12 @@ fn records() -> Vec<(Vec<u8>, Vec<u8>)> {
         .collect()
 }
 
-fn run(buffering: Buffering, rounds: u64, partition_threads: usize) -> JobReport {
+fn run_app(
+    buffering: Buffering,
+    app: BurnMap,
+    partition_threads: usize,
+    plan: LanePlan,
+) -> JobReport {
     let dfs = Arc::new(Dfs::new(DfsConfig::new(1).free_io()));
     let recs = records();
     dfs.write_records(
@@ -93,7 +109,16 @@ fn run(buffering: Buffering, rounds: u64, partition_threads: usize) -> JobReport
     cfg.device_threads = 1;
     cfg.partition_threads = partition_threads;
     cfg.output_replication = 1;
-    cluster.run(Arc::new(BurnMap { rounds }), &cfg).unwrap()
+    cfg.lane_plan = plan;
+    cluster.run(Arc::new(app), &cfg).unwrap()
+}
+
+fn run(buffering: Buffering, rounds: u64, partition_threads: usize) -> JobReport {
+    let app = BurnMap {
+        rounds,
+        sleep: Duration::ZERO,
+    };
+    run_app(buffering, app, partition_threads, LanePlan::single())
 }
 
 const ROUNDS: u64 = 50_000;
@@ -102,6 +127,14 @@ const ROUNDS: u64 = 50_000;
 fn best_elapsed(rounds: u64, partition_threads: usize) -> Duration {
     (0..3)
         .map(|_| run(Buffering::Double, rounds, partition_threads).elapsed)
+        .min()
+        .unwrap()
+}
+
+/// Best-of-3 wall time for the latency-bound kernel under a lane plan.
+fn best_lane_elapsed(sleep: Duration, plan: LanePlan) -> Duration {
+    (0..3)
+        .map(|_| run_app(Buffering::Double, BurnMap { rounds: 0, sleep }, 1, plan).elapsed)
         .min()
         .unwrap()
 }
@@ -154,5 +187,61 @@ fn predicted_bottleneck_matches_measured_doubling_speedup() {
         "doubling kernel speed gave {kernel_speedup:.3}x but accelerating \
          partitioning gave {partition_speedup:.3}x \
          (base {base:?}, kernel {faster_kernel:?}, partition {more_partition:?})"
+    );
+}
+
+#[test]
+fn lane_on_the_named_bottleneck_realizes_the_predicted_speedup() {
+    // The inverted loop (DESIGN.md §3.9): ask the advisor, widen exactly
+    // the stage it named, and check reality against the prediction. The
+    // kernel is latency-bound (per-record sleep) so two lanes genuinely
+    // overlap service even on this single-core host.
+    const SLEEP: Duration = Duration::from_micros(200);
+
+    let report = run_app(
+        Buffering::Double,
+        BurnMap {
+            rounds: 0,
+            sleep: SLEEP,
+        },
+        1,
+        LanePlan::single(),
+    );
+    let advice = &report.analysis.advice;
+    assert_eq!(
+        advice.bottleneck,
+        Some(StageId::Kernel),
+        "advisor missed the latency-bound kernel: {:?}",
+        advice.lines
+    );
+    let predicted = advice.doubling_speedup(StageId::Kernel);
+    assert!(
+        predicted > 1.2,
+        "job not kernel-bound enough to validate lane scaling: {predicted:.3}x"
+    );
+
+    let base = best_lane_elapsed(SLEEP, LanePlan::single());
+    let on_target = best_lane_elapsed(SLEEP, LanePlan::single().with_stage(StageId::Kernel, 2));
+    let off_target = best_lane_elapsed(SLEEP, LanePlan::single().with_stage(StageId::Partition, 2));
+
+    let measured = base.as_secs_f64() / on_target.as_secs_f64();
+    let off_gain = base.as_secs_f64() / off_target.as_secs_f64();
+
+    // Tolerance band: the measured gain must realise at least half of
+    // the predicted one (the PR's acceptance floor) and not exceed 1.5×
+    // of it — a wildly larger gain would mean the model missed the
+    // bottleneck's true share of the makespan.
+    let floor = 1.0 + 0.5 * (predicted - 1.0);
+    let ceiling = 1.0 + 1.5 * (predicted - 1.0);
+    assert!(
+        measured >= floor && measured <= ceiling,
+        "kernel lane gave {measured:.3}x, outside [{floor:.3}, {ceiling:.3}] \
+         around predicted {predicted:.3}x (base {base:?}, lanes=2 {on_target:?})"
+    );
+    // And the same lane spent off-bottleneck must buy strictly less.
+    assert!(
+        measured > off_gain,
+        "a lane on the named bottleneck gave {measured:.3}x but a lane on \
+         partition gave {off_gain:.3}x (base {base:?}, off {off_target:?})"
     );
 }

@@ -58,6 +58,14 @@ fn chaos_cfg() -> JobConfig {
     cfg.node_timeout = Duration::from_millis(200);
     // Backstop only: recovery must resolve every fault long before this.
     cfg.job_deadline = Some(Duration::from_secs(60));
+    // CI re-runs the whole chaos plane with a widened kernel slot
+    // (GW_CHAOS_LANES=2) to prove recovery and de-dup are lane-agnostic.
+    if let Ok(lanes) = std::env::var("GW_CHAOS_LANES") {
+        cfg.lane_plan.kernel = lanes
+            .trim()
+            .parse()
+            .expect("GW_CHAOS_LANES must be a lane count");
+    }
     cfg
 }
 
@@ -333,6 +341,77 @@ fn gray_fault_sweep_recovers_byte_identical() {
         let out = read_job_output(cluster.store(), &report).unwrap();
         assert_eq!(out, reference, "seed {seed} ({schedule}): output diverged");
     }
+}
+
+#[test]
+fn multi_lane_kernel_survives_pinned_chaos_and_gray_seeds() {
+    // Acceptance for the lane work: output bytes are identical across
+    // lane counts even under faults. The reference is computed with the
+    // default single-lane plan; every armed run widens the map kernel
+    // slot to 2 lanes. Crash seeds are the CI-pinned recoverable trio;
+    // gray seeds may never fail at all.
+    let reference = reference_output(NODES);
+    let mut lanes_cfg = chaos_cfg();
+    lanes_cfg.lane_plan.kernel = 2;
+    for (gray, seed) in [(false, 3u64), (false, 7), (false, 11), (true, 0), (true, 5)] {
+        let plan = if gray {
+            FaultPlan::gray_from_seed(seed, NODES)
+        } else {
+            FaultPlan::from_seed(seed, NODES)
+        };
+        let schedule = plan.describe();
+        let cluster = make_cluster(NODES).with_fault_plan(plan);
+        match cluster.run(Arc::new(WordCount::new()), &lanes_cfg) {
+            Ok(report) => {
+                let out = read_job_output(cluster.store(), &report).unwrap();
+                assert_eq!(
+                    out, reference,
+                    "seed {seed} gray={gray} ({schedule}): lanes=2 output diverged"
+                );
+            }
+            Err(e) => {
+                assert!(!gray, "seed {seed} ({schedule}): gray run failed: {e}");
+                assert!(
+                    !matches!(e, EngineError::JobTimeout(_)),
+                    "seed {seed} ({schedule}): hung until the watchdog"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_pinned_stall_fires_on_its_lane_and_output_is_unchanged() {
+    // A stall pinned to kernel sub-lane 1 must leave lane 0 untouched,
+    // fire exactly once (one-shot), and never perturb the output bytes.
+    let reference = reference_output(NODES);
+    let mut cfg = chaos_cfg();
+    cfg.lane_plan.kernel = 2;
+    let plan = FaultPlan::empty()
+        .with_stall(2, CrashSite::Kernel, 0, 300)
+        .with_stall_lane(1);
+    let cluster = make_cluster(NODES).with_fault_plan(plan);
+    let report = cluster.run(Arc::new(WordCount::new()), &cfg).unwrap();
+    assert_eq!(report.nodes_lost, 0);
+    let stalls = report
+        .trace
+        .logical_events()
+        .iter()
+        .filter(|(_, k)| {
+            matches!(
+                k,
+                LogicalKind::Instant {
+                    mark: MarkId::StallFired { .. }
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        stalls, 1,
+        "lane-pinned one-shot stall must fire exactly once"
+    );
+    let out = read_job_output(cluster.store(), &report).unwrap();
+    assert_eq!(out, reference);
 }
 
 #[test]

@@ -79,6 +79,53 @@ fn buffering_levels_agree_byte_for_byte_and_respect_the_interlock() {
     }
 }
 
+/// The multi-lane determinism contract (DESIGN.md §3.9) on the real
+/// engine: for every lane count × buffering level, job output is
+/// byte-identical to the single-lane run — the sequence-ordered claim
+/// turn plus the reorder at each slot exit make lane count invisible in
+/// the bytes — and the §III-D interlock still bounds in-flight chunks by
+/// `B` even when a widened slot has more lanes than tokens.
+#[test]
+fn lane_counts_agree_byte_for_byte_at_every_buffering_level() {
+    let mut reference: Option<Vec<(Vec<u8>, Vec<u8>)>> = None;
+    for lanes in [1usize, 2, 4] {
+        for (buffering, b) in [
+            (Buffering::Single, 1),
+            (Buffering::Double, 2),
+            (Buffering::Triple, 3),
+        ] {
+            let cluster = corpus_cluster(400, 2, 2048);
+            let mut c = cfg();
+            c.buffering = buffering;
+            c.device_threads = 1; // see buffering_levels_agree_*
+            c.lane_plan = LanePlan {
+                input: lanes,
+                kernel: lanes,
+                partition: lanes,
+            };
+            let report = cluster.run(Arc::new(WordCount::new()), &c).unwrap();
+            for n in &report.nodes {
+                assert!(
+                    n.map.max_in_flight <= b,
+                    "lanes={lanes} {buffering:?}: {} chunks in flight, interlock allows {b}",
+                    n.map.max_in_flight
+                );
+                // Host profile fuses Stage/Retrieve: the three live slots
+                // each run `lanes` lanes.
+                assert_eq!(n.map.stage_threads, 3 * lanes, "lanes={lanes}");
+            }
+            let out = read_job_output(cluster.store(), &report).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(
+                    &out, r,
+                    "lanes={lanes} {buffering:?} output diverged from single-lane"
+                ),
+            }
+        }
+    }
+}
+
 /// On a unified-memory device (the host CPU profile) the Stage and
 /// Retrieve stages fuse out of the pipeline graph at build time: the map
 /// pipeline runs on exactly 3 stage threads, not 5.

@@ -38,6 +38,7 @@ fn pipeline_lane(node: u32, stage: StageId) -> LaneId {
         realm: Realm::Pipeline {
             kind: PipelineKind::Map,
             stage,
+            lane: 0,
         },
     }
 }
