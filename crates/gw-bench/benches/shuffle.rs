@@ -12,6 +12,11 @@
 //!   stage on the owned-pair path. This is the headline number.
 //! * `compress` / `decompress` — codec throughput over run bytes
 //!   (informational; the partition stage itself does not compress).
+//! * `external`    — the out-of-core path: a budgeted `IntermediateStore`
+//!   fed a dataset ≥ 4× its memory budget (spill + compaction + streamed
+//!   cursor merge) vs the same runs merged fully in-core. Also records
+//!   peak resident bytes over budget; `--check` enforces the ≤ 1.5×
+//!   contract as a hard, machine-independent gate.
 //!
 //! Every comparison also asserts the two paths produce byte-identical
 //! runs — the determinism contract the fault-tolerant shuffle's
@@ -35,7 +40,10 @@ use std::time::Instant;
 use gw_bench::baseline::{heap_merge, naive_run_from_pairs};
 use gw_bench::flatjson::{self, Val};
 use gw_core::hash::default_partition;
-use gw_intermediate::{compress, merge_runs, Run, RunBuilder, RunPool};
+use gw_intermediate::{
+    compress, merge_runs, CursorMerge, IntermediateConfig, IntermediateStore, Run, RunBuilder,
+    RunPool,
+};
 
 /// Words drawn from a Zipf-ish rank distribution — the WordCount map
 /// output profile (a few hot words, a long cold tail).
@@ -103,6 +111,11 @@ struct Sizes {
     sort_records: usize,
     merge_records_per_run: usize,
     partition_records: usize,
+    /// Records pushed through the out-of-core external merge.
+    external_records: usize,
+    /// Memory budget for the external merge; the dataset is sized ≥ 4×
+    /// this, so the run cannot complete in-core.
+    external_budget: usize,
 }
 
 // Quick sizes are chosen to keep the smoke run under ~10 s while staying
@@ -113,6 +126,8 @@ const QUICK: Sizes = Sizes {
     sort_records: 16_000,
     merge_records_per_run: 8_000,
     partition_records: 120_000,
+    external_records: 120_000,
+    external_budget: 256 << 10,
 };
 
 const FULL: Sizes = Sizes {
@@ -120,6 +135,8 @@ const FULL: Sizes = Sizes {
     sort_records: 64_000,
     merge_records_per_run: 16_000,
     partition_records: 600_000,
+    external_records: 600_000,
+    external_budget: 1 << 20,
 };
 
 const PARTS: u32 = 16;
@@ -182,6 +199,12 @@ struct Metrics {
     decompress_mbps: f64,
     partition_new: f64,
     partition_naive: f64,
+    external_budget_mb: f64,
+    external_dataset_mb: f64,
+    external_merge_mbps: f64,
+    external_incore_mbps: f64,
+    external_peak_resident_mb: f64,
+    external_peak_over_budget: f64,
 }
 
 impl Metrics {
@@ -193,6 +216,11 @@ impl Metrics {
     }
     fn partition_speedup(&self) -> f64 {
         self.partition_new / self.partition_naive
+    }
+    /// How much of in-core merge throughput the out-of-core path retains
+    /// (spill writes + framed decode are the price of bounded memory).
+    fn external_vs_incore(&self) -> f64 {
+        self.external_merge_mbps / self.external_incore_mbps
     }
 }
 
@@ -267,6 +295,83 @@ fn measure(sizes: &Sizes) -> Metrics {
         assert_same_bytes(&format!("partition p{p}"), a, n);
     }
 
+    // --- external merge: budgeted out-of-core path vs in-core merge ---
+    // The dataset is ≥ 4× the memory budget, so the budgeted store must
+    // spill, compact, and stream the final merge from framed spill files;
+    // the in-core comparison is a plain loser-tree merge over the same
+    // runs held in memory.
+    let ext_input = word_stream(sizes.external_records);
+    let ext_bytes: usize = ext_input.iter().map(|(k, v)| k.len() + v.len()).sum();
+    assert!(
+        ext_bytes >= 4 * sizes.external_budget,
+        "external dataset ({ext_bytes}B) must be ≥ 4× the budget ({}B)",
+        sizes.external_budget
+    );
+    let ext_runs: Vec<Run> = ext_input
+        .chunks(4_000)
+        .map(|chunk| {
+            let mut b = RunBuilder::new();
+            for (k, v) in chunk {
+                b.push(k, v);
+            }
+            b.build()
+        })
+        .collect();
+    let ext_cfg = || {
+        IntermediateConfig {
+            num_partitions: 1,
+            merger_threads: 2,
+            compress: true,
+            ..Default::default()
+        }
+        .with_memory_budget(sizes.external_budget)
+    };
+    // store construction, spills, compactions and the cursor drain are
+    // all part of the out-of-core price — time the whole path.
+    let run_external = || {
+        let store = IntermediateStore::new(ext_cfg()).expect("intermediate store");
+        for r in &ext_runs {
+            store.add_run(0, r.clone());
+        }
+        store.finish_map().expect("finish_map");
+        let mut merge = CursorMerge::new(store.partition_cursors(0).expect("partition_cursors"));
+        let mut drained = 0usize;
+        while let Some(rec) = merge.peek_rec() {
+            drained += rec.len();
+            merge.advance().expect("cursor advance");
+        }
+        (drained, store.metrics())
+    };
+    let run_incore = || {
+        let merged = merge_runs(&ext_runs);
+        merged.records()
+    };
+    let (ext_secs, incore_secs) = best_secs_pair(sizes.iters, run_external, run_incore);
+    // Untimed verification pass: byte identity against the in-core merge,
+    // plus the budget/spill contract on the store's own accounting.
+    let incore_ref = merge_runs(&ext_runs).into_shared();
+    let verify = IntermediateStore::new(ext_cfg()).expect("intermediate store");
+    for r in &ext_runs {
+        verify.add_run(0, r.clone());
+    }
+    verify.finish_map().expect("finish_map");
+    let mut merge = CursorMerge::new(verify.partition_cursors(0).expect("partition_cursors"));
+    let mut drained = Vec::with_capacity(incore_ref.len());
+    while let Some(rec) = merge.peek_rec() {
+        drained.extend_from_slice(rec);
+        merge.advance().expect("cursor advance");
+    }
+    assert_eq!(
+        &drained[..],
+        &*incore_ref,
+        "external merge: out-of-core bytes diverged from the in-core merge"
+    );
+    let ext_metrics = verify.metrics();
+    assert!(
+        ext_metrics.spilled_disk > 0 && ext_metrics.frames_read > 0,
+        "external merge never left core — dataset or budget mis-sized"
+    );
+
     Metrics {
         input_mb: input_bytes as f64 / 1e6,
         run_sort_new: mrecs(sizes.sort_records, arena_sort),
@@ -277,6 +382,13 @@ fn measure(sizes: &Sizes) -> Metrics {
         decompress_mbps: mbps(codec_run.len(), decomp),
         partition_new: mbps(input_bytes, arena_part),
         partition_naive: mbps(input_bytes, naive_part),
+        external_budget_mb: sizes.external_budget as f64 / 1e6,
+        external_dataset_mb: ext_bytes as f64 / 1e6,
+        external_merge_mbps: mbps(ext_bytes, ext_secs),
+        external_incore_mbps: mbps(ext_bytes, incore_secs),
+        external_peak_resident_mb: ext_metrics.peak_resident_bytes as f64 / 1e6,
+        external_peak_over_budget: ext_metrics.peak_resident_bytes as f64
+            / sizes.external_budget as f64,
     }
 }
 
@@ -310,12 +422,26 @@ fn main() {
         ("partition_new_mbps", Val::Num(m.partition_new)),
         ("partition_naive_mbps", Val::Num(m.partition_naive)),
         ("partition_speedup", Val::Num(m.partition_speedup())),
+        ("external_budget_mb", Val::Num(m.external_budget_mb)),
+        ("external_dataset_mb", Val::Num(m.external_dataset_mb)),
+        ("external_merge_mbps", Val::Num(m.external_merge_mbps)),
+        ("external_incore_mbps", Val::Num(m.external_incore_mbps)),
+        ("external_vs_incore", Val::Num(m.external_vs_incore())),
+        (
+            "external_peak_resident_mb",
+            Val::Num(m.external_peak_resident_mb),
+        ),
+        (
+            "external_peak_over_budget",
+            Val::Num(m.external_peak_over_budget),
+        ),
     ];
     if let Some(q) = &quick_ref {
         fields.extend([
             ("quick_run_sort_speedup", Val::Num(q.run_sort_speedup())),
             ("quick_merge8_speedup", Val::Num(q.merge8_speedup())),
             ("quick_partition_speedup", Val::Num(q.partition_speedup())),
+            ("quick_external_vs_incore", Val::Num(q.external_vs_incore())),
         ]);
     }
 
@@ -351,11 +477,23 @@ fn main() {
             ("run_sort_speedup", m.run_sort_speedup()),
             ("merge8_speedup", m.merge8_speedup()),
             ("partition_speedup", m.partition_speedup()),
+            ("external_vs_incore", m.external_vs_incore()),
         ] {
             let floor = 0.75 * committed_num(&format!("{prefix}{key}"));
             let ok = measured >= floor;
             println!(
                 "  check {prefix}{key:22} measured {measured:.3} vs floor {floor:.3} ... {}",
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        // The out-of-core memory contract is machine-independent: peak
+        // resident intermediate bytes must stay within 1.5× the budget.
+        {
+            let ok = m.external_peak_over_budget <= 1.5;
+            println!(
+                "  check external_peak_over_budget measured {:.3} vs hard cap 1.500 ... {}",
+                m.external_peak_over_budget,
                 if ok { "ok" } else { "REGRESSED" }
             );
             failed |= !ok;
@@ -368,6 +506,7 @@ fn main() {
             "compress_mbps",
             "decompress_mbps",
             "partition_new_mbps",
+            "external_merge_mbps",
         ] {
             committed_num(key);
         }

@@ -35,6 +35,8 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use gw_intermediate::SpillFaultHook;
+pub use gw_intermediate::SpillOp;
 use gw_net::{NetFaultAction, NetFaultHook};
 use gw_storage::{NodeId, StorageFaultHook};
 use gw_trace::{CounterId, LaneId, MarkId, Realm, Tracer};
@@ -193,6 +195,20 @@ struct StallFault {
     fired: AtomicBool,
 }
 
+/// One-shot spill-file I/O fault: fails the `nth` (0-based) probed
+/// spill operation of the chosen kind. Spill faults never appear in
+/// seeded plans — the store poisons and the job fails cleanly rather
+/// than recovering, so the 20-seed sweeps (which assert success) stay
+/// unaffected; explicit plans arm them via
+/// [`FaultPlan::with_spill_fault`].
+#[derive(Debug)]
+struct SpillFault {
+    op: SpillOp,
+    nth: u32,
+    seen: AtomicU32,
+    fired: AtomicBool,
+}
+
 /// Probabilistic drop/delay profile on one directed link. Unlike
 /// [`NetFault`] this is not one-shot: every data message on the link
 /// rolls against the profile, with the outcome a pure function of
@@ -219,6 +235,7 @@ pub struct FaultPlan {
     slow: Option<SlowFault>,
     stall: Option<StallFault>,
     flaky: Option<FlakyLink>,
+    spill: Option<SpillFault>,
     tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
@@ -442,6 +459,20 @@ impl FaultPlan {
         self
     }
 
+    /// Fail the `nth` (0-based) spill-file operation of kind `op` — a
+    /// frame write on a merger thread, or a spill open/frame read on the
+    /// compaction and reduce-input paths. One-shot; the store poisons and
+    /// surfaces the error as `EngineError::Io` instead of panicking.
+    pub fn with_spill_fault(mut self, op: SpillOp, nth: u32) -> Self {
+        self.spill = Some(SpillFault {
+            op,
+            nth,
+            seen: AtomicU32::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
     /// Make the `from → to` link flaky: each data message independently
     /// drops with probability `drop_pct`% or is delayed by `delay` with
     /// probability `delay_pct`%, decided deterministically per message.
@@ -519,6 +550,13 @@ impl FaultPlan {
                     detail: u64::from(f.drop_pct),
                 });
             }
+            if let Some(s) = &self.spill {
+                // Not node-pinned: every store armed with the plan probes it.
+                t.lane(chaos_lane(0)).instant(MarkId::FaultArmed {
+                    kind: "spill",
+                    detail: u64::from(s.nth),
+                });
+            }
         }
         *self.tracer.write() = tracer;
     }
@@ -587,6 +625,13 @@ impl FaultPlan {
                 f.delay_pct,
                 f.delay.as_millis()
             ));
+        }
+        if let Some(s) = &self.spill {
+            let op = match s.op {
+                SpillOp::Write => "write",
+                SpillOp::Read => "read",
+            };
+            parts.push(format!("spill({op},nth={})", s.nth));
         }
         parts.join(" ")
     }
@@ -732,6 +777,31 @@ impl StorageFaultHook for FaultPlan {
                 source.0,
                 MarkId::ReadFaultFired {
                     block: block as u64,
+                },
+            );
+        }
+        fires
+    }
+}
+
+impl SpillFaultHook for FaultPlan {
+    fn spill_fault(&self, op: SpillOp) -> bool {
+        let Some(s) = &self.spill else { return false };
+        if s.op != op || s.fired.load(Ordering::Relaxed) {
+            return false;
+        }
+        let seen = s.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let fires = seen > s.nth && !s.fired.swap(true, Ordering::Relaxed);
+        if fires {
+            // Spill faults are not pinned to a node (every store armed
+            // with this plan probes it); report on the cluster lane.
+            self.trace_mark(
+                0,
+                MarkId::SpillFaultFired {
+                    op: match s.op {
+                        SpillOp::Write => "write",
+                        SpillOp::Read => "read",
+                    },
                 },
             );
         }

@@ -664,13 +664,20 @@ fn run_node(
     ));
     // Intermediate stores are indexed by *global* partition, so a node can
     // adopt a dead peer's partitions without re-indexing.
-    let store_result = IntermediateStore::new(IntermediateConfig {
+    let mut icfg = IntermediateConfig {
         num_partitions: cfg.partitions_per_node * nodes,
         cache_threshold: cfg.cache_threshold,
         max_spill_files: cfg.max_spill_files,
         merger_threads: cfg.merger_threads,
         compress: cfg.compress_intermediate,
-    });
+        ..Default::default()
+    };
+    if let Some(budget) = cfg.memory_budget {
+        // The budget knob overrides the explicit threshold and sizes spill
+        // frames so the out-of-core peak stays within ~1.5× budget.
+        icfg = icfg.with_memory_budget(budget);
+    }
+    let store_result = IntermediateStore::new(icfg);
     let intermediate = match store_result {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -680,6 +687,14 @@ fn run_node(
             return Err(e.into());
         }
     };
+    if let Some(cx) = &chaos {
+        // Spill-file I/O is a chaos fault site: probe the node's plan
+        // before every frame write/read. The store dies with the job, so
+        // no disarm guard is needed.
+        intermediate.arm_spill_faults(Some(
+            Arc::clone(&cx.plan) as Arc<dyn gw_intermediate::SpillFaultHook>
+        ));
+    }
 
     // Merge phase: receive peers' partitions concurrently with our map.
     let receiver = match &chaos {
@@ -748,7 +763,9 @@ fn run_node(
 
     // Wait for every peer's data, then let the mergers drain.
     let shuffle_summary = receiver.join()?;
-    let merge_delay = intermediate.finish_map();
+    // A spill I/O error on a merger thread poisons the store and surfaces
+    // here (and from `partition_cursors` in reduce) instead of panicking.
+    let merge_delay = intermediate.finish_map()?;
 
     if coordinator.aborted() {
         return Err(EngineError::NodeLost("job aborted before reduce".into()));

@@ -60,6 +60,13 @@ pub struct JobConfig {
     pub max_spill_files: usize,
     /// Compress cached/spilled intermediate data.
     pub compress_intermediate: bool,
+    /// Bound on resident intermediate bytes per node (paper §III-B's
+    /// larger-than-memory regime). When set, it overrides
+    /// `cache_threshold` via `IntermediateConfig::with_memory_budget`,
+    /// sizes spill frames, and enables producer backpressure so peak
+    /// resident intermediate bytes stay ≤ ~1.5× the budget regardless of
+    /// partition size. `None` (default) keeps the explicit knobs.
+    pub memory_budget: Option<usize>,
     /// Write a durability copy of map output to local disk (paper §III-E).
     pub durable_map_output: bool,
     /// Reduce: number of keys processed concurrently per kernel launch.
@@ -296,6 +303,7 @@ impl JobConfig {
             cache_threshold: 32 << 20,
             max_spill_files: 8,
             compress_intermediate: true,
+            memory_budget: None,
             durable_map_output: false,
             reduce_concurrent_keys: 256,
             reduce_keys_per_thread: 4,
@@ -347,6 +355,9 @@ impl JobConfig {
         }
         if self.collector_capacity < 1024 {
             return Err("collector capacity unreasonably small".into());
+        }
+        if self.memory_budget == Some(0) {
+            return Err("memory_budget must be nonzero when set".into());
         }
         if self.output_replication == 0 {
             return Err("output replication must be ≥ 1".into());

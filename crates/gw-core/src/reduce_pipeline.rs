@@ -6,13 +6,16 @@
 //! ```
 //!
 //! The first stage "performs one last merge operation and supplies the
-//! pipeline with a consistent view of the intermediate data": a k-way
-//! loser-tree merge (`gw_intermediate::MergeIter`, one comparison per
-//! tree level per record) over the partition's cached and spilled runs,
-//! grouped by key. As in the map pipeline, all channel wiring, the
-//! §III-D token interlock, fault probing, timers and unwinding live in
-//! [`gw_pipeline`]; the Stage and Retrieve stages fuse out of the graph
-//! on unified-memory devices.
+//! pipeline with a consistent view of the intermediate data": an
+//! **external** k-way loser-tree merge (`gw_intermediate::
+//! GroupedCursorMerge`, one comparison per tree level per record) over
+//! streaming cursors — one decoded frame per spill file plus the
+//! still-cached runs — grouped by key. Peak memory is `k` frames plus
+//! one in-flight chunk arena, never the partition size (paper §III-B's
+//! larger-than-memory intermediate data; DESIGN.md §3.10). As in the map
+//! pipeline, all channel wiring, the §III-D token interlock, fault
+//! probing, timers and unwinding live in [`gw_pipeline`]; the Stage and
+//! Retrieve stages fuse out of the graph on unified-memory devices.
 //!
 //! Reduce-side fine-grained parallelism, exactly as the paper describes:
 //!
@@ -47,7 +50,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use gw_device::{Device, KernelFn, NdRange, WorkItemCtx};
-use gw_intermediate::{GroupedMerge, IntermediateStore, MergeIter, Run};
+use gw_intermediate::{CursorMerge, GroupedCursorMerge, IntermediateStore, RunCursor};
 use gw_pipeline::{
     run_task_with_retries, token_pool, PipelineBuilder, PipelineKind, PoolGet, PoolPut, Source,
     Stage, StageCtx,
@@ -67,10 +70,22 @@ use crate::EngineError;
 /// scratch state), restored when a failed reduce attempt rolls back.
 type ScratchSnapshot = Vec<(Vec<u8>, Option<Vec<u8>>)>;
 
-/// One key's slice of values within a reduce chunk.
+/// One key's slice of values within a reduce chunk, borrowed from the
+/// chunk's arena for the duration of a kernel launch.
 struct Group<'r> {
     key: &'r [u8],
     values: Vec<&'r [u8]>,
+    /// Whether this is the key's final value chunk.
+    last: bool,
+}
+
+/// Arena-relative form of [`Group`]: `(offset, len)` spans into
+/// [`ReduceChunk::arena`]. Owning the bytes (instead of borrowing the
+/// merged runs) is what lets chunks outlive any in-memory view of the
+/// partition — upstream, the merge now streams from disk frame by frame.
+struct OwnedGroup {
+    key: (u32, u32),
+    values: Vec<(u32, u32)>,
     /// Whether this is the key's final value chunk.
     last: bool,
 }
@@ -86,11 +101,32 @@ struct Assignment {
 
 /// A batch of up to `reduce_concurrent_keys` groups travelling the graph,
 /// annotated with its kernel-output collector once past the Kernel stage.
-struct ReduceChunk<'r> {
-    groups: Vec<Group<'r>>,
+/// Self-contained: key/value bytes live in the chunk's own arena, so the
+/// pipeline holds at most B chunks of intermediate data in memory.
+struct ReduceChunk {
+    arena: Vec<u8>,
+    groups: Vec<OwnedGroup>,
     assignments: Vec<Assignment>,
     bytes: usize,
     collector: Option<Box<dyn Collector>>,
+}
+
+impl ReduceChunk {
+    /// Borrowed [`Group`] views over the arena for one kernel launch.
+    fn views<'a>(arena: &'a [u8], groups: &[OwnedGroup]) -> Vec<Group<'a>> {
+        groups
+            .iter()
+            .map(|g| Group {
+                key: &arena[g.key.0 as usize..][..g.key.1 as usize],
+                values: g
+                    .values
+                    .iter()
+                    .map(|&(off, len)| &arena[off as usize..][..len as usize])
+                    .collect(),
+                last: g.last,
+            })
+            .collect()
+    }
 }
 
 /// Outcome of a node's reduce phase.
@@ -116,65 +152,46 @@ pub struct ReducePhaseReport {
     pub elapsed: std::time::Duration,
 }
 
-/// A key mid-slicing: the merge cursor parks here while a long value list
-/// is cut into `reduce_max_values_per_chunk` slices.
-struct PendingKey<'r> {
-    key: &'r [u8],
-    values: Vec<&'r [u8]>,
-    idx: usize,
-}
-
-/// MergeRead stage: pull keys off the grouped loser-tree merge and batch
-/// them into chunks, slicing oversized value lists across chunks.
-struct ReduceMergeRead<'a, 'r> {
-    merge: GroupedMerge<'r>,
-    pending: Option<PendingKey<'r>>,
+/// MergeRead stage: pull key-group slices off the grouped external merge
+/// and batch them into chunks, copying only the slice's bytes into the
+/// chunk's arena. Oversized value lists arrive pre-sliced at
+/// `reduce_max_values_per_chunk` from the merge itself, so nothing here
+/// ever holds a whole key's value list.
+struct ReduceMergeRead<'a> {
+    merge: GroupedCursorMerge,
     cfg: &'a JobConfig,
     threads_per_key: usize,
     keys_seen: &'a AtomicUsize,
 }
 
-impl<'r> Source<ReduceChunk<'r>, EngineError> for ReduceMergeRead<'_, 'r> {
-    fn next_chunk(
-        &mut self,
-        _ctx: &mut StageCtx<'_>,
-    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
-        let mut groups: Vec<Group<'r>> = Vec::new();
+impl Source<ReduceChunk, EngineError> for ReduceMergeRead<'_> {
+    fn next_chunk(&mut self, _ctx: &mut StageCtx<'_>) -> Result<Option<ReduceChunk>, EngineError> {
+        let mut arena: Vec<u8> = Vec::new();
+        let mut groups: Vec<OwnedGroup> = Vec::new();
         let mut assignments: Vec<Assignment> = Vec::new();
         let mut bytes = 0usize;
         loop {
-            if self.pending.is_none() {
-                match self.merge.next() {
-                    Some((key, values)) => {
-                        self.keys_seen.fetch_add(1, Ordering::Relaxed);
-                        self.pending = Some(PendingKey {
-                            key,
-                            values,
-                            idx: 0,
-                        });
-                    }
-                    None => break,
-                }
-            }
-            let (key, slice, last) = {
-                let p = self.pending.as_mut().expect("pending key");
-                let end = (p.idx + self.cfg.reduce_max_values_per_chunk).min(p.values.len());
-                let slice = p.values[p.idx..end].to_vec();
-                let last = end == p.values.len();
-                p.idx = end;
-                (p.key, slice, last)
+            let fresh = self.merge.at_key_start();
+            let Some(slice) = self
+                .merge
+                .next_slice(self.cfg.reduce_max_values_per_chunk, &mut arena)
+                .map_err(EngineError::Io)?
+            else {
+                break;
             };
-            if last {
-                self.pending = None;
+            if fresh {
+                self.keys_seen.fetch_add(1, Ordering::Relaxed);
             }
-            bytes += key.len() + slice.iter().map(|v| v.len()).sum::<usize>();
+            bytes +=
+                slice.key.1 as usize + slice.values.iter().map(|&(_, l)| l as usize).sum::<usize>();
             // Split large value chunks over cooperating work items when
             // the app supports it.
-            let parts = if self.threads_per_key > 1 && slice.len() >= 2 * self.threads_per_key {
-                self.threads_per_key
-            } else {
-                1
-            };
+            let parts =
+                if self.threads_per_key > 1 && slice.values.len() >= 2 * self.threads_per_key {
+                    self.threads_per_key
+                } else {
+                    1
+                };
             let g = groups.len();
             for part in 0..parts {
                 assignments.push(Assignment {
@@ -183,9 +200,10 @@ impl<'r> Source<ReduceChunk<'r>, EngineError> for ReduceMergeRead<'_, 'r> {
                     parts,
                 });
             }
-            groups.push(Group {
-                key,
-                values: slice,
+            let last = slice.last;
+            groups.push(OwnedGroup {
+                key: slice.key,
+                values: slice.values,
                 last,
             });
             // A key's scratch state is only consistent across *launches*:
@@ -200,6 +218,7 @@ impl<'r> Source<ReduceChunk<'r>, EngineError> for ReduceMergeRead<'_, 'r> {
             return Ok(None);
         }
         Ok(Some(ReduceChunk {
+            arena,
             groups,
             assignments,
             bytes,
@@ -216,12 +235,12 @@ struct ReduceStageH2D {
     unified: bool,
 }
 
-impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceStageH2D {
+impl Stage<ReduceChunk, EngineError> for ReduceStageH2D {
     fn run_chunk(
         &mut self,
-        chunk: ReduceChunk<'r>,
+        chunk: ReduceChunk,
         ctx: &mut StageCtx<'_>,
-    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+    ) -> Result<Option<ReduceChunk>, EngineError> {
         let t0 = Instant::now();
         let wall = t0.elapsed();
         let modeled = match self.timing {
@@ -255,16 +274,17 @@ struct ReduceKernel<'a> {
     tasks_retried: &'a AtomicUsize,
 }
 
-impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceKernel<'_> {
+impl Stage<ReduceChunk, EngineError> for ReduceKernel<'_> {
     fn run_chunk(
         &mut self,
-        mut chunk: ReduceChunk<'r>,
+        mut chunk: ReduceChunk,
         ctx: &mut StageCtx<'_>,
-    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+    ) -> Result<Option<ReduceChunk>, EngineError> {
         let Some(mut collector) = self.collectors.take() else {
             ctx.stop(); // pool closed: the output stage died
             return Ok(None);
         };
+        let views = ReduceChunk::views(&chunk.arena, &chunk.groups);
         let retries = self.cfg.max_task_retries;
         // Snapshot the scratch states this chunk can touch, so a failed
         // attempt rolls back and re-executes (paper §III-E, extended to
@@ -272,8 +292,7 @@ impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceKernel<'_> {
         let snapshot: Option<ScratchSnapshot> = if retries > 0 {
             let s = self.scratch.lock();
             Some(
-                chunk
-                    .groups
+                views
                     .iter()
                     .map(|g| (g.key.to_vec(), s.get(g.key).cloned()))
                     .collect(),
@@ -290,7 +309,7 @@ impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceKernel<'_> {
         let n_items = chunk.assignments.len().div_ceil(kpt);
         let range = NdRange::new(n_items.max(1), self.cfg.work_group.min(n_items.max(1)))
             .map_err(EngineError::Device)?;
-        let groups = &chunk.groups;
+        let groups = &views;
         let assignments = &chunk.assignments;
         let scratch = self.scratch;
         let app = &self.app;
@@ -437,12 +456,12 @@ struct ReduceRetrieve {
     unified: bool,
 }
 
-impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceRetrieve {
+impl Stage<ReduceChunk, EngineError> for ReduceRetrieve {
     fn run_chunk(
         &mut self,
-        chunk: ReduceChunk<'r>,
+        chunk: ReduceChunk,
         ctx: &mut StageCtx<'_>,
-    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+    ) -> Result<Option<ReduceChunk>, EngineError> {
         let t0 = Instant::now();
         let bytes = chunk
             .collector
@@ -476,12 +495,12 @@ struct ReduceOutput<'a> {
     collectors_back: PoolPut<Box<dyn Collector>>,
 }
 
-impl<'r> Stage<ReduceChunk<'r>, EngineError> for ReduceOutput<'_> {
+impl Stage<ReduceChunk, EngineError> for ReduceOutput<'_> {
     fn run_chunk(
         &mut self,
-        mut chunk: ReduceChunk<'r>,
+        mut chunk: ReduceChunk,
         _ctx: &mut StageCtx<'_>,
-    ) -> Result<Option<ReduceChunk<'r>>, EngineError> {
+    ) -> Result<Option<ReduceChunk>, EngineError> {
         let mut collector = chunk.collector.take().expect("kernel output collector");
         let records_out = self.records_out;
         let builder = self.builder.as_mut().expect("builder lives until finish");
@@ -522,14 +541,15 @@ struct PassChunk {
 
 /// Merge-read for shuffle-only jobs: one chunk carrying the fully merged,
 /// sorted stream (emitted even when the partition is empty, so the output
-/// file always exists).
-struct PassthroughMerge<'a, 'r> {
-    runs: &'r [Run],
+/// file always exists). The merge streams record by record off the
+/// cursors — only the block builder accumulates, never the input.
+struct PassthroughMerge<'a> {
+    merge: CursorMerge,
     cfg: &'a JobConfig,
     done: bool,
 }
 
-impl Source<PassChunk, EngineError> for PassthroughMerge<'_, '_> {
+impl Source<PassChunk, EngineError> for PassthroughMerge<'_> {
     fn next_chunk(&mut self, _ctx: &mut StageCtx<'_>) -> Result<Option<PassChunk>, EngineError> {
         if self.done {
             return Ok(None);
@@ -537,9 +557,10 @@ impl Source<PassChunk, EngineError> for PassthroughMerge<'_, '_> {
         self.done = true;
         let mut builder = RecordBlockBuilder::new(self.cfg.output_block_size);
         let mut records = 0usize;
-        for (k, v) in MergeIter::new(self.runs.iter()) {
+        while let Some((k, v)) = self.merge.peek() {
             builder.append(k, v);
             records += 1;
+            self.merge.advance().map_err(EngineError::Io)?;
         }
         Ok(Some(PassChunk { builder, records }))
     }
@@ -621,12 +642,14 @@ impl ReducePhase<'_> {
                 return Err(EngineError::NodeLost("job aborted during reduce".into()));
             }
             let path = format!("{}/part-r-{gp:05}", self.cfg.output);
-            let runs = self.intermediate.partition_runs(gp);
+            // Streaming cursors: spilled runs stay on disk and decode one
+            // frame at a time; only still-cached runs are memory-resident.
+            let cursors = self.intermediate.partition_cursors(gp)?;
             report.partitions += 1;
             if self.app.has_reduce() {
-                self.reduce_partition(&runs, &path, &mut report, &mut chunk_seq)?;
+                self.reduce_partition(cursors, &path, &mut report, &mut chunk_seq)?;
             } else {
-                self.passthrough_partition(&runs, &path, &mut report, &mut chunk_seq)?;
+                self.passthrough_partition(cursors, &path, &mut report, &mut chunk_seq)?;
             }
             report.output_files.push(path);
         }
@@ -638,7 +661,7 @@ impl ReducePhase<'_> {
     /// 2-stage (merge → write) pipeline.
     fn passthrough_partition(
         &self,
-        runs: &[Run],
+        cursors: Vec<Box<dyn RunCursor>>,
         path: &str,
         report: &mut ReducePhaseReport,
         chunk_seq: &mut usize,
@@ -648,7 +671,7 @@ impl ReducePhase<'_> {
             .source(
                 StageId::Input,
                 PassthroughMerge {
-                    runs,
+                    merge: CursorMerge::new(cursors),
                     cfg: self.cfg,
                     done: false,
                 },
@@ -676,7 +699,7 @@ impl ReducePhase<'_> {
     /// Full 5-stage pipelined reduction of one partition.
     fn reduce_partition(
         &self,
-        runs: &[Run],
+        cursors: Vec<Box<dyn RunCursor>>,
         path: &str,
         report: &mut ReducePhaseReport,
         chunk_seq: &mut usize,
@@ -716,8 +739,7 @@ impl ReducePhase<'_> {
             .source(
                 StageId::Input,
                 ReduceMergeRead {
-                    merge: GroupedMerge::new(runs.iter()),
-                    pending: None,
+                    merge: GroupedCursorMerge::new(cursors),
                     cfg,
                     threads_per_key,
                     keys_seen: &keys_seen,

@@ -1,0 +1,82 @@
+//! Resident-memory accounting for the intermediate-data path.
+//!
+//! Every byte of intermediate data held in memory by a store — cached
+//! runs, spill-cursor decode buffers, frame-writer staging buffers — is
+//! charged against one shared [`MemGauge`], giving the engine the
+//! *peak resident intermediate bytes* figure that the out-of-core
+//! contract is stated in: a job whose intermediate data is many times
+//! `memory_budget` must keep this peak within a small constant of the
+//! budget (see DESIGN.md §3.10).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A charge/discharge byte counter with a high-water mark.
+///
+/// Shared (via `Arc`) between the store, its spill writers and every
+/// open spill cursor. Charges are approximate where exactness would
+/// cost (buffer capacity vs. length), but always conservative enough
+/// that the budget assertion is meaningful.
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemGauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` resident bytes, updating the high-water mark.
+    pub fn charge(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `n` previously charged bytes.
+    pub fn discharge(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`MemGauge::current`] over the gauge's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let g = MemGauge::new();
+        g.charge(100);
+        g.charge(50);
+        g.discharge(120);
+        g.charge(10);
+        assert_eq!(g.current(), 40);
+        assert_eq!(g.peak(), 150);
+    }
+
+    #[test]
+    fn zero_charges_are_free() {
+        let g = MemGauge::new();
+        g.charge(0);
+        g.discharge(0);
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 0);
+    }
+}

@@ -17,6 +17,9 @@
 //! the metric of paper Fig. 4(b).
 
 pub mod compress;
+pub mod cursor;
+pub mod frame;
+pub mod gauge;
 pub mod kv;
 pub mod merge;
 pub mod pool;
@@ -24,8 +27,11 @@ mod radix;
 pub mod store;
 pub mod tempdir;
 
+pub use cursor::{MemCursor, RunCursor, SpillCursor};
+pub use frame::{SpillFaultHook, SpillOp};
+pub use gauge::MemGauge;
 pub use kv::{Run, RunBuilder};
-pub use merge::{merge_runs, GroupedMerge, MergeIter};
+pub use merge::{merge_runs, CursorMerge, GroupSlice, GroupedCursorMerge, GroupedMerge, MergeIter};
 pub use pool::RunPool;
 pub use store::{IntermediateConfig, IntermediateStore, StoreMetrics};
 pub use tempdir::TempDir;

@@ -1,28 +1,37 @@
-//! K-way merging of sorted runs.
+//! K-way merging of sorted runs, in memory or external.
 //!
 //! Used in three places, exactly as in the paper: merging cached runs
 //! before a flush, continuously merging spilled runs to bound the file
 //! count, and the reduce input reader's "one last merge operation" that
 //! presents a consistent, key-grouped view of a partition's data.
 //!
-//! All three sites run on a **loser tree** (tournament tree) over
-//! per-source buffered cursors: emitting a record replays exactly one
-//! root-to-leaf path — one comparison per level, `⌈log₂ k⌉` total —
-//! where the previous `BinaryHeap` paid a pop *and* a push re-sift per
-//! record. Cursors parse records lazily from each run's flat byte buffer
-//! and expose the full serialized record slice, so [`merge_runs`] gathers
-//! output bytes without re-encoding varint headers.
+//! All sites run on one **loser tree** (tournament tree) core,
+//! [`LoserTree`], generic over [`RunCursor`] sources: emitting a record
+//! replays exactly one root-to-leaf path — one comparison per level,
+//! `⌈log₂ k⌉` total. Two fronts wrap it:
+//!
+//! * [`MergeIter`]/[`GroupedMerge`] — borrowed in-memory runs, the
+//!   zero-copy fast path for per-chunk lane merges and tests;
+//! * [`CursorMerge`]/[`GroupedCursorMerge`] — boxed/owned cursors mixing
+//!   in-memory runs and framed spills, the **external merge**: peak
+//!   memory is `k` frames (one decode buffer per open spill cursor),
+//!   not `k` runs, no matter how large the partition is.
 //!
 //! Output order is `(key, value, source index)` — record-for-record
-//! identical to the previous heap merge, preserving the run-byte
-//! determinism contract.
+//! identical to the previous heap merge. Equal `(key, value)` records
+//! are byte-identical regardless of which source they came from, so the
+//! merged byte stream does not depend on how records were split across
+//! runs and spills: the determinism contract survives spilling.
 
 use gw_storage::varint;
 
+use crate::cursor::RunCursor;
 use crate::kv::Run;
 
-/// A buffered read cursor over one sorted run's serialized bytes.
-struct Cursor<'a> {
+/// A buffered read cursor over one sorted run's serialized bytes,
+/// borrowing from the run (`'a`-returning fields let [`MergeIter`]
+/// remain a plain [`Iterator`] decoupled from `&mut self`).
+struct SliceCursor<'a> {
     key: &'a [u8],
     value: &'a [u8],
     /// Full serialized extent of the current record (header + payload).
@@ -31,20 +40,20 @@ struct Cursor<'a> {
     done: bool,
 }
 
-impl<'a> Cursor<'a> {
+impl<'a> SliceCursor<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        let mut c = Cursor {
+        let mut c = SliceCursor {
             key: &[],
             value: &[],
             rec: &[],
             rest: bytes,
             done: false,
         };
-        c.advance();
+        c.step();
         c
     }
 
-    fn advance(&mut self) {
+    fn step(&mut self) {
         if self.rest.is_empty() {
             self.done = true;
             self.key = &[];
@@ -64,48 +73,60 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Streaming k-way merge over borrowed runs, yielding records in
-/// `(key, value)` order.
-pub struct MergeIter<'a> {
-    cursors: Vec<Cursor<'a>>,
-    /// Loser tree: `tree[0]` is the overall winner, `tree[1..k]` hold the
-    /// losers of each internal match. Leaf of source `s` is node `k + s`.
+impl RunCursor for SliceCursor<'_> {
+    fn done(&self) -> bool {
+        self.done
+    }
+    fn key(&self) -> &[u8] {
+        self.key
+    }
+    fn value(&self) -> &[u8] {
+        self.value
+    }
+    fn rec(&self) -> &[u8] {
+        self.rec
+    }
+    fn advance(&mut self) -> std::io::Result<()> {
+        self.step();
+        Ok(())
+    }
+}
+
+/// The shared loser-tree core, generic over cursor sources.
+///
+/// `tree[0]` is the overall winner, `tree[1..k]` hold the losers of each
+/// internal match; the leaf of source `s` is node `k + s`. Exhausted
+/// (`done`) cursors are filtered at construction, and ties break by
+/// source index, matching the original heap's `(key, value, src)` order.
+pub(crate) struct LoserTree<C: RunCursor> {
+    pub(crate) cursors: Vec<C>,
     tree: Vec<usize>,
 }
 
-impl<'a> MergeIter<'a> {
-    /// Merge the given runs.
-    pub fn new<I>(runs: I) -> Self
-    where
-        I: IntoIterator<Item = &'a Run>,
-    {
-        let cursors: Vec<Cursor<'a>> = runs
-            .into_iter()
-            .filter(|r| !r.is_empty())
-            .map(|r| Cursor::new(r.bytes()))
-            .collect();
+impl<C: RunCursor> LoserTree<C> {
+    pub(crate) fn new(cursors: Vec<C>) -> Self {
+        let cursors: Vec<C> = cursors.into_iter().filter(|c| !c.done()).collect();
         let k = cursors.len();
-        let mut it = MergeIter {
+        let mut t = LoserTree {
             cursors,
             tree: vec![0; k.max(1)],
         };
         if k > 0 {
-            let winner = it.play(1);
-            it.tree[0] = winner;
+            let winner = t.play(1);
+            t.tree[0] = winner;
         }
-        it
+        t
     }
 
     /// `true` when source `a`'s current record sorts before source `b`'s.
-    /// Exhausted cursors lose to everything; ties break by source index,
-    /// matching the previous heap's `(key, value, src)` order.
+    /// Exhausted cursors lose to everything.
     #[inline]
     fn beats(&self, a: usize, b: usize) -> bool {
         let (ca, cb) = (&self.cursors[a], &self.cursors[b]);
-        match (ca.done, cb.done) {
+        match (ca.done(), cb.done()) {
             (true, _) => false,
             (false, true) => true,
-            (false, false) => (ca.key, ca.value, a) < (cb.key, cb.value, b),
+            (false, false) => (ca.key(), ca.value(), a) < (cb.key(), cb.value(), b),
         }
     }
 
@@ -127,9 +148,25 @@ impl<'a> MergeIter<'a> {
         }
     }
 
-    /// Advance source `s` and replay its leaf-to-root path.
-    fn replay(&mut self, s: usize) {
-        self.cursors[s].advance();
+    /// The winning source index, or `None` when all are exhausted.
+    #[inline]
+    pub(crate) fn winner(&self) -> Option<usize> {
+        if self.cursors.is_empty() {
+            return None;
+        }
+        let w = self.tree[0];
+        if self.cursors[w].done() {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Advance the current winner's cursor and replay its leaf-to-root
+    /// path. The only fallible step of a merge (spill cursors touch disk).
+    pub(crate) fn advance_winner(&mut self) -> std::io::Result<()> {
+        let s = self.tree[0];
+        self.cursors[s].advance()?;
         let k = self.cursors.len();
         let mut winner = s;
         let mut t = (k + s) / 2;
@@ -142,27 +179,40 @@ impl<'a> MergeIter<'a> {
             t /= 2;
         }
         self.tree[0] = winner;
+        Ok(())
     }
+}
 
-    #[inline]
-    fn winner(&self) -> Option<usize> {
-        if self.cursors.is_empty() {
-            return None;
-        }
-        let w = self.tree[0];
-        if self.cursors[w].done {
-            None
-        } else {
-            Some(w)
+/// Streaming k-way merge over borrowed runs, yielding records in
+/// `(key, value)` order.
+pub struct MergeIter<'a> {
+    tree: LoserTree<SliceCursor<'a>>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Merge the given runs.
+    pub fn new<I>(runs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Run>,
+    {
+        let cursors: Vec<SliceCursor<'a>> = runs
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| SliceCursor::new(r.bytes()))
+            .collect();
+        MergeIter {
+            tree: LoserTree::new(cursors),
         }
     }
 
     /// Next record with its full serialized slice (header included), for
     /// gather-style merging without re-encoding.
-    fn next_record(&mut self) -> Option<&'a [u8]> {
-        let w = self.winner()?;
-        let rec = self.cursors[w].rec;
-        self.replay(w);
+    pub(crate) fn next_record(&mut self) -> Option<&'a [u8]> {
+        let w = self.tree.winner()?;
+        let rec = self.tree.cursors[w].rec;
+        self.tree
+            .advance_winner()
+            .expect("in-memory merge cannot fail");
         Some(rec)
     }
 }
@@ -171,9 +221,11 @@ impl<'a> Iterator for MergeIter<'a> {
     type Item = (&'a [u8], &'a [u8]);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let w = self.winner()?;
-        let out = (self.cursors[w].key, self.cursors[w].value);
-        self.replay(w);
+        let w = self.tree.winner()?;
+        let out = (self.tree.cursors[w].key, self.tree.cursors[w].value);
+        self.tree
+            .advance_winner()
+            .expect("in-memory merge cannot fail");
         Some(out)
     }
 }
@@ -203,6 +255,44 @@ where
             }
             Run::from_sorted_bytes(bytes, records)
         }
+    }
+}
+
+/// External (or mixed) k-way merge over owned cursors — the lending
+/// counterpart of [`MergeIter`] for sources whose buffers are refilled
+/// on `advance` (framed spills). Peek, copy what you need, advance.
+pub struct CursorMerge<C: RunCursor = Box<dyn RunCursor>> {
+    tree: LoserTree<C>,
+}
+
+impl<C: RunCursor> CursorMerge<C> {
+    /// Merge the given cursors (already positioned at their first record;
+    /// exhausted ones are dropped).
+    pub fn new(cursors: Vec<C>) -> Self {
+        CursorMerge {
+            tree: LoserTree::new(cursors),
+        }
+    }
+
+    /// View the smallest remaining `(key, value)`, or `None` when done.
+    pub fn peek(&self) -> Option<(&[u8], &[u8])> {
+        let w = self.tree.winner()?;
+        let c = &self.tree.cursors[w];
+        Some((c.key(), c.value()))
+    }
+
+    /// View the smallest remaining record's full serialized slice.
+    pub fn peek_rec(&self) -> Option<&[u8]> {
+        let w = self.tree.winner()?;
+        Some(self.tree.cursors[w].rec())
+    }
+
+    /// Step past the current record.
+    pub fn advance(&mut self) -> std::io::Result<()> {
+        if self.tree.winner().is_some() {
+            self.tree.advance_winner()?;
+        }
+        Ok(())
     }
 }
 
@@ -241,9 +331,108 @@ impl<'a> Iterator for GroupedMerge<'a> {
     }
 }
 
+/// One key-group slice streamed out of a [`GroupedCursorMerge`]: the key
+/// and value payloads were appended to the caller's arena, and the
+/// ranges here point into it (`(offset, len)` pairs).
+#[derive(Debug)]
+pub struct GroupSlice {
+    /// Key bytes in the arena.
+    pub key: (u32, u32),
+    /// Value byte ranges in the arena, in merge order.
+    pub values: Vec<(u32, u32)>,
+    /// `true` when this slice completes its key (no more values follow).
+    pub last: bool,
+}
+
+/// Streaming, bounded-memory counterpart of [`GroupedMerge`] over owned
+/// cursors: instead of collecting a key's full value list (which for a
+/// hot key can exceed memory), values stream out in caller-sized slices
+/// copied into a caller-owned arena. A key whose values span multiple
+/// slices yields `last = false` until its final slice — exactly the
+/// chunk-continuation contract the reduce pipeline's scratch-state
+/// machinery expects.
+pub struct GroupedCursorMerge<C: RunCursor = Box<dyn RunCursor>> {
+    merge: CursorMerge<C>,
+    /// Owned copy of the key mid-slicing (`None` = next slice starts a
+    /// fresh key at the merge head).
+    pending: Option<Vec<u8>>,
+}
+
+impl<C: RunCursor> GroupedCursorMerge<C> {
+    /// Group the merge of `cursors` by key.
+    pub fn new(cursors: Vec<C>) -> Self {
+        GroupedCursorMerge {
+            merge: CursorMerge::new(cursors),
+            pending: None,
+        }
+    }
+
+    /// `true` when the next slice starts a new key (the previous slice,
+    /// if any, was its key's last).
+    pub fn at_key_start(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Stream the next slice of up to `max_values` values of one key into
+    /// `arena`. Returns `None` when the merge is exhausted.
+    pub fn next_slice(
+        &mut self,
+        max_values: usize,
+        arena: &mut Vec<u8>,
+    ) -> std::io::Result<Option<GroupSlice>> {
+        let key: Vec<u8> = match self.pending.take() {
+            Some(k) => k,
+            None => match self.merge.peek() {
+                Some((k, _)) => k.to_vec(),
+                None => return Ok(None),
+            },
+        };
+        assert!(
+            arena.len() + key.len() <= u32::MAX as usize,
+            "reduce chunk arena exceeds the 4 GiB range limit"
+        );
+        let key_off = arena.len() as u32;
+        arena.extend_from_slice(&key);
+        let mut values: Vec<(u32, u32)> = Vec::new();
+        while values.len() < max_values {
+            let matched = match self.merge.peek() {
+                Some((k, v)) if k == key.as_slice() => {
+                    assert!(
+                        arena.len() + v.len() <= u32::MAX as usize,
+                        "reduce chunk arena exceeds the 4 GiB range limit"
+                    );
+                    let off = arena.len() as u32;
+                    arena.extend_from_slice(v);
+                    values.push((off, v.len() as u32));
+                    true
+                }
+                _ => false,
+            };
+            if !matched {
+                break;
+            }
+            self.merge.advance()?;
+        }
+        let last = match self.merge.peek() {
+            Some((k, _)) => k != key.as_slice(),
+            None => true,
+        };
+        let slice = GroupSlice {
+            key: (key_off, key.len() as u32),
+            values,
+            last,
+        };
+        if !last {
+            self.pending = Some(key);
+        }
+        Ok(Some(slice))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cursor::MemCursor;
     use crate::kv::{run_from_pairs, RunBuilder, RunIter};
     use proptest::prelude::*;
 
@@ -295,6 +484,66 @@ mod tests {
         let merged = merge_runs(&[a, b]);
         assert!(merged.check_sorted());
         assert_eq!(merged.records(), 4);
+    }
+
+    #[test]
+    fn cursor_merge_matches_merge_iter() {
+        let runs = [
+            run_from_pairs([(b"a".as_slice(), b"1".as_slice()), (b"m", b"2")]),
+            run_from_pairs([(b"a".as_slice(), b"0".as_slice()), (b"z", b"9")]),
+            RunBuilder::new().build(),
+        ];
+        let borrowed: Vec<(Vec<u8>, Vec<u8>)> = MergeIter::new(runs.iter())
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let cursors: Vec<Box<dyn RunCursor>> = runs
+            .iter()
+            .map(|r| Box::new(MemCursor::new(r.clone())) as Box<dyn RunCursor>)
+            .collect();
+        let mut m = CursorMerge::new(cursors);
+        let mut external = Vec::new();
+        while let Some((k, v)) = m.peek() {
+            external.push((k.to_vec(), v.to_vec()));
+            m.advance().unwrap();
+        }
+        assert_eq!(external, borrowed);
+    }
+
+    #[test]
+    fn grouped_cursor_merge_slices_match_grouped_merge() {
+        let runs = [
+            run_from_pairs((0..40).map(|_| (b"hot".as_slice(), b"v".as_slice()))),
+            run_from_pairs([(b"cold".as_slice(), b"1".as_slice()), (b"hot", b"v")]),
+        ];
+        // Reference: full value lists per key.
+        let reference: Vec<(Vec<u8>, usize)> = GroupedMerge::new(runs.iter())
+            .map(|(k, vs)| (k.to_vec(), vs.len()))
+            .collect();
+        // Streamed in slices of 16: reassemble per-key value counts and
+        // check the last-flag protocol.
+        let cursors: Vec<Box<dyn RunCursor>> = runs
+            .iter()
+            .map(|r| Box::new(MemCursor::new(r.clone())) as Box<dyn RunCursor>)
+            .collect();
+        let mut gm = GroupedCursorMerge::new(cursors);
+        let mut arena = Vec::new();
+        let mut got: Vec<(Vec<u8>, usize)> = Vec::new();
+        let mut prev_last = true;
+        while let Some(slice) = gm.next_slice(16, &mut arena).unwrap() {
+            let key = arena[slice.key.0 as usize..(slice.key.0 + slice.key.1) as usize].to_vec();
+            if prev_last {
+                got.push((key, slice.values.len()));
+            } else {
+                let cur = got.last_mut().unwrap();
+                assert_eq!(cur.0, key, "continuation keeps its key");
+                cur.1 += slice.values.len();
+            }
+            if !slice.last {
+                assert_eq!(slice.values.len(), 16, "non-final slices are full");
+            }
+            prev_last = slice.last;
+        }
+        assert_eq!(got, reference);
     }
 
     /// Reference model: the previous `BinaryHeap`-based merge, preserved
@@ -454,6 +703,34 @@ mod tests {
             prop_assert_eq!(merged.bytes(), expect_bytes.as_slice());
         }
 
+        /// The external cursor merge emits the exact record sequence of
+        /// the borrowed merge for any mix of runs — the contract that
+        /// lets spilled and cached data merge interchangeably.
+        #[test]
+        fn cursor_merge_equals_borrowed_merge(
+            runs in proptest::collection::vec(
+                proptest::collection::vec(
+                    (proptest::collection::vec(0u8..5, 0..4),
+                     proptest::collection::vec(0u8..5, 0..3)), 0..30),
+                0..8))
+        {
+            let built = runs_from(&runs);
+            let borrowed: Vec<(Vec<u8>, Vec<u8>)> = MergeIter::new(built.iter())
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            let cursors: Vec<Box<dyn RunCursor>> = built
+                .iter()
+                .map(|r| Box::new(MemCursor::new(r.clone())) as Box<dyn RunCursor>)
+                .collect();
+            let mut m = CursorMerge::new(cursors);
+            let mut external = Vec::new();
+            while let Some((k, v)) = m.peek() {
+                external.push((k.to_vec(), v.to_vec()));
+                m.advance().unwrap();
+            }
+            prop_assert_eq!(external, borrowed);
+        }
+
         #[test]
         fn grouped_merge_covers_every_record(
             pairs in proptest::collection::vec(
@@ -474,6 +751,52 @@ mod tests {
             let mut dedup = keys.clone();
             dedup.dedup();
             prop_assert_eq!(keys.len(), dedup.len());
+        }
+
+        /// Streamed group slices reassemble to exactly the grouped merge:
+        /// same keys in order, same per-key value multiset, full slices
+        /// everywhere except each key's final slice.
+        #[test]
+        fn grouped_cursor_slices_reassemble(
+            pairs in proptest::collection::vec(
+                (proptest::collection::vec(0u8..3, 0..3),
+                 proptest::collection::vec(0u8..3, 0..3)), 0..120),
+            max_values in 1usize..8)
+        {
+            let run = {
+                let mut b = RunBuilder::new();
+                for (k, v) in &pairs {
+                    b.push(k, v);
+                }
+                b.build()
+            };
+            let reference: Vec<(Vec<u8>, Vec<Vec<u8>>)> = GroupedMerge::new([&run])
+                .map(|(k, vs)| (k.to_vec(), vs.iter().map(|v| v.to_vec()).collect()))
+                .collect();
+            let cursors: Vec<Box<dyn RunCursor>> =
+                vec![Box::new(MemCursor::new(run.clone()))];
+            let mut gm = GroupedCursorMerge::new(cursors);
+            let mut arena = Vec::new();
+            let mut got: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+            let mut prev_last = true;
+            while let Some(s) = gm.next_slice(max_values, &mut arena).unwrap() {
+                let key = arena[s.key.0 as usize..(s.key.0 + s.key.1) as usize].to_vec();
+                let vals: Vec<Vec<u8>> = s.values.iter()
+                    .map(|&(o, l)| arena[o as usize..(o + l) as usize].to_vec())
+                    .collect();
+                if prev_last {
+                    got.push((key, vals));
+                } else {
+                    let cur = got.last_mut().unwrap();
+                    prop_assert_eq!(&cur.0, &key);
+                    cur.1.extend(vals);
+                }
+                if !s.last {
+                    prop_assert_eq!(s.values.len(), max_values);
+                }
+                prev_last = s.last;
+            }
+            prop_assert_eq!(got, reference);
         }
     }
 }

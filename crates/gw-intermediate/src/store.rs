@@ -1,5 +1,5 @@
-//! Per-node intermediate-data store: partition cache, spill files, and the
-//! background merger threads.
+//! Per-node intermediate-data store: partition cache, framed spill files,
+//! and the background merger threads.
 //!
 //! Reproduces paper §III-B:
 //!
@@ -17,7 +17,28 @@
 //! * the **merge delay** metric — "the time dedicated to merging
 //!   intermediate data after the completion of the map phase and before
 //!   reduction starts" — measured by [`IntermediateStore::finish_map`].
+//!
+//! ## Out-of-core operation (DESIGN.md §3.10)
+//!
+//! Spills use the framed format of [`crate::frame`], so both the
+//! continuous compaction here and the reduce-input merge downstream are
+//! true **external k-way merges**: data streams cursor-to-cursor through
+//! [`crate::cursor::SpillCursor`]s holding one decoded frame each, and a
+//! flush streams cache runs straight into a [`frame::FrameWriter`] without
+//! materializing the merged run. Every resident intermediate byte —
+//! cached runs, writer staging buffers, cursor frames — is charged to one
+//! [`MemGauge`], whose high-water mark is exported as
+//! [`StoreMetrics::peak_resident_bytes`]; with a `memory_budget` set,
+//! [`IntermediateStore::add_run`] applies backpressure so that peak stays
+//! within a small constant of the budget no matter how large the
+//! partition grows.
+//!
+//! Spill I/O failures on merger threads do not panic: the first error
+//! **poisons** the store and surfaces from [`IntermediateStore::finish_map`]
+//! / [`IntermediateStore::partition_cursors`] as a typed
+//! [`std::io::Error`] the engine maps to `EngineError::Io`.
 
+use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,9 +47,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use crate::compress;
+use crate::cursor::{MemCursor, RunCursor, SpillCursor};
+use crate::frame::{self, SpillFaultHook};
+use crate::gauge::MemGauge;
 use crate::kv::Run;
-use crate::merge::merge_runs;
+use crate::merge::{CursorMerge, MergeIter};
 use crate::tempdir::TempDir;
 use crate::PartitionId;
 
@@ -47,6 +70,15 @@ pub struct IntermediateConfig {
     /// Whether spills are stored compressed (the paper always compresses;
     /// disabling is useful for ablation).
     pub compress: bool,
+    /// Target raw bytes per spill frame: the unit of incremental decode,
+    /// and the granule the external merges hold in memory per source.
+    pub frame_size: usize,
+    /// Optional bound on resident intermediate bytes. When set,
+    /// [`IntermediateStore::add_run`] blocks producers while the gauge is
+    /// over budget and flushes are in flight (backpressure), keeping peak
+    /// residency within ~1.5× the budget. `None` disables backpressure;
+    /// the gauge still records the peak.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for IntermediateConfig {
@@ -57,16 +89,33 @@ impl Default for IntermediateConfig {
             max_spill_files: 8,
             merger_threads: 1,
             compress: true,
+            frame_size: 256 << 10,
+            memory_budget: None,
         }
     }
 }
 
-/// A spilled, serialized, (optionally) compressed run on disk.
+impl IntermediateConfig {
+    /// Derive the out-of-core knobs from a memory budget: the cache flushes
+    /// at half the budget, and frames are sized so the handful the external
+    /// merges keep resident (one per open cursor plus writer staging) stays
+    /// a small fraction of it. Together these keep
+    /// [`StoreMetrics::peak_resident_bytes`] ≤ ~1.5× `budget`.
+    pub fn with_memory_budget(mut self, budget: usize) -> Self {
+        self.memory_budget = Some(budget);
+        self.cache_threshold = (budget / 2).max(4 << 10);
+        self.frame_size = (budget / 64).clamp(1 << 10, 1 << 20);
+        self
+    }
+}
+
+/// A spilled, framed, (optionally) compressed run on disk.
 #[derive(Debug)]
 struct SpillFile {
     path: PathBuf,
     records: usize,
     raw_bytes: usize,
+    frames: usize,
 }
 
 #[derive(Debug, Default)]
@@ -89,6 +138,8 @@ struct Metrics {
     merge_delay_nanos: AtomicU64,
     merges: AtomicUsize,
     merge_fanin: AtomicUsize,
+    frames_written: AtomicUsize,
+    frames_read: Arc<AtomicUsize>,
 }
 
 /// Snapshot of store metrics.
@@ -100,7 +151,7 @@ pub struct StoreMetrics {
     pub compactions: usize,
     /// Uncompressed bytes spilled.
     pub spilled_raw: usize,
-    /// On-disk (compressed) bytes spilled.
+    /// On-disk (compressed, framed) bytes spilled.
     pub spilled_disk: usize,
     /// Runs added to the cache (local + received).
     pub runs_added: usize,
@@ -108,7 +159,7 @@ pub struct StoreMetrics {
     pub records_added: usize,
     /// Measured merge delay (zero until [`IntermediateStore::finish_map`]).
     pub merge_delay: Duration,
-    /// Background `merge_runs` calls (cache flushes + compactions).
+    /// Background streaming merges (cache flushes + compactions).
     ///
     /// Kept as store metrics rather than trace counters on purpose: these
     /// merges run on merger threads whose scheduling is timing-dependent,
@@ -117,6 +168,14 @@ pub struct StoreMetrics {
     pub merges: usize,
     /// Total runs consumed across those merges (fan-in pressure).
     pub merge_fanin: usize,
+    /// Spill frames written (flushes + compactions).
+    pub frames_written: usize,
+    /// Spill frames decoded (compactions + reduce-input cursors).
+    pub frames_read: usize,
+    /// High-water mark of resident intermediate bytes: cached runs +
+    /// writer staging + open cursor frames. The out-of-core contract is
+    /// stated against this figure (≤ ~1.5× `memory_budget`).
+    pub peak_resident_bytes: usize,
 }
 
 struct Inner {
@@ -129,6 +188,14 @@ struct Inner {
     quiesce_cv: Condvar,
     spill_seq: AtomicU64,
     metrics: Metrics,
+    gauge: Arc<MemGauge>,
+    /// First spill I/O error seen on a merger thread; sticky.
+    poison: Mutex<Option<(io::ErrorKind, String)>>,
+    /// Chaos hook probed before spill reads/writes (None when unarmed).
+    hook: Mutex<Option<Arc<dyn SpillFaultHook>>>,
+    /// Producers park here when over `memory_budget` (backpressure).
+    bp_lock: Mutex<()>,
+    bp_cv: Condvar,
 }
 
 impl Inner {
@@ -146,62 +213,141 @@ impl Inner {
         }
     }
 
-    fn write_spill(&self, run: &Run) -> std::io::Result<SpillFile> {
+    fn poison(&self, err: io::Error) {
+        let mut p = self.poison.lock();
+        if p.is_none() {
+            *p = Some((err.kind(), err.to_string()));
+        }
+    }
+
+    fn check_poison(&self) -> io::Result<()> {
+        match &*self.poison.lock() {
+            Some((kind, msg)) => Err(io::Error::new(*kind, msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn notify_backpressure(&self) {
+        let _g = self.bp_lock.lock();
+        self.bp_cv.notify_all();
+    }
+
+    fn spill_hook(&self) -> Option<Arc<dyn SpillFaultHook>> {
+        self.hook.lock().clone()
+    }
+
+    fn new_spill_path(&self) -> PathBuf {
         let seq = self.spill_seq.fetch_add(1, Ordering::Relaxed);
-        let path = self.dir.file(&format!("spill-{seq}.gw"));
-        let raw = run.bytes();
-        let on_disk = if self.cfg.compress {
-            compress::compress(raw)
-        } else {
-            raw.to_vec()
-        };
-        std::fs::write(&path, &on_disk)?;
+        self.dir.file(&format!("spill-{seq}.gw"))
+    }
+
+    fn record_spill(&self, stats: &frame::SpillStats) {
         self.metrics.flushes.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .spilled_raw
-            .fetch_add(raw.len(), Ordering::Relaxed);
+            .fetch_add(stats.raw_bytes, Ordering::Relaxed);
         self.metrics
             .spilled_disk
-            .fetch_add(on_disk.len(), Ordering::Relaxed);
+            .fetch_add(stats.disk_bytes, Ordering::Relaxed);
+        self.metrics
+            .frames_written
+            .fetch_add(stats.frames, Ordering::Relaxed);
+    }
+
+    /// Stream the merge of `runs` into a new framed spill. Peak memory is
+    /// the writer's staging buffers — the merged run is never materialized.
+    fn spill_cached_runs(&self, runs: &[Run]) -> io::Result<Option<SpillFile>> {
+        let path = self.new_spill_path();
+        let mut w = frame::FrameWriter::create(
+            path.clone(),
+            self.cfg.frame_size,
+            self.cfg.compress,
+            Some(Arc::clone(&self.gauge)),
+            self.spill_hook(),
+        )?;
+        let mut it = MergeIter::new(runs.iter());
+        while let Some(rec) = it.next_record() {
+            w.push(rec)?;
+        }
+        let stats = w.finish()?;
+        if stats.records == 0 {
+            let _ = std::fs::remove_file(&path);
+            return Ok(None);
+        }
+        self.record_spill(&stats);
+        Ok(Some(SpillFile {
+            path,
+            records: stats.records,
+            raw_bytes: stats.raw_bytes,
+            frames: stats.frames,
+        }))
+    }
+
+    /// External k-way merge of `spills` into one new framed spill: one
+    /// decode buffer per input cursor, one staging buffer on the writer.
+    fn compact_spills(&self, spills: &[SpillFile]) -> io::Result<SpillFile> {
+        let hook = self.spill_hook();
+        let cursors: Vec<Box<dyn RunCursor>> = spills
+            .iter()
+            .map(|s| {
+                SpillCursor::open(
+                    &s.path,
+                    Some(Arc::clone(&self.gauge)),
+                    hook.clone(),
+                    Some(Arc::clone(&self.metrics.frames_read)),
+                )
+                .map(|c| Box::new(c) as Box<dyn RunCursor>)
+            })
+            .collect::<io::Result<_>>()?;
+        let mut m = CursorMerge::new(cursors);
+        let path = self.new_spill_path();
+        let mut w = frame::FrameWriter::create(
+            path.clone(),
+            self.cfg.frame_size,
+            self.cfg.compress,
+            Some(Arc::clone(&self.gauge)),
+            hook,
+        )?;
+        while let Some(rec) = m.peek_rec() {
+            w.push(rec)?;
+            m.advance()?;
+        }
+        let stats = w.finish()?;
+        self.record_spill(&stats);
         Ok(SpillFile {
             path,
-            records: run.records(),
-            raw_bytes: raw.len(),
+            records: stats.records,
+            raw_bytes: stats.raw_bytes,
+            frames: stats.frames,
         })
     }
 
-    fn read_spill(&self, spill: &SpillFile) -> std::io::Result<Run> {
-        let on_disk = std::fs::read(&spill.path)?;
-        let raw = if self.cfg.compress {
-            compress::decompress(&on_disk)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
-        } else {
-            on_disk
-        };
-        debug_assert_eq!(raw.len(), spill.raw_bytes);
-        Ok(Run::from_sorted_bytes(raw, spill.records))
-    }
-
     /// Flush a partition's cache to one new spill, then compact if the
-    /// spill-file count exceeds the limit. Runs on merger threads.
-    fn flush_and_compact(&self, p: PartitionId) {
+    /// spill-file count exceeds the limit. Runs on merger threads; clears
+    /// the partition's `busy` flag on the success path (the error path is
+    /// handled by [`Inner::run_merge_task`]).
+    fn flush_and_compact(&self, p: PartitionId) -> io::Result<()> {
         let idx = p as usize;
         // Take the cached runs.
-        let runs: Vec<Run> = {
+        let (runs, bytes): (Vec<Run>, usize) = {
             let mut st = self.parts[idx].lock();
             let bytes = std::mem::take(&mut st.cache_bytes);
             self.cache_bytes.fetch_sub(bytes, Ordering::Relaxed);
-            std::mem::take(&mut st.cache)
+            (std::mem::take(&mut st.cache), bytes)
         };
         if !runs.is_empty() {
             self.metrics.merges.fetch_add(1, Ordering::Relaxed);
             self.metrics
                 .merge_fanin
                 .fetch_add(runs.len(), Ordering::Relaxed);
-            let merged = merge_runs(&runs);
+            let spilled = self.spill_cached_runs(&runs);
+            // The cached bytes leave memory whether or not the spill
+            // succeeded — discharge before propagating so backpressured
+            // producers wake either way.
             drop(runs);
-            if !merged.is_empty() {
-                let spill = self.write_spill(&merged).expect("spill write failed");
+            self.gauge.discharge(bytes);
+            self.notify_backpressure();
+            if let Some(spill) = spilled? {
                 self.parts[idx].lock().spills.push(spill);
             }
         }
@@ -211,26 +357,32 @@ impl Inner {
                 let mut st = self.parts[idx].lock();
                 if st.spills.len() <= self.cfg.max_spill_files {
                     st.busy = false;
-                    return;
+                    return Ok(());
                 }
                 std::mem::take(&mut st.spills)
             };
-            let runs: Vec<Run> = spills
-                .iter()
-                .map(|s| self.read_spill(s).expect("spill read failed"))
-                .collect();
             self.metrics.merges.fetch_add(1, Ordering::Relaxed);
             self.metrics
                 .merge_fanin
-                .fetch_add(runs.len(), Ordering::Relaxed);
-            let merged = merge_runs(&runs);
-            drop(runs);
+                .fetch_add(spills.len(), Ordering::Relaxed);
+            let merged = self.compact_spills(&spills)?;
             for s in &spills {
                 let _ = std::fs::remove_file(&s.path);
             }
             self.metrics.compactions.fetch_add(1, Ordering::Relaxed);
-            let spill = self.write_spill(&merged).expect("spill write failed");
-            self.parts[idx].lock().spills.push(spill);
+            self.parts[idx].lock().spills.push(merged);
+        }
+    }
+
+    /// Merger-thread entry point: poison the store instead of panicking.
+    fn run_merge_task(&self, p: PartitionId) {
+        if let Err(e) = self.flush_and_compact(p) {
+            self.poison(e);
+            self.parts[p as usize].lock().busy = false;
+            // Wake any producer parked on backpressure so it can observe
+            // the poisoned state instead of waiting for a flush that will
+            // never complete.
+            self.notify_backpressure();
         }
     }
 }
@@ -244,7 +396,7 @@ pub struct IntermediateStore {
 
 impl IntermediateStore {
     /// Create a store with its background merger threads.
-    pub fn new(cfg: IntermediateConfig) -> std::io::Result<Self> {
+    pub fn new(cfg: IntermediateConfig) -> io::Result<Self> {
         assert!(cfg.num_partitions > 0, "at least one partition");
         let dir = TempDir::new("gw-intermediate")?;
         let parts = (0..cfg.num_partitions)
@@ -261,6 +413,11 @@ impl IntermediateStore {
             quiesce_cv: Condvar::new(),
             spill_seq: AtomicU64::new(0),
             metrics: Metrics::default(),
+            gauge: Arc::new(MemGauge::new()),
+            poison: Mutex::new(None),
+            hook: Mutex::new(None),
+            bp_lock: Mutex::new(()),
+            bp_cv: Condvar::new(),
         });
         let (tx, rx): (Sender<PartitionId>, Receiver<PartitionId>) = unbounded();
         let workers = (0..threads)
@@ -271,7 +428,7 @@ impl IntermediateStore {
                     .name(format!("gw-merger-{i}"))
                     .spawn(move || {
                         while let Ok(p) = rx.recv() {
-                            inner.flush_and_compact(p);
+                            inner.run_merge_task(p);
                             inner.task_done();
                         }
                     })
@@ -290,9 +447,18 @@ impl IntermediateStore {
         &self.inner.cfg
     }
 
+    /// Arm (or disarm, with `None`) a fault hook probed before every spill
+    /// read/write — the chaos plane's injection site for spill-file I/O
+    /// errors.
+    pub fn arm_spill_faults(&self, hook: Option<Arc<dyn SpillFaultHook>>) {
+        *self.inner.hook.lock() = hook;
+    }
+
     /// Add a sorted run to partition `p`'s cache (local map output or a
     /// partition received from another node). Triggers merge-and-flush when
-    /// the aggregate cache exceeds the threshold.
+    /// the aggregate cache exceeds the threshold; with a `memory_budget`
+    /// set, blocks while resident bytes exceed the budget and flushes are
+    /// still in flight.
     pub fn add_run(&self, p: PartitionId, run: Run) {
         assert!(p < self.inner.cfg.num_partitions, "partition out of range");
         if run.is_empty() {
@@ -307,6 +473,7 @@ impl IntermediateStore {
             .records_added
             .fetch_add(run.records(), Ordering::Relaxed);
         let bytes = run.len_bytes();
+        self.inner.gauge.charge(bytes);
         {
             let mut st = self.inner.parts[p as usize].lock();
             st.cache_bytes += bytes;
@@ -315,6 +482,20 @@ impl IntermediateStore {
         let total = self.inner.cache_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         if total > self.inner.cfg.cache_threshold {
             self.flush_all();
+        }
+        if let Some(budget) = self.inner.cfg.memory_budget {
+            // Backpressure: park until the flushes in flight bring the
+            // gauge back under budget. Bounded waits keep this live across
+            // races with task completion and poisoning.
+            let mut guard = self.inner.bp_lock.lock();
+            while self.inner.gauge.current() > budget
+                && self.inner.pending.load(Ordering::Acquire) > 0
+                && self.inner.poison.lock().is_none()
+            {
+                self.inner
+                    .bp_cv
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
         }
     }
 
@@ -339,7 +520,7 @@ impl IntermediateStore {
         if let Some(tx) = &self.task_tx {
             if tx.send(p).is_err() {
                 // Workers gone (drop in progress): run inline.
-                inner.flush_and_compact(p);
+                inner.run_merge_task(p);
                 inner.task_done();
             }
         }
@@ -348,7 +529,10 @@ impl IntermediateStore {
     /// Signal that the map phase (including reception of all remote
     /// partitions) has completed. Flushes all remaining cached data, waits
     /// for the merger threads to drain, and returns the **merge delay**.
-    pub fn finish_map(&self) -> Duration {
+    ///
+    /// Surfaces any spill I/O error recorded by the merger threads — the
+    /// poisoned-store replacement for their former panics.
+    pub fn finish_map(&self) -> io::Result<Duration> {
         let start = Instant::now();
         // Mergers may still be working on the backlog; add final flushes.
         self.flush_all();
@@ -356,6 +540,7 @@ impl IntermediateStore {
         // flush can push a partition over the spill-file limit), so loop.
         loop {
             self.inner.wait_quiesce();
+            self.inner.check_poison()?;
             let mut scheduled = false;
             for p in 0..self.inner.cfg.num_partitions {
                 let st = self.inner.parts[p as usize].lock();
@@ -376,7 +561,7 @@ impl IntermediateStore {
             .metrics
             .merge_delay_nanos
             .store(delay.as_nanos() as u64, Ordering::Relaxed);
-        delay
+        Ok(delay)
     }
 
     /// Block until all scheduled flush/compaction tasks have drained.
@@ -384,19 +569,60 @@ impl IntermediateStore {
         self.inner.wait_quiesce();
     }
 
-    /// Load all runs of partition `p` for reduction: every spill file plus
-    /// any still-cached runs. The reduce input reader performs the final
-    /// k-way merge over these.
-    pub fn partition_runs(&self, p: PartitionId) -> Vec<Run> {
-        let idx = p as usize;
-        let st = self.inner.parts[idx].lock();
-        let mut runs: Vec<Run> = st
-            .spills
-            .iter()
-            .map(|s| self.inner.read_spill(s).expect("spill read failed"))
-            .collect();
+    /// Open streaming cursors over partition `p` for reduction: one
+    /// [`SpillCursor`] per spill file (a single decoded frame resident
+    /// each) plus a [`MemCursor`] per still-cached run. The reduce input
+    /// reader performs the final external k-way merge over these without
+    /// ever materializing the partition.
+    pub fn partition_cursors(&self, p: PartitionId) -> io::Result<Vec<Box<dyn RunCursor>>> {
+        self.inner.check_poison()?;
+        let hook = self.inner.spill_hook();
+        let st = self.inner.parts[p as usize].lock();
+        let mut cursors: Vec<Box<dyn RunCursor>> =
+            Vec::with_capacity(st.spills.len() + st.cache.len());
+        for s in &st.spills {
+            let c = SpillCursor::open(
+                &s.path,
+                Some(Arc::clone(&self.inner.gauge)),
+                hook.clone(),
+                Some(Arc::clone(&self.inner.metrics.frames_read)),
+            )?;
+            cursors.push(Box::new(c));
+        }
+        for r in &st.cache {
+            cursors.push(Box::new(MemCursor::new(r.clone())));
+        }
+        Ok(cursors)
+    }
+
+    /// Materialize all runs of partition `p` (every spill, fully decoded,
+    /// plus cached runs). Peak memory equals the partition size — kept for
+    /// tests and small-data tooling; the engine's reduce path uses
+    /// [`IntermediateStore::partition_cursors`] instead.
+    pub fn partition_runs(&self, p: PartitionId) -> io::Result<Vec<Run>> {
+        self.inner.check_poison()?;
+        let hook = self.inner.spill_hook();
+        let st = self.inner.parts[p as usize].lock();
+        let mut runs = Vec::with_capacity(st.spills.len() + st.cache.len());
+        for s in &st.spills {
+            let mut c = SpillCursor::open(
+                &s.path,
+                None,
+                hook.clone(),
+                Some(Arc::clone(&self.inner.metrics.frames_read)),
+            )?;
+            debug_assert_eq!(c.raw_bytes(), s.raw_bytes);
+            let mut bytes = Vec::with_capacity(c.raw_bytes());
+            let mut records = 0usize;
+            while !c.done() {
+                bytes.extend_from_slice(c.rec());
+                records += 1;
+                c.advance()?;
+            }
+            runs.push(Run::from_sorted_bytes(bytes, records));
+        }
         runs.extend(st.cache.iter().cloned());
-        runs
+        Ok(runs)
     }
 
     /// Number of spill files currently held by partition `p`.
@@ -404,11 +630,31 @@ impl IntermediateStore {
         self.inner.parts[p as usize].lock().spills.len()
     }
 
+    /// Total frames across partition `p`'s spill files.
+    pub fn frame_count(&self, p: PartitionId) -> usize {
+        self.inner.parts[p as usize]
+            .lock()
+            .spills
+            .iter()
+            .map(|s| s.frames)
+            .sum()
+    }
+
     /// Total records across a partition's cache and spills.
     pub fn partition_records(&self, p: PartitionId) -> usize {
         let st = self.inner.parts[p as usize].lock();
         st.spills.iter().map(|s| s.records).sum::<usize>()
             + st.cache.iter().map(|r| r.records()).sum::<usize>()
+    }
+
+    #[cfg(test)]
+    fn spill_paths(&self, p: PartitionId) -> Vec<PathBuf> {
+        self.inner.parts[p as usize]
+            .lock()
+            .spills
+            .iter()
+            .map(|s| s.path.clone())
+            .collect()
     }
 
     /// Metrics snapshot.
@@ -424,6 +670,9 @@ impl IntermediateStore {
             merge_delay: Duration::from_nanos(m.merge_delay_nanos.load(Ordering::Relaxed)),
             merges: m.merges.load(Ordering::Relaxed),
             merge_fanin: m.merge_fanin.load(Ordering::Relaxed),
+            frames_written: m.frames_written.load(Ordering::Relaxed),
+            frames_read: m.frames_read.load(Ordering::Relaxed),
+            peak_resident_bytes: self.inner.gauge.peak(),
         }
     }
 }
@@ -440,8 +689,9 @@ impl Drop for IntermediateStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::SpillOp;
     use crate::kv::run_from_pairs;
-    use crate::merge::GroupedMerge;
+    use crate::merge::{GroupedMerge, MergeIter};
 
     fn cfg(parts: u32) -> IntermediateConfig {
         IntermediateConfig {
@@ -450,6 +700,8 @@ mod tests {
             max_spill_files: 2,
             merger_threads: 2,
             compress: true,
+            frame_size: 1 << 10,
+            memory_budget: None,
         }
     }
 
@@ -461,7 +713,7 @@ mod tests {
     fn small_data_stays_in_cache() {
         let store = IntermediateStore::new(cfg(1)).unwrap();
         store.add_run(0, word_run(&["a", "b"]));
-        let delay = store.finish_map();
+        let delay = store.finish_map().unwrap();
         assert!(delay < Duration::from_secs(1));
         // One flush happens at finish_map (cache drained to disk).
         assert_eq!(store.partition_records(0), 2);
@@ -475,13 +727,15 @@ mod tests {
         for _ in 0..4 {
             store.add_run(0, word_run(&refs));
         }
-        store.finish_map();
+        store.finish_map().unwrap();
         let m = store.metrics();
         assert!(m.flushes >= 1, "expected at least one flush, got {m:?}");
         assert!(
             m.spilled_disk < m.spilled_raw,
             "compression should shrink spills"
         );
+        assert!(m.frames_written >= 1);
+        assert!(m.peak_resident_bytes > 0);
         assert_eq!(store.partition_records(0), 800);
     }
 
@@ -498,7 +752,7 @@ mod tests {
             // the compaction path is exercised deterministically.
             store.quiesce();
         }
-        store.finish_map();
+        store.finish_map().unwrap();
         assert!(
             store.spill_count(0) <= 2,
             "spill files must be compacted to the limit, got {}",
@@ -516,8 +770,8 @@ mod tests {
         store.add_run(0, word_run(&["m", "z", "a"]));
         store.add_run(0, word_run(&["b", "m", "q"]));
         store.add_run(0, word_run(&["a", "c"]));
-        store.finish_map();
-        let runs = store.partition_runs(0);
+        store.finish_map().unwrap();
+        let runs = store.partition_runs(0).unwrap();
         let keys: Vec<Vec<u8>> = GroupedMerge::new(runs.iter())
             .map(|(k, _)| k.to_vec())
             .collect();
@@ -547,10 +801,10 @@ mod tests {
             let w = format!("p{p}");
             store.add_run(p, word_run(&[w.as_str()]));
         }
-        store.finish_map();
+        store.finish_map().unwrap();
         for p in 0..4u32 {
             assert_eq!(store.partition_records(p), 1);
-            let runs = store.partition_runs(p);
+            let runs = store.partition_runs(p).unwrap();
             let (k, _) = GroupedMerge::new(runs.iter()).next().unwrap();
             assert_eq!(k, format!("p{p}").as_bytes());
         }
@@ -560,7 +814,7 @@ mod tests {
     fn empty_runs_are_ignored() {
         let store = IntermediateStore::new(cfg(1)).unwrap();
         store.add_run(0, Run::default());
-        store.finish_map();
+        store.finish_map().unwrap();
         assert_eq!(store.metrics().runs_added, 0);
         assert_eq!(store.partition_records(0), 0);
     }
@@ -591,8 +845,131 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        store.finish_map();
+        store.finish_map().unwrap();
         let total = store.partition_records(0) + store.partition_records(1);
         assert_eq!(total, 200);
+    }
+
+    /// Walk a partition's streaming cursors and collect every record.
+    fn stream_partition(store: &IntermediateStore, p: PartitionId) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut m = CursorMerge::new(store.partition_cursors(p).unwrap());
+        let mut out = Vec::new();
+        while let Some((k, v)) = m.peek() {
+            out.push((k.to_vec(), v.to_vec()));
+            m.advance().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_cursors_equal_materialized_runs() {
+        let mut c = cfg(1);
+        c.cache_threshold = 1; // spill every run
+        c.max_spill_files = 2;
+        let store = IntermediateStore::new(c).unwrap();
+        for i in 0..40 {
+            let words: Vec<String> = (0..20)
+                .map(|j| format!("k{:03}-{i:02}", (i * 7 + j) % 50))
+                .collect();
+            let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+            store.add_run(0, word_run(&refs));
+            // Drain so every add becomes its own spill, forcing compaction.
+            store.quiesce();
+        }
+        store.finish_map().unwrap();
+        assert!(store.metrics().compactions >= 1, "{:?}", store.metrics());
+        let runs = store.partition_runs(0).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = MergeIter::new(runs.iter())
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        assert_eq!(stream_partition(&store, 0), expect);
+        assert_eq!(expect.len(), 800);
+        let m = store.metrics();
+        assert!(m.frames_read > 0, "{m:?}");
+    }
+
+    #[test]
+    fn memory_budget_bounds_peak_residency() {
+        let budget = 64 << 10;
+        let mut c = cfg(1).with_memory_budget(budget);
+        c.merger_threads = 1;
+        let store = IntermediateStore::new(c).unwrap();
+        // ≥4× the budget of intermediate data, in ~2 KiB runs.
+        let mut total = 0usize;
+        let mut i = 0usize;
+        while total < 4 * budget {
+            let words: Vec<String> = (0..64).map(|j| format!("key{:06}", i * 64 + j)).collect();
+            let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+            let run = word_run(&refs);
+            total += run.len_bytes();
+            store.add_run(0, run);
+            i += 1;
+        }
+        store.finish_map().unwrap();
+        let m = store.metrics();
+        assert!(m.spilled_disk > 0, "{m:?}");
+        assert!(
+            m.peak_resident_bytes <= budget + budget / 2,
+            "peak {} exceeds 1.5× budget {budget} ({m:?})",
+            m.peak_resident_bytes
+        );
+        // The data all made it, and streams back in bounded memory.
+        assert_eq!(store.partition_records(0), i * 64);
+        let streamed = stream_partition(&store, 0);
+        assert_eq!(streamed.len(), i * 64);
+        assert!(
+            store.metrics().peak_resident_bytes <= budget + budget / 2,
+            "streaming reduce input must stay within the budget too"
+        );
+    }
+
+    /// Fails every spill write from the `nth` probe on.
+    struct FailWrites {
+        after: u32,
+        seen: AtomicUsize,
+    }
+    impl SpillFaultHook for FailWrites {
+        fn spill_fault(&self, op: SpillOp) -> bool {
+            op == SpillOp::Write && self.seen.fetch_add(1, Ordering::Relaxed) as u32 >= self.after
+        }
+    }
+
+    #[test]
+    fn spill_write_failure_poisons_instead_of_panicking() {
+        let store = IntermediateStore::new(cfg(1)).unwrap();
+        store.arm_spill_faults(Some(Arc::new(FailWrites {
+            after: 0,
+            seen: AtomicUsize::new(0),
+        })));
+        let words: Vec<String> = (0..400).map(|i| format!("w{i:05}")).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        for _ in 0..4 {
+            store.add_run(0, word_run(&refs));
+        }
+        let err = store.finish_map().unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The poison is sticky: later consumers see it too.
+        assert!(store.partition_cursors(0).is_err());
+        assert!(store.partition_runs(0).is_err());
+    }
+
+    #[test]
+    fn truncated_spill_surfaces_invalid_data() {
+        let mut c = cfg(1);
+        c.cache_threshold = 1;
+        let store = IntermediateStore::new(c).unwrap();
+        let words: Vec<String> = (0..300).map(|i| format!("t{i:05}")).collect();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        store.add_run(0, word_run(&refs));
+        store.finish_map().unwrap();
+        let paths = store.spill_paths(0);
+        assert!(!paths.is_empty());
+        let bytes = std::fs::read(&paths[0]).unwrap();
+        std::fs::write(&paths[0], &bytes[..bytes.len() / 2]).unwrap();
+        let err = match store.partition_cursors(0) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated spill must not open"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 }

@@ -205,7 +205,7 @@ mod tests {
         let summary = receiver.join();
         assert_eq!(summary.runs, 2);
         assert_eq!(summary.done_markers, 2);
-        store0.finish_map();
+        store0.finish_map().expect("finish_map");
         assert_eq!(store0.partition_records(0) + store0.partition_records(1), 2);
     }
 
@@ -240,7 +240,7 @@ mod tests {
         let summary = receiver.join();
         assert_eq!(summary.done_markers, 2);
         assert_eq!(summary.runs, 1, "duplicate identity suppressed");
-        store0.finish_map();
+        store0.finish_map().expect("finish_map");
         assert_eq!(store0.partition_records(0), 1);
     }
 

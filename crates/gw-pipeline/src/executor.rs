@@ -1387,7 +1387,7 @@ mod tests {
             c: usize,
             _ctx: &mut StageCtx<'_>,
         ) -> Result<Option<usize>, String> {
-            if c % 2 == 0 {
+            if c.is_multiple_of(2) {
                 std::thread::sleep(Duration::from_millis(2));
             }
             Ok(Some(c))
@@ -1792,7 +1792,7 @@ mod tests {
 
         fn produce(&mut self, _ctx: &mut StageCtx<'_>) -> Result<usize, String> {
             let v = self.pending.take().expect("claimed");
-            if v % 2 == 0 {
+            if v.is_multiple_of(2) {
                 std::thread::sleep(Duration::from_millis(1));
             }
             Ok(v)

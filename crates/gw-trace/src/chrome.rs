@@ -199,6 +199,7 @@ fn mark_name(mark: MarkId) -> &'static str {
         MarkId::NetFaultFired { .. } => "net-fault",
         MarkId::TaskFaultFired => "task-fault",
         MarkId::StallFired { .. } => "stall-fired",
+        MarkId::SpillFaultFired { .. } => "spill-fault",
         MarkId::SpecLaunched { .. } => "spec-launched",
         MarkId::SpecResolved { .. } => "spec-resolved",
         MarkId::DfsRead { .. } => "dfs-read",
@@ -235,6 +236,11 @@ fn mark_args(out: &mut String, mark: MarkId) {
             out.push_str("\"site\":\"");
             escape_into(out, site);
             let _ = write!(out, "\",\"ms\":{ms}");
+        }
+        MarkId::SpillFaultFired { op } => {
+            out.push_str("\"op\":\"");
+            escape_into(out, op);
+            out.push('"');
         }
         MarkId::SpecLaunched { block } => {
             let _ = write!(out, "\"block\":{block}");

@@ -128,6 +128,12 @@ pub enum MarkId {
         /// Injected stall length, milliseconds.
         ms: u64,
     },
+    /// A chaos spill-file I/O fault fired (the intermediate store poisons
+    /// and the job fails with a typed I/O error instead of panicking).
+    SpillFaultFired {
+        /// Faulted operation name ("write" / "read").
+        op: &'static str,
+    },
     /// The speculation controller launched a duplicate attempt for a
     /// straggling split.
     SpecLaunched {

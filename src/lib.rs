@@ -59,7 +59,7 @@ pub use gw_storage as storage;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use gw_apps::{KMeans, MatMul, PageviewCount, TeraSort, WordCount};
-    pub use gw_chaos::{CrashSite, FaultPlan};
+    pub use gw_chaos::{CrashSite, FaultPlan, SpillOp};
     pub use gw_core::cluster::read_job_output;
     pub use gw_core::{
         Buffering, Cluster, CollectorKind, Combiner, Emit, GwApp, JobConfig, JobReport, LanePlan,

@@ -474,6 +474,116 @@ fn persistent_slowdown_degrades_but_never_kills() {
     assert_eq!(out, reference);
 }
 
+/// Chaos config with a one-byte run cache: every added run spills to a
+/// framed file immediately and compaction churns throughout the job, so
+/// the reduce input is served almost entirely from streaming spill
+/// cursors (the out-of-core path).
+fn spill_heavy_cfg() -> JobConfig {
+    let mut cfg = chaos_cfg();
+    cfg.cache_threshold = 1;
+    cfg
+}
+
+#[test]
+fn spill_heavy_chaos_sweep_recovers_byte_identical() {
+    // The crash sweep re-run with spilling forced on: recovery must
+    // compose with the out-of-core intermediate path, and the output
+    // bytes must match the *in-core* reference — the determinism
+    // contract says the spill strategy is invisible in the output.
+    let reference = reference_output(NODES);
+    let mut recovered = 0usize;
+    for seed in 0..20u64 {
+        let plan = FaultPlan::from_seed(seed, NODES);
+        let schedule = plan.describe();
+        let cluster = make_cluster(NODES).with_fault_plan(plan);
+        match cluster.run(Arc::new(WordCount::new()), &spill_heavy_cfg()) {
+            Ok(report) => {
+                let spilled: usize = report
+                    .nodes
+                    .iter()
+                    .map(|n| n.intermediate.spilled_disk)
+                    .sum();
+                assert!(spilled > 0, "seed {seed} ({schedule}): nothing spilled");
+                let out = read_job_output(cluster.store(), &report).unwrap();
+                assert_eq!(
+                    out, reference,
+                    "seed {seed} ({schedule}): spill-heavy output diverged"
+                );
+                recovered += 1;
+            }
+            Err(EngineError::JobTimeout(_)) => {
+                panic!("seed {seed} ({schedule}): recovery hung until the watchdog")
+            }
+            Err(
+                EngineError::NodeLost(_) | EngineError::TaskFailed(_) | EngineError::Storage(_),
+            ) => {}
+            Err(other) => panic!("seed {seed} ({schedule}): unexpected error {other}"),
+        }
+    }
+    assert!(
+        recovered >= 10,
+        "only {recovered}/20 spill-heavy seeds recovered"
+    );
+}
+
+#[test]
+fn spill_heavy_gray_sweep_recovers_byte_identical() {
+    // Gray faults never kill nodes, so with spilling forced on every
+    // seed must still finish, spill, and reproduce the in-core bytes.
+    let reference = reference_output(NODES);
+    for seed in 0..20u64 {
+        let plan = FaultPlan::gray_from_seed(seed, NODES);
+        let schedule = plan.describe();
+        let cluster = make_cluster(NODES).with_fault_plan(plan);
+        let report = cluster
+            .run(Arc::new(WordCount::new()), &spill_heavy_cfg())
+            .unwrap_or_else(|e| panic!("seed {seed} ({schedule}): gray run failed: {e}"));
+        assert_eq!(report.nodes_lost, 0, "seed {seed} ({schedule})");
+        let spilled: usize = report
+            .nodes
+            .iter()
+            .map(|n| n.intermediate.spilled_disk)
+            .sum();
+        assert!(spilled > 0, "seed {seed} ({schedule}): nothing spilled");
+        let out = read_job_output(cluster.store(), &report).unwrap();
+        assert_eq!(out, reference, "seed {seed} ({schedule}): output diverged");
+    }
+}
+
+#[test]
+fn spill_write_fault_fails_the_job_cleanly() {
+    // An injected I/O error on the first spill-frame write poisons that
+    // node's store; the job must surface it as a typed I/O error from
+    // the node runtime — never a panic on a merger thread, never a hang.
+    let plan = FaultPlan::empty().with_spill_fault(SpillOp::Write, 0);
+    let cluster = make_cluster(NODES).with_fault_plan(plan);
+    let err = cluster
+        .run(Arc::new(WordCount::new()), &spill_heavy_cfg())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io(_)), "got: {err}");
+    assert!(
+        err.to_string().contains("injected"),
+        "error must carry the fault provenance: {err}"
+    );
+}
+
+#[test]
+fn spill_read_fault_fails_the_job_cleanly() {
+    // Same site, read side: the fault fires when a compaction or reduce
+    // cursor loads a frame, and surfaces through `partition_cursors` /
+    // `finish_map` instead of killing the process.
+    let plan = FaultPlan::empty().with_spill_fault(SpillOp::Read, 0);
+    let cluster = make_cluster(NODES).with_fault_plan(plan);
+    let err = cluster
+        .run(Arc::new(WordCount::new()), &spill_heavy_cfg())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io(_)), "got: {err}");
+    assert!(
+        err.to_string().contains("injected"),
+        "error must carry the fault provenance: {err}"
+    );
+}
+
 #[test]
 fn job_deadline_times_out_cleanly() {
     /// A map that sleeps long enough that the job cannot finish in time.

@@ -290,13 +290,14 @@ proptest! {
         prop_assert_eq!(summary.done_markers, 1);
         prop_assert_eq!(summary.runs, 8); // one admission per identity
 
-        store.finish_map();
+        store.finish_map().expect("finish_map");
         // The reduce input is the k-way merge over the partition's runs;
         // compare it as the sorted record multiset, which the merge
         // reproduces bit-for-bit.
         for p in 0..PARTS {
             let mut got: Vec<(Vec<u8>, Vec<u8>)> = store
                 .partition_runs(p)
+                .expect("partition_runs")
                 .iter()
                 .flat_map(|r| {
                     r.iter()
