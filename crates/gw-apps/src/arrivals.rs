@@ -1,0 +1,210 @@
+//! Open-loop job arrival generation for the resident service.
+//!
+//! WikiBench replays Wikipedia's request traces *open-loop*: requests
+//! arrive on the trace's schedule regardless of how the system keeps up,
+//! so queueing (not admission rate) absorbs overload and tail latency
+//! becomes visible. This module generates that shape for whole MapReduce
+//! jobs instead of HTTP requests:
+//!
+//! - **Bursty inter-arrival gaps** — each gap is the mean gap scaled by a
+//!   multiplier drawn Zipf over a rank ladder, so most gaps are short
+//!   (bursts) with occasional long silences. `burstiness` interpolates
+//!   toward uniform gaps at 0.
+//! - **Zipf workload popularity** — each arrival references a workload
+//!   seed drawn Zipf-popular from a small catalog, the request-repetition
+//!   structure that makes a service-side result cache worthwhile (hot
+//!   pageview datasets get re-analyzed; cold ones appear once).
+//! - **Uniform tenant attribution** — arrivals round-robin over a tenant
+//!   count with seeded shuffling, so every tenant sees both hot and cold
+//!   submissions.
+//!
+//! Everything derives deterministically from [`ArrivalSpec::seed`].
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workloads::Zipf;
+
+/// Parameters for one open-loop arrival schedule.
+#[derive(Debug, Clone)]
+pub struct ArrivalSpec {
+    /// Total arrivals to generate.
+    pub jobs: usize,
+    /// Number of tenants to attribute arrivals to.
+    pub tenants: usize,
+    /// Mean inter-arrival gap.
+    pub mean_gap: Duration,
+    /// Burst skew in `[0, 1]`: 0 = uniform gaps at `mean_gap`, 1 = heavy
+    /// Zipf over the gap ladder (tight bursts plus long silences).
+    pub burstiness: f64,
+    /// Workload-seed catalog size (distinct datasets in play).
+    pub catalog: usize,
+    /// Zipf exponent of workload popularity (≈1 for WikiBench-like
+    /// repetition; higher concentrates re-submissions further).
+    pub popularity_s: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        ArrivalSpec {
+            jobs: 32,
+            tenants: 2,
+            mean_gap: Duration::from_millis(50),
+            burstiness: 0.7,
+            catalog: 8,
+            popularity_s: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+/// One scheduled submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from the schedule's start at which to submit.
+    pub at: Duration,
+    /// Tenant index in `0..tenants`.
+    pub tenant: usize,
+    /// Workload seed drawn from the popularity distribution; repeated
+    /// seeds are cache-hit opportunities for the service.
+    pub workload_seed: u64,
+}
+
+/// Gap-multiplier ladder: rank 0 is a tight burst gap, the top rank a
+/// long silence. Zipf over these ranks yields bursty open-loop traffic
+/// whose mean stays near `mean_gap` once normalized.
+const GAP_LADDER: [f64; 6] = [0.05, 0.2, 0.5, 1.0, 3.0, 10.0];
+
+/// Generate the deterministic open-loop schedule for `spec`, sorted by
+/// arrival time.
+pub fn arrival_schedule(spec: &ArrivalSpec) -> Vec<Arrival> {
+    assert!(spec.tenants > 0, "need at least one tenant");
+    assert!(spec.catalog > 0, "need at least one catalog entry");
+    assert!(
+        (0.0..=1.0).contains(&spec.burstiness),
+        "burstiness must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Zipf over the ladder ranks; exponent grows with burstiness.
+    let gap_zipf = Zipf::new(GAP_LADDER.len(), 0.2 + 2.0 * spec.burstiness);
+    let popularity = Zipf::new(spec.catalog, spec.popularity_s);
+
+    // Draw raw multipliers first, then normalize so the realized mean gap
+    // matches `mean_gap` regardless of burstiness (open-loop load is a
+    // controlled variable; burstiness only reshapes it).
+    let raw: Vec<f64> = (0..spec.jobs)
+        .map(|_| {
+            let rank = gap_zipf.sample(&mut rng);
+            let base = GAP_LADDER[rank];
+            // Blend toward uniform at low burstiness.
+            spec.burstiness * base + (1.0 - spec.burstiness)
+        })
+        .collect();
+    let mean_raw = raw.iter().sum::<f64>() / raw.len().max(1) as f64;
+    let scale = spec.mean_gap.as_secs_f64() / mean_raw.max(f64::MIN_POSITIVE);
+
+    let mut at = Duration::ZERO;
+    (0..spec.jobs)
+        .map(|i| {
+            at += Duration::from_secs_f64(raw[i] * scale);
+            Arrival {
+                at,
+                tenant: rng.gen_range(0..spec.tenants),
+                workload_seed: popularity.sample(&mut rng) as u64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_sorted() {
+        let spec = ArrivalSpec::default();
+        let a = arrival_schedule(&spec);
+        let b = arrival_schedule(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.jobs);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        let other = arrival_schedule(&ArrivalSpec {
+            seed: 43,
+            ..spec.clone()
+        });
+        assert_ne!(a, other, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn realized_mean_gap_tracks_the_spec() {
+        let spec = ArrivalSpec {
+            jobs: 400,
+            mean_gap: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let sched = arrival_schedule(&spec);
+        let total = sched.last().unwrap().at;
+        let mean = total.as_secs_f64() / spec.jobs as f64;
+        let want = spec.mean_gap.as_secs_f64();
+        assert!(
+            (mean - want).abs() / want < 0.05,
+            "mean gap {mean:.4}s strayed from {want:.4}s"
+        );
+    }
+
+    #[test]
+    fn bursty_gaps_have_higher_dispersion_than_uniform() {
+        let cv = |burstiness: f64| {
+            let sched = arrival_schedule(&ArrivalSpec {
+                jobs: 500,
+                burstiness,
+                ..Default::default()
+            });
+            let gaps: Vec<f64> = std::iter::once(Duration::ZERO)
+                .chain(sched.iter().map(|a| a.at))
+                .collect::<Vec<_>>()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(0.0) < 1e-9, "zero burstiness means uniform gaps");
+        assert!(
+            cv(0.9) > 0.8,
+            "high burstiness must disperse gaps (cv {})",
+            cv(0.9)
+        );
+    }
+
+    #[test]
+    fn popular_seeds_repeat_and_tenants_all_appear() {
+        let spec = ArrivalSpec {
+            jobs: 200,
+            tenants: 3,
+            catalog: 16,
+            ..Default::default()
+        };
+        let sched = arrival_schedule(&spec);
+        let mut seed_counts = std::collections::HashMap::new();
+        let mut tenants = std::collections::HashSet::new();
+        for a in &sched {
+            *seed_counts.entry(a.workload_seed).or_insert(0usize) += 1;
+            tenants.insert(a.tenant);
+            assert!(a.workload_seed < spec.catalog as u64);
+            assert!(a.tenant < spec.tenants);
+        }
+        assert_eq!(tenants.len(), 3, "every tenant submits");
+        let max = seed_counts.values().max().copied().unwrap_or(0);
+        assert!(
+            max * spec.catalog > 2 * spec.jobs,
+            "the hot seed should repeat well above uniform share ({max} of {})",
+            spec.jobs
+        );
+    }
+}

@@ -19,7 +19,12 @@
 //! deterministic generator in [`workloads`] plus a sequential reference in
 //! the `reference` module used by the integration tests to validate engine output
 //! bit-for-bit.
+//!
+//! [`arrivals`] adds the WikiBench-style *open-loop* submission schedule
+//! used to drive the resident job service: bursty Zipf inter-arrivals
+//! over a Zipf-popular workload catalog.
 
+pub mod arrivals;
 pub mod codec;
 pub mod kmeans;
 pub mod matmul;
@@ -29,6 +34,7 @@ pub mod terasort;
 pub mod wordcount;
 pub mod workloads;
 
+pub use arrivals::{arrival_schedule, Arrival, ArrivalSpec};
 pub use kmeans::KMeans;
 pub use matmul::MatMul;
 pub use pageview::PageviewCount;

@@ -763,6 +763,7 @@ fn lane_suffix(lane: Option<u32>) -> String {
 /// Node `node`'s chaos lane.
 fn chaos_lane(node: u32) -> LaneId {
     LaneId {
+        job: 0,
         node,
         realm: Realm::Chaos,
     }

@@ -58,7 +58,7 @@ const RX_TICK: Duration = Duration::from_millis(2);
 const REREQUEST_EVERY: Duration = Duration::from_millis(50);
 
 /// Per-node job outcome.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeReport {
     /// The node.
     pub node: NodeId,
@@ -81,8 +81,12 @@ pub struct NodeReport {
 }
 
 /// Whole-job outcome.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct JobReport {
+    /// Whether a service satisfied this submission from its result cache
+    /// instead of executing it. Always `false` on reports produced by an
+    /// engine run; a `gw-service` result cache sets it on cache hits.
+    pub served_from_cache: bool,
     /// Wall-clock job duration (max across nodes, measured at the master).
     pub elapsed: Duration,
     /// Per-node reports of the surviving nodes, sorted by node id.
@@ -208,21 +212,77 @@ impl Cluster {
     /// Execute `app` under `cfg`, blocking until the job completes, fails
     /// with a typed error, or exceeds `cfg.job_deadline`.
     pub fn run(&self, app: Arc<dyn GwApp>, cfg: &JobConfig) -> Result<JobReport, EngineError> {
+        let mut scope = RunScope::one_shot(self.nodes());
+        scope.fault_plan = self.fault_plan.clone();
+        self.run_scoped(app, cfg, scope)
+    }
+
+    /// Execute `app` under `cfg` within `scope`: on a subset of the
+    /// store's nodes, stamped with a service job id, possibly sharing the
+    /// store (and a service-lifetime tracer) with concurrent jobs. This
+    /// is the coordinator/cluster lifetime split: the `Cluster` (store +
+    /// network profile) is resident, while each call builds its own
+    /// [`Coordinator`], fabric and node threads, so any number of jobs
+    /// can be in flight against one cluster at once.
+    ///
+    /// The job runs in *virtual* node space `0..scope.node_set.len()`:
+    /// partition ownership, the shuffle fabric and supervision all see a
+    /// cluster of that size, while storage reads/writes are remapped onto
+    /// the physical nodes of `scope.node_set`. Two concurrent scopes with
+    /// disjoint node sets therefore never share a node's pipeline lanes.
+    pub fn run_scoped(
+        &self,
+        app: Arc<dyn GwApp>,
+        cfg: &JobConfig,
+        scope: RunScope,
+    ) -> Result<JobReport, EngineError> {
         cfg.validate().map_err(EngineError::Config)?;
-        let nodes = self.nodes();
+        let nodes = scope.node_set.len() as u32;
+        if nodes == 0 {
+            return Err(EngineError::Config("empty node set".into()));
+        }
+        {
+            let mut seen = HashSet::new();
+            for &NodeId(p) in &scope.node_set {
+                if p >= self.store.cluster_size() {
+                    return Err(EngineError::Config(format!(
+                        "node {p} outside the store's {} nodes",
+                        self.store.cluster_size()
+                    )));
+                }
+                if !seen.insert(p) {
+                    return Err(EngineError::Config(format!("node {p} listed twice")));
+                }
+            }
+        }
+        let identity = nodes == self.store.cluster_size()
+            && scope
+                .node_set
+                .iter()
+                .enumerate()
+                .all(|(i, n)| n.0 == i as u32);
+        let store: Arc<dyn FileStore> = if identity {
+            Arc::clone(&self.store)
+        } else {
+            Arc::new(ScopedStore {
+                inner: Arc::clone(&self.store),
+                node_set: scope.node_set.clone(),
+            })
+        };
+        let fault_plan = scope.fault_plan;
         let total_partitions = cfg.partitions_per_node * nodes;
-        let splits = self.store.splits(&cfg.input)?;
+        let splits = store.splits(&cfg.input)?;
 
         let mut coordinator = Coordinator::new(splits);
         // Speculation rides on the supervision machinery (run ledger,
         // heartbeats, receiver de-dup), so enabling it supervises the job
         // even without a fault plan.
-        if self.fault_plan.is_some() || cfg.speculation.enabled {
+        if fault_plan.is_some() || cfg.speculation.enabled {
             coordinator.enable_supervision(
                 nodes,
                 total_partitions,
                 cfg.node_timeout,
-                Some(Arc::clone(&self.store)),
+                Some(Arc::clone(&store)),
             );
             coordinator.enable_speculation(cfg.speculation.clone());
         }
@@ -230,36 +290,46 @@ impl Cluster {
 
         // Arm the chaos hooks on the storage and network planes for the
         // duration of the job (the guard disarms storage on every exit).
-        let net_hook = self
-            .fault_plan
+        // The fabric and the fault plan are per-run, so they are armed in
+        // every scope; the *store* is shared cluster state, so its global
+        // hook and tracer are only armed when this run owns the store
+        // exclusively (one-shot mode). Service jobs therefore trace no
+        // storage lanes — their determinism is pinned on output bytes.
+        let net_hook = fault_plan
             .as_ref()
             .map(|p| Arc::clone(p) as Arc<dyn gw_net::NetFaultHook>);
         let mut fabric: Fabric<ShuffleMsg> = Fabric::with_fault_hook(nodes, self.net, net_hook);
-        if let Some(plan) = &self.fault_plan {
-            self.store.arm_fault_hook(Some(
-                Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>
-            ));
+        if scope.exclusive_store {
+            if let Some(plan) = &fault_plan {
+                store.arm_fault_hook(Some(
+                    Arc::clone(plan) as Arc<dyn gw_storage::StorageFaultHook>
+                ));
+            }
         }
-        // Arm the observability plane on every subsystem for the duration
-        // of the job; the guard disarms them all on every exit path.
-        let tracer = Arc::new(Tracer::new());
+        // Arm the observability plane for the duration of the job; the
+        // guard disarms on every exit path. All lanes the run emits are
+        // stamped with the scope's job id.
+        let base_tracer = scope.tracer.clone().unwrap_or_default();
+        let tracer = Arc::new(base_tracer.for_job(scope.job));
         fabric.arm_tracer(Some(Arc::clone(&tracer)));
-        self.store.arm_tracer(Some(Arc::clone(&tracer)));
-        if let Some(plan) = &self.fault_plan {
+        if scope.exclusive_store {
+            store.arm_tracer(Some(Arc::clone(&tracer)));
+        }
+        if let Some(plan) = &fault_plan {
             plan.arm_tracer(Some(Arc::clone(&tracer)));
         }
         coordinator.arm_spec_tracer(Some(Arc::clone(&tracer)));
         let _disarm = DisarmOnDrop {
-            store: &self.store,
-            plan: self.fault_plan.as_deref(),
+            store: scope.exclusive_store.then_some(&store),
+            plan: fault_plan.as_deref(),
         };
-        let failovers_before = self.store.fault_failovers();
+        let failovers_before = store.fault_failovers();
 
         let start = Instant::now();
         // Speculation without a fault plan still needs the supervised node
         // machinery (recovery state, probes); an empty plan injects nothing.
-        let spec_only_plan = (self.fault_plan.is_none() && cfg.speculation.enabled)
-            .then(|| Arc::new(FaultPlan::empty()));
+        let spec_only_plan =
+            (fault_plan.is_none() && cfg.speculation.enabled).then(|| Arc::new(FaultPlan::empty()));
         let (res_tx, res_rx) =
             crossbeam::channel::unbounded::<(u32, Result<NodeReport, EngineError>)>();
         let mut handles = Vec::with_capacity(nodes as usize);
@@ -267,11 +337,10 @@ impl Cluster {
             let node = NodeId(n);
             let endpoint = Arc::new(fabric.endpoint(node));
             let app = Arc::clone(&app);
-            let store = Arc::clone(&self.store);
+            let store = Arc::clone(&store);
             let coordinator = Arc::clone(&coordinator);
             let cfg = cfg.clone();
-            let chaos = self
-                .fault_plan
+            let chaos = fault_plan
                 .as_ref()
                 .or(spec_only_plan.as_ref())
                 .map(|plan| NodeChaos {
@@ -281,8 +350,9 @@ impl Cluster {
                 });
             let tracer = Arc::clone(&tracer);
             let res_tx = res_tx.clone();
+            let job = scope.job;
             let handle = std::thread::Builder::new()
-                .name(format!("gw-node-{n}"))
+                .name(format!("gw-j{job}-node-{n}"))
                 .spawn(move || {
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         run_node(
@@ -380,14 +450,14 @@ impl Cluster {
             }
         }
         reports.sort_by_key(|r| r.node.0);
-        let trace = tracer.finish();
+        let trace = tracer.finish_job(scope.job);
         Ok(JobReport {
+            served_from_cache: false,
             elapsed,
             nodes: reports,
             nodes_lost: coordinator.nodes_lost(),
             splits_rescheduled: coordinator.splits_rescheduled(),
-            blocks_read_remote_due_to_fault: self
-                .store
+            blocks_read_remote_due_to_fault: store
                 .fault_failovers()
                 .saturating_sub(failovers_before),
             speculation: coordinator.speculation_report(),
@@ -398,17 +468,160 @@ impl Cluster {
     }
 }
 
+/// Where and as whom one [`Cluster::run_scoped`] call executes.
+#[derive(Debug, Clone)]
+pub struct RunScope {
+    /// Service job id; stamps every trace lane the run emits. One-shot
+    /// runs use 0.
+    pub job: u32,
+    /// Physical store nodes the job runs on; virtual node `i` of the job
+    /// maps onto `node_set[i]`. Must be non-empty, duplicate-free and
+    /// within the store's `cluster_size`.
+    pub node_set: Vec<NodeId>,
+    /// Fault-injection plan for this run (sites fire in this run's
+    /// pipeline threads only).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Service-lifetime tracer to record into ([`Tracer::for_job`] view
+    /// is taken with `job`); `None` gives the run a private tracer.
+    pub tracer: Option<Tracer>,
+    /// Whether this run may arm the *shared* store's global chaos hook
+    /// and tracer. True only when no other job can be resident (the
+    /// one-shot path); concurrent scopes must leave it false or they
+    /// would fight over cluster-global hook slots.
+    pub exclusive_store: bool,
+}
+
+impl RunScope {
+    /// The classic one-shot scope: job 0, every store node, exclusive.
+    pub fn one_shot(nodes: u32) -> Self {
+        RunScope {
+            job: 0,
+            node_set: (0..nodes).map(NodeId).collect(),
+            fault_plan: None,
+            tracer: None,
+            exclusive_store: true,
+        }
+    }
+
+    /// A service job scope: stamped `job`, confined to `node_set`,
+    /// sharing the store (no global hook arming).
+    pub fn for_job(job: u32, node_set: Vec<NodeId>) -> Self {
+        RunScope {
+            job,
+            node_set,
+            fault_plan: None,
+            tracer: None,
+            exclusive_store: false,
+        }
+    }
+}
+
+/// A virtual view of a shared [`FileStore`] confined to a node subset:
+/// node id `i` of the view is physical node `node_set[i]` of the inner
+/// store. Reads and writes translate the acting node (locality and
+/// replica choice follow the physical node); split locations translate
+/// back into virtual space, dropping replicas held outside the subset
+/// (they stay readable, just never "local"). `mark_node_dead` translates
+/// too, so a supervised scoped job that loses virtual node `i` kills the
+/// right physical machine — a real node death, visible to co-tenants,
+/// whose reads fail over to surviving replicas.
+struct ScopedStore {
+    inner: Arc<dyn FileStore>,
+    node_set: Vec<NodeId>,
+}
+
+impl ScopedStore {
+    fn phys(&self, virt: NodeId) -> NodeId {
+        self.node_set.get(virt.0 as usize).copied().unwrap_or(virt)
+    }
+
+    fn virt(&self, phys: NodeId) -> Option<NodeId> {
+        self.node_set
+            .iter()
+            .position(|&n| n == phys)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+impl FileStore for ScopedStore {
+    fn write_blocks(
+        &self,
+        path: &str,
+        writer: NodeId,
+        blocks: Vec<(Vec<u8>, usize)>,
+        replication: usize,
+    ) -> Result<gw_storage::IoSample, gw_storage::StorageError> {
+        self.inner
+            .write_blocks(path, self.phys(writer), blocks, replication)
+    }
+
+    fn splits(&self, path: &str) -> Result<Vec<gw_storage::InputSplit>, gw_storage::StorageError> {
+        let mut splits = self.inner.splits(path)?;
+        for s in &mut splits {
+            s.locations = s
+                .locations
+                .iter()
+                .filter_map(|&loc| self.virt(loc))
+                .collect();
+        }
+        Ok(splits)
+    }
+
+    fn read_split(
+        &self,
+        split: &gw_storage::InputSplit,
+        reader: NodeId,
+    ) -> Result<(Arc<[u8]>, gw_storage::IoSample), gw_storage::StorageError> {
+        self.inner.read_split(split, self.phys(reader))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn delete(&self, path: &str) {
+        self.inner.delete(path)
+    }
+
+    fn io_stats(&self) -> &gw_storage::IoStats {
+        self.inner.io_stats()
+    }
+
+    fn cluster_size(&self) -> u32 {
+        self.node_set.len() as u32
+    }
+
+    fn arm_fault_hook(&self, hook: Option<Arc<dyn gw_storage::StorageFaultHook>>) {
+        self.inner.arm_fault_hook(hook)
+    }
+
+    fn arm_tracer(&self, tracer: Option<Arc<gw_trace::Tracer>>) {
+        self.inner.arm_tracer(tracer)
+    }
+
+    fn mark_node_dead(&self, node: NodeId) {
+        self.inner.mark_node_dead(self.phys(node))
+    }
+
+    fn fault_failovers(&self) -> usize {
+        self.inner.fault_failovers()
+    }
+}
+
 /// Disarms the store's chaos hook and every subsystem's tracer on every
-/// exit path of [`Cluster::run`].
+/// exit path of [`Cluster::run_scoped`]. `store` is `None` for shared
+/// (non-exclusive) scopes, which never armed the store's global slots.
 struct DisarmOnDrop<'a> {
-    store: &'a Arc<dyn FileStore>,
+    store: Option<&'a Arc<dyn FileStore>>,
     plan: Option<&'a FaultPlan>,
 }
 
 impl Drop for DisarmOnDrop<'_> {
     fn drop(&mut self) {
-        self.store.arm_fault_hook(None);
-        self.store.arm_tracer(None);
+        if let Some(store) = self.store {
+            store.arm_fault_hook(None);
+            store.arm_tracer(None);
+        }
         if let Some(plan) = self.plan {
             plan.arm_tracer(None);
         }
@@ -557,6 +770,7 @@ fn spawn_supervised_receiver(
                                     // single-writer.
                                     tracer
                                         .lane(LaneId {
+                                            job: 0,
                                             node: node.0,
                                             realm: Realm::NetRx,
                                         })
@@ -1036,6 +1250,62 @@ mod tests {
         assert_eq!(report.nodes_lost, 0);
         assert_eq!(report.splits_rescheduled, 0);
         assert_eq!(report.blocks_read_remote_due_to_fault, 0);
+    }
+
+    #[test]
+    fn scoped_subset_run_matches_a_dedicated_cluster_of_the_same_size() {
+        // A 2-slot job on physical nodes {2, 3} of a shared 4-node store
+        // must produce byte-identical output to the same job on a
+        // dedicated 2-node cluster: output bytes are a function of
+        // (workload, JobConfig, node count), never of placement.
+        let big = make_cluster(4);
+        let tracer = Tracer::new();
+        let mut scope = RunScope::for_job(7, vec![NodeId(2), NodeId(3)]);
+        scope.tracer = Some(tracer.clone());
+        let mut cfg = base_cfg();
+        cfg.partitions_per_node = 2;
+        let report = big.run_scoped(Arc::new(WordCount), &cfg, scope).unwrap();
+        assert!(!report.served_from_cache);
+        assert_eq!(report.nodes.len(), 2);
+        assert_eq!(report.output_files().len(), 4);
+        check_output(&big, &report);
+        // Every lane the scoped run emitted is stamped with its job id,
+        // both in the report's own trace and in the shared tracer.
+        assert!(report.trace.event_count() > 0);
+        assert!(report.trace.lanes.iter().all(|(id, _)| id.job == 7));
+        assert_eq!(tracer.finish().jobs(), vec![7]);
+
+        let small = make_cluster(2);
+        let solo = small.run(Arc::new(WordCount), &cfg).unwrap();
+        let scoped_out = read_job_output(big.store(), &report).unwrap();
+        let solo_out = read_job_output(small.store(), &solo).unwrap();
+        assert_eq!(scoped_out, solo_out);
+    }
+
+    #[test]
+    fn scoped_run_rejects_bad_node_sets() {
+        let cluster = make_cluster(2);
+        let cfg = base_cfg();
+        let err = cluster
+            .run_scoped(Arc::new(WordCount), &cfg, RunScope::for_job(1, Vec::new()))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+        let err = cluster
+            .run_scoped(
+                Arc::new(WordCount),
+                &cfg,
+                RunScope::for_job(1, vec![NodeId(0), NodeId(5)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+        let err = cluster
+            .run_scoped(
+                Arc::new(WordCount),
+                &cfg,
+                RunScope::for_job(1, vec![NodeId(1), NodeId(1)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
     }
 
     #[test]

@@ -875,6 +875,7 @@ impl Coordinator {
 /// Node `node`'s coordinator lane (speculation marks land here).
 fn spec_lane(node: u32) -> LaneId {
     LaneId {
+        job: 0,
         node,
         realm: Realm::Coordinator,
     }

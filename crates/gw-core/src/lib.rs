@@ -49,7 +49,7 @@ pub mod schedule;
 pub mod timers;
 
 pub use api::{Combiner, Emit, GwApp};
-pub use cluster::{Cluster, JobReport, NodeReport};
+pub use cluster::{read_job_output, Cluster, JobReport, NodeReport, RunScope};
 pub use collect::{BufferPoolCollector, Collector, CollectorKind, HashTableCollector};
 pub use config::{Buffering, JobConfig, LanePlan, SpeculationConfig, TimingMode};
 pub use coordinator::{Coordinator, SpeculationReport};
@@ -59,9 +59,10 @@ pub use timers::{PipelineKind, StageId, StageTimers, TimerReport};
 pub use gw_chaos::{CrashSite, FaultPlan};
 pub use gw_storage::NodeId;
 pub use gw_trace::{
-    validate_json, Advice, Anomalies, CounterId, CriticalPath, Event, EventKind, LaneId,
-    LogicalKind, MarkId, MetricsSummary, NodePerf, OverlapMatrix, PerfAnalysis, PipelinePerf,
-    ReadClass, Realm, ServiceStats, SpanId, StagePerf, Straggler, Trace, Tracer,
+    validate_json, Advice, Anomalies, CounterId, CriticalPath, Event, EventKind, Interference,
+    JobActivity, JobOverlap, LaneId, LogicalKind, MarkId, MetricsSummary, NodePerf, OverlapMatrix,
+    PerfAnalysis, PipelinePerf, ReadClass, Realm, ServiceStats, SpanId, StagePerf, Straggler,
+    Trace, Tracer,
 };
 
 /// Errors surfaced by the engine.

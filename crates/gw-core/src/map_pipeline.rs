@@ -703,6 +703,7 @@ impl MapPhase<'_> {
                     buffers_back: buffers_back.clone(),
                     tasks_retried: &tasks_retried,
                     lane: self.tracer.lane(LaneId {
+                        job: 0,
                         node: self.node.0,
                         realm: Realm::Pipeline {
                             kind: PipelineKind::Map,
@@ -733,6 +734,7 @@ impl MapPhase<'_> {
                     chaos: self.chaos.clone(),
                     collectors_back: collectors_back.clone(),
                     lane: self.tracer.lane(LaneId {
+                        job: 0,
                         node: self.node.0,
                         realm: Realm::Pipeline {
                             kind: PipelineKind::Map,
@@ -791,6 +793,7 @@ impl MapPhase<'_> {
         // partition stage builds and recycles builders on one thread in
         // chunk order, at every buffering level).
         let job_lane = self.tracer.lane(LaneId {
+            job: 0,
             node: self.node.0,
             realm: Realm::Job,
         });

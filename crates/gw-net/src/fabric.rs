@@ -165,6 +165,7 @@ impl<T: Send + 'static> Endpoint<T> {
     fn trace_send(&self, wire_bytes: usize) {
         if let Some(t) = self.shared.tracer.read().as_ref() {
             let lane = t.lane(LaneId {
+                job: 0,
                 node: self.node.0,
                 realm: Realm::Net,
             });
@@ -177,6 +178,7 @@ impl<T: Send + 'static> Endpoint<T> {
     fn trace_recv(&self) {
         if let Some(t) = self.shared.tracer.read().as_ref() {
             t.lane(LaneId {
+                job: 0,
                 node: self.node.0,
                 realm: Realm::NetRx,
             })

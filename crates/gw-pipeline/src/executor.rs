@@ -875,6 +875,7 @@ impl<'a, T: Send + 'a, E: Send + 'a> PipelineBuilder<'a, T, E> {
             stage: id,
             lane: tracer.as_ref().map(|(t, node)| {
                 t.lane(LaneId {
+                    job: 0,
                     node: *node,
                     realm: Realm::Pipeline {
                         kind,

@@ -1,0 +1,213 @@
+//! The byte-exact result cache.
+//!
+//! Glasswing jobs are deterministic: output bytes are a function of
+//! (workload, `JobConfig`, node count) — the determinism battery in
+//! `tests/` pins exactly that. The cache turns the contract into served
+//! traffic: a repeated submission with the same workload seed, the same
+//! job configuration (output path excluded — the service assigns one per
+//! job) and the same slot count returns the original run's bytes with
+//! zero re-execution, flagged via `JobReport::served_from_cache`.
+//!
+//! Keys digest the configuration through its `Debug` rendering — every
+//! field that can change output bytes participates, and a new field
+//! changes the digest conservatively (a false miss, never a false hit).
+//! Eviction is FIFO at a fixed capacity.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use gw_core::hash::hash_bytes;
+use gw_core::{JobConfig, JobReport};
+use gw_storage::KvVec;
+
+/// Identity of a cacheable submission.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The workload generator seed the submitter declared.
+    pub workload_seed: u64,
+    /// The application name (`GwApp::name`).
+    pub app: String,
+    /// Slots the job runs on (partition count, and therefore output
+    /// bytes, depend on it).
+    pub slots: u32,
+    /// Digest of the job configuration with the output path cleared.
+    pub cfg_digest: u64,
+}
+
+impl CacheKey {
+    /// Build the key for a submission.
+    pub fn new(workload_seed: u64, app: &str, slots: u32, cfg: &JobConfig) -> Self {
+        let mut normalized = cfg.clone();
+        // The service rewrites the output path per job; two submissions
+        // differing only there are the same work.
+        normalized.output = String::new();
+        let digest = hash_bytes(format!("{normalized:?}").as_bytes());
+        CacheKey {
+            workload_seed,
+            app: app.to_string(),
+            slots,
+            cfg_digest: digest,
+        }
+    }
+}
+
+/// One cached run: the job's full output records plus its report.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Output records, ordered by global partition then in-file order.
+    pub output: Arc<KvVec>,
+    /// The original run's report (`served_from_cache` still false here;
+    /// it is set on the *clone* handed to each cache hit).
+    pub report: Arc<JobReport>,
+}
+
+/// FIFO-bounded map from [`CacheKey`] to finished results.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, CachedResult>,
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key`. A hit returns the cached output and a report clone
+    /// with `served_from_cache` set.
+    pub fn get(&mut self, key: &CacheKey) -> Option<(Arc<KvVec>, JobReport)> {
+        match self.map.get(key) {
+            Some(hit) => {
+                self.hits += 1;
+                let mut report = (*hit.report).clone();
+                report.served_from_cache = true;
+                Some((Arc::clone(&hit.output), report))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a finished run. Re-inserting an existing key refreshes the
+    /// value without growing the FIFO order.
+    pub fn insert(&mut self, key: CacheKey, output: Arc<KvVec>, report: Arc<JobReport>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self
+            .map
+            .insert(key.clone(), CachedResult { output, report })
+            .is_none()
+        {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64, slots: u32, cfg: &JobConfig) -> CacheKey {
+        CacheKey::new(seed, "app", slots, cfg)
+    }
+
+    fn dummy_report() -> Arc<JobReport> {
+        Arc::new(JobReport {
+            served_from_cache: false,
+            elapsed: std::time::Duration::from_millis(5),
+            nodes: Vec::new(),
+            nodes_lost: 0,
+            splits_rescheduled: 0,
+            blocks_read_remote_due_to_fault: 0,
+            speculation: Default::default(),
+            metrics: gw_trace::Trace::default().metrics(),
+            analysis: Default::default(),
+            trace: gw_trace::Trace::default(),
+        })
+    }
+
+    #[test]
+    fn output_paths_do_not_split_the_key_but_real_knobs_do() {
+        let a = JobConfig::new("/in", "/svc/out/job-1");
+        let b = JobConfig::new("/in", "/svc/out/job-2");
+        assert_eq!(key(7, 2, &a), key(7, 2, &b));
+        let mut c = a.clone();
+        c.partitions_per_node = 5;
+        assert_ne!(key(7, 2, &a), key(7, 2, &c));
+        assert_ne!(key(7, 2, &a), key(8, 2, &a), "seed is part of the key");
+        assert_ne!(key(7, 2, &a), key(7, 3, &a), "slots are part of the key");
+        assert_ne!(
+            CacheKey::new(7, "x", 2, &a),
+            CacheKey::new(7, "y", 2, &a),
+            "the app is part of the key"
+        );
+    }
+
+    #[test]
+    fn hits_flag_served_from_cache_without_mutating_the_entry() {
+        let mut cache = ResultCache::new(4);
+        let cfg = JobConfig::new("/in", "/out");
+        let k = key(1, 2, &cfg);
+        cache.insert(
+            k.clone(),
+            Arc::new(vec![(b"k".to_vec(), b"v".to_vec())]),
+            dummy_report(),
+        );
+        let (out, report) = cache.get(&k).unwrap();
+        assert!(report.served_from_cache);
+        assert_eq!(out.len(), 1);
+        // A second hit gets a fresh flagged clone (entry unmutated).
+        let (_, report2) = cache.get(&k).unwrap();
+        assert!(report2.served_from_cache);
+        assert_eq!(cache.stats(), (2, 0));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_capacity_zero_disables() {
+        let mut cache = ResultCache::new(2);
+        let cfg = JobConfig::new("/in", "/out");
+        for seed in 0..3u64 {
+            cache.insert(key(seed, 1, &cfg), Arc::new(Vec::new()), dummy_report());
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0, 1, &cfg)).is_none(), "oldest evicted");
+        assert!(cache.get(&key(2, 1, &cfg)).is_some());
+
+        let mut off = ResultCache::new(0);
+        off.insert(key(9, 1, &cfg), Arc::new(Vec::new()), dummy_report());
+        assert!(off.is_empty());
+    }
+}

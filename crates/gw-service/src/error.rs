@@ -1,0 +1,108 @@
+//! Typed service errors. Admission failures are *decisions*, not faults:
+//! they carry the reason the controller shed the submission so callers
+//! can distinguish backpressure from tenant misconfiguration.
+
+use gw_core::EngineError;
+
+/// Why the admission controller rejected a submission.
+#[derive(Debug)]
+pub enum RejectReason {
+    /// The service-wide queue bound was reached.
+    QueueFull {
+        /// The configured global bound.
+        limit: usize,
+    },
+    /// The submitting tenant's own queue quota was reached.
+    TenantQueueFull {
+        /// The tenant.
+        tenant: String,
+        /// Its configured quota.
+        limit: usize,
+    },
+    /// The submission named a tenant the service was not configured with.
+    UnknownTenant(String),
+    /// The job asked for more slots than the cluster has nodes — it
+    /// could never be scheduled, so it is rejected up front.
+    SlotsUnsatisfiable {
+        /// Slots the job requested.
+        requested: u32,
+        /// Nodes the cluster has.
+        total: u32,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { limit } => {
+                write!(f, "service queue full (limit {limit})")
+            }
+            RejectReason::TenantQueueFull { tenant, limit } => {
+                write!(f, "tenant {tenant} queue full (quota {limit})")
+            }
+            RejectReason::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            RejectReason::SlotsUnsatisfiable { requested, total } => {
+                write!(f, "requested {requested} slots on a {total}-node cluster")
+            }
+        }
+    }
+}
+
+/// Errors surfaced by the job service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The admission controller shed the submission instead of queueing
+    /// it; the service never blocks a submitter.
+    AdmissionRejected(RejectReason),
+    /// The job was admitted and executed, but the engine failed it.
+    Engine(EngineError),
+    /// The service was shut down before the job could run.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::AdmissionRejected(r) => write!(f, "admission rejected: {r}"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_decision_details() {
+        let e = ServiceError::AdmissionRejected(RejectReason::TenantQueueFull {
+            tenant: "batch".into(),
+            limit: 4,
+        });
+        assert_eq!(
+            e.to_string(),
+            "admission rejected: tenant batch queue full (quota 4)"
+        );
+        let e = ServiceError::AdmissionRejected(RejectReason::SlotsUnsatisfiable {
+            requested: 9,
+            total: 4,
+        });
+        assert!(e.to_string().contains("9 slots on a 4-node cluster"));
+    }
+}

@@ -279,6 +279,7 @@ impl FileStore for Dfs {
                 ReadClass::Remote
             };
             let lane = t.lane(LaneId {
+                job: 0,
                 node: reader.0,
                 realm: Realm::Storage,
             });

@@ -935,6 +935,7 @@ mod tests {
 
     fn lane(node: u32, kind: PipelineKind, stage: StageId) -> LaneId {
         LaneId {
+            job: 0,
             node,
             realm: Realm::Pipeline {
                 kind,

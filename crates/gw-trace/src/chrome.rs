@@ -2,11 +2,12 @@
 //!
 //! Written by hand (the workspace vendors no JSON crate) with a **stable
 //! field order** — `name, ph, pid, tid, ts, s, args` — so the golden-file
-//! test can byte-compare output. One process per node, one thread per
-//! lane (pipeline stages first, then storage/net/chaos), `B`/`E` pairs
-//! for spans, `i` for instant marks, `C` for counters (cumulative value
-//! per lane). Load the result in `chrome://tracing` or
-//! <https://ui.perfetto.dev>.
+//! test can byte-compare output. One process per job × node (job 0 keeps
+//! `pid == node`, so one-shot exports are byte-identical to the
+//! pre-service format), one thread per lane (pipeline stages first, then
+//! storage/net/chaos), `B`/`E` pairs for spans, `i` for instant marks,
+//! `C` for counters (cumulative value per lane). Load the result in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,24 +20,26 @@ pub(crate) fn export(trace: &Trace) -> String {
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
 
-    // Lane → (pid, tid): nodes become processes, lanes become threads
-    // numbered in canonical lane order within their node.
+    // Lane → (pid, tid): each (job, node) pair becomes a process, lanes
+    // become threads numbered in canonical lane order within it. Job 0
+    // maps to `pid == node`, so single-job exports are byte-identical to
+    // the pre-service format; service jobs get a disjoint pid block.
     let mut tids: BTreeMap<LaneId, (u32, u32)> = BTreeMap::new();
-    let mut per_node: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut per_proc: BTreeMap<(u32, u32), u32> = BTreeMap::new();
     for (lane, _) in &trace.lanes {
-        let next = per_node.entry(lane.node).or_insert(0);
-        tids.insert(*lane, (lane.node, *next));
+        let next = per_proc.entry((lane.job, lane.node)).or_insert(0);
+        tids.insert(*lane, (pid_of(lane.job, lane.node), *next));
         *next += 1;
     }
 
-    for &node in per_node.keys() {
+    for &(job, node) in per_proc.keys() {
         meta(
             &mut out,
             &mut first,
             "process_name",
-            node,
+            pid_of(job, node),
             0,
-            &node_name(node),
+            &node_name(job, node),
         );
     }
     for (lane, &(pid, tid)) in &tids {
@@ -128,8 +131,21 @@ pub(crate) fn export(trace: &Trace) -> String {
     out
 }
 
-fn node_name(node: u32) -> String {
-    format!("node {node}")
+/// Jobs are spaced `PID_STRIDE` pids apart so job 0 keeps `pid == node`
+/// (golden-trace bit-compatibility) and no realistic cluster size
+/// collides across jobs.
+const PID_STRIDE: u32 = 1_000;
+
+fn pid_of(job: u32, node: u32) -> u32 {
+    job * PID_STRIDE + node
+}
+
+fn node_name(job: u32, node: u32) -> String {
+    if job == 0 {
+        format!("node {node}")
+    } else {
+        format!("job {job} node {node}")
+    }
 }
 
 /// Common prefix of one event object: `{"name":…,"ph":…,"pid":…,"tid":…,
@@ -290,6 +306,7 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let lane = LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
@@ -358,6 +375,7 @@ mod tests {
     #[test]
     fn counters_are_cumulative_per_lane() {
         let lane = LaneId {
+            job: 0,
             node: 1,
             realm: Realm::Net,
         };
@@ -378,6 +396,28 @@ mod tests {
     }
 
     #[test]
+    fn service_jobs_get_disjoint_pid_blocks_and_named_processes() {
+        let mut multi = sample_trace();
+        let mut job_lane = multi.lanes[0].0;
+        job_lane.job = 2;
+        job_lane.node = 1;
+        let events = multi.lanes[0].1.clone();
+        multi.lanes.push((job_lane, events));
+        let json = multi.chrome_json();
+        validate_json(&json).unwrap();
+        // Job 0 keeps pid == node (golden bit-compatibility)...
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"node 0\"}}"
+        ));
+        // ...while job 2 node 1 lands in its own pid block with a name
+        // that says whose process it is.
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2001,\"tid\":0,\"args\":{\"name\":\"job 2 node 1\"}}"
+        ));
+        assert!(json.contains("\"ph\":\"B\",\"pid\":2001,\"tid\":0"));
+    }
+
+    #[test]
     fn escaping_handles_quotes_and_control_chars() {
         let mut s = String::new();
         escape_into(&mut s, "a\"b\\c\nd");
@@ -394,6 +434,7 @@ mod tests {
     #[test]
     fn marks_carry_their_payloads() {
         let lane = LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Chaos,
         };

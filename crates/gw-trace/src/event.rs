@@ -259,11 +259,17 @@ impl CounterId {
     }
 }
 
-/// One event lane: a node × realm pair. The `Ord` impl defines the
-/// canonical lane order of a [`crate::Trace`] (node-major, then realm in
-/// declaration order: pipeline stages first, then storage/net/chaos/job).
+/// One event lane: a job × node × realm triple. The `Ord` impl defines
+/// the canonical lane order of a [`crate::Trace`] (job-major, then
+/// node-major, then realm in declaration order: pipeline stages first,
+/// then storage/net/chaos/job). One-shot runs use `job: 0` everywhere,
+/// so their canonical order is exactly the pre-service node × realm
+/// order; a resident service stamps each submission's events with its
+/// own job id so two jobs sharing a node never share a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LaneId {
+    /// Service job index (0 for one-shot runs).
+    pub job: u32,
     /// Cluster node index.
     pub node: u32,
     /// Which subsystem of the node the lane belongs to.
@@ -402,6 +408,7 @@ mod tests {
     #[test]
     fn lane_order_is_node_major_then_pipeline_first() {
         let map_input = LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
@@ -410,6 +417,7 @@ mod tests {
             },
         };
         let reduce_output = LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Reduce,
@@ -418,10 +426,12 @@ mod tests {
             },
         };
         let storage = LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Storage,
         };
         let other_node = LaneId {
+            job: 0,
             node: 1,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
@@ -437,6 +447,7 @@ mod tests {
     #[test]
     fn sub_lanes_of_a_stage_sort_adjacent_and_after_lane_zero() {
         let pipe = |stage, lane| LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,

@@ -11,7 +11,8 @@
 //! plane:
 //!
 //! 1. **Lanes, not a global log.** Events are recorded per
-//!    [`LaneId`] (node × realm, one lane per pipeline stage thread).
+//!    [`LaneId`] (job × node × realm, one lane per pipeline stage
+//!    thread; one-shot runs use job 0).
 //!    Within a lane, emission order is program order; *across* lanes no
 //!    order is defined. That is exactly the strongest contract a
 //!    multithreaded pipeline can keep deterministic, and it makes
@@ -28,6 +29,7 @@
 mod analysis;
 mod chrome;
 mod event;
+mod interference;
 mod jsonck;
 mod metrics;
 mod report;
@@ -41,6 +43,7 @@ pub use analysis::{
 pub use event::{
     CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, ReadClass, Realm, SpanId,
 };
+pub use interference::{Interference, JobActivity, JobOverlap};
 pub use jsonck::validate_json;
 pub use metrics::MetricsSummary;
 pub use stage::{PipelineKind, StageId};

@@ -117,6 +117,7 @@ mod tests {
 
     fn pipe_lane(node: u32, stage: StageId) -> LaneId {
         LaneId {
+            job: 0,
             node,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
@@ -146,6 +147,7 @@ mod tests {
         kernel.begin(SpanId::Chunk { seq: 4 });
         kernel.end_unaccounted(SpanId::Chunk { seq: 4 });
         let storage = tracer.lane(LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Storage,
         });

@@ -356,6 +356,7 @@ mod tests {
 
     fn sample() -> PerfAnalysis {
         let lane = |stage| LaneId {
+            job: 0,
             node: 0,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,

@@ -15,11 +15,24 @@ use parking_lot::Mutex;
 use crate::event::{CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, SpanId};
 use crate::metrics::MetricsSummary;
 
-/// Collects events for one job run. Cheap to share (`Arc`); hand lanes to
-/// subsystems with [`Tracer::lane`] and snapshot the result with
-/// [`Tracer::finish`].
-#[derive(Debug)]
+/// Collects events for one job run — or, through [`Tracer::for_job`]
+/// views, for a whole service lifetime of runs sharing one epoch. Cheap
+/// to share (`Arc`); hand lanes to subsystems with [`Tracer::lane`] and
+/// snapshot the result with [`Tracer::finish`].
+///
+/// A `Tracer` is a *view* over a shared event store: [`Tracer::for_job`]
+/// returns a sibling view that stamps every lane it hands out with that
+/// job id, while recording into the same store against the same epoch.
+/// That keeps timestamps from concurrent jobs on one wall-clock axis, so
+/// cross-tenant interference analysis can overlap them directly.
+#[derive(Debug, Clone)]
 pub struct Tracer {
+    inner: Arc<TracerInner>,
+    job: u32,
+}
+
+#[derive(Debug)]
+struct TracerInner {
     epoch: Instant,
     lanes: Mutex<BTreeMap<LaneId, Arc<LaneBuf>>>,
 }
@@ -31,29 +44,68 @@ struct LaneBuf {
 
 impl Tracer {
     /// A fresh tracer; its epoch (the zero of every `at_ns`) is now.
+    /// Lanes it hands out are stamped `job: 0`.
     pub fn new() -> Self {
         Tracer {
-            epoch: Instant::now(),
-            lanes: Mutex::new(BTreeMap::new()),
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                lanes: Mutex::new(BTreeMap::new()),
+            }),
+            job: 0,
         }
     }
 
-    /// Get or create the lane `id`, returning a cheap writer handle.
-    pub fn lane(&self, id: LaneId) -> Lane {
-        let buf = Arc::clone(self.lanes.lock().entry(id).or_default());
+    /// A sibling view over the same event store whose lanes are stamped
+    /// with `job`. Shares the epoch, so events from different job views
+    /// are directly comparable on one time axis.
+    pub fn for_job(&self, job: u32) -> Tracer {
+        Tracer {
+            inner: Arc::clone(&self.inner),
+            job,
+        }
+    }
+
+    /// The job id this view stamps onto its lanes.
+    pub fn job(&self) -> u32 {
+        self.job
+    }
+
+    /// Get or create the lane `id`, returning a cheap writer handle. The
+    /// `job` field of `id` is overridden by this view's job id, so
+    /// engine-internal emitters can construct ids with `job: 0` and still
+    /// land in the submitting job's lanes when run under a service.
+    pub fn lane(&self, mut id: LaneId) -> Lane {
+        id.job = self.job;
+        let buf = Arc::clone(self.inner.lanes.lock().entry(id).or_default());
         Lane {
-            epoch: self.epoch,
+            epoch: self.inner.epoch,
             buf,
         }
     }
 
-    /// Snapshot everything recorded so far into a [`Trace`], lanes in
-    /// canonical ([`LaneId`]) order.
+    /// Snapshot everything recorded so far — all jobs — into a
+    /// [`Trace`], lanes in canonical ([`LaneId`]) order.
     pub fn finish(&self) -> Trace {
         let lanes = self
+            .inner
             .lanes
             .lock()
             .iter()
+            .map(|(id, buf)| (*id, buf.events.lock().clone()))
+            .collect();
+        Trace { lanes }
+    }
+
+    /// Snapshot only the lanes stamped with `job`, in canonical order.
+    /// This is what a service hands back in a per-job [`crate::report`]:
+    /// the job's own event stream, free of co-tenant lanes.
+    pub fn finish_job(&self, job: u32) -> Trace {
+        let lanes = self
+            .inner
+            .lanes
+            .lock()
+            .iter()
+            .filter(|(id, _)| id.job == job)
             .map(|(id, buf)| (*id, buf.events.lock().clone()))
             .collect();
         Trace { lanes }
@@ -148,6 +200,26 @@ impl Trace {
         self.lanes.iter().map(|(_, evs)| evs.len()).sum()
     }
 
+    /// The distinct job ids present, ascending. One-shot traces report
+    /// `[0]` (or `[]` if empty).
+    pub fn jobs(&self) -> Vec<u32> {
+        let mut jobs: Vec<u32> = self.lanes.iter().map(|(id, _)| id.job).collect();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Restrict to the lanes of one job, preserving canonical order.
+    pub fn for_job(&self, job: u32) -> Trace {
+        Trace {
+            lanes: self
+                .lanes
+                .iter()
+                .filter(|(id, _)| id.job == job)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Roll the stream up into per-node/per-stage/per-job aggregates.
     pub fn metrics(&self) -> MetricsSummary {
         MetricsSummary::from_trace(self)
@@ -169,6 +241,7 @@ mod tests {
 
     fn lane_id(node: u32, stage: StageId) -> LaneId {
         LaneId {
+            job: 0,
             node,
             realm: Realm::Pipeline {
                 kind: PipelineKind::Map,
@@ -183,6 +256,7 @@ mod tests {
         let tracer = Tracer::new();
         tracer
             .lane(LaneId {
+                job: 0,
                 node: 1,
                 realm: Realm::Storage,
             })
@@ -248,6 +322,33 @@ mod tests {
             tracer.finish().logical_events()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn job_views_stamp_lanes_and_share_the_epoch_and_store() {
+        let base = Tracer::new();
+        let j1 = base.for_job(1);
+        let j2 = base.for_job(2);
+        // Emitters construct ids with job: 0; the view re-stamps them.
+        base.lane(lane_id(0, StageId::Input))
+            .begin(SpanId::Chunk { seq: 0 });
+        j1.lane(lane_id(0, StageId::Input))
+            .begin(SpanId::Chunk { seq: 0 });
+        j2.lane(lane_id(0, StageId::Input))
+            .begin(SpanId::Chunk { seq: 0 });
+        let all = base.finish();
+        assert_eq!(all.jobs(), vec![0, 1, 2]);
+        assert_eq!(all.event_count(), 3);
+        // Canonical order is job-major.
+        let ids: Vec<u32> = all.lanes.iter().map(|(id, _)| id.job).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Per-job snapshots see only their own lanes — from any view.
+        let one = j2.finish_job(1);
+        assert_eq!(one.event_count(), 1);
+        assert!(one.lanes.iter().all(|(id, _)| id.job == 1));
+        assert_eq!(all.for_job(2).event_count(), 1);
+        assert_eq!(base.finish_job(7).event_count(), 0);
+        assert_eq!(j1.job(), 1);
     }
 
     #[test]

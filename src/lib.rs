@@ -17,6 +17,9 @@
 //!   spills and k-way merging;
 //! * [`chaos`] (`gw-chaos`) — seeded deterministic fault injection for
 //!   exercising the engine's fault tolerance;
+//! * [`service`] (`gw-service`) — the resident multi-tenant job service:
+//!   admission control, weighted-fair slot scheduling and a byte-exact
+//!   result cache over one shared cluster;
 //! * [`apps`] (`gw-apps`) — the paper's five evaluation applications;
 //! * [`baseline`] (`gw-baseline`) — Hadoop-model and GPMR-model engines;
 //! * [`sim`] (`gw-sim`) — the discrete-event cluster simulator behind the
@@ -53,6 +56,7 @@ pub use gw_core as core;
 pub use gw_device as device;
 pub use gw_intermediate as intermediate;
 pub use gw_net as net;
+pub use gw_service as service;
 pub use gw_sim as sim;
 pub use gw_storage as storage;
 
@@ -68,6 +72,7 @@ pub mod prelude {
     };
     pub use gw_device::DeviceProfile;
     pub use gw_net::NetProfile;
+    pub use gw_service::{JobSpec, RejectReason, Service, ServiceConfig, ServiceError, TenantSpec};
     pub use gw_storage::split::{FileStore, FileStoreExt};
     pub use gw_storage::{Dfs, DfsConfig, LocalFs};
 }

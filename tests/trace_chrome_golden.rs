@@ -34,6 +34,7 @@ fn ev(at_ns: u64, kind: EventKind) -> Event {
 
 fn pipeline_lane(node: u32, stage: StageId) -> LaneId {
     LaneId {
+        job: 0,
         node,
         realm: Realm::Pipeline {
             kind: PipelineKind::Map,
@@ -170,6 +171,7 @@ fn sample_trace() -> Trace {
             (pipeline_lane(0, StageId::Kernel), kernel0),
             (
                 LaneId {
+                    job: 0,
                     node: 0,
                     realm: Realm::Storage,
                 },
@@ -177,6 +179,7 @@ fn sample_trace() -> Trace {
             ),
             (
                 LaneId {
+                    job: 0,
                     node: 0,
                     realm: Realm::Net,
                 },
@@ -184,6 +187,7 @@ fn sample_trace() -> Trace {
             ),
             (
                 LaneId {
+                    job: 0,
                     node: 1,
                     realm: Realm::NetRx,
                 },
@@ -191,6 +195,7 @@ fn sample_trace() -> Trace {
             ),
             (
                 LaneId {
+                    job: 0,
                     node: 1,
                     realm: Realm::Chaos,
                 },
