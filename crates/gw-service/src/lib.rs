@@ -48,6 +48,7 @@ pub mod cache;
 pub mod error;
 pub mod sched;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{CacheKey, CachedResult, ResultCache};
 pub use error::{RejectReason, ServiceError};
@@ -56,6 +57,7 @@ pub use service::{
     CounterSnapshot, JobSpec, JobTicket, Service, ServiceConfig, ServiceCounters, ServiceReport,
     TenantSpec,
 };
+pub use telemetry::{GaugeValues, ServiceTelemetry, TelemetryConfig};
 
 #[cfg(test)]
 mod tests {
@@ -160,6 +162,7 @@ mod tests {
             starvation_deadline: Duration::from_secs(30),
             cache_capacity: 8,
             tenants: vec![TenantSpec::new("a", 2), TenantSpec::new("b", 1)],
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -261,6 +264,73 @@ mod tests {
         assert!(jobs.len() >= 2, "expected ≥2 job realms, got {jobs:?}");
         let interference = service.interference();
         assert_eq!(interference.jobs.len(), jobs.len());
+    }
+
+    /// Satellite: the counter snapshot is one consistent cut, so the
+    /// conservation invariants hold *exactly* at every observation point
+    /// — mid-flight with jobs queued and running, and after drain.
+    fn assert_conserved(c: &CounterSnapshot) {
+        assert_eq!(
+            c.submitted,
+            c.completed + c.failed + c.in_flight + c.queued,
+            "admitted jobs must be in exactly one state: {c:?}"
+        );
+        assert_eq!(
+            c.rejected,
+            c.rejected_queue_full
+                + c.rejected_tenant_queue_full
+                + c.rejected_unknown_tenant
+                + c.rejected_slots_unsatisfiable,
+            "by-reason rejections must sum to the total: {c:?}"
+        );
+    }
+
+    #[test]
+    fn counter_conservation_invariants_hold() {
+        let mut cfg = svc_cfg();
+        cfg.cache_capacity = 1; // force evictions across distinct seeds
+        for t in &mut cfg.tenants {
+            t.max_queued = 2;
+        }
+        let service = Service::start(make_cluster(1), cfg);
+        assert_conserved(&service.counters());
+
+        // Mix of outcomes: rejections of three kinds...
+        let _ = service.submit(spec("nobody", 1, 1));
+        let _ = service.submit(spec("a", 1, 9));
+        let mut tickets = Vec::new();
+        for i in 0..6u64 {
+            let mut s = spec("a", 300 + i, 1);
+            s.app = Arc::new(SlowWordCount);
+            if let Ok(t) = service.submit(s) {
+                tickets.push(t);
+            }
+        }
+        // ...observed while jobs are queued and in flight.
+        let mid = service.counters();
+        assert_conserved(&mid);
+        assert!(mid.rejected >= 3, "two typed + quota overflow: {mid:?}");
+        assert_eq!(mid.rejected_unknown_tenant, 1);
+        assert_eq!(mid.rejected_slots_unsatisfiable, 1);
+
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // A fresh seed then its immediate repeat: the second submission
+        // is a guaranteed hit (capacity 1, nothing inserted between).
+        service.submit(spec("b", 999, 1)).unwrap().wait().unwrap();
+        let r = service.submit(spec("b", 999, 1)).unwrap().wait().unwrap();
+        assert!(r.report.served_from_cache);
+        service.submit(spec("b", 400, 1)).unwrap().wait().unwrap();
+        let done = service.counters();
+        assert_conserved(&done);
+        assert_eq!(done.queued + done.in_flight, 0, "drained: {done:?}");
+        assert!(done.cache_hits >= 1, "{done:?}");
+        assert!(done.cache_misses > 0, "fresh seeds must miss: {done:?}");
+        assert!(
+            done.cache_evictions > 0,
+            "capacity-1 cache under distinct seeds must evict: {done:?}"
+        );
     }
 
     #[test]

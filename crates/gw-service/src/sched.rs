@@ -245,6 +245,18 @@ impl FairScheduler {
         }
     }
 
+    /// Per-tenant queue state for telemetry: `(name, queued, vtime lag)`
+    /// where lag is the tenant's virtual time minus the active minimum —
+    /// 0 for the next-in-line tenant, larger for tenants that already
+    /// consumed more than their share (served later under saturation).
+    pub fn tenant_stats(&self) -> Vec<(String, usize, f64)> {
+        let floor = self.min_active_vtime().unwrap_or(self.clock);
+        self.tenants
+            .iter()
+            .map(|(name, t)| (name.clone(), t.queue.len(), t.vtime - floor))
+            .collect()
+    }
+
     /// Minimum virtual time over tenants that are queued or running.
     fn min_active_vtime(&self) -> Option<f64> {
         self.tenants

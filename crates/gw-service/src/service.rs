@@ -41,6 +41,7 @@ use gw_trace::{Interference, Trace, Tracer};
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::{RejectReason, ServiceError};
 use crate::sched::{FairScheduler, SchedConfig};
+use crate::telemetry::{GaugeValues, ServiceTelemetry, TelemetryConfig};
 
 /// How often the scheduler thread re-examines its queues even without a
 /// wakeup (guards against missed notifies; the Condvar is the fast path).
@@ -81,6 +82,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// The tenants allowed to submit.
     pub tenants: Vec<TenantSpec>,
+    /// Live telemetry plane tuning ([`TelemetryConfig::enabled`] gates
+    /// the whole plane).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +94,7 @@ impl Default for ServiceConfig {
             starvation_deadline: Duration::from_secs(30),
             cache_capacity: 32,
             tenants: Vec::new(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -139,6 +144,14 @@ pub struct ServiceCounters {
     pub submitted: AtomicU64,
     /// Submissions rejected by admission control.
     pub rejected: AtomicU64,
+    /// Rejections because the global queue bound was reached.
+    pub rejected_queue_full: AtomicU64,
+    /// Rejections because the tenant's own quota was reached.
+    pub rejected_tenant_queue_full: AtomicU64,
+    /// Rejections of unregistered tenants.
+    pub rejected_unknown_tenant: AtomicU64,
+    /// Rejections of never-schedulable slot requests.
+    pub rejected_slots_unsatisfiable: AtomicU64,
     /// Submissions served from the result cache.
     pub cache_hits: AtomicU64,
     /// Engine runs actually launched.
@@ -149,32 +162,69 @@ pub struct ServiceCounters {
     pub failed: AtomicU64,
 }
 
-/// A point-in-time copy of [`ServiceCounters`].
+/// A point-in-time copy of [`ServiceCounters`] plus the queue/cache
+/// state captured under the same state lock — which makes the
+/// conservation invariants *exact*, not racy approximations:
+///
+/// - `submitted == completed + failed + in_flight + queued`
+///   (every admitted job is in exactly one of those states; rejected
+///   submissions were never admitted, so they appear only in `rejected`);
+/// - `rejected == rejected_queue_full + rejected_tenant_queue_full +
+///   rejected_unknown_tenant + rejected_slots_unsatisfiable`.
+///
+/// Both are asserted by `counter_conservation_invariants_hold` in this
+/// crate's tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// See [`ServiceCounters::submitted`].
     pub submitted: u64,
     /// See [`ServiceCounters::rejected`].
     pub rejected: u64,
+    /// See [`ServiceCounters::rejected_queue_full`].
+    pub rejected_queue_full: u64,
+    /// See [`ServiceCounters::rejected_tenant_queue_full`].
+    pub rejected_tenant_queue_full: u64,
+    /// See [`ServiceCounters::rejected_unknown_tenant`].
+    pub rejected_unknown_tenant: u64,
+    /// See [`ServiceCounters::rejected_slots_unsatisfiable`].
+    pub rejected_slots_unsatisfiable: u64,
     /// See [`ServiceCounters::cache_hits`].
     pub cache_hits: u64,
+    /// Result-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Result-cache entries dropped by FIFO eviction.
+    pub cache_evictions: u64,
     /// See [`ServiceCounters::engine_runs`].
     pub engine_runs: u64,
     /// See [`ServiceCounters::completed`].
     pub completed: u64,
     /// See [`ServiceCounters::failed`].
     pub failed: u64,
+    /// Jobs dispatched to a worker and not yet completed or failed.
+    pub in_flight: u64,
+    /// Jobs admitted and still queued (not yet dispatched).
+    pub queued: u64,
 }
 
 impl ServiceCounters {
+    /// Atomics only; the caller (holding the state lock) fills in the
+    /// queue/cache fields so the whole snapshot is one consistent cut.
     fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_tenant_queue_full: self.rejected_tenant_queue_full.load(Ordering::Relaxed),
+            rejected_unknown_tenant: self.rejected_unknown_tenant.load(Ordering::Relaxed),
+            rejected_slots_unsatisfiable: self.rejected_slots_unsatisfiable.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: 0,
+            cache_evictions: 0,
             engine_runs: self.engine_runs.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            in_flight: 0,
+            queued: 0,
         }
     }
 }
@@ -232,6 +282,28 @@ struct Inner {
     epoch: Instant,
     max_queued: usize,
     tenant_quota: HashMap<String, usize>,
+    telemetry: Option<Arc<ServiceTelemetry>>,
+}
+
+impl Inner {
+    /// Gauge inputs for a telemetry pump, read under the state lock.
+    fn gauge_values(&self, state: &State, total_slots: usize) -> GaugeValues {
+        let mut owners: Vec<u32> = state.slot_owner.iter().filter_map(|o| *o).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        let (cache_hits, cache_misses) = state.cache.stats();
+        GaugeValues {
+            queued: state.sched.total_queued(),
+            tenants: state.sched.tenant_stats(),
+            slots_busy: state.slot_owner.iter().filter(|o| o.is_some()).count(),
+            slots_total: total_slots,
+            in_flight: owners.len(),
+            cache_hits,
+            cache_misses,
+            cache_evictions: state.cache.evictions(),
+            cache_entries: state.cache.len(),
+        }
+    }
 }
 
 /// The resident multi-tenant job service. See the module docs.
@@ -254,6 +326,10 @@ impl Service {
             sched.add_tenant(&t.name, t.weight);
             tenant_quota.insert(t.name.clone(), t.max_queued);
         }
+        let telemetry = cfg
+            .telemetry
+            .enabled
+            .then(|| ServiceTelemetry::new(cfg.telemetry.clone()));
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 sched,
@@ -269,8 +345,15 @@ impl Service {
             epoch: Instant::now(),
             max_queued: cfg.max_queued,
             tenant_quota,
+            telemetry,
         });
-        let tracer = Tracer::new();
+        // With telemetry on, the service-lifetime tracer carries the
+        // bridge as a live sink: every engine event (chunk span ends,
+        // fabric/storage/chaos counters) feeds the registry as recorded.
+        let tracer = match &inner.telemetry {
+            Some(t) => Tracer::with_sink(Arc::clone(t.bridge()) as _),
+            None => Tracer::new(),
+        };
         let scheduler = {
             let inner = Arc::clone(&inner);
             let cluster = Arc::clone(&cluster);
@@ -299,6 +382,18 @@ impl Service {
         }
         let reject = |r: RejectReason| {
             inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let by_reason = match &r {
+                RejectReason::QueueFull { .. } => &inner.counters.rejected_queue_full,
+                RejectReason::TenantQueueFull { .. } => &inner.counters.rejected_tenant_queue_full,
+                RejectReason::UnknownTenant(_) => &inner.counters.rejected_unknown_tenant,
+                RejectReason::SlotsUnsatisfiable { .. } => {
+                    &inner.counters.rejected_slots_unsatisfiable
+                }
+            };
+            by_reason.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &inner.telemetry {
+                t.on_rejected(r.name());
+            }
             Err(ServiceError::AdmissionRejected(r))
         };
         if !state.sched.has_tenant(&spec.tenant) {
@@ -327,6 +422,9 @@ impl Service {
         let job = state.next_job;
         state.next_job += 1;
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &inner.telemetry {
+            t.on_submitted(&spec.tenant);
+        }
         let key = CacheKey::new(spec.workload_seed, spec.app.name(), spec.slots, &spec.cfg);
         let (tx, rx) = bounded(1);
 
@@ -334,6 +432,9 @@ impl Service {
             // Served from cache: resolve the ticket without queueing.
             inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &inner.telemetry {
+                t.on_completed(job, &spec.tenant, Duration::ZERO);
+            }
             let _ = tx.send(Ok(ServiceReport {
                 job,
                 tenant: spec.tenant,
@@ -365,9 +466,41 @@ impl Service {
         Ok(JobTicket { job, rx })
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters. Captured under the state lock, so the
+    /// documented conservation invariants hold exactly on the returned
+    /// snapshot (see [`CounterSnapshot`]).
     pub fn counters(&self) -> CounterSnapshot {
-        self.inner.counters.snapshot()
+        let state = self.inner.state.lock();
+        let mut snap = self.inner.counters.snapshot();
+        let (_, misses) = state.cache.stats();
+        snap.cache_misses = misses;
+        snap.cache_evictions = state.cache.evictions();
+        snap.queued = state.sched.total_queued() as u64;
+        let mut owners: Vec<u32> = state.slot_owner.iter().filter_map(|o| *o).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        snap.in_flight = owners.len() as u64;
+        snap
+    }
+
+    /// The live telemetry plane, if enabled in [`ServiceConfig`].
+    pub fn telemetry(&self) -> Option<&Arc<ServiceTelemetry>> {
+        self.inner.telemetry.as_ref()
+    }
+
+    /// Force a telemetry snapshot right now, bypassing the pump cadence
+    /// (no-op returning `false` when telemetry is disabled). Lets tests
+    /// drive the ring deterministically instead of sleeping.
+    pub fn pump_telemetry_now(&self) -> bool {
+        let Some(t) = &self.inner.telemetry else {
+            return false;
+        };
+        let state = self.inner.state.lock();
+        let g = self
+            .inner
+            .gauge_values(&state, self.cluster.nodes() as usize);
+        t.pump(&g);
+        true
     }
 
     /// The service-lifetime trace so far (all jobs, one wall-clock axis).
@@ -445,6 +578,9 @@ fn scheduler_loop(inner: Arc<Inner>, cluster: Arc<Cluster>, tracer: Tracer) {
                 inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
                 let queue_wait = pending.submitted_at.elapsed();
+                if let Some(t) = &inner.telemetry {
+                    t.on_completed(d.job, &pending.tenant, queue_wait);
+                }
                 let _ = pending.tx.send(Ok(ServiceReport {
                     job: d.job,
                     tenant: pending.tenant,
@@ -473,6 +609,13 @@ fn scheduler_loop(inner: Arc<Inner>, cluster: Arc<Cluster>, tracer: Tracer) {
             );
 
             inner.counters.engine_runs.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &inner.telemetry {
+                t.on_engine_run();
+                // Register the virtual→physical node mapping before the
+                // worker records its first event, so per-node series and
+                // health findings name physical nodes.
+                t.on_dispatch(d.job, &node_set, d.queued_for);
+            }
             let handle = {
                 let inner = Arc::clone(&inner);
                 let cluster = Arc::clone(&cluster);
@@ -486,7 +629,17 @@ fn scheduler_loop(inner: Arc<Inner>, cluster: Arc<Cluster>, tracer: Tracer) {
             state.workers.push(handle);
             continue;
         }
-        // Nothing dispatchable: wait for a wakeup or the fallback tick.
+        // Nothing dispatchable: pump telemetry if the cadence is due,
+        // then wait for a wakeup or the fallback tick. Pumping here (the
+        // scheduler's idle edge) means snapshots track the service while
+        // jobs run — the Condvar wakes this thread on every submit and
+        // completion, and the tick bounds the gap in between.
+        if let Some(t) = &inner.telemetry {
+            if t.pump_due() {
+                let g = inner.gauge_values(&state, cluster.nodes() as usize);
+                t.pump(&g);
+            }
+        }
         inner.cv.wait_for(&mut state, SCHED_TICK);
     }
 }
@@ -544,6 +697,9 @@ fn run_job(
                 .cache
                 .insert(pending.key, Arc::clone(&output), Arc::new(report.clone()));
             inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &inner.telemetry {
+                t.on_completed(job, &pending.tenant, queue_wait + elapsed);
+            }
             let _ = pending.tx.send(Ok(ServiceReport {
                 job,
                 tenant: pending.tenant,
@@ -555,6 +711,9 @@ fn run_job(
         }
         Err(e) => {
             inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &inner.telemetry {
+                t.on_failed(job);
+            }
             let _ = pending.tx.send(Err(ServiceError::Engine(e)));
         }
     }

@@ -1,0 +1,245 @@
+//! The two stable exporters.
+//!
+//! **Prometheus text exposition** ([`prometheus`]): rendered straight
+//! from the live registry — `# TYPE` per family, cumulative `_bucket`
+//! series with `le` bounds at the log2 bucket edges (zero buckets
+//! skipped; cumulative counts stay monotone), `_sum`/`_count` per
+//! histogram. Every rendering is valid under
+//! [`crate::promck::validate_exposition`], which CI enforces.
+//!
+//! **`gw-telemetry-v1` JSON** ([`snapshot_json`]): one object per
+//! [`Snapshot`], hand-written with pinned key order and fixed-point
+//! floats (no exponents), valid under `gw_trace::validate_json` — the
+//! same diff-stability convention as `gw-perf-analysis-v1`.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper, BUCKETS};
+use crate::registry::{Cell, Registry};
+use crate::snapshot::Snapshot;
+
+/// Format an `f64` as fixed-point JSON/Prometheus-safe text: no `+`
+/// exponents, no `NaN`/`Inf` (clamped to 0), ≤ 6 fractional digits with
+/// trailing zeros trimmed.
+pub(crate) fn push_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push('0');
+        return;
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+        return;
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    out.push_str(if s.is_empty() { "0" } else { s });
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// Render `registry` in Prometheus text exposition format.
+pub fn prometheus(registry: &Registry) -> String {
+    let entries = registry.entries();
+    let mut out = String::with_capacity(entries.len() * 64);
+    let mut typed: Option<String> = None;
+    for (_, entry) in &entries {
+        // Entries are sorted by full name, so one family's label sets
+        // are contiguous: emit `# TYPE` on the first.
+        if typed.as_deref() != Some(entry.name.as_str()) {
+            let kind = match &entry.cell {
+                Cell::Counter { .. } => "counter",
+                Cell::Gauge(_) => "gauge",
+                Cell::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", entry.name);
+            typed = Some(entry.name.clone());
+        }
+        match &entry.cell {
+            Cell::Counter { cell, .. } => {
+                out.push_str(&entry.name);
+                push_labels(&mut out, &entry.labels, None);
+                let _ = writeln!(out, " {}", cell.load(std::sync::atomic::Ordering::Relaxed));
+            }
+            Cell::Gauge(cell) => {
+                out.push_str(&entry.name);
+                push_labels(&mut out, &entry.labels, None);
+                out.push(' ');
+                push_num(
+                    &mut out,
+                    f64::from_bits(cell.load(std::sync::atomic::Ordering::Relaxed)),
+                );
+                out.push('\n');
+            }
+            Cell::Histogram(cell) => {
+                let buckets = cell.bucket_counts();
+                let mut cum = 0u64;
+                for (i, &c) in buckets.iter().enumerate().take(BUCKETS) {
+                    if c == 0 {
+                        continue;
+                    }
+                    cum += c;
+                    let mut le = String::new();
+                    push_num(&mut le, bucket_upper(i).min(1 << 62) as f64);
+                    let _ = write!(out, "{}_bucket", entry.name);
+                    push_labels(&mut out, &entry.labels, Some(("le", &le)));
+                    let _ = writeln!(out, " {cum}");
+                }
+                let _ = write!(out, "{}_bucket", entry.name);
+                push_labels(&mut out, &entry.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, " {cum}");
+                let _ = write!(out, "{}_sum", entry.name);
+                push_labels(&mut out, &entry.labels, None);
+                let _ = writeln!(out, " {}", cell.sum());
+                let _ = write!(out, "{}_count", entry.name);
+                push_labels(&mut out, &entry.labels, None);
+                let _ = writeln!(out, " {cum}");
+            }
+        }
+    }
+    out
+}
+
+fn push_name(out: &mut String, name: &str, labels: &[(String, String)]) {
+    // The canonical full name contains `"` around label values — escape
+    // for JSON embedding.
+    let full = crate::registry::full_name(name, labels);
+    out.push_str("\"name\":\"");
+    for ch in full.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a snapshot as `gw-telemetry-v1` JSON; see the module docs.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut o = String::from("{\"schema\":\"gw-telemetry-v1\"");
+    let _ = write!(
+        o,
+        ",\"seq\":{},\"at_ms\":{},\"digest\":\"{}\"",
+        snap.seq, snap.at_ms, snap.digest
+    );
+
+    o.push_str(",\"counters\":[");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('{');
+        push_name(&mut o, &c.name, &c.labels);
+        let _ = write!(
+            o,
+            ",\"value\":{},\"delta\":{},\"deterministic\":{}}}",
+            c.value, c.delta, c.deterministic
+        );
+    }
+    o.push(']');
+
+    o.push_str(",\"gauges\":[");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('{');
+        push_name(&mut o, &g.name, &g.labels);
+        o.push_str(",\"value\":");
+        push_num(&mut o, g.value);
+        o.push('}');
+    }
+    o.push(']');
+
+    o.push_str(",\"histograms\":[");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('{');
+        push_name(&mut o, &h.name, &h.labels);
+        let _ = write!(
+            o,
+            ",\"count\":{},\"delta_count\":{},\"sum\":{},\"delta_sum\":{}",
+            h.count, h.delta_count, h.sum, h.delta_sum
+        );
+        for (k, v) in [("p50", h.p50), ("p90", h.p90), ("p99", h.p99)] {
+            let _ = write!(o, ",\"{k}\":");
+            push_num(&mut o, v);
+        }
+        o.push('}');
+    }
+    o.push_str("]}");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Class;
+    use crate::snapshot::SnapshotRing;
+
+    #[test]
+    fn prometheus_rendering_lints_clean() {
+        let reg = Registry::new();
+        reg.counter("gw_jobs_total", &[("tenant", "a")], Class::Logical)
+            .add(3);
+        reg.counter("gw_jobs_total", &[("tenant", "b")], Class::Logical)
+            .add(1);
+        reg.gauge("gw_queue_depth", &[]).set(2.5);
+        let h = reg.histogram("gw_latency_ns", &[("node", "0")]);
+        for v in [0u64, 1, 100, 100_000, 5_000_000] {
+            h.observe(v);
+        }
+        let text = prometheus(&reg);
+        crate::promck::validate_exposition(&text)
+            .unwrap_or_else(|e| panic!("exposition invalid: {e}\n{text}"));
+        assert!(text.contains("# TYPE gw_jobs_total counter"));
+        assert!(text.contains("gw_jobs_total{tenant=\"a\"} 3"));
+        assert!(text.contains("gw_latency_ns_bucket{node=\"0\",le=\"+Inf\"} 5"));
+        assert!(text.contains("gw_latency_ns_count{node=\"0\"} 5"));
+    }
+
+    #[test]
+    fn snapshot_json_is_pinned_and_valid() {
+        let reg = Registry::new();
+        reg.counter("a_total", &[], Class::Logical).add(2);
+        reg.gauge("g", &[("t", "x")]).set(0.125);
+        reg.histogram("h_ns", &[]).observe(1000);
+        let ring = SnapshotRing::new(4);
+        let s = ring.capture(&reg, 17);
+        let json = s.to_json();
+        gw_trace::validate_json(&json).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{json}"));
+        assert!(json.starts_with("{\"schema\":\"gw-telemetry-v1\",\"seq\":1,\"at_ms\":17"));
+        assert!(json.contains("\"name\":\"g{t=\\\"x\\\"}\"") || json.contains("g{t="));
+    }
+
+    #[test]
+    fn numbers_never_use_exponents() {
+        for v in [0.0, 1e-9, 123456789.125, -0.5, f64::NAN, f64::INFINITY] {
+            let mut s = String::new();
+            push_num(&mut s, v);
+            assert!(!s.contains('e') && !s.contains('E'), "{v} -> {s}");
+        }
+    }
+}

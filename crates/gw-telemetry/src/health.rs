@@ -1,0 +1,364 @@
+//! The SLO/health detector: live snapshots in, named findings out.
+//!
+//! Two signals, both computed from [`Snapshot`] windows so detection
+//! happens *while the service runs* (this is the loop-closer for the
+//! `gw-chaos` gray plane — an injected slowdown must surface here, not
+//! in a post-hoc trace fold):
+//!
+//! - **Node service-rate divergence.** Per node, the mean per-chunk wall
+//!   time inside each snapshot window (from the `gw_node_chunk_wall_ns`
+//!   histogram deltas) feeds an EWMA; a node whose EWMA exceeds
+//!   [`HealthConfig::node_ratio`] × the fleet median for
+//!   [`HealthConfig::confirm`] consecutive observed windows raises
+//!   [`HealthFinding::NodeSlow`]. The confirmation streak is what keeps
+//!   one-shot stalls (10–100 ms, a single window spike) from paging.
+//! - **Tenant SLO budget burn.** A tenant with a configured p99
+//!   turnaround budget raises [`HealthFinding::TenantSloBurn`] when the
+//!   `gw_service_turnaround_ns` histogram's estimated p99 crosses the
+//!   budget. Findings re-arm only after p99 drops below 80% of budget.
+//!
+//! Detection latency is bounded by construction: a persistent slowdown
+//! that lifts a node's window means above the threshold is reported on
+//! the `confirm`-th observed window after onset — the sweep in
+//! `tests/telemetry.rs` pins this bound end to end.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::snapshot::Snapshot;
+
+/// Detector tuning.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// A node is suspect when its service-time EWMA exceeds this ratio
+    /// of the fleet median (1.3 = 30% slower than the median node).
+    pub node_ratio: f64,
+    /// Consecutive suspect windows before a finding fires.
+    pub confirm: u32,
+    /// Minimum chunks a node must serve inside a window for the window
+    /// to count (guards against judging a node on one noisy chunk).
+    pub min_chunks: u64,
+    /// EWMA weight of the newest window mean.
+    pub ewma_alpha: f64,
+    /// Per-tenant p99 turnaround budgets in milliseconds; tenants
+    /// without an entry have no SLO (the default: no budgets, so a
+    /// fault-free service emits no findings).
+    pub slo_p99_ms: BTreeMap<String, f64>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            node_ratio: 1.3,
+            confirm: 2,
+            min_chunks: 4,
+            ewma_alpha: 0.5,
+            slo_p99_ms: BTreeMap::new(),
+        }
+    }
+}
+
+/// One named health finding. `kind()` is the stable name CI and the
+/// chaos sweep assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthFinding {
+    /// A node's per-chunk service time diverged from the fleet median.
+    NodeSlow {
+        /// The physical node.
+        node: u32,
+        /// Snapshot sequence that confirmed the finding.
+        seq: u64,
+        /// EWMA per-chunk wall at confirmation, milliseconds.
+        ewma_ms: f64,
+        /// Fleet median EWMA at confirmation, milliseconds.
+        fleet_median_ms: f64,
+        /// Suspect windows observed before confirmation.
+        streak: u32,
+    },
+    /// A tenant's estimated p99 turnaround crossed its budget.
+    TenantSloBurn {
+        /// The tenant.
+        tenant: String,
+        /// Snapshot sequence that raised the finding.
+        seq: u64,
+        /// Estimated p99 turnaround, milliseconds.
+        p99_ms: f64,
+        /// The configured budget, milliseconds.
+        budget_ms: f64,
+    },
+}
+
+impl HealthFinding {
+    /// Stable finding name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthFinding::NodeSlow { .. } => "node-slow",
+            HealthFinding::TenantSloBurn { .. } => "slo-burn",
+        }
+    }
+
+    /// The snapshot sequence the finding fired on.
+    pub fn seq(&self) -> u64 {
+        match self {
+            HealthFinding::NodeSlow { seq, .. } => *seq,
+            HealthFinding::TenantSloBurn { seq, .. } => *seq,
+        }
+    }
+
+    /// One-line human rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            HealthFinding::NodeSlow {
+                node,
+                seq,
+                ewma_ms,
+                fleet_median_ms,
+                streak,
+            } => format!(
+                "node-slow: node {node} per-chunk ewma {ewma_ms:.3} ms vs fleet median \
+                 {fleet_median_ms:.3} ms ({streak} windows, snapshot {seq})"
+            ),
+            HealthFinding::TenantSloBurn {
+                tenant,
+                seq,
+                p99_ms,
+                budget_ms,
+            } => format!(
+                "slo-burn: tenant {tenant} p99 turnaround {p99_ms:.1} ms over budget \
+                 {budget_ms:.1} ms (snapshot {seq})"
+            ),
+        }
+    }
+}
+
+/// The name of the per-node chunk service-time histogram the detector
+/// consumes (recorded by the telemetry bridge).
+pub const NODE_CHUNK_WALL: &str = "gw_node_chunk_wall_ns";
+/// The name of the per-tenant turnaround histogram.
+pub const TENANT_TURNAROUND: &str = "gw_service_turnaround_ns";
+
+#[derive(Debug, Default)]
+struct NodeState {
+    ewma_ns: f64,
+    streak: u32,
+    reported: bool,
+}
+
+/// Streaming detector; feed it snapshots in order via
+/// [`HealthDetector::observe`].
+#[derive(Debug)]
+pub struct HealthDetector {
+    cfg: HealthConfig,
+    nodes: BTreeMap<u32, NodeState>,
+    slo_burning: BTreeSet<String>,
+}
+
+impl HealthDetector {
+    /// A fresh detector.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthDetector {
+            cfg,
+            nodes: BTreeMap::new(),
+            slo_burning: BTreeSet::new(),
+        }
+    }
+
+    /// Consume one snapshot; returns the findings it raised (empty for a
+    /// healthy window). Idle windows (no chunks anywhere) never panic
+    /// and never advance streaks.
+    pub fn observe(&mut self, snap: &Snapshot) -> Vec<HealthFinding> {
+        let mut findings = Vec::new();
+
+        // Per-node window means from the chunk-wall histogram deltas.
+        let mut observed: Vec<(u32, f64)> = Vec::new();
+        for h in &snap.histograms {
+            if h.name != NODE_CHUNK_WALL || h.delta_count < self.cfg.min_chunks {
+                continue;
+            }
+            let Some(node) = h.label("node").and_then(|s| s.parse::<u32>().ok()) else {
+                continue;
+            };
+            if let Some(mean) = h.window_mean() {
+                observed.push((node, mean));
+            }
+        }
+        for &(node, mean) in &observed {
+            let st = self.nodes.entry(node).or_default();
+            st.ewma_ns = if st.ewma_ns == 0.0 {
+                mean
+            } else {
+                self.cfg.ewma_alpha * mean + (1.0 - self.cfg.ewma_alpha) * st.ewma_ns
+            };
+        }
+        if self.nodes.len() >= 2 && !observed.is_empty() {
+            let mut ewmas: Vec<f64> = self.nodes.values().map(|s| s.ewma_ns).collect();
+            ewmas.sort_by(f64::total_cmp);
+            let median = if ewmas.len() % 2 == 1 {
+                ewmas[ewmas.len() / 2]
+            } else {
+                0.5 * (ewmas[ewmas.len() / 2 - 1] + ewmas[ewmas.len() / 2])
+            };
+            if median > 0.0 {
+                for &(node, mean) in &observed {
+                    let st = self.nodes.get_mut(&node).expect("observed node exists");
+                    // Both the smoothed estimate and the current window
+                    // must diverge: the EWMA alone would keep a one-shot
+                    // stall "suspect" for a couple of windows after it
+                    // cleared, and the raw mean alone would page on a
+                    // single noisy window.
+                    let bound = self.cfg.node_ratio * median;
+                    if st.ewma_ns >= bound && mean >= bound {
+                        st.streak += 1;
+                        if st.streak >= self.cfg.confirm && !st.reported {
+                            st.reported = true;
+                            findings.push(HealthFinding::NodeSlow {
+                                node,
+                                seq: snap.seq,
+                                ewma_ms: st.ewma_ns / 1e6,
+                                fleet_median_ms: median / 1e6,
+                                streak: st.streak,
+                            });
+                        }
+                    } else {
+                        st.streak = 0;
+                        st.reported = false;
+                    }
+                }
+            }
+        }
+
+        // Tenant SLO burn from the turnaround histogram's estimated p99.
+        for h in &snap.histograms {
+            if h.name != TENANT_TURNAROUND || h.count == 0 {
+                continue;
+            }
+            let Some(tenant) = h.label("tenant") else {
+                continue;
+            };
+            let Some(&budget_ms) = self.cfg.slo_p99_ms.get(tenant) else {
+                continue;
+            };
+            let p99_ms = h.p99 / 1e6;
+            if p99_ms > budget_ms {
+                if self.slo_burning.insert(tenant.to_string()) {
+                    findings.push(HealthFinding::TenantSloBurn {
+                        tenant: tenant.to_string(),
+                        seq: snap.seq,
+                        p99_ms,
+                        budget_ms,
+                    });
+                }
+            } else if p99_ms < 0.8 * budget_ms {
+                self.slo_burning.remove(tenant);
+            }
+        }
+
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Class, Registry};
+    use crate::snapshot::SnapshotRing;
+
+    fn plane() -> (std::sync::Arc<Registry>, SnapshotRing) {
+        (Registry::new(), SnapshotRing::new(64))
+    }
+
+    fn feed(reg: &Registry, node: u32, chunks: u64, each_ns: u64) {
+        let h = reg.histogram(NODE_CHUNK_WALL, &[("node", &node.to_string())]);
+        for _ in 0..chunks {
+            h.observe(each_ns);
+        }
+        reg.counter(
+            "gw_node_chunks_total",
+            &[("node", &node.to_string())],
+            Class::Logical,
+        )
+        .add(chunks);
+    }
+
+    #[test]
+    fn persistent_divergence_confirms_on_the_second_window() {
+        let (reg, ring) = plane();
+        let mut det = HealthDetector::new(HealthConfig::default());
+        let mut fired = Vec::new();
+        for w in 1..=4u64 {
+            for node in 0..3u32 {
+                let base = 1_000_000u64; // 1 ms
+                let ns = if node == 2 { base * 3 } else { base };
+                feed(&reg, node, 8, ns);
+            }
+            let snap = ring.capture(&reg, w * 10);
+            fired.extend(det.observe(&snap));
+        }
+        assert_eq!(fired.len(), 1, "exactly one confirmation: {fired:?}");
+        match &fired[0] {
+            HealthFinding::NodeSlow {
+                node, seq, streak, ..
+            } => {
+                assert_eq!(*node, 2);
+                assert_eq!(*streak, 2, "confirmed on the streak bound");
+                assert_eq!(*seq, 2, "second window confirms");
+            }
+            other => panic!("unexpected finding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_window_spike_and_clean_fleets_stay_silent() {
+        let (reg, ring) = plane();
+        let mut det = HealthDetector::new(HealthConfig::default());
+        let mut fired = Vec::new();
+        for w in 1..=5u64 {
+            for node in 0..3u32 {
+                // Node 1 spikes 5x in window 2 only (a one-shot stall).
+                let ns = if node == 1 && w == 2 {
+                    5_000_000
+                } else {
+                    1_000_000
+                };
+                feed(&reg, node, 8, ns);
+            }
+            fired.extend(det.observe(&ring.capture(&reg, w * 10)));
+        }
+        assert!(
+            fired.is_empty(),
+            "one-shot spike must not confirm: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn slo_burn_names_the_tenant_and_rearms_after_recovery() {
+        let (reg, ring) = plane();
+        let mut cfg = HealthConfig::default();
+        cfg.slo_p99_ms.insert("alpha".into(), 10.0);
+        let mut det = HealthDetector::new(cfg);
+        let h = reg.histogram(TENANT_TURNAROUND, &[("tenant", "alpha")]);
+        for _ in 0..20 {
+            h.observe(50_000_000); // 50 ms >> 10 ms budget
+        }
+        let f = det.observe(&ring.capture(&reg, 10));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind(), "slo-burn");
+        match &f[0] {
+            HealthFinding::TenantSloBurn { tenant, p99_ms, .. } => {
+                assert_eq!(tenant, "alpha");
+                assert!(*p99_ms > 10.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Still burning: no duplicate finding.
+        assert!(det.observe(&ring.capture(&reg, 20)).is_empty());
+    }
+
+    #[test]
+    fn idle_snapshots_never_panic_or_fire() {
+        let (reg, ring) = plane();
+        let mut det = HealthDetector::new(HealthConfig::default());
+        for w in 0..10u64 {
+            assert!(det.observe(&ring.capture(&reg, w)).is_empty());
+        }
+    }
+}

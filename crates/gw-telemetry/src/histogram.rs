@@ -1,0 +1,165 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! A [`Histogram`] is 65 atomic buckets: bucket 0 holds the value 0 and
+//! bucket *i* (1 ≤ i ≤ 64) holds values in `[2^(i−1), 2^i)` — the bucket
+//! index is just `64 − leading_zeros(v)`, so `observe` is two relaxed
+//! atomic adds and no branches beyond the zero case. Quantiles are
+//! extracted by walking the cumulative counts and interpolating linearly
+//! inside the winning bucket, which bounds the error by the bucket width
+//! (a factor of 2 — fine for tail-latency *detection*, not for billing).
+//!
+//! Values are unitless `u64`s; by convention the plane records wall
+//! durations in nanoseconds and the metric name carries the unit suffix
+//! (`…_ns`). Histograms are always timing-class: they never participate
+//! in the determinism digest (see `registry`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A concurrently updatable log2 histogram. Cheap to share behind an
+/// `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl HistogramCell {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from the bucket counts:
+    /// linear interpolation inside the bucket that crosses the rank.
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// Quantile extraction over a bucket-count snapshot (shared with the
+/// snapshot plane, which works on copied counts).
+pub fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c;
+        if (next as f64) >= rank {
+            let lo = bucket_lower(i) as f64;
+            let hi = bucket_upper(i).min(1 << 63) as f64;
+            let frac = if c == 0 {
+                0.0
+            } else {
+                ((rank - cum as f64) / c as f64).clamp(0.0, 1.0)
+            };
+            return lo + frac * (hi - lo);
+        }
+        cum = next;
+    }
+    bucket_upper(BUCKETS - 1).min(1 << 63) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_bucket_width() {
+        let h = HistogramCell::default();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // The true p99 is 1000; the estimate must land in its bucket.
+        assert!(
+            (512.0..=1023.0).contains(&p99),
+            "p99 {p99} outside the bucket of 1000"
+        );
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 450 + 1000);
+    }
+
+    #[test]
+    fn empty_and_zero_only_histograms_do_not_panic() {
+        let h = HistogramCell::default();
+        assert_eq!(h.quantile(0.99), 0.0);
+        h.observe(0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -47,4 +47,4 @@ pub use interference::{Interference, JobActivity, JobOverlap};
 pub use jsonck::validate_json;
 pub use metrics::MetricsSummary;
 pub use stage::{PipelineKind, StageId};
-pub use tracer::{Lane, Trace, Tracer};
+pub use tracer::{EventSink, Lane, Trace, Tracer};

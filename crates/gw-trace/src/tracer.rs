@@ -15,6 +15,20 @@ use parking_lot::Mutex;
 use crate::event::{CounterId, Event, EventKind, LaneId, LogicalKind, MarkId, SpanId};
 use crate::metrics::MetricsSummary;
 
+/// A live consumer of events as they are recorded — the hook a telemetry
+/// plane registers to see chunk completions, counter bumps and marks
+/// *while the job runs*, without waiting for [`Tracer::finish`].
+///
+/// Implementations must be cheap and non-blocking: `on_event` runs on
+/// the recording thread (a pipeline stage, the fabric endpoint) with the
+/// lane's buffer lock already released. The sink sees the lane id as
+/// stamped by the recording view (job id applied), so a service-lifetime
+/// sink can attribute events to jobs.
+pub trait EventSink: Send + Sync {
+    /// Called after `event` has been appended to `lane`'s buffer.
+    fn on_event(&self, lane: LaneId, event: &Event);
+}
+
 /// Collects events for one job run — or, through [`Tracer::for_job`]
 /// views, for a whole service lifetime of runs sharing one epoch. Cheap
 /// to share (`Arc`); hand lanes to subsystems with [`Tracer::lane`] and
@@ -31,10 +45,20 @@ pub struct Tracer {
     job: u32,
 }
 
-#[derive(Debug)]
 struct TracerInner {
     epoch: Instant,
     lanes: Mutex<BTreeMap<LaneId, Arc<LaneBuf>>>,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for TracerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerInner")
+            .field("epoch", &self.epoch)
+            .field("lanes", &self.lanes)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -50,6 +74,22 @@ impl Tracer {
             inner: Arc::new(TracerInner {
                 epoch: Instant::now(),
                 lanes: Mutex::new(BTreeMap::new()),
+                sink: None,
+            }),
+            job: 0,
+        }
+    }
+
+    /// A fresh tracer with a live [`EventSink`]: every event recorded on
+    /// any lane of any view is also forwarded to `sink` as it happens.
+    /// This is how a telemetry plane taps the event stream without the
+    /// engine knowing about it.
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                lanes: Mutex::new(BTreeMap::new()),
+                sink: Some(sink),
             }),
             job: 0,
         }
@@ -79,7 +119,9 @@ impl Tracer {
         let buf = Arc::clone(self.inner.lanes.lock().entry(id).or_default());
         Lane {
             epoch: self.inner.epoch,
+            id,
             buf,
+            sink: self.inner.sink.clone(),
         }
     }
 
@@ -119,10 +161,23 @@ impl Default for Tracer {
 }
 
 /// Writer handle for one lane. Clones share the lane.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Lane {
     epoch: Instant,
+    id: LaneId,
     buf: Arc<LaneBuf>,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("epoch", &self.epoch)
+            .field("id", &self.id)
+            .field("buf", &self.buf)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 impl Lane {
@@ -134,6 +189,9 @@ impl Lane {
             kind,
         };
         self.buf.events.lock().push(ev);
+        if let Some(sink) = &self.sink {
+            sink.on_event(self.id, &ev);
+        }
         ev
     }
 

@@ -1,0 +1,105 @@
+//! Dump a live telemetry snapshot from the resident service.
+//!
+//! Starts a 4-node service with the telemetry plane on, pushes a small
+//! stream of pageview jobs through two tenants (the second submission of
+//! a hot dataset exercises the result cache), pumps a few snapshot
+//! windows, then writes the two stable export formats:
+//!
+//! * Prometheus text exposition (validated by the in-repo linter) to
+//!   `telemetry.prom` (or the first argument);
+//! * the latest `gw-telemetry-v1` snapshot JSON to `telemetry.json` (or
+//!   the second argument).
+//!
+//! ```sh
+//! cargo run --release --example telemetry_snapshot [out.prom] [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use glasswing::apps::workloads::{web_logs, LogSpec};
+use glasswing::apps::PageviewCount;
+use glasswing::prelude::*;
+use glasswing::service::{JobSpec, ServiceConfig, TenantSpec};
+use glasswing::telemetry::validate_exposition;
+
+const NODES: u32 = 4;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let prom_path = args.next().unwrap_or("telemetry.prom".into());
+    let json_path = args.next().unwrap_or("telemetry.json".into());
+
+    let dfs = Arc::new(Dfs::new(DfsConfig::new(NODES).free_io()));
+    for seed in [1u64, 2, 3] {
+        let records = web_logs(&LogSpec {
+            entries: 800,
+            hot_urls: 24,
+            hot_fraction: 0.2,
+            seed,
+        });
+        dfs.write_records(
+            &format!("/tele/in-{seed}"),
+            NodeId(0),
+            200,
+            3,
+            records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .expect("write input");
+    }
+
+    let cfg = ServiceConfig {
+        cache_capacity: 16,
+        tenants: vec![TenantSpec::new("alpha", 2), TenantSpec::new("beta", 1)],
+        ..ServiceConfig::default()
+    };
+    let mut service = Service::start(Arc::new(Cluster::new(dfs, NetProfile::unlimited())), cfg);
+
+    // Two fresh datasets, then a repeat of the hot one: a cache hit.
+    for (tenant, seed) in [("alpha", 1u64), ("beta", 2), ("alpha", 3), ("alpha", 1)] {
+        let mut jcfg = JobConfig::new(format!("/tele/in-{seed}"), "/ignored");
+        jcfg.partitions_per_node = 2;
+        jcfg.job_deadline = Some(Duration::from_secs(60));
+        let ticket = service
+            .submit(JobSpec {
+                tenant: tenant.into(),
+                app: Arc::new(PageviewCount::new()),
+                cfg: jcfg,
+                workload_seed: seed,
+                slots: NODES,
+                fault_plan: None,
+            })
+            .expect("submit");
+        let report = ticket.wait().expect("job");
+        println!(
+            "{tenant}/seed-{seed}: {:?}{}",
+            report.turnaround,
+            if report.report.served_from_cache {
+                " (cache hit)"
+            } else {
+                ""
+            }
+        );
+        service.pump_telemetry_now();
+    }
+    service.pump_telemetry_now();
+
+    let tele = service.telemetry().expect("telemetry on by default");
+    println!("\nsnapshots captured: {}", tele.snapshots().len());
+    println!("determinism digest: {}", tele.determinism_digest());
+    for f in tele.findings() {
+        println!("health finding: {}", f.describe());
+    }
+
+    let prom = tele.prometheus();
+    validate_exposition(&prom).expect("exposition lints clean");
+    std::fs::write(&prom_path, &prom).expect("write exposition");
+    println!("wrote {prom_path} ({} samples)", prom.lines().count());
+
+    let json = tele.snapshot_json().expect("pumped at least once");
+    glasswing::trace::validate_json(&json).expect("snapshot JSON valid");
+    std::fs::write(&json_path, &json).expect("write snapshot");
+    println!("wrote {json_path} ({} bytes)", json.len());
+
+    service.shutdown();
+}

@@ -20,6 +20,9 @@
 //! * [`service`] (`gw-service`) — the resident multi-tenant job service:
 //!   admission control, weighted-fair slot scheduling and a byte-exact
 //!   result cache over one shared cluster;
+//! * [`telemetry`] (`gw-telemetry`) — the live telemetry plane: metrics
+//!   registry, snapshot ring, Prometheus/JSON exporters and the
+//!   SLO-driven health detector;
 //! * [`apps`] (`gw-apps`) — the paper's five evaluation applications;
 //! * [`baseline`] (`gw-baseline`) — Hadoop-model and GPMR-model engines;
 //! * [`sim`] (`gw-sim`) — the discrete-event cluster simulator behind the
@@ -59,6 +62,8 @@ pub use gw_net as net;
 pub use gw_service as service;
 pub use gw_sim as sim;
 pub use gw_storage as storage;
+pub use gw_telemetry as telemetry;
+pub use gw_trace as trace;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -72,7 +77,10 @@ pub mod prelude {
     };
     pub use gw_device::DeviceProfile;
     pub use gw_net::NetProfile;
-    pub use gw_service::{JobSpec, RejectReason, Service, ServiceConfig, ServiceError, TenantSpec};
+    pub use gw_service::{
+        JobSpec, RejectReason, Service, ServiceConfig, ServiceError, TelemetryConfig, TenantSpec,
+    };
     pub use gw_storage::split::{FileStore, FileStoreExt};
     pub use gw_storage::{Dfs, DfsConfig, LocalFs};
+    pub use gw_telemetry::{HealthConfig, HealthFinding, Registry, SnapshotRing};
 }
